@@ -1,0 +1,284 @@
+//! The five baseline designs as knob settings on the shared chassis.
+//!
+//! Each setting encodes the published dataflow properties the paper's
+//! comparison leans on (§I Table I, §VI-B/C/D discussion). The constants
+//! are calibrated so the *ordering* and rough factors of the paper's
+//! results hold (EXPERIMENTS.md records measured vs published numbers).
+
+use crate::chassis::{BaselineChassis, BaselineParams, DataflowKnobs};
+use serde::{Deserialize, Serialize};
+
+/// The compared accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineKind {
+    HyGcn,
+    AwbGcn,
+    Gcnax,
+    ReGnn,
+    FlowGnn,
+}
+
+impl BaselineKind {
+    /// All baselines in the paper's presentation order.
+    pub const ALL: [BaselineKind; 5] = [
+        BaselineKind::HyGcn,
+        BaselineKind::AwbGcn,
+        BaselineKind::Gcnax,
+        BaselineKind::ReGnn,
+        BaselineKind::FlowGnn,
+    ];
+
+    /// Display name as in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::HyGcn => "HyGCN",
+            BaselineKind::AwbGcn => "AWB-GCN",
+            BaselineKind::Gcnax => "GCNAX",
+            BaselineKind::ReGnn => "ReGNN",
+            BaselineKind::FlowGnn => "FlowGNN",
+        }
+    }
+
+    /// Instantiates the design on the shared chassis.
+    pub fn build(self, params: BaselineParams) -> BaselineChassis {
+        BaselineChassis {
+            name: self.name(),
+            params,
+            knobs: self.knobs(),
+        }
+    }
+
+    /// The published-dataflow knob settings.
+    pub fn knobs(self) -> DataflowKnobs {
+        match self {
+            // HyGCN: tandem SIMD aggregation engine + systolic combination
+            // engine in a fixed 1:7 multiplier split (§VI-A); edge-driven
+            // gather with only window-level reuse; rigid buffer
+            // partitioning; an inter-engine crossbar that serialises the
+            // phase hand-off; no edge-update or attention support.
+            BaselineKind::HyGcn => DataflowKnobs {
+                engine_split: Some(1.0 / 8.0),
+                pipeline_overlap: 0.4,
+                weight_copies: 1,
+                feature_budget_fraction: 0.3,
+                gather_efficiency: 1.0,
+                miss_floor: 0.7,
+                spill_intermediates: false,
+                redundancy_elim: 0.0,
+                interconnect_factor: 2.0,
+                supports_edge_ops: false,
+                supports_attention: false,
+                util_regular: 0.85,
+                util_irregular: 0.35,
+            },
+            // AWB-GCN: unified SpMM engine with runtime workload
+            // rebalancing (good utilisation) but strictly sequential
+            // (A·X)·W phases, the weight matrix duplicated in all PE
+            // groups, and the intermediate product written back.
+            BaselineKind::AwbGcn => DataflowKnobs {
+                engine_split: None,
+                pipeline_overlap: 0.0,
+                weight_copies: 16,
+                feature_budget_fraction: 0.45,
+                gather_efficiency: 0.8,
+                miss_floor: 0.12,
+                spill_intermediates: true,
+                redundancy_elim: 0.0,
+                interconnect_factor: 1.45,
+                supports_edge_ops: false,
+                supports_attention: false,
+                util_regular: 0.85,
+                util_irregular: 0.75,
+            },
+            // GCNAX: a single flexible engine whose optimised loop order /
+            // tiling makes its DRAM traffic the best of the baselines
+            // (Fig. 7 shows it closest to Aurora) — fused loops keep the
+            // intermediate on chip — but phases stay sequential and the
+            // on-chip fabric is hash-mapped.
+            BaselineKind::Gcnax => DataflowKnobs {
+                engine_split: None,
+                pipeline_overlap: 0.0,
+                weight_copies: 2,
+                feature_budget_fraction: 0.6,
+                gather_efficiency: 0.3,
+                miss_floor: 0.03,
+                spill_intermediates: false,
+                redundancy_elim: 0.0,
+                // GCNAX's fabric is simple switches sized for tiled dense
+                // loops; irregular gather traffic serialises on it
+                interconnect_factor: 2.2,
+                supports_edge_ops: false,
+                supports_attention: false,
+                util_regular: 0.8,
+                util_irregular: 0.8,
+            },
+            // ReGNN: redundancy-eliminated neighbourhood message passing
+            // (fewer aggregation ops, better locality) on heterogeneous
+            // agg/comb engines; supports message passing but not
+            // attention; "performance is restricted by the separate
+            // executions of graph and neural operations".
+            BaselineKind::ReGnn => DataflowKnobs {
+                engine_split: Some(0.4),
+                pipeline_overlap: 0.55,
+                weight_copies: 1,
+                feature_budget_fraction: 0.5,
+                gather_efficiency: 0.45,
+                miss_floor: 0.1,
+                spill_intermediates: false,
+                redundancy_elim: 0.25,
+                interconnect_factor: 1.45,
+                supports_edge_ops: true,
+                supports_attention: false,
+                util_regular: 0.75,
+                util_irregular: 0.6,
+            },
+            // FlowGNN: generic message-passing dataflow with node/edge
+            // queues and multi-level parallelism — full model coverage,
+            // decent pipelining, but fixed heterogeneous engines,
+            // duplicated weights and queue staging between stages.
+            BaselineKind::FlowGnn => DataflowKnobs {
+                engine_split: Some(0.5),
+                pipeline_overlap: 0.7,
+                weight_copies: 4,
+                feature_budget_fraction: 0.5,
+                gather_efficiency: 0.55,
+                miss_floor: 0.15,
+                spill_intermediates: false,
+                redundancy_elim: 0.0,
+                interconnect_factor: 1.35,
+                supports_edge_ops: true,
+                supports_attention: true,
+                util_regular: 0.75,
+                util_irregular: 0.65,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_core::AuroraSimulator;
+    use aurora_graph::generate;
+    use aurora_model::{LayerShape, ModelId};
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = BaselineKind::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["HyGCN", "AWB-GCN", "GCNAX", "ReGNN", "FlowGNN"]);
+    }
+
+    #[test]
+    fn table1_support_matrix() {
+        use BaselineKind::*;
+        let p = BaselineParams::default();
+        // C-GNN: everyone
+        for b in BaselineKind::ALL {
+            assert!(b.build(p).supports(ModelId::Gcn), "{}", b.name());
+        }
+        // A-GNN: FlowGNN only
+        assert!(FlowGnn.build(p).supports(ModelId::Agnn));
+        for b in [HyGcn, AwbGcn, Gcnax, ReGnn] {
+            assert!(!b.build(p).supports(ModelId::Agnn), "{}", b.name());
+        }
+        // MP-GNN: ReGNN and FlowGNN
+        for b in [ReGnn, FlowGnn] {
+            assert!(b.build(p).supports(ModelId::GGcn), "{}", b.name());
+        }
+        for b in [HyGcn, AwbGcn, Gcnax] {
+            assert!(!b.build(p).supports(ModelId::EdgeConv1), "{}", b.name());
+        }
+    }
+
+    /// The paper's headline result: Aurora is faster than every baseline,
+    /// HyGCN is the slowest, and GCNAX has the lowest baseline DRAM
+    /// traffic.
+    #[test]
+    fn aurora_wins_and_orderings_hold() {
+        let g = generate::rmat(4096, 40_000, Default::default(), 11);
+        let shapes = [LayerShape::new(256, 128), LayerShape::new(128, 16)];
+        let p = BaselineParams::default();
+        let aurora = AuroraSimulator::paper().simulate(&g, ModelId::Gcn, &shapes, "t");
+        let runs: Vec<(BaselineKind, _)> = BaselineKind::ALL
+            .iter()
+            .map(|b| (*b, b.build(p).simulate(&g, ModelId::Gcn, &shapes, "t")))
+            .collect();
+        for (b, r) in &runs {
+            assert!(
+                r.total_cycles > aurora.total_cycles,
+                "{} ({}) must be slower than Aurora ({})",
+                b.name(),
+                r.total_cycles,
+                aurora.total_cycles
+            );
+            assert!(
+                r.dram.total_bytes() >= aurora.dram.total_bytes(),
+                "{} DRAM below Aurora's",
+                b.name()
+            );
+        }
+        let dram = |k: BaselineKind| {
+            runs.iter()
+                .find(|(b, _)| *b == k)
+                .unwrap()
+                .1
+                .dram
+                .total_bytes()
+        };
+        for b in BaselineKind::ALL {
+            assert!(
+                dram(b) >= dram(BaselineKind::Gcnax),
+                "GCNAX should have the least baseline DRAM (vs {})",
+                b.name()
+            );
+        }
+    }
+
+    /// Averaged over several workloads, HyGCN is the slowest design and
+    /// ReGNN the closest competitor — the two ends of the paper's Fig. 9
+    /// reduction ordering. (Individual datasets may deviate, as the
+    /// paper's own per-dataset bars do.)
+    #[test]
+    fn average_ordering_ends_hold() {
+        use aurora_graph::Dataset;
+        let p = BaselineParams::default();
+        let mut log_ratio = std::collections::HashMap::new();
+        for (ds, scale) in [
+            (Dataset::Cora, 1),
+            (Dataset::Citeseer, 1),
+            (Dataset::Pubmed, 4),
+        ] {
+            let spec = ds.spec().scaled(scale);
+            let g = spec.synthesize();
+            let shapes = [
+                LayerShape::new(spec.feature_dim, 16),
+                LayerShape::new(16, spec.classes.max(2)),
+            ];
+            let aurora = AuroraSimulator::paper().simulate_with_density(
+                &g,
+                ModelId::Gcn,
+                &shapes,
+                ds.name(),
+                spec.feature_density,
+            );
+            for b in BaselineKind::ALL {
+                let r = b.build(p).simulate(&g, ModelId::Gcn, &shapes, ds.name());
+                *log_ratio.entry(b.name()).or_insert(0.0) +=
+                    (r.total_cycles as f64 / aurora.total_cycles as f64).ln();
+            }
+        }
+        let hygcn = log_ratio["HyGCN"];
+        let regnn = log_ratio["ReGNN"];
+        for (name, v) in &log_ratio {
+            assert!(hygcn >= *v, "HyGCN should be slowest on average (vs {name})");
+            assert!(*v > 0.0, "{name} must be slower than Aurora on average");
+        }
+        // ReGNN and FlowGNN are the two closest competitors (paper: 28 %
+        // and 38 % reductions); which of the two leads varies by workload.
+        let closer = log_ratio
+            .iter()
+            .filter(|(name, v)| **name != "ReGNN" && **v < regnn)
+            .count();
+        assert!(closer <= 1, "ReGNN should be among the two closest baselines");
+    }
+}

@@ -1,0 +1,23 @@
+//! Mechanistic cost models of the five baseline accelerators the paper
+//! compares against (§VI-A): HyGCN, AWB-GCN, GCNAX, ReGNN, FlowGNN.
+//!
+//! These accelerators are closed-source; the paper evaluates them with the
+//! same op-counting/access-counting methodology it uses for Aurora, after
+//! normalising every design to the same multiplier count, DRAM bandwidth
+//! and on-chip storage (100 MB). We do the same: each baseline is a set of
+//! dataflow *knobs* on a shared analytic chassis that mirrors the paper's
+//! qualitative characterisation of each design:
+//!
+//! | design | engines | weights | inter-phase | feature reuse | edge ops |
+//! |---|---|---|---|---|---|
+//! | HyGCN | fixed 1:7 SIMD/systolic tandem | per-engine | global buffer | window-miss gather | none |
+//! | AWB-GCN | unified, runtime rebalancing | duplicated in all PEs | buffer, spills | shard-limited | none |
+//! | GCNAX | single flexible engine | single copy | buffer | optimised loop order/tiling | none |
+//! | ReGNN | fixed agg/comb tandem | per-engine | global buffer | redundancy-eliminated gather | message-passing |
+//! | FlowGNN | fixed node/edge dataflow queues | duplicated | queues (on-chip) | moderate | full message-passing |
+
+pub mod chassis;
+pub mod kinds;
+
+pub use chassis::{BaselineChassis, BaselineParams};
+pub use kinds::BaselineKind;

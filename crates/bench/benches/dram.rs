@@ -1,0 +1,37 @@
+//! DRAM-model microbenchmarks: FR-FCFS scheduling under streaming and
+//! scattered access patterns.
+
+use aurora_mem::{Dram, DramRequest};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run(addrs: impl Iterator<Item = u64>) -> u64 {
+    let mut d = Dram::ddr3();
+    for (i, addr) in addrs.enumerate() {
+        d.submit(DramRequest {
+            id: i as u64,
+            addr,
+            is_write: false,
+            arrival: 0,
+        });
+    }
+    d.run_to_completion().finish_cycle
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("frfcfs_sequential_4k_bursts", |b| {
+        b.iter(|| run((0..4096u64).map(|i| i * 64)))
+    });
+
+    c.bench_function("frfcfs_scattered_1k_bursts", |b| {
+        // one bank, a new row per access — the worst case the scheduler
+        // has to queue through
+        b.iter(|| run((0..1024u64).map(|i| i * 8 * 8 * 1024)))
+    });
+
+    c.bench_function("frfcfs_bank_parallel_1k_bursts", |b| {
+        b.iter(|| run((0..1024u64).map(|i| (i % 8) * 64 + (i / 8) * 8 * 8 * 1024)))
+    });
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

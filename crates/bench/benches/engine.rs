@@ -1,0 +1,51 @@
+//! End-to-end simulator benchmarks: one full Aurora run and one baseline
+//! run on a scaled Cora.
+
+use aurora_baselines::{BaselineKind, BaselineParams};
+use aurora_core::{AcceleratorConfig, AuroraSimulator};
+use aurora_graph::Dataset;
+use aurora_model::{LayerShape, ModelId};
+use aurora_core::functional::run_gcn_layer;
+use aurora_graph::{generate, FeatureMatrix};
+use aurora_mapping::degree_aware;
+use aurora_model::reference::init_weights;
+use aurora_pe::PeConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_engine(c: &mut Criterion) {
+    let spec = Dataset::Cora.spec().scaled(2);
+    let g = spec.synthesize();
+    let shapes = [
+        LayerShape::new(spec.feature_dim, 16),
+        LayerShape::new(16, spec.classes),
+    ];
+
+    c.bench_function("aurora_simulate_cora_half", |b| {
+        let sim = AuroraSimulator::new(AcceleratorConfig::default());
+        b.iter(|| {
+            sim.simulate_with_density(
+                black_box(&g),
+                ModelId::Gcn,
+                &shapes,
+                "Cora/2",
+                spec.feature_density,
+            )
+        })
+    });
+
+    c.bench_function("functional_gcn_layer_1k_vertices", |b| {
+        let g2 = generate::rmat(1024, 8192, Default::default(), 5);
+        let x = FeatureMatrix::random(1024, 16, 1.0, 1);
+        let w = init_weights(8, 16, 2);
+        let mapping = degree_aware::map(0..1024, &g2.degrees(), 8, 32);
+        b.iter(|| run_gcn_layer(black_box(&g2), &x, &w, 8, &mapping, PeConfig::default()))
+    });
+
+    c.bench_function("baseline_gcnax_simulate_cora_half", |b| {
+        let gcnax = BaselineKind::Gcnax.build(BaselineParams::default());
+        b.iter(|| gcnax.simulate(black_box(&g), ModelId::Gcn, &shapes, "Cora/2"))
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

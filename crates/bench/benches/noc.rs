@@ -1,0 +1,51 @@
+//! NoC microbenchmarks: the cycle-level engine's step loop and the
+//! analytic route-walking estimator.
+
+use aurora_core::noc_model;
+use aurora_graph::generate;
+use aurora_mapping::degree_aware;
+use aurora_noc::{run_pattern, BypassSegment, Network, NocConfig, Pattern};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("cycle_engine_drain_8x8_random", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NocConfig::mesh(8));
+            for i in 0..64usize {
+                net.inject(i, (i * 37 + 11) % 64, 16);
+            }
+            net.drain(1_000_000).unwrap()
+        })
+    });
+
+    c.bench_function("cycle_engine_drain_8x8_bypass", |b| {
+        b.iter(|| {
+            let cfg = NocConfig::with_bypass(
+                8,
+                vec![BypassSegment { index: 2, from: 0, to: 7 }],
+                vec![BypassSegment { index: 5, from: 0, to: 7 }],
+            );
+            let mut net = Network::new(cfg);
+            for i in 0..64usize {
+                net.inject(i, (i * 37 + 11) % 64, 16);
+            }
+            net.drain(1_000_000).unwrap()
+        })
+    });
+
+    c.bench_function("pattern_transpose_8x8", |b| {
+        b.iter(|| run_pattern(NocConfig::mesh(8), Pattern::Transpose, 4, 16))
+    });
+
+    let g = generate::rmat(8192, 65_536, Default::default(), 3);
+    let mapping = degree_aware::map(0..8192, &g.degrees(), 32, 8);
+    let cfg = NocConfig::mesh(32);
+    c.bench_function("estimator_route_walk_64k_edges", |b| {
+        b.iter(|| {
+            noc_model::aggregation_traffic(black_box(&cfg), &mapping, g.edges(), 64)
+        })
+    });
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

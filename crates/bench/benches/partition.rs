@@ -1,0 +1,29 @@
+//! Algorithm 2 microbenchmark: the full a ∈ [0, 1024] sweep per layer.
+
+use aurora_model::{LayerShape, ModelId, Workload};
+use aurora_partition::partition;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_partition(c: &mut Criterion) {
+    let counts =
+        Workload::from_sizes(ModelId::Gcn, 100_000, 1_000_000, LayerShape::new(512, 128))
+            .op_counts();
+    c.bench_function("partition_sweep_1024_pes", |b| {
+        b.iter(|| partition(black_box(&counts), 1024, 22.4e9))
+    });
+
+    c.bench_function("workload_characterisation", |b| {
+        b.iter(|| {
+            Workload::from_sizes(
+                black_box(ModelId::GGcn),
+                100_000,
+                1_000_000,
+                LayerShape::new(512, 128),
+            )
+            .op_counts()
+        })
+    });
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! PE-datapath microbenchmarks: the Fig. 6 configurations.
+
+use aurora_model::Activation;
+use aurora_pe::{PeConfig, ProcessingElement};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pe(c: &mut Criterion) {
+    let w: Vec<f64> = (0..128 * 128).map(|i| (i % 17) as f64 * 0.1).collect();
+    let x: Vec<f64> = (0..128).map(|i| i as f64 * 0.01).collect();
+
+    c.bench_function("pe_matvec_128x128", |b| {
+        let mut pe = ProcessingElement::new(PeConfig::default());
+        b.iter(|| pe.exec_matvec(black_box(&w), 128, 128, &x))
+    });
+
+    c.bench_function("pe_dot_128", |b| {
+        let mut pe = ProcessingElement::new(PeConfig::default());
+        b.iter(|| pe.exec_dot(black_box(&x), &x))
+    });
+
+    c.bench_function("pe_scalar_mul_128", |b| {
+        let mut pe = ProcessingElement::new(PeConfig::default());
+        b.iter(|| pe.exec_scalar_mul(black_box(0.5), &x))
+    });
+
+    c.bench_function("pe_accumulate_128", |b| {
+        let mut pe = ProcessingElement::new(PeConfig::default());
+        let mut acc = vec![0.0; 128];
+        b.iter(|| pe.exec_accumulate(black_box(&mut acc), &x))
+    });
+
+    c.bench_function("ppu_softmax_128", |b| {
+        let mut pe = ProcessingElement::new(PeConfig::default());
+        let mut v = x.clone();
+        b.iter(|| pe.exec_activate(black_box(&mut v), Activation::Softmax))
+    });
+}
+
+criterion_group!(benches, bench_pe);
+criterion_main!(benches);

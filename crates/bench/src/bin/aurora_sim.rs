@@ -1,0 +1,181 @@
+//! Command-line simulator driver.
+//!
+//! ```text
+//! aurora_sim [--dataset cora|citeseer|pubmed|nell|reddit] [--scale N]
+//!            [--model gcn|gin|sage-mean|sage-pool|commnet|attention|agnn|
+//!                     ggcn|edgeconv1|edgeconv5]
+//!            [--hidden N] [--k N] [--hashing] [--no-flex-noc]
+//!            [--no-partition] [--baseline hygcn|awb|gcnax|regnn|flowgnn]
+//!            [--json]
+//! ```
+//!
+//! Example: `cargo run --release -p aurora-bench --bin aurora_sim -- \
+//!           --dataset pubmed --model gcn --k 32`
+
+use aurora_baselines::{BaselineKind, BaselineParams};
+use aurora_bench::protocol::shapes_for;
+use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport};
+use aurora_graph::Dataset;
+use aurora_mapping::MappingPolicy;
+use aurora_model::ModelId;
+
+fn parse_model(s: &str) -> Option<ModelId> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "gcn" => ModelId::Gcn,
+        "gin" => ModelId::Gin,
+        "sage-mean" | "sagemean" => ModelId::SageMean,
+        "sage-pool" | "sagepool" => ModelId::SagePool,
+        "commnet" => ModelId::CommNet,
+        "attention" | "vanilla-attention" => ModelId::VanillaAttention,
+        "agnn" => ModelId::Agnn,
+        "ggcn" | "g-gcn" => ModelId::GGcn,
+        "edgeconv1" | "edgeconv-1" => ModelId::EdgeConv1,
+        "edgeconv5" | "edgeconv-5" => ModelId::EdgeConv5,
+        _ => return None,
+    })
+}
+
+fn parse_dataset(s: &str) -> Option<Dataset> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "cora" => Dataset::Cora,
+        "citeseer" => Dataset::Citeseer,
+        "pubmed" => Dataset::Pubmed,
+        "nell" => Dataset::Nell,
+        "reddit" => Dataset::Reddit,
+        _ => return None,
+    })
+}
+
+fn parse_baseline(s: &str) -> Option<BaselineKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "hygcn" => BaselineKind::HyGcn,
+        "awb" | "awb-gcn" | "awbgcn" => BaselineKind::AwbGcn,
+        "gcnax" => BaselineKind::Gcnax,
+        "regnn" => BaselineKind::ReGnn,
+        "flowgnn" => BaselineKind::FlowGnn,
+        _ => return None,
+    })
+}
+
+fn print_report(r: &SimReport, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(r).expect("serialize"));
+        return;
+    }
+    println!("=== {} on {} ({}) ===", r.accelerator, r.workload, r.model);
+    println!("cycles:       {}", r.total_cycles);
+    println!("time:         {:.3} ms", r.seconds() * 1e3);
+    println!(
+        "DRAM:         {:.2} MB ({} accesses)",
+        r.dram.total_bytes() as f64 / 1e6,
+        r.dram_accesses()
+    );
+    println!("NoC cycles:   {}", r.noc_cycles());
+    println!("energy:       {:.3} mJ", r.energy_joules() * 1e3);
+    for l in &r.layers {
+        println!(
+            "  layer {}: {} cycles (compute {}, noc {}, dram {}), A/B = {}/{}, {} tiles",
+            l.layer,
+            l.total_cycles,
+            l.compute_cycles,
+            l.noc.cycles,
+            l.dram_cycles,
+            l.partition.a,
+            l.partition.b,
+            l.tiles
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dataset = Dataset::Cora;
+    let mut scale = 1usize;
+    let mut model = ModelId::Gcn;
+    let mut hidden = 16usize;
+    let mut k = 32usize;
+    let mut policy = MappingPolicy::DegreeAware;
+    let mut flex = true;
+    let mut dyn_part = true;
+    let mut baseline: Option<BaselineKind> = None;
+    let mut json = false;
+
+    let mut i = 0;
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}\nrun with no args for the defaults; see the doc comment for usage");
+        std::process::exit(2)
+    };
+    while i < args.len() {
+        let need = |i: usize| args.get(i + 1).unwrap_or_else(|| fail("missing value"));
+        match args[i].as_str() {
+            "--dataset" => {
+                dataset = parse_dataset(need(i)).unwrap_or_else(|| fail("unknown dataset"));
+                i += 1;
+            }
+            "--scale" => {
+                scale = need(i).parse().unwrap_or_else(|_| fail("bad --scale"));
+                i += 1;
+            }
+            "--model" => {
+                model = parse_model(need(i)).unwrap_or_else(|| fail("unknown model"));
+                i += 1;
+            }
+            "--hidden" => {
+                hidden = need(i).parse().unwrap_or_else(|_| fail("bad --hidden"));
+                i += 1;
+            }
+            "--k" => {
+                k = need(i).parse().unwrap_or_else(|_| fail("bad --k"));
+                i += 1;
+            }
+            "--baseline" => {
+                baseline = Some(parse_baseline(need(i)).unwrap_or_else(|| fail("unknown baseline")));
+                i += 1;
+            }
+            "--hashing" => policy = MappingPolicy::Hashing,
+            "--no-flex-noc" => flex = false,
+            "--no-partition" => dyn_part = false,
+            "--json" => json = true,
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let spec = dataset.spec().scaled(scale);
+    let g = spec.synthesize();
+    let shapes = shapes_for(&spec, hidden);
+    eprintln!(
+        "workload: {} (scale 1/{scale}): {} vertices, {} edges, {} features",
+        dataset.name(),
+        g.num_vertices(),
+        g.num_edges(),
+        spec.feature_dim
+    );
+
+    let report = match baseline {
+        Some(b) => {
+            if !b.build(BaselineParams::default()).supports(model) {
+                fail(&format!("{} does not support {}", b.name(), model.name()));
+            }
+            b.build(BaselineParams::default())
+                .simulate(&g, model, &shapes, dataset.name())
+        }
+        None => {
+            let cfg = AcceleratorConfig {
+                k,
+                mapping_policy: policy,
+                flexible_noc: flex,
+                dynamic_partition: dyn_part,
+                ..AcceleratorConfig::default()
+            };
+            AuroraSimulator::new(cfg).simulate_with_density(
+                &g,
+                model,
+                &shapes,
+                dataset.name(),
+                spec.feature_density,
+            )
+        }
+    };
+    print_report(&report, json);
+}

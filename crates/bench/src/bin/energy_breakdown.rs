@@ -1,0 +1,46 @@
+//! Energy composition of Aurora per dataset — where the joules go
+//! (compute / bank buffers / DRAM / NoC / static / reconfiguration),
+//! the component view behind Fig. 10's totals.
+
+use aurora_bench::protocol::{shapes_for, EvalProtocol};
+use aurora_core::{AcceleratorConfig, AuroraSimulator};
+use aurora_model::ModelId;
+
+fn main() {
+    println!("=== Aurora energy breakdown (two-layer GCN) ===");
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>12}",
+        "dataset", "compute%", "sram%", "dram%", "noc%", "static%", "reconf%", "total mJ"
+    );
+    for p in EvalProtocol::standard() {
+        let spec = p.spec();
+        let g = spec.synthesize();
+        let r = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
+            &g,
+            ModelId::Gcn,
+            &shapes_for(&spec, p.hidden),
+            p.dataset.name(),
+            spec.feature_density,
+        );
+        let e = &r.energy;
+        let t = e.total();
+        let pct = |x: f64| 100.0 * x / t;
+        println!(
+            "{:<10}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9.3}%{:>12.3}",
+            p.dataset.name(),
+            pct(e.compute),
+            pct(e.local_sram + e.global_sram),
+            pct(e.dram),
+            pct(e.noc),
+            pct(e.static_leakage),
+            pct(e.reconfiguration),
+            t * 1e3
+        );
+    }
+    println!(
+        "\nDRAM dominates on the sparse-feature datasets (so Fig. 7's access\n\
+         reduction is the main lever behind Fig. 10), while Reddit's dense\n\
+         features shift the cost to on-chip communication — the same effect\n\
+         that shrinks Aurora's Reddit speedup in §VI-D."
+    );
+}

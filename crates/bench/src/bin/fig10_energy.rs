@@ -1,0 +1,37 @@
+//! Fig. 10 — normalized total energy (control + compute + DRAM + buffers
+//! + interconnect) per dataset.
+//!
+//! Paper-reported average energy reductions: HyGCN 89 %, AWB-GCN 77 %,
+//! GCNAX 42 %, ReGNN 69 %, FlowGNN 71 %; Aurora's reconfiguration energy
+//! stays below 3 % of its total.
+
+use aurora_bench::{print_normalized, run_standard, EvalProtocol};
+use aurora_core::{AcceleratorConfig, AuroraSimulator};
+use aurora_bench::protocol::shapes_for;
+use aurora_model::ModelId;
+
+fn main() {
+    let sweep = run_standard(&EvalProtocol::standard());
+    print_normalized("Fig. 10: energy consumption", &sweep, |c| c.energy_joules);
+
+    // the reconfiguration-energy claim (§VI-E)
+    println!("Aurora reconfiguration-energy fraction per dataset:");
+    for p in EvalProtocol::standard() {
+        let spec = p.spec();
+        let g = spec.synthesize();
+        let r = AuroraSimulator::new(AcceleratorConfig::default()).simulate(
+            &g,
+            ModelId::Gcn,
+            &shapes_for(&spec, p.hidden),
+            p.dataset.name(),
+        );
+        let f = r.energy.reconfiguration_fraction();
+        println!(
+            "  {:<9} {:.3}%  ({})",
+            p.dataset.name(),
+            f * 100.0,
+            if f < 0.03 { "< 3% ✓" } else { "EXCEEDS 3%" }
+        );
+    }
+    aurora_bench::table::dump_json("results/fig10_energy.json", &sweep);
+}

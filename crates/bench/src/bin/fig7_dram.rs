@@ -1,0 +1,28 @@
+//! Fig. 7 — normalized DRAM accesses of the six accelerators on the five
+//! datasets (two-layer GCN, equal multipliers/bandwidth/100 MB storage).
+//!
+//! Paper-reported per-dataset average reductions vs the baselines:
+//! Cora 86 %, Citeseer 60 %, Pubmed 15 %, Nell 57 %, Reddit 65 %.
+
+use aurora_bench::{print_normalized, run_standard, EvalProtocol};
+
+fn main() {
+    let sweep = run_standard(&EvalProtocol::standard());
+    print_normalized("Fig. 7: DRAM accesses", &sweep, |c| c.dram_accesses as f64);
+    // the paper also reports a per-dataset average across baselines
+    println!("per-dataset average DRAM-access reduction vs baselines:");
+    for d in &sweep.datasets {
+        let aurora = sweep.cell("Aurora", d).dram_accesses as f64;
+        let mut logsum = 0.0;
+        let mut n = 0;
+        for a in &sweep.accelerators {
+            if a != "Aurora" {
+                logsum += (sweep.cell(a, d).dram_accesses as f64 / aurora).ln();
+                n += 1;
+            }
+        }
+        let geo = (logsum / n as f64).exp();
+        println!("  {d:<9} {:.0}%  (baselines {geo:.2}x Aurora)", (1.0 - 1.0 / geo) * 100.0);
+    }
+    aurora_bench::table::dump_json("results/fig7_dram.json", &sweep);
+}

@@ -1,0 +1,29 @@
+//! Fig. 8 — on-chip communication latency (total on-chip communication
+//! cycles) for the six accelerators on the five datasets.
+//!
+//! Paper-reported per-dataset average reductions vs the baselines:
+//! Cora 75 %, Citeseer 87 %, Pubmed 50 %, Nell 68 %, Reddit 64 %.
+
+use aurora_bench::{print_normalized, run_standard, EvalProtocol};
+
+fn main() {
+    let sweep = run_standard(&EvalProtocol::standard());
+    print_normalized("Fig. 8: on-chip communication latency", &sweep, |c| {
+        c.noc_cycles as f64
+    });
+    println!("per-dataset average on-chip latency reduction vs baselines:");
+    for d in &sweep.datasets {
+        let aurora = sweep.cell("Aurora", d).noc_cycles as f64;
+        let mut logsum = 0.0;
+        let mut n = 0;
+        for a in &sweep.accelerators {
+            if a != "Aurora" {
+                logsum += (sweep.cell(a, d).noc_cycles as f64 / aurora).ln();
+                n += 1;
+            }
+        }
+        let geo = (logsum / n as f64).exp();
+        println!("  {d:<9} {:.0}%  (baselines {geo:.2}x Aurora)", (1.0 - 1.0 / geo) * 100.0);
+    }
+    aurora_bench::table::dump_json("results/fig8_noc.json", &sweep);
+}

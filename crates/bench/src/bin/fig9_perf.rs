@@ -1,0 +1,47 @@
+//! Fig. 9 — normalized execution time per layer, plus the speedup ranges
+//! of §VI-D.
+//!
+//! Paper-reported average execution-time reductions: HyGCN 85 %, AWB-GCN
+//! 66 %, GCNAX 47 %, ReGNN 28 %, FlowGNN 38 %; per-dataset speedups of
+//! 5.0–37.0× (HyGCN), 1.6–3.0× (AWB-GCN), 1.3–1.9× (GCNAX), 1.1–2.4×
+//! (ReGNN), 1.1–1.7× (FlowGNN). The Reddit column shows the smallest
+//! gains (dense features + graph size, §VI-D).
+
+use aurora_bench::{print_normalized, run_standard, EvalProtocol};
+
+fn main() {
+    let sweep = run_standard(&EvalProtocol::standard());
+    print_normalized("Fig. 9: execution time", &sweep, |c| c.cycles as f64);
+
+    // per-layer rows, as the paper's figure plots each layer separately
+    println!("per-layer normalized execution time:");
+    for d in &sweep.datasets {
+        let aurora = sweep.cell("Aurora", d);
+        for (li, &ac) in aurora.layer_cycles.iter().enumerate() {
+            print!("  {d:<9} L{li}:");
+            for a in &sweep.accelerators {
+                let c = sweep.cell(a, d);
+                let v = c.layer_cycles.get(li).copied().unwrap_or(0) as f64 / ac as f64;
+                print!(" {a}={v:.2}");
+            }
+            println!();
+        }
+    }
+
+    // speedup ranges vs each baseline across datasets (§VI-D)
+    println!("\nspeedup ranges (min–max across datasets):");
+    for a in &sweep.accelerators {
+        if a == "Aurora" {
+            continue;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for d in &sweep.datasets {
+            let s = sweep.cell(a, d).seconds / sweep.cell("Aurora", d).seconds;
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        println!("  vs {a:<8} {lo:.1}x – {hi:.1}x");
+    }
+    aurora_bench::table::dump_json("results/fig9_perf.json", &sweep);
+}

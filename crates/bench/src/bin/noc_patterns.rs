@@ -1,0 +1,61 @@
+//! Cycle-level NoC characterisation: classic synthetic patterns on the
+//! plain mesh vs the bypass-augmented fabric — the microarchitecture-level
+//! view behind Fig. 2's reconfiguration story.
+
+use aurora_noc::{run_pattern, BypassSegment, NocConfig, Pattern};
+
+fn main() {
+    let k = 8;
+    let msgs = 8;
+    let words = 16;
+    let patterns = [
+        ("uniform", Pattern::UniformRandom),
+        ("transpose", Pattern::Transpose),
+        ("bit-compl", Pattern::BitComplement),
+        ("tornado", Pattern::Tornado),
+        ("hotspot", Pattern::Hotspot(k * k / 2 + k / 2)),
+        ("neighbor", Pattern::NeighborX),
+    ];
+
+    let bypass_cfg = || {
+        NocConfig::with_bypass(
+            k,
+            (0..k)
+                .map(|r| BypassSegment { index: r, from: 0, to: k - 1 })
+                .collect(),
+            (0..k)
+                .map(|c| BypassSegment { index: c, from: 0, to: k - 1 })
+                .collect(),
+        )
+    };
+
+    println!("=== {k}×{k} NoC, {msgs} messages/node × {words} words ===");
+    println!(
+        "{:<12}{:>10}{:>10}{:>9}{:>9}{:>9}{:>11}{:>11}",
+        "pattern", "mesh cyc", "byp cyc", "p50", "p90", "p99", "mesh hops", "byp hops"
+    );
+    for (name, p) in patterns {
+        let mesh = run_pattern(NocConfig::mesh(k), p, msgs, words);
+        let byp = run_pattern(bypass_cfg(), p, msgs, words);
+        println!(
+            "{:<12}{:>10}{:>10}{:>9}{:>9}{:>9}{:>11.2}{:>11.2}",
+            name,
+            mesh.pattern_cycles,
+            byp.pattern_cycles,
+            byp.p50,
+            byp.p90,
+            byp.p99,
+            mesh.stats.avg_hops(),
+            byp.stats.avg_hops()
+        );
+    }
+
+    println!("\nring mode (weight-stationary rotation):");
+    let ring = run_pattern(NocConfig::rings(k), Pattern::NeighborX, msgs, words);
+    println!(
+        "  neighbor-X: {} cycles, {} packets, avg latency {:.1}",
+        ring.pattern_cycles,
+        ring.stats.packets_delivered,
+        ring.stats.avg_packet_latency()
+    );
+}

@@ -1,0 +1,53 @@
+//! Table II — required operations per execution phase per model,
+//! regenerated from the model specs (plus the op counts a concrete layer
+//! implies, which feed Algorithm 2).
+
+use aurora_model::{LayerShape, ModelId, Phase, Workload};
+
+fn main() {
+    println!("=== Table II: required operations per phase ===");
+    println!(
+        "{:<20}{:<12}{:<34}{:<14}{:<30}",
+        "Model", "Category", "Edge Update", "Aggregation", "Vertex Update"
+    );
+    for id in ModelId::ALL {
+        let s = id.spec();
+        let fmt = |p: Phase| -> String {
+            let ops = s.phase(p).op_kinds();
+            if ops.is_empty() {
+                "Null".to_string()
+            } else {
+                ops.iter()
+                    .map(|o| o.notation())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        };
+        println!(
+            "{:<20}{:<12}{:<34}{:<14}{:<30}",
+            s.name(),
+            s.category.name(),
+            fmt(Phase::EdgeUpdate),
+            fmt(Phase::Aggregation),
+            fmt(Phase::VertexUpdate)
+        );
+    }
+
+    // concrete op counts for a reference layer (n = 10k, m = 50k, 128→64)
+    println!("\nconcrete op counts (n=10000, m=50000, 128→64):");
+    println!(
+        "{:<20}{:>16}{:>16}{:>16}{:>8}",
+        "Model", "O_ue", "O_a", "O_uv", "E_f"
+    );
+    for id in ModelId::ALL {
+        let c = Workload::from_sizes(id, 10_000, 50_000, LayerShape::new(128, 64)).op_counts();
+        println!(
+            "{:<20}{:>16}{:>16}{:>16}{:>8}",
+            id.name(),
+            c.edge_update,
+            c.aggregation,
+            c.vertex_update,
+            c.edge_feature_dim
+        );
+    }
+}

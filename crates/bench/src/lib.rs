@@ -1,0 +1,28 @@
+//! Experiment harness regenerating the paper's evaluation (§VI).
+//!
+//! Every table and figure has a binary (see DESIGN.md's experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_coverage` | Table I — model-coverage matrix |
+//! | `table2_ops` | Table II — per-phase operations |
+//! | `fig7_dram` | Fig. 7 — normalized DRAM accesses |
+//! | `fig8_noc` | Fig. 8 — on-chip communication latency |
+//! | `fig9_perf` | Fig. 9 — normalized execution time + speedup ranges |
+//! | `fig10_energy` | Fig. 10 — normalized energy |
+//! | `area_table` | §VI-F — area breakdown |
+//! | `ablation_mapping` | §IV — degree-aware vs hashing mapping |
+//! | `ablation_partition` | §V — dynamic vs fixed partitioning |
+//!
+//! The shared [`sweep`] runs the paper's protocol — a two-layer GCN over
+//! the five datasets on Aurora and all five baselines, every design
+//! normalised to the same multipliers/bandwidth/storage — and each binary
+//! prints its figure's metric from those runs.
+
+pub mod protocol;
+pub mod sweep;
+pub mod table;
+
+pub use protocol::{shapes_for, EvalProtocol};
+pub use sweep::{run_standard, CellResult, SweepResult};
+pub use table::print_normalized;

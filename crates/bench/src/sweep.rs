@@ -1,0 +1,138 @@
+//! The shared accelerator × dataset sweep behind Figs. 7-10.
+
+use crate::protocol::{shapes_for, EvalProtocol};
+use aurora_baselines::{BaselineKind, BaselineParams};
+use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport};
+use aurora_model::ModelId;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One (accelerator, dataset) cell of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    pub accelerator: String,
+    pub dataset: String,
+    pub cycles: u64,
+    pub seconds: f64,
+    pub dram_bytes: u64,
+    pub dram_accesses: u64,
+    pub noc_cycles: u64,
+    pub energy_joules: f64,
+    /// Per-layer total cycles (Fig. 9 reports each layer).
+    pub layer_cycles: Vec<u64>,
+}
+
+impl CellResult {
+    fn of(report: &SimReport) -> Self {
+        Self {
+            accelerator: report.accelerator.clone(),
+            dataset: report.workload.clone(),
+            cycles: report.total_cycles,
+            seconds: report.seconds(),
+            dram_bytes: report.dram.total_bytes(),
+            dram_accesses: report.dram_accesses(),
+            noc_cycles: report.noc_cycles(),
+            energy_joules: report.energy_joules(),
+            layer_cycles: report.layers.iter().map(|l| l.total_cycles).collect(),
+        }
+    }
+}
+
+/// The full sweep result: row per accelerator, column per dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    pub accelerators: Vec<String>,
+    pub datasets: Vec<String>,
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepResult {
+    /// Looks up one cell.
+    pub fn cell(&self, accelerator: &str, dataset: &str) -> &CellResult {
+        self.cells
+            .iter()
+            .find(|c| c.accelerator == accelerator && c.dataset == dataset)
+            .unwrap_or_else(|| panic!("missing cell {accelerator}/{dataset}"))
+    }
+
+    /// A metric matrix `[accelerator][dataset]`.
+    pub fn matrix(&self, metric: impl Fn(&CellResult) -> f64) -> Vec<Vec<f64>> {
+        self.accelerators
+            .iter()
+            .map(|a| {
+                self.datasets
+                    .iter()
+                    .map(|d| metric(self.cell(a, d)))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Runs the paper's protocol (two-layer GCN, all six accelerators, the
+/// five-dataset suite) and returns the result matrix. Dataset runs execute
+/// in parallel with Rayon.
+pub fn run_standard(protocols: &[EvalProtocol]) -> SweepResult {
+    let model = ModelId::Gcn;
+    let cells: Vec<CellResult> = protocols
+        .par_iter()
+        .flat_map(|p| {
+            let spec = p.spec();
+            let name = p.dataset.name().to_string();
+            let g = spec.synthesize();
+            let shapes = shapes_for(&spec, p.hidden);
+            let mut out = Vec::with_capacity(6);
+            let aurora = AuroraSimulator::new(AcceleratorConfig::default())
+                .simulate_with_density(&g, model, &shapes, &name, spec.feature_density);
+            out.push(CellResult::of(&aurora));
+            for b in BaselineKind::ALL {
+                let r = b
+                    .build(BaselineParams::default())
+                    .simulate(&g, model, &shapes, &name);
+                out.push(CellResult::of(&r));
+            }
+            out
+        })
+        .collect();
+    SweepResult {
+        accelerators: std::iter::once("Aurora".to_string())
+            .chain(BaselineKind::ALL.iter().map(|b| b.name().to_string()))
+            .collect(),
+        datasets: protocols.iter().map(|p| p.dataset.name().to_string()).collect(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_completes_and_aurora_wins() {
+        let sweep = run_standard(&EvalProtocol::tiny());
+        assert_eq!(sweep.cells.len(), 6 * 5);
+        for d in &sweep.datasets {
+            let aurora = sweep.cell("Aurora", d);
+            for a in &sweep.accelerators {
+                if a != "Aurora" {
+                    let c = sweep.cell(a, d);
+                    assert!(
+                        c.cycles >= aurora.cycles,
+                        "{a} faster than Aurora on {d}: {} < {}",
+                        c.cycles,
+                        aurora.cycles
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let sweep = run_standard(&EvalProtocol::tiny()[..2]);
+        let m = sweep.matrix(|c| c.cycles as f64);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m[0].len(), 2);
+        assert!(m.iter().flatten().all(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,80 @@
+//! ASCII table rendering for the figure binaries.
+
+use crate::sweep::{CellResult, SweepResult};
+
+/// Prints a matrix of `metric` values normalised to Aurora's value per
+/// dataset (the paper normalises every figure to the proposed
+/// accelerator), plus the per-dataset and overall average reduction Aurora
+/// achieves versus the baselines. Returns the per-baseline average factor.
+pub fn print_normalized(
+    title: &str,
+    sweep: &SweepResult,
+    metric: impl Fn(&CellResult) -> f64,
+) -> Vec<(String, f64)> {
+    println!("=== {title} (normalized to Aurora) ===");
+    print!("{:<10}", "");
+    for d in &sweep.datasets {
+        print!("{d:>10}");
+    }
+    println!("{:>10}", "geomean");
+
+    let mut averages = Vec::new();
+    for a in &sweep.accelerators {
+        print!("{a:<10}");
+        let mut logsum = 0.0;
+        for d in &sweep.datasets {
+            let v = metric(sweep.cell(a, d));
+            let base = metric(sweep.cell("Aurora", d));
+            let norm = if base == 0.0 { f64::NAN } else { v / base };
+            logsum += norm.max(1e-12).ln();
+            print!("{norm:>10.2}");
+        }
+        let geo = (logsum / sweep.datasets.len() as f64).exp();
+        println!("{geo:>10.2}");
+        averages.push((a.clone(), geo));
+    }
+
+    // the paper's headline: Aurora's average reduction vs each baseline
+    println!();
+    for (a, geo) in &averages {
+        if a != "Aurora" && *geo > 0.0 {
+            println!(
+                "Aurora reduction vs {a}: {:.0}%  (factor {:.2}x)",
+                (1.0 - 1.0 / geo) * 100.0,
+                geo
+            );
+        }
+    }
+    println!();
+    averages
+}
+
+/// Writes the sweep as JSON next to the binary run (for EXPERIMENTS.md).
+pub fn dump_json(path: &str, sweep: &SweepResult) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
+    if let Ok(s) = serde_json::to_string_pretty(sweep) {
+        if std::fs::write(path, s).is_ok() {
+            println!("(raw results written to {path})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::EvalProtocol;
+    use crate::sweep::run_standard;
+
+    #[test]
+    fn normalized_table_prints_and_returns_factors() {
+        let sweep = run_standard(&EvalProtocol::tiny()[..1]);
+        let factors = print_normalized("test", &sweep, |c| c.cycles as f64);
+        assert_eq!(factors.len(), 6);
+        let aurora = factors.iter().find(|(a, _)| a == "Aurora").unwrap();
+        assert!((aurora.1 - 1.0).abs() < 1e-9, "Aurora normalises to 1.0");
+    }
+}

@@ -1,0 +1,111 @@
+//! Accelerator configuration (§VI-A "Accelerator Modeling").
+
+use aurora_mapping::MappingPolicy;
+use aurora_pe::PeConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full static configuration of one Aurora instance, including the
+/// ablation switches the experiment harness sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// PE-array radix: the array is `k × k` (paper: 32).
+    pub k: usize,
+    /// Core clock in MHz (paper: 700).
+    pub clock_mhz: u64,
+    /// Per-PE parameters (100 KB bank buffer, MAC lanes, …).
+    pub pe: PeConfig,
+    /// Payload words per NoC flit.
+    pub words_per_flit: usize,
+    /// DDR3-1600 channels (4 ⇒ ~51 GB/s, a typical accelerator budget).
+    pub dram_channels: usize,
+    /// Vertex-placement policy (degree-aware vs the hashing baseline).
+    pub mapping_policy: MappingPolicy,
+    /// Whether the reconfigurable NoC (bypass segments + ring mode) is
+    /// active — disabling it is the flexible-NoC ablation.
+    pub flexible_noc: bool,
+    /// Whether Algorithm 2 sizes the sub-accelerators; when off, a fixed
+    /// 50/50 split is used (the partition ablation).
+    pub dynamic_partition: bool,
+    /// Fraction of on-chip buffer capacity reserved for resident vertex
+    /// features when tiling.
+    pub feature_fraction: f64,
+    /// Record the controller instruction trace (tests/examples only; the
+    /// trace grows with tile count).
+    pub trace_instructions: bool,
+}
+
+impl Default for AcceleratorConfig {
+    /// The paper's configuration.
+    fn default() -> Self {
+        Self {
+            k: 32,
+            clock_mhz: 700,
+            pe: PeConfig::default(),
+            words_per_flit: 4,
+            dram_channels: 4,
+            mapping_policy: MappingPolicy::DegreeAware,
+            flexible_noc: true,
+            dynamic_partition: true,
+            feature_fraction: 0.5,
+            trace_instructions: false,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Total PEs (`k²`).
+    pub fn num_pes(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// One PE's throughput in FLOP/s (each MAC lane retires a multiply and
+    /// an add per cycle).
+    pub fn flops_per_pe(&self) -> f64 {
+        2.0 * self.pe.lanes as f64 * self.clock_mhz as f64 * 1e6
+    }
+
+    /// Total on-chip buffer bytes (paper: 1024 × 100 KB ≈ 100 MB).
+    pub fn onchip_bytes(&self) -> usize {
+        self.num_pes() * self.pe.buffer_bytes
+    }
+
+    /// Converts seconds to core cycles.
+    pub fn cycles_of(&self, seconds: f64) -> u64 {
+        (seconds * self.clock_mhz as f64 * 1e6).ceil() as u64
+    }
+
+    /// A small configuration for unit tests and detailed-NoC validation.
+    pub fn small(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.num_pes(), 1024);
+        assert_eq!(c.onchip_bytes(), 1024 * 100 * 1024);
+        assert_eq!(c.clock_mhz, 700);
+    }
+
+    #[test]
+    fn flops_per_pe() {
+        let c = AcceleratorConfig::default();
+        // 16 lanes × 2 flops × 700 MHz = 22.4 GFLOP/s
+        assert!((c.flops_per_pe() - 22.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.cycles_of(1e-6), 700);
+        assert_eq!(c.cycles_of(0.0), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! The controller instruction stream (§III-A/E).
+//!
+//! The host loads instructions into the instruction buffer; after the
+//! preprocessing units (workflow generator → partition → mapping → NoC/PE
+//! configuration) finish, the instruction dispatcher "starts issuing
+//! instructions as conventional accelerators". The engine emits this trace
+//! so the controller path is observable and testable.
+
+use aurora_model::Phase;
+use serde::{Deserialize, Serialize};
+
+/// One dispatched controller instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Host request accepted by the request dispatcher (①).
+    AcceptRequest { model: String, layers: usize },
+    /// Workflow generated (③): active phases, single-accelerator flag.
+    GenerateWorkflow { phases: usize, single_accelerator: bool },
+    /// Partition decided (④): PEs for sub-accelerators A and B.
+    Partition { a: usize, b: usize },
+    /// Subgraph mapped (⑤).
+    MapSubgraph {
+        tile: usize,
+        vertices: usize,
+        high_degree: usize,
+    },
+    /// NoC + PE configuration applied (⑥); `reconfig_cycles` is `2k − 1`.
+    Configure {
+        tile: usize,
+        bypass_segments: usize,
+        reconfig_cycles: u64,
+    },
+    /// Tile data prefetched from DRAM.
+    LoadTile { tile: usize, bytes: u64 },
+    /// One phase executed on a sub-accelerator (⑦).
+    ExecutePhase { tile: usize, phase: Phase, cycles: u64 },
+    /// Output features written back.
+    WriteBack { tile: usize, bytes: u64 },
+}
+
+impl Instruction {
+    /// Short mnemonic for trace display.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::AcceptRequest { .. } => "REQ",
+            Instruction::GenerateWorkflow { .. } => "WFG",
+            Instruction::Partition { .. } => "PRT",
+            Instruction::MapSubgraph { .. } => "MAP",
+            Instruction::Configure { .. } => "CFG",
+            Instruction::LoadTile { .. } => "LDT",
+            Instruction::ExecutePhase { .. } => "EXE",
+            Instruction::WriteBack { .. } => "WRB",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_stable() {
+        let i = Instruction::Partition { a: 10, b: 6 };
+        assert_eq!(i.mnemonic(), "PRT");
+        let i = Instruction::ExecutePhase {
+            tile: 0,
+            phase: Phase::Aggregation,
+            cycles: 5,
+        };
+        assert_eq!(i.mnemonic(), "EXE");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = Instruction::Configure {
+            tile: 3,
+            bypass_segments: 2,
+            reconfig_cycles: 63,
+        };
+        let s = serde_json::to_string(&i).unwrap();
+        let back: Instruction = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, i);
+    }
+}

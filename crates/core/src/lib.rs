@@ -1,0 +1,47 @@
+//! The Aurora accelerator simulator — §III (architecture), §VI-A
+//! (methodology).
+//!
+//! Following the paper's simulator: it "monitors the number of arithmetic
+//! operations and the number of accesses to each memory hierarchy, taking
+//! the degree-aware mapping algorithm, partition algorithm, and system
+//! configuration parameters into account"; off-package time comes from the
+//! DRAM model, on-package time from the NoC model, and the phases overlap
+//! through double buffering.
+//!
+//! * [`config`] — the accelerator configuration (32 × 32 PEs @ 700 MHz,
+//!   100 KB per-PE buffers, flexible NoC, policies and ablation switches);
+//! * [`workflow`] — the adaptive workflow generator (§III-E step 3);
+//! * [`instr`] — the instruction stream the controllers dispatch;
+//! * [`noc_model`] — route-walking on-chip traffic estimation, validated
+//!   against the cycle-level `aurora-noc` engine;
+//! * [`engine`] — the per-subgraph execution pipeline (map → configure →
+//!   execute A ∥ B → write back, overlapped with the next tile's load);
+//! * [`functional`] — functional-mode execution: numeric results computed
+//!   on the mapped PE array, validated against the reference executors;
+//! * [`report`] — the simulation report (cycles, DRAM, NoC, energy).
+//!
+//! ```
+//! use aurora_core::{AcceleratorConfig, AuroraSimulator};
+//! use aurora_graph::generate;
+//! use aurora_model::{LayerShape, ModelId};
+//!
+//! let g = generate::rmat(512, 4_000, Default::default(), 7);
+//! let sim = AuroraSimulator::new(AcceleratorConfig::small(8));
+//! let report = sim.simulate(&g, ModelId::Gcn, &[LayerShape::new(32, 16)], "demo");
+//! assert!(report.total_cycles > 0);
+//! assert!(report.energy_joules() > 0.0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod functional;
+pub mod instr;
+pub mod noc_model;
+pub mod report;
+pub mod workflow;
+
+pub use config::AcceleratorConfig;
+pub use engine::AuroraSimulator;
+pub use instr::Instruction;
+pub use report::{LayerReport, NocReport, SimReport};
+pub use workflow::Workflow;

@@ -1,0 +1,163 @@
+//! Simulation reports.
+
+use crate::noc_model::OnChipEstimate;
+use aurora_energy::{ActivityCounts, EnergyBreakdown};
+use aurora_mem::controller::TrafficCounters;
+use aurora_model::{LayerShape, PhaseOpCounts};
+use aurora_partition::PartitionStrategy;
+use serde::{Deserialize, Serialize};
+
+/// On-chip communication summary of a layer or run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NocReport {
+    pub cycles: u64,
+    pub flit_hops: u64,
+    pub messages: u64,
+    pub avg_hops: f64,
+    pub max_router_load: u64,
+    pub bypass_hops: u64,
+}
+
+impl From<OnChipEstimate> for NocReport {
+    fn from(e: OnChipEstimate) -> Self {
+        Self {
+            cycles: e.cycles,
+            flit_hops: e.flit_hops,
+            messages: e.messages,
+            avg_hops: e.avg_hops,
+            max_router_load: e.max_router_load,
+            bypass_hops: e.bypass_hops,
+        }
+    }
+}
+
+/// Cycle attribution to the two sub-accelerators (compute vs on-chip
+/// communication), summed over the layer's tiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCycles {
+    /// Sub-accelerator A compute (edge update + aggregation).
+    pub sub_a_compute: u64,
+    /// Sub-accelerator B compute (vertex update).
+    pub sub_b_compute: u64,
+    /// Aggregation-phase on-chip traffic.
+    pub sub_a_noc: u64,
+    /// Weight-stationary vertex-update traffic.
+    pub sub_b_noc: u64,
+}
+
+impl PhaseCycles {
+    /// Total attributed cycles.
+    pub fn total(&self) -> u64 {
+        self.sub_a_compute + self.sub_b_compute + self.sub_a_noc + self.sub_b_noc
+    }
+}
+
+/// Per-layer results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    pub layer: usize,
+    pub shape: LayerShape,
+    pub partition: PartitionStrategy,
+    pub tiles: usize,
+    pub op_counts: PhaseOpCounts,
+    /// Pure compute cycles (pipeline stage sums).
+    pub compute_cycles: u64,
+    /// Attribution of compute and traffic to the two sub-accelerators.
+    pub phase_cycles: PhaseCycles,
+    /// On-chip communication.
+    pub noc: NocReport,
+    /// Off-chip (DRAM) cycles, converted to core cycles.
+    pub dram_cycles: u64,
+    /// Overlapped end-to-end cycles for this layer.
+    pub total_cycles: u64,
+}
+
+/// End-to-end results of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated accelerator name (Aurora or a baseline).
+    pub accelerator: String,
+    pub model: String,
+    /// Free-form workload label (dataset name).
+    pub workload: String,
+    pub layers: Vec<LayerReport>,
+    pub total_cycles: u64,
+    pub clock_mhz: u64,
+    pub dram: TrafficCounters,
+    pub activity: ActivityCounts,
+    pub energy: EnergyBreakdown,
+    /// NoC/datapath reconfiguration events.
+    pub reconfigurations: u64,
+    /// Controller instruction trace (present when tracing is enabled).
+    pub instructions: Vec<crate::instr::Instruction>,
+}
+
+impl SimReport {
+    /// Execution time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles as f64 / (self.clock_mhz as f64 * 1e6)
+    }
+
+    /// DRAM accesses at 64-byte burst granularity (Fig. 7's metric).
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram.accesses(64)
+    }
+
+    /// Total on-chip communication cycles (Fig. 8's metric).
+    pub fn noc_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.noc.cycles).sum()
+    }
+
+    /// Total energy in joules (Fig. 10's metric).
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// This report's speedup over `other` (>1 means self is faster).
+    pub fn speedup_over(&self, other: &SimReport) -> f64 {
+        other.seconds() / self.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> SimReport {
+        SimReport {
+            accelerator: "Aurora".into(),
+            model: "GCN".into(),
+            workload: "toy".into(),
+            layers: vec![],
+            total_cycles: 700_000,
+            clock_mhz: 700,
+            dram: TrafficCounters {
+                read_bytes: 640,
+                write_bytes: 64,
+                sequential_bytes: 704,
+                random_bytes: 0,
+            },
+            activity: ActivityCounts::default(),
+            energy: EnergyBreakdown::default(),
+            reconfigurations: 0,
+            instructions: vec![],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = dummy();
+        assert!((r.seconds() - 1e-3).abs() < 1e-12);
+        assert_eq!(r.dram_accesses(), 11);
+        assert_eq!(r.noc_cycles(), 0);
+    }
+
+    #[test]
+    fn speedup() {
+        let a = dummy();
+        let mut b = dummy();
+        b.total_cycles *= 2;
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+        assert!((b.speedup_over(&a) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! The Adaptive Workflow Generator (§III-E step 3): decides "the workflow
+//! of the running GNN model, such as execution phases and operation
+//! types", which downstream units turn into partition, mapping and
+//! configuration decisions.
+
+use aurora_model::{ModelId, ModelSpec, Phase};
+use aurora_pe::DatapathMode;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The execution plan derived from a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    pub model: ModelSpec,
+    /// The phases that actually execute, in pipeline order.
+    pub phases: Vec<Phase>,
+    /// §V: with no vertex update, only sub-accelerator A forms.
+    pub single_accelerator: bool,
+}
+
+impl Workflow {
+    /// Generates the workflow for a model.
+    pub fn generate(model: ModelId) -> Self {
+        let spec = model.spec();
+        let mut phases = Vec::new();
+        if spec.has_edge_update() {
+            phases.push(Phase::EdgeUpdate);
+        }
+        phases.push(Phase::Aggregation);
+        if spec.has_vertex_update() {
+            phases.push(Phase::VertexUpdate);
+        }
+        Self {
+            single_accelerator: !spec.has_vertex_update(),
+            phases,
+            model: spec,
+        }
+    }
+
+    /// All datapath modes the PE array must be able to assume for this
+    /// model — the Table I "full model support" property: every mode is in
+    /// Fig. 6's repertoire, so this never fails for Aurora.
+    pub fn required_modes(&self) -> BTreeSet<DatapathMode> {
+        let mut modes = BTreeSet::new();
+        for p in &self.phases {
+            for op in self.model.phase(*p).op_kinds() {
+                if let Some(m) = DatapathMode::for_op(op) {
+                    modes.insert(m);
+                }
+            }
+        }
+        modes
+    }
+
+    /// Number of datapath reconfigurations a PE performs per processed
+    /// unit of work (mode changes along the phase sequence).
+    pub fn mode_switches(&self) -> u64 {
+        let mut last: Option<DatapathMode> = None;
+        let mut switches = 0;
+        for p in &self.phases {
+            for op in &self.model.phase(*p).per_edge {
+                if let Some(m) = DatapathMode::for_op(*op) {
+                    if last != Some(m) {
+                        switches += 1;
+                        last = Some(m);
+                    }
+                }
+            }
+            for op in &self.model.phase(*p).per_vertex {
+                if let Some(m) = DatapathMode::for_op(*op) {
+                    if last != Some(m) {
+                        switches += 1;
+                        last = Some(m);
+                    }
+                }
+            }
+        }
+        switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_runs_all_three_phases() {
+        let w = Workflow::generate(ModelId::Gcn);
+        assert_eq!(
+            w.phases,
+            vec![Phase::EdgeUpdate, Phase::Aggregation, Phase::VertexUpdate]
+        );
+        assert!(!w.single_accelerator);
+    }
+
+    #[test]
+    fn gin_skips_edge_update() {
+        let w = Workflow::generate(ModelId::Gin);
+        assert_eq!(w.phases, vec![Phase::Aggregation, Phase::VertexUpdate]);
+    }
+
+    #[test]
+    fn edgeconv_is_single_accelerator() {
+        let w = Workflow::generate(ModelId::EdgeConv1);
+        assert!(w.single_accelerator);
+        assert_eq!(w.phases, vec![Phase::EdgeUpdate, Phase::Aggregation]);
+    }
+
+    #[test]
+    fn every_model_is_supported() {
+        // Table I: Aurora covers all models — every required op maps to a
+        // datapath mode or the PPU.
+        for id in ModelId::ALL {
+            let w = Workflow::generate(id);
+            assert!(!w.required_modes().is_empty(), "{}", id.name());
+            assert!(!w.phases.is_empty());
+        }
+    }
+
+    #[test]
+    fn ggcn_needs_all_three_modes() {
+        let w = Workflow::generate(ModelId::GGcn);
+        let m = w.required_modes();
+        assert!(m.contains(&DatapathMode::MacChain));
+        assert!(m.contains(&DatapathMode::ParallelScalar));
+        assert!(m.contains(&DatapathMode::AccumulateBypass));
+    }
+
+    #[test]
+    fn mode_switches_positive() {
+        assert!(Workflow::generate(ModelId::Gcn).mode_switches() >= 3);
+        // pure aggregation+MLP models switch less
+        assert!(
+            Workflow::generate(ModelId::Gin).mode_switches()
+                <= Workflow::generate(ModelId::GGcn).mode_switches()
+        );
+    }
+}

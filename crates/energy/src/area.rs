@@ -1,0 +1,139 @@
+//! Area model reproducing the §VI-F analysis.
+//!
+//! §VI-F (TSMC 40 nm, 32 × 32 = 1024 PEs):
+//! * within a PE — MAC array 7.1 %, memory hierarchy (SMB, IDMB/ODMB)
+//!   82.9 %, PE control + reconfigurable switches 3.7 % (the remaining
+//!   6.3 % is the router interface and wiring);
+//! * chip level — the PE array consumes 62.74 % of chip area, the
+//!   controller 0.9 %, and the flexible-interconnect additions (flexible
+//!   routers, reconfigurable links, switches, muxes) 5.2 %; the rest is
+//!   shared SRAM, DRAM interface and miscellaneous logic.
+
+use serde::{Deserialize, Serialize};
+
+/// Chip-level area model. Absolute scale is set by `pe_area_mm2`; all
+/// ratios reproduce the published breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// PEs on the die.
+    pub num_pes: usize,
+    /// Area of one PE in mm² (40 nm, 100 KB buffer dominates).
+    pub pe_area_mm2: f64,
+    /// Fraction of PE area taken by the MAC array (paper: 7.1 %).
+    pub pe_mac_fraction: f64,
+    /// Fraction of PE area taken by buffers (paper: 82.9 %).
+    pub pe_memory_fraction: f64,
+    /// Fraction for PE control + reconfigurable switches (paper: 3.7 %).
+    pub pe_control_fraction: f64,
+    /// PE-array share of total chip area (paper: 62.74 %).
+    pub pe_array_chip_fraction: f64,
+    /// Controller share of chip area (paper: 0.9 %).
+    pub controller_chip_fraction: f64,
+    /// Flexible-interconnect share of chip area (paper: 5.2 %).
+    pub interconnect_chip_fraction: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            num_pes: 1024,
+            pe_area_mm2: 0.055, // 100 KB SRAM-dominated PE at 40 nm
+            pe_mac_fraction: 0.071,
+            pe_memory_fraction: 0.829,
+            pe_control_fraction: 0.037,
+            pe_array_chip_fraction: 0.6274,
+            controller_chip_fraction: 0.009,
+            interconnect_chip_fraction: 0.052,
+        }
+    }
+}
+
+/// Absolute component areas in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    pub total_chip: f64,
+    pub pe_array: f64,
+    pub controller: f64,
+    pub flexible_interconnect: f64,
+    /// Shared SRAM, DRAM PHY, misc logic — the unaccounted remainder.
+    pub other: f64,
+    /// Inside one PE:
+    pub pe_mac: f64,
+    pub pe_memory: f64,
+    pub pe_control: f64,
+    pub pe_misc: f64,
+}
+
+impl AreaModel {
+    /// Derives the absolute breakdown.
+    pub fn breakdown(&self) -> AreaBreakdown {
+        let pe_array = self.num_pes as f64 * self.pe_area_mm2;
+        let total_chip = pe_array / self.pe_array_chip_fraction;
+        let controller = total_chip * self.controller_chip_fraction;
+        let flexible_interconnect = total_chip * self.interconnect_chip_fraction;
+        let other = total_chip - pe_array - controller - flexible_interconnect;
+        let pe_mac = self.pe_area_mm2 * self.pe_mac_fraction;
+        let pe_memory = self.pe_area_mm2 * self.pe_memory_fraction;
+        let pe_control = self.pe_area_mm2 * self.pe_control_fraction;
+        let pe_misc = self.pe_area_mm2 - pe_mac - pe_memory - pe_control;
+        AreaBreakdown {
+            total_chip,
+            pe_array,
+            controller,
+            flexible_interconnect,
+            other,
+            pe_mac,
+            pe_memory,
+            pe_control,
+            pe_misc,
+        }
+    }
+}
+
+impl AreaBreakdown {
+    /// The flexible-interconnect overhead as a fraction of chip area — the
+    /// paper's "negligible area overhead" claim (5.2 %).
+    pub fn interconnect_overhead(&self) -> f64 {
+        self.flexible_interconnect / self.total_chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_reproduce_paper() {
+        let b = AreaModel::default().breakdown();
+        assert!((b.pe_array / b.total_chip - 0.6274).abs() < 1e-9);
+        assert!((b.controller / b.total_chip - 0.009).abs() < 1e-9);
+        assert!((b.interconnect_overhead() - 0.052).abs() < 1e-9);
+        assert!((b.pe_mac / (b.pe_mac + b.pe_memory + b.pe_control + b.pe_misc) - 0.071).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let b = AreaModel::default().breakdown();
+        let sum = b.pe_array + b.controller + b.flexible_interconnect + b.other;
+        assert!((sum - b.total_chip).abs() < 1e-9);
+        assert!(b.other > 0.0, "remainder must be positive");
+    }
+
+    #[test]
+    fn memory_dominates_pe() {
+        let b = AreaModel::default().breakdown();
+        assert!(b.pe_memory > 10.0 * b.pe_mac);
+        assert!(b.pe_misc >= 0.0);
+    }
+
+    #[test]
+    fn scale_with_pe_count() {
+        let small = AreaModel {
+            num_pes: 256,
+            ..Default::default()
+        }
+        .breakdown();
+        let big = AreaModel::default().breakdown();
+        assert!((big.total_chip / small.total_chip - 4.0).abs() < 1e-9);
+    }
+}

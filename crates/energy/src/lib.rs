@@ -1,0 +1,15 @@
+//! Energy and area models — §VI-A (energy methodology) and §VI-F (area).
+//!
+//! The paper estimates energy by counting on/off-chip communication and
+//! computation events and pricing them with Horowitz's energy table
+//! \[37\], plus Synopsys synthesis for power/area of the RTL. We keep the
+//! same methodology: activity counters from the simulator × per-event
+//! energies seeded from the published table (45 nm, lightly scaled to the
+//! paper's 40 nm node), and an area model seeded directly from the
+//! component percentages §VI-F reports.
+
+pub mod area;
+pub mod model;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use model::{ActivityCounts, EnergyBreakdown, EnergyModel};

@@ -1,0 +1,225 @@
+//! Per-event energy pricing (Horowitz-table methodology).
+
+use serde::{Deserialize, Serialize};
+
+/// Activity counts collected by the simulator for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityCounts {
+    /// Double-precision multiplies.
+    pub fp_mults: u64,
+    /// Double-precision adds/compares.
+    pub fp_adds: u64,
+    /// 8-byte words read/written in PE bank buffers.
+    pub local_sram_words: u64,
+    /// 8-byte words read/written in global/staging SRAM.
+    pub global_sram_words: u64,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+    /// Flit-hops traversed on the NoC.
+    pub noc_flit_hops: u64,
+    /// Datapath/NoC reconfiguration events.
+    pub reconfigurations: u64,
+    /// Total execution cycles (for static energy).
+    pub cycles: u64,
+}
+
+impl ActivityCounts {
+    /// Element-wise sum.
+    pub fn add(&self, o: &ActivityCounts) -> ActivityCounts {
+        ActivityCounts {
+            fp_mults: self.fp_mults + o.fp_mults,
+            fp_adds: self.fp_adds + o.fp_adds,
+            local_sram_words: self.local_sram_words + o.local_sram_words,
+            global_sram_words: self.global_sram_words + o.global_sram_words,
+            dram_bytes: self.dram_bytes + o.dram_bytes,
+            noc_flit_hops: self.noc_flit_hops + o.noc_flit_hops,
+            reconfigurations: self.reconfigurations + o.reconfigurations,
+            cycles: self.cycles.max(o.cycles),
+        }
+    }
+}
+
+/// Per-event energies in picojoules. Defaults follow Horowitz's 45 nm
+/// table scaled ×0.9 to the paper's TSMC 40 nm node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// FP64 multiply.
+    pub pj_fp_mult: f64,
+    /// FP64 add.
+    pub pj_fp_add: f64,
+    /// 8-byte access to a PE-local bank buffer (~100 KB SRAM).
+    pub pj_local_sram_word: f64,
+    /// 8-byte access to a large global SRAM (MB-scale).
+    pub pj_global_sram_word: f64,
+    /// One byte of DRAM traffic.
+    pub pj_dram_byte: f64,
+    /// One flit traversing one router + link.
+    pub pj_noc_flit_hop: f64,
+    /// One whole-array reconfiguration event (reprogramming every PE
+    /// datapath and NoC switch of the 32 × 32 fabric).
+    pub pj_reconfig: f64,
+    /// Static (leakage) power in watts for the whole accelerator.
+    pub static_watts: f64,
+    /// Clock frequency in MHz (for static energy).
+    pub clock_mhz: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            pj_fp_mult: 9.0,           // 45 nm FP64 mult ≈ 10 pJ × 0.9
+            pj_fp_add: 1.8,            // 45 nm FP64 add ≈ 2 pJ × 0.9
+            pj_local_sram_word: 22.0,  // 100 KB SRAM, 8 B access
+            pj_global_sram_word: 90.0, // MB-scale SRAM, 8 B access
+            pj_dram_byte: 230.0,       // ≈1.8 nJ per 8 B DRAM access
+            pj_noc_flit_hop: 45.0,     // router + link per 32 B flit
+            pj_reconfig: 8.0e5,        // ~0.8 uJ: 1024 PE datapaths + NoC switches
+            static_watts: 1.5,
+            clock_mhz: 700.0,
+        }
+    }
+}
+
+/// Energy in joules, broken down by component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    pub compute: f64,
+    pub local_sram: f64,
+    pub global_sram: f64,
+    pub dram: f64,
+    pub noc: f64,
+    pub reconfiguration: f64,
+    pub static_leakage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.compute
+            + self.local_sram
+            + self.global_sram
+            + self.dram
+            + self.noc
+            + self.reconfiguration
+            + self.static_leakage
+    }
+
+    /// Fraction contributed by reconfiguration (the paper reports < 3 %).
+    pub fn reconfiguration_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.reconfiguration / t
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Prices an activity profile.
+    pub fn evaluate(&self, a: &ActivityCounts) -> EnergyBreakdown {
+        let pj = |x: f64| x * 1e-12;
+        let seconds = a.cycles as f64 / (self.clock_mhz * 1e6);
+        EnergyBreakdown {
+            compute: pj(a.fp_mults as f64 * self.pj_fp_mult + a.fp_adds as f64 * self.pj_fp_add),
+            local_sram: pj(a.local_sram_words as f64 * self.pj_local_sram_word),
+            global_sram: pj(a.global_sram_words as f64 * self.pj_global_sram_word),
+            dram: pj(a.dram_bytes as f64 * self.pj_dram_byte),
+            noc: pj(a.noc_flit_hops as f64 * self.pj_noc_flit_hop),
+            reconfiguration: pj(a.reconfigurations as f64 * self.pj_reconfig),
+            static_leakage: self.static_watts * seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_activity_zero_energy() {
+        let e = EnergyModel::default().evaluate(&ActivityCounts::default());
+        assert_eq!(e.total(), 0.0);
+        assert_eq!(e.reconfiguration_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dram_dominates_equal_word_counts() {
+        // moving a word from DRAM costs far more than computing on it —
+        // the imbalance the paper's DRAM-access reduction exploits
+        let m = EnergyModel::default();
+        let compute_only = m.evaluate(&ActivityCounts {
+            fp_mults: 1_000,
+            ..Default::default()
+        });
+        let dram_only = m.evaluate(&ActivityCounts {
+            dram_bytes: 8_000,
+            ..Default::default()
+        });
+        assert!(dram_only.total() > 10.0 * compute_only.total());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = EnergyModel::default();
+        let a = ActivityCounts {
+            fp_mults: 100,
+            fp_adds: 100,
+            local_sram_words: 50,
+            global_sram_words: 20,
+            dram_bytes: 640,
+            noc_flit_hops: 30,
+            reconfigurations: 2,
+            cycles: 1000,
+        };
+        let e = m.evaluate(&a);
+        let sum = e.compute
+            + e.local_sram
+            + e.global_sram
+            + e.dram
+            + e.noc
+            + e.reconfiguration
+            + e.static_leakage;
+        assert!((e.total() - sum).abs() < 1e-18);
+        assert!(e.total() > 0.0);
+    }
+
+    #[test]
+    fn reconfig_fraction_small_in_realistic_profile() {
+        // a GCN-layer-like profile: reconfiguration energy must be < 3 %
+        let m = EnergyModel::default();
+        let a = ActivityCounts {
+            fp_mults: 10_000_000,
+            fp_adds: 10_000_000,
+            local_sram_words: 20_000_000,
+            dram_bytes: 50_000_000,
+            noc_flit_hops: 5_000_000,
+            reconfigurations: 200, // a few per subgraph
+            cycles: 1_000_000,
+            ..Default::default()
+        };
+        let e = m.evaluate(&a);
+        assert!(
+            e.reconfiguration_fraction() < 0.03,
+            "reconfig fraction {}",
+            e.reconfiguration_fraction()
+        );
+    }
+
+    #[test]
+    fn activity_addition() {
+        let a = ActivityCounts {
+            fp_mults: 1,
+            cycles: 10,
+            ..Default::default()
+        };
+        let b = ActivityCounts {
+            fp_mults: 2,
+            cycles: 7,
+            ..Default::default()
+        };
+        let c = a.add(&b);
+        assert_eq!(c.fp_mults, 3);
+        assert_eq!(c.cycles, 10, "cycles take the max (parallel phases)");
+    }
+}

@@ -1,0 +1,188 @@
+//! Dense feature matrices with controllable density.
+//!
+//! The paper evaluates in double precision (§VI-A) and explains Reddit's
+//! reduced speedup by its > 50 % feature density (§VI-D). The simulator
+//! mostly consumes the *shape* (rows × cols) and *density* of the matrix,
+//! but the reference executor in `aurora-model` computes on the actual
+//! values, so we store them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f64` features (rows = vertices).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A random matrix where each entry is nonzero with probability
+    /// `density`, drawn uniformly from `(-1, 1)`. Deterministic per seed.
+    pub fn random(rows: usize, cols: usize, density: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| {
+                if rng.gen::<f64>() < density {
+                    rng.gen_range(-1.0..1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (feature width).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Fraction of nonzero entries.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|&&x| x != 0.0).count() as f64 / self.data.len() as f64
+    }
+
+    /// Total bytes at double precision.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &FeatureMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_values() {
+        let m = FeatureMatrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.density(), 0.0);
+        assert_eq!(m.bytes(), 96);
+    }
+
+    #[test]
+    fn row_access_and_mutation() {
+        let mut m = FeatureMatrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[1] = -1.0;
+        assert_eq!(m.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn random_density_close_to_target() {
+        let m = FeatureMatrix::random(100, 100, 0.3, 7);
+        let d = m.density();
+        assert!((d - 0.3).abs() < 0.03, "density {d}");
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = FeatureMatrix::random(10, 10, 0.5, 3);
+        let b = FeatureMatrix::random(10, 10, 0.5, 3);
+        assert_eq!(a, b);
+        let c = FeatureMatrix::random(10, 10, 0.5, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extreme_densities() {
+        assert_eq!(FeatureMatrix::random(20, 20, 0.0, 1).density(), 0.0);
+        assert_eq!(FeatureMatrix::random(20, 20, 1.0, 1).density(), 1.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_difference() {
+        let a = FeatureMatrix::zeros(2, 2);
+        let mut b = FeatureMatrix::zeros(2, 2);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(1, 1, -2.5);
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_checks_shape() {
+        FeatureMatrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn empty_matrix_density_is_zero() {
+        let m = FeatureMatrix::zeros(0, 5);
+        assert_eq!(m.density(), 0.0);
+    }
+}

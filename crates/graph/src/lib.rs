@@ -1,0 +1,50 @@
+//! Graph substrate for the Aurora GNN accelerator simulator.
+//!
+//! This crate provides everything the simulator needs to know about input
+//! graphs:
+//!
+//! * [`Csr`] — a compressed-sparse-row adjacency structure, the on-device
+//!   graph format assumed by the paper (§III-A: "graph data is stored using
+//!   compressed sparse row (CSR) format").
+//! * [`GraphBuilder`] — incremental edge-list construction with dedup and
+//!   validation.
+//! * [`generate`] — deterministic synthetic generators (R-MAT, Erdős–Rényi,
+//!   regular toys) used to stand in for the published datasets.
+//! * [`datasets`] — the five-dataset catalog of the paper's evaluation
+//!   (Cora, Citeseer, Pubmed, Nell, Reddit) with the published vertex/edge/
+//!   feature statistics, synthesised on demand.
+//! * [`tiling`] — capacity-driven subgraph tiling (§IV: "we tile the large
+//!   graph into several subgraphs based on on-chip memory size").
+//! * [`stats`] — degree statistics consumed by the degree-aware mapping.
+//! * [`io`] — plain-text edge-list read/write.
+//! * [`features`] — dense feature matrices with controllable density
+//!   (Reddit's > 50 % density is what limits Aurora's gains in §VI-D).
+//!
+//! ```
+//! use aurora_graph::{generate, Tiling, DegreeStats};
+//!
+//! let g = generate::rmat(1_000, 8_000, Default::default(), 42);
+//! let stats = DegreeStats::of(&g);
+//! assert!(stats.max_degree as f64 > 3.0 * stats.avg_degree, "power-law skew");
+//!
+//! let tiling = Tiling::with_tile_size(&g, 256);
+//! let edges: usize = tiling.subgraphs(&g).map(|t| t.num_edges()).sum();
+//! assert_eq!(edges, g.num_edges());
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod features;
+pub mod generate;
+pub mod io;
+pub mod reorder;
+pub mod stats;
+pub mod tiling;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, VertexId};
+pub use datasets::{Dataset, DatasetSpec};
+pub use features::FeatureMatrix;
+pub use stats::DegreeStats;
+pub use tiling::{Subgraph, Tiling, TilingConfig};

@@ -1,0 +1,196 @@
+//! Degree statistics consumed by the degree-aware mapping (§IV) and the
+//! experiment harness.
+
+use crate::csr::{Csr, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Summary degree statistics of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    /// Sample standard deviation of the degree distribution.
+    pub std_degree: f64,
+    /// Gini coefficient of the degree distribution — 0 for perfectly uniform
+    /// degrees, → 1 for extreme skew. Used to characterise how much the
+    /// degree-aware mapping has to work with.
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics from a graph's out-degrees.
+    pub fn of(g: &Csr) -> Self {
+        let mut degs = g.degrees();
+        let n = degs.len();
+        if n == 0 {
+            return Self {
+                num_vertices: 0,
+                num_edges: 0,
+                max_degree: 0,
+                avg_degree: 0.0,
+                std_degree: 0.0,
+                gini: 0.0,
+            };
+        }
+        let m = g.num_edges();
+        let avg = m as f64 / n as f64;
+        let var = degs
+            .iter()
+            .map(|&d| {
+                let x = d as f64 - avg;
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
+        degs.sort_unstable();
+        let gini = if m == 0 {
+            0.0
+        } else {
+            // G = (2 Σ_i i·x_(i) / (n Σ x)) − (n+1)/n with 1-based ranks.
+            let weighted: f64 = degs
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * m as f64) - (n as f64 + 1.0) / n as f64
+        };
+        Self {
+            num_vertices: n,
+            num_edges: m,
+            max_degree: *degs.last().unwrap() as usize,
+            avg_degree: avg,
+            std_degree: var.sqrt(),
+            gini,
+        }
+    }
+}
+
+/// The `k` highest-degree vertices, descending (ties by ascending id).
+/// This is exactly the sort of Algorithm 1 lines 16-24.
+pub fn top_k_by_degree(g: &Csr, k: usize) -> Vec<VertexId> {
+    let mut ids = g.vertices_by_degree_desc();
+    ids.truncate(k);
+    ids
+}
+
+/// Degree histogram with power-of-two buckets: `hist[i]` counts vertices
+/// with degree in `[2^i, 2^(i+1))`; bucket 0 counts degree 0 and 1.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for d in g.degrees() {
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - (d as usize).leading_zeros()) as usize - 1 };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// Number of weakly connected components (edges treated as undirected).
+pub fn connected_components(g: &Csr) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    // union-find over the edge set
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // path compression
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (u, v) in g.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    (0..n as u32).filter(|&v| find(&mut parent, v) == v).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn uniform_ring_has_zero_gini() {
+        let s = DegreeStats::of(&generate::ring(16));
+        assert_eq!(s.max_degree, 1);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+        assert!(s.gini.abs() < 1e-9, "gini = {}", s.gini);
+        assert!(s.std_degree.abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_is_highly_skewed() {
+        let s = DegreeStats::of(&generate::star(64));
+        assert_eq!(s.max_degree, 63);
+        assert!(s.gini > 0.4, "gini = {}", s.gini);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DegreeStats::of(&crate::Csr::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.gini, 0.0);
+        let s = DegreeStats::of(&crate::Csr::empty(4));
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn rmat_more_skewed_than_er() {
+        let n = 1024;
+        let m = 8 * n;
+        let r = DegreeStats::of(&generate::rmat(n, m, Default::default(), 5));
+        let e = DegreeStats::of(&generate::erdos_renyi(n, m, 5));
+        assert!(r.gini > e.gini, "rmat {} vs er {}", r.gini, e.gini);
+    }
+
+    #[test]
+    fn top_k_is_sorted_by_degree() {
+        let g = generate::star(10);
+        let top = top_k_by_degree(&g, 3);
+        assert_eq!(top[0], 0);
+        assert_eq!(top.len(), 3);
+        let top_all = top_k_by_degree(&g, 100);
+        assert_eq!(top_all.len(), 10, "k larger than n truncates to n");
+    }
+
+    #[test]
+    fn component_counting() {
+        assert_eq!(connected_components(&crate::Csr::empty(0)), 0);
+        assert_eq!(connected_components(&crate::Csr::empty(5)), 5);
+        assert_eq!(connected_components(&generate::ring(6)), 1);
+        // two disjoint rings
+        let mut b = crate::GraphBuilder::new(8);
+        for v in 0..4u32 {
+            b.add_edge(v, (v + 1) % 4);
+            b.add_edge(4 + v, 4 + (v + 1) % 4);
+        }
+        assert_eq!(connected_components(&b.build()), 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // star(9): centre degree 8 (bucket 3), 8 spokes degree 1 (bucket 0)
+        let h = degree_histogram(&generate::star(9));
+        assert_eq!(h[0], 8);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<usize>(), 9);
+    }
+}

@@ -1,0 +1,181 @@
+//! Degree-aware mapping — Algorithm 1 lines 13-25.
+
+use crate::nqueen;
+use crate::{MappingPolicy, VertexMapping};
+use std::ops::Range;
+
+/// Maps the vertex interval `range` (with per-vertex out-degrees `degrees`,
+/// indexed by `v - range.start`) onto a `k × k` array where each PE buffers
+/// at most `c_pe` vertices.
+///
+/// Algorithm 1:
+/// 1. choose `S_PE`s on an N-Queen pattern (one per row, disjoint
+///    columns/diagonals);
+/// 2. identify the top `N_HN = (K − 1) · C_PE` vertices by degree as
+///    high-degree;
+/// 3. map high-degree vertices to the `S_PE`s round-robin (the paper's
+///    "sequential hashing-based" assignment);
+/// 4. fill low-degree vertices into the remaining PEs sequentially,
+///    spilling into leftover `S_PE` capacity only at the end.
+///
+/// # Panics
+/// Panics if the subgraph exceeds the array's total buffer capacity
+/// (`k² · c_pe`) — tiles are sized by the same capacity, so a violation is
+/// a tiling bug.
+pub fn map(range: Range<u32>, degrees: &[u32], k: usize, c_pe: usize) -> VertexMapping {
+    let n = (range.end - range.start) as usize;
+    assert_eq!(degrees.len(), n, "one degree per mapped vertex");
+    assert!(k > 0 && c_pe > 0);
+    assert!(
+        n <= k * k * c_pe,
+        "subgraph of {n} vertices exceeds array capacity {}",
+        k * k * c_pe
+    );
+
+    let s_pes = nqueen::s_pe_positions(k);
+    let is_s_pe: Vec<bool> = {
+        let mut v = vec![false; k * k];
+        for &p in &s_pes {
+            v[p] = true;
+        }
+        v
+    };
+
+    // High-degree identification: N_HN = (K − 1) × C_PE (§IV), but never
+    // more than the S_PEs can buffer, and only vertices that actually have
+    // neighbours qualify.
+    let n_hn = ((k.saturating_sub(1)) * c_pe)
+        .min(s_pes.len() * c_pe)
+        .min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
+    let high: Vec<usize> = order
+        .iter()
+        .copied()
+        .take(n_hn)
+        .filter(|&i| degrees[i] > 0)
+        .collect();
+
+    let mut pe_of = vec![usize::MAX; n];
+    let mut load = vec![0usize; k * k];
+
+    // 3. round-robin the sorted high-degree vertices over the S_PEs.
+    for (j, &i) in high.iter().enumerate() {
+        let pe = s_pes[j % s_pes.len()];
+        debug_assert!(load[pe] < c_pe, "round-robin cannot overfill S_PEs");
+        pe_of[i] = pe;
+        load[pe] += 1;
+    }
+
+    // 4. low-degree vertices fill non-S_PE PEs sequentially, then spill
+    // into leftover S_PE capacity.
+    let mut fill_order: Vec<usize> = (0..k * k).filter(|&p| !is_s_pe[p]).collect();
+    fill_order.extend(s_pes.iter().copied());
+    let mut cursor = 0usize;
+    for slot in pe_of.iter_mut() {
+        if *slot != usize::MAX {
+            continue;
+        }
+        while load[fill_order[cursor]] >= c_pe {
+            cursor += 1;
+        }
+        let pe = fill_order[cursor];
+        *slot = pe;
+        load[pe] += 1;
+    }
+
+    VertexMapping {
+        policy: MappingPolicy::DegreeAware,
+        high_degree: high.iter().map(|&i| range.start + i as u32).collect(),
+        range,
+        pe_of,
+        k,
+        s_pes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_graph::generate;
+    use proptest::prelude::*;
+
+    fn degrees_of(g: &aurora_graph::Csr) -> Vec<u32> {
+        g.degrees()
+    }
+
+    #[test]
+    fn star_centre_lands_on_an_s_pe() {
+        let g = generate::star(16);
+        let m = map(0..16, &degrees_of(&g), 4, 2);
+        assert!(m.s_pes.contains(&m.pe_of(0)), "hub must sit on an S_PE");
+        assert_eq!(m.high_degree[0], 0);
+    }
+
+    #[test]
+    fn no_two_high_degree_share_row_or_column() {
+        let g = generate::rmat(64, 512, Default::default(), 3);
+        let m = map(0..64, &degrees_of(&g), 4, 4);
+        assert_eq!(m.high_degree_conflicts(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let g = generate::rmat(60, 300, Default::default(), 1);
+        let m = map(0..60, &degrees_of(&g), 4, 4);
+        assert!(m.load_per_pe().iter().all(|&l| l <= 4));
+        // every vertex mapped exactly once
+        assert!(m.pe_of.iter().all(|&p| p < 16));
+    }
+
+    #[test]
+    fn exact_fit_works() {
+        let g = generate::ring(16);
+        let m = map(0..16, &degrees_of(&g), 2, 4);
+        assert!(m.load_per_pe().iter().all(|&l| l == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array capacity")]
+    fn over_capacity_rejected() {
+        let g = generate::ring(17);
+        map(0..17, &g.degrees(), 2, 4);
+    }
+
+    #[test]
+    fn zero_degree_vertices_never_high_degree() {
+        // an empty graph: nothing qualifies as high-degree
+        let degrees = vec![0u32; 8];
+        let m = map(0..8, &degrees, 4, 2);
+        assert!(m.high_degree.is_empty());
+    }
+
+    #[test]
+    fn subrange_offsets_respected() {
+        let g = generate::star(8);
+        let m = map(100..108, &degrees_of(&g), 4, 2);
+        assert_eq!(m.range, 100..108);
+        let _ = m.pe_of(100);
+        let _ = m.pe_of(107);
+    }
+
+    proptest! {
+        #[test]
+        fn mapping_is_total_and_capacity_safe(
+            n in 1usize..120,
+            k in 2usize..7,
+            seed in 0u64..10,
+        ) {
+            let c_pe = n.div_ceil(k * k).max(1) + 1;
+            let m_edges = n * 3;
+            let g = generate::rmat(n, m_edges, Default::default(), seed);
+            let m = map(0..n as u32, &g.degrees(), k, c_pe);
+            prop_assert!(m.pe_of.iter().all(|&p| p < k * k));
+            prop_assert!(m.load_per_pe().iter().all(|&l| l <= c_pe));
+            prop_assert_eq!(m.high_degree_conflicts(), 0);
+            // high-degree list is sorted by descending degree
+            let degs: Vec<u32> = m.high_degree.iter().map(|&v| g.degree(v) as u32).collect();
+            prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+}

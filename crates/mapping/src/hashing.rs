@@ -1,0 +1,107 @@
+//! The hashing-based mapping baseline (the policy Aurora is compared
+//! against via CGRA-ME, §VI-A): vertices hash onto PEs by id, oblivious to
+//! degree, with linear probing when a PE's buffer is full.
+
+use crate::{MappingPolicy, VertexMapping};
+use std::ops::Range;
+
+/// Maps `range` onto a `k × k` array by `v mod k²`, spilling to the next
+/// PE with free capacity. `degrees` is used only to report which vertices
+/// *would* be high-degree (for apples-to-apples conflict metrics against
+/// the degree-aware policy); it never influences placement.
+pub fn map(range: Range<u32>, degrees: &[u32], k: usize, c_pe: usize) -> VertexMapping {
+    let n = (range.end - range.start) as usize;
+    assert_eq!(degrees.len(), n, "one degree per mapped vertex");
+    assert!(k > 0 && c_pe > 0);
+    let pes = k * k;
+    assert!(
+        n <= pes * c_pe,
+        "subgraph of {n} vertices exceeds array capacity {}",
+        pes * c_pe
+    );
+
+    let mut pe_of = vec![usize::MAX; n];
+    let mut load = vec![0usize; pes];
+    for (i, slot) in pe_of.iter_mut().enumerate() {
+        let v = range.start as usize + i;
+        let mut pe = v % pes;
+        let mut probes = 0;
+        while load[pe] >= c_pe {
+            pe = (pe + 1) % pes;
+            probes += 1;
+            debug_assert!(probes <= pes, "capacity was checked, probe must end");
+        }
+        *slot = pe;
+        load[pe] += 1;
+    }
+
+    // Same high-degree definition as Algorithm 1, for metric parity.
+    let n_hn = ((k.saturating_sub(1)) * c_pe).min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
+    let high: Vec<u32> = order
+        .into_iter()
+        .take(n_hn)
+        .filter(|&i| degrees[i] > 0)
+        .map(|i| range.start + i as u32)
+        .collect();
+
+    VertexMapping {
+        policy: MappingPolicy::Hashing,
+        range,
+        pe_of,
+        k,
+        s_pes: Vec::new(),
+        high_degree: high,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_graph::generate;
+
+    #[test]
+    fn modulo_placement_without_pressure() {
+        let degrees = vec![1u32; 8];
+        let m = map(0..8, &degrees, 2, 4);
+        for v in 0..8u32 {
+            assert_eq!(m.pe_of(v), (v as usize) % 4);
+        }
+    }
+
+    #[test]
+    fn probing_respects_capacity() {
+        let degrees = vec![1u32; 16];
+        let m = map(0..16, &degrees, 2, 4);
+        assert!(m.load_per_pe().iter().all(|&l| l <= 4));
+        assert_eq!(m.load_per_pe().iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn hashing_often_conflicts_on_skewed_graphs() {
+        // many trials: hashing should show conflicts somewhere the
+        // degree-aware policy shows none
+        let mut any_conflict = false;
+        for seed in 0..8 {
+            let g = generate::rmat(64, 512, Default::default(), seed);
+            let h = map(0..64, &g.degrees(), 4, 4);
+            let d = crate::degree_aware::map(0..64, &g.degrees(), 4, 4);
+            assert_eq!(d.high_degree_conflicts(), 0);
+            if h.high_degree_conflicts() > 0 {
+                any_conflict = true;
+            }
+        }
+        assert!(any_conflict, "hashing never conflicted across 8 seeds?");
+    }
+
+    #[test]
+    fn degree_never_influences_hash_placement() {
+        let flat = vec![1u32; 12];
+        let skew: Vec<u32> = (0..12).map(|i| if i == 5 { 100 } else { 1 }).collect();
+        let a = map(0..12, &flat, 2, 4);
+        let b = map(0..12, &skew, 2, 4);
+        assert_eq!(a.pe_of, b.pe_of);
+        assert_ne!(a.high_degree, b.high_degree);
+    }
+}

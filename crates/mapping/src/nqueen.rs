@@ -1,0 +1,216 @@
+//! The N-Queen placement of Algorithm 1 (lines 1-12): one S_PE per row,
+//! no two sharing a column or diagonal.
+
+/// Returns, for each row `r` of a `k × k` array, the column of its S_PE —
+/// a deterministic solution (backtracking for small radixes, min-conflicts
+/// local search for large ones; both yield the "fixed identification
+/// pattern" of §IV). Returns `None` for the unsolvable radixes 2 and 3.
+pub fn solve(k: usize) -> Option<Vec<usize>> {
+    match k {
+        0 => Some(Vec::new()),
+        1 => Some(vec![0]),
+        2 | 3 => None, // provably unsolvable
+        _ if k < 8 => {
+            let mut cols = Vec::with_capacity(k);
+            backtrack(k, &mut cols).then_some(cols)
+        }
+        // Backtracking blows up around k ≈ 30 (the paper's 32 × 32 array);
+        // deterministic min-conflicts converges in microseconds there.
+        _ => Some(min_conflicts(k)),
+    }
+}
+
+fn backtrack(k: usize, cols: &mut Vec<usize>) -> bool {
+    if cols.len() == k {
+        return true;
+    }
+    let row = cols.len();
+    for c in 0..k {
+        if can_place(cols, row, c) {
+            cols.push(c);
+            if backtrack(k, cols) {
+                return true;
+            }
+            cols.pop();
+        }
+    }
+    false
+}
+
+/// Deterministic min-conflicts local search (queens constrained to one per
+/// row and one per column; swaps repair the diagonals). Always terminates:
+/// restarts with a new seed until a valid placement is found — for k ≥ 4 a
+/// solution always exists.
+fn min_conflicts(k: usize) -> Vec<usize> {
+    let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rand = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    loop {
+        // start from a random permutation: rows and columns already unique
+        let mut cols: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            let j = (rand() % (i as u64 + 1)) as usize;
+            cols.swap(i, j);
+        }
+        // diagonal occupancy counts
+        let mut d1 = vec![0i32; 2 * k]; // row + col
+        let mut d2 = vec![0i32; 2 * k]; // row − col + k
+        for (r, &c) in cols.iter().enumerate() {
+            d1[r + c] += 1;
+            d2[r + k - c] += 1;
+        }
+        let conflicts = |r: usize, c: usize, d1: &[i32], d2: &[i32]| {
+            (d1[r + c] - 1) + (d2[r + k - c] - 1)
+        };
+        let mut steps = 0usize;
+        let budget = 60 * k;
+        loop {
+            // find a conflicted queen
+            let start = (rand() % k as u64) as usize;
+            let mut picked = None;
+            for off in 0..k {
+                let r = (start + off) % k;
+                if conflicts(r, cols[r], &d1, &d2) > 0 {
+                    picked = Some(r);
+                    break;
+                }
+            }
+            let Some(r1) = picked else {
+                return cols; // no conflicts anywhere: solved
+            };
+            // swap with the partner that lowers total diagonal conflicts most
+            let mut best: Option<(i32, usize)> = None;
+            for r2 in 0..k {
+                if r2 == r1 {
+                    continue;
+                }
+                let before = conflicts(r1, cols[r1], &d1, &d2)
+                    + conflicts(r2, cols[r2], &d1, &d2);
+                // simulate swap
+                let (c1, c2) = (cols[r1], cols[r2]);
+                let mut e1 = d1.clone();
+                let mut e2 = d2.clone();
+                e1[r1 + c1] -= 1;
+                e2[r1 + k - c1] -= 1;
+                e1[r2 + c2] -= 1;
+                e2[r2 + k - c2] -= 1;
+                e1[r1 + c2] += 1;
+                e2[r1 + k - c2] += 1;
+                e1[r2 + c1] += 1;
+                e2[r2 + k - c1] += 1;
+                let after = conflicts(r1, c2, &e1, &e2) + conflicts(r2, c1, &e1, &e2);
+                let gain = before - after;
+                if best.is_none_or(|(g, _)| gain > g) {
+                    best = Some((gain, r2));
+                }
+            }
+            if let Some((gain, r2)) = best {
+                if gain > 0 || rand() % 8 == 0 {
+                    let (c1, c2) = (cols[r1], cols[r2]);
+                    d1[r1 + c1] -= 1;
+                    d2[r1 + k - c1] -= 1;
+                    d1[r2 + c2] -= 1;
+                    d2[r2 + k - c2] -= 1;
+                    d1[r1 + c2] += 1;
+                    d2[r1 + k - c2] += 1;
+                    d1[r2 + c1] += 1;
+                    d2[r2 + k - c1] += 1;
+                    cols.swap(r1, r2);
+                }
+            }
+            steps += 1;
+            if steps > budget {
+                break; // restart with a fresh permutation
+            }
+        }
+    }
+}
+
+/// Algorithm 1's `canPlace`: column and both diagonals free.
+pub fn can_place(cols: &[usize], row: usize, col: usize) -> bool {
+    cols.iter().enumerate().all(|(r, &c)| {
+        c != col && r.abs_diff(row) != c.abs_diff(col)
+    })
+}
+
+/// Verifies a complete placement is mutually non-attacking.
+pub fn is_valid(cols: &[usize]) -> bool {
+    (0..cols.len()).all(|r| can_place(&cols[..r], r, cols[r]))
+}
+
+/// S_PE placement as linear PE ids on a `k × k` array. For the radixes
+/// without an N-Queen solution (2, 3) the fallback places one S_PE per row
+/// on distinct columns (the anti-diagonal), which still guarantees
+/// row/column disjointness — only the diagonal rule is relaxed.
+pub fn s_pe_positions(k: usize) -> Vec<usize> {
+    match solve(k) {
+        Some(cols) => cols.iter().enumerate().map(|(r, &c)| r * k + c).collect(),
+        None => (0..k).map(|r| r * k + (k - 1 - r)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(solve(0), Some(vec![]));
+        assert_eq!(solve(1), Some(vec![0]));
+        assert_eq!(solve(2), None);
+        assert_eq!(solve(3), None);
+        assert!(solve(4).is_some());
+    }
+
+    #[test]
+    fn solutions_valid_up_to_16() {
+        for k in [1, 4, 5, 6, 7, 8, 12, 16] {
+            let s = solve(k).unwrap_or_else(|| panic!("no solution for {k}"));
+            assert_eq!(s.len(), k);
+            assert!(is_valid(&s), "invalid solution for {k}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn paper_radix_32_solves() {
+        let s = solve(32).expect("32 × 32 must solve");
+        assert!(is_valid(&s));
+    }
+
+    #[test]
+    fn positions_row_column_disjoint_even_in_fallback() {
+        for k in [2, 3, 4, 8] {
+            let pos = s_pe_positions(k);
+            assert_eq!(pos.len(), k);
+            let rows: std::collections::HashSet<_> = pos.iter().map(|p| p / k).collect();
+            let cols: std::collections::HashSet<_> = pos.iter().map(|p| p % k).collect();
+            assert_eq!(rows.len(), k, "k={k}: one S_PE per row");
+            assert_eq!(cols.len(), k, "k={k}: one S_PE per column");
+        }
+    }
+
+    #[test]
+    fn can_place_detects_attacks() {
+        assert!(!can_place(&[0], 1, 0), "same column");
+        assert!(!can_place(&[0], 1, 1), "diagonal");
+        assert!(can_place(&[0], 1, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn every_solution_is_nonattacking(k in 4usize..14) {
+            let s = solve(k).unwrap();
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    prop_assert_ne!(s[i], s[j]);
+                    prop_assert_ne!(j - i, s[i].abs_diff(s[j]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Bypass-segment planning: "the bypassing links will be used to bridge
+//! the longest communications for each high-degree vertex" (§IV).
+//!
+//! Under XY routing, every message to a high-degree vertex `hv` at
+//! `(x, y)` finishes its journey on **column `x`** (the vertical leg) and
+//! the messages injected by `hv`'s own row peers travel along **row `y`**.
+//! For each high-degree vertex we therefore plan:
+//!
+//! * a vertical segment on column `x` spanning the sender rows' extremes;
+//! * a horizontal segment on row `y` spanning the same-row senders'
+//!   extremes.
+//!
+//! Each physical row/column has a single bypass wire, so when several
+//! high-degree vertices want a segment on the same row/column the longest
+//! requirement wins. (The N-Queen placement makes such collisions rare:
+//! S_PEs occupy distinct rows and columns.)
+
+use crate::VertexMapping;
+use serde::{Deserialize, Serialize};
+
+/// One planned express segment (crate-neutral mirror of the NoC's
+/// `BypassSegment`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentPlan {
+    /// Row index (horizontal) or column index (vertical).
+    pub index: usize,
+    pub from: usize,
+    pub to: usize,
+}
+
+impl SegmentPlan {
+    /// Segment length in hops bridged.
+    pub fn span(&self) -> usize {
+        self.to - self.from
+    }
+}
+
+/// The planned bypass configuration for one mapped subgraph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BypassPlan {
+    pub rows: Vec<SegmentPlan>,
+    pub cols: Vec<SegmentPlan>,
+}
+
+/// Plans bypass segments for the communication pattern `edges` (messages
+/// flow `src → dst`; for aggregation that is neighbour → centre) under
+/// `mapping`. Edges touching vertices outside the mapped range are skipped
+/// (they travel via DRAM, not the NoC).
+pub fn plan_bypass(
+    mapping: &VertexMapping,
+    edges: impl Iterator<Item = (u32, u32)>,
+) -> BypassPlan {
+    let k = mapping.k;
+    // per row/col: the widest requested span
+    let mut row_span: Vec<Option<(usize, usize)>> = vec![None; k];
+    let mut col_span: Vec<Option<(usize, usize)>> = vec![None; k];
+    let is_high = |v: u32| mapping.high_degree.contains(&v);
+
+    for (src, dst) in edges {
+        if !mapping.range.contains(&src) || !mapping.range.contains(&dst) {
+            continue;
+        }
+        if !is_high(dst) && !is_high(src) {
+            continue;
+        }
+        let (sx, sy) = mapping.coord_of(src);
+        let (dx, dy) = mapping.coord_of(dst);
+        // XY route: horizontal leg on row sy, vertical leg on column dx.
+        if sx != dx {
+            let (a, b) = (sx.min(dx), sx.max(dx));
+            widen(&mut row_span[sy], a, b);
+        }
+        if sy != dy {
+            let (a, b) = (sy.min(dy), sy.max(dy));
+            widen(&mut col_span[dx], a, b);
+        }
+    }
+
+    let collect = |spans: &[Option<(usize, usize)>]| {
+        spans
+            .iter()
+            .enumerate()
+            .filter_map(|(index, s)| {
+                s.and_then(|(from, to)| {
+                    // an express link over adjacent routers buys nothing
+                    (to - from >= 2).then_some(SegmentPlan { index, from, to })
+                })
+            })
+            .collect()
+    };
+    BypassPlan {
+        rows: collect(&row_span),
+        cols: collect(&col_span),
+    }
+}
+
+fn widen(slot: &mut Option<(usize, usize)>, a: usize, b: usize) {
+    *slot = Some(match *slot {
+        None => (a, b),
+        Some((x, y)) => {
+            // keep the single widest span (one physical wire per row/col)
+            if b - a > y - x {
+                (a, b)
+            } else {
+                (x, y)
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree_aware;
+    use aurora_graph::generate;
+
+    #[test]
+    fn star_gets_column_bridge() {
+        let g = generate::star(16);
+        let m = degree_aware::map(0..16, &g.degrees(), 4, 2);
+        let plan = plan_bypass(&m, g.edges());
+        let (hx, _) = m.coord_of(0);
+        // spokes converge on the hub's column
+        assert!(
+            plan.cols.iter().any(|s| s.index == hx && s.span() >= 2),
+            "expected a vertical bridge on column {hx}: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn no_high_degree_no_plan() {
+        let g = generate::ring(16); // uniform degree 1: top-(K−1)·C_PE still
+                                    // selects vertices, but spans stay short
+        let m = degree_aware::map(0..16, &g.degrees(), 4, 2);
+        let plan = plan_bypass(&m, g.edges());
+        // all planned segments must be genuine (span ≥ 2) and within range
+        for s in plan.rows.iter().chain(&plan.cols) {
+            assert!(s.span() >= 2);
+            assert!(s.index < 4 && s.to < 4);
+        }
+    }
+
+    #[test]
+    fn at_most_one_segment_per_row_and_column() {
+        let g = generate::rmat(64, 600, Default::default(), 9);
+        let m = degree_aware::map(0..64, &g.degrees(), 4, 4);
+        let plan = plan_bypass(&m, g.edges());
+        let rows: std::collections::HashSet<_> = plan.rows.iter().map(|s| s.index).collect();
+        assert_eq!(rows.len(), plan.rows.len());
+        let cols: std::collections::HashSet<_> = plan.cols.iter().map(|s| s.index).collect();
+        assert_eq!(cols.len(), plan.cols.len());
+    }
+
+    #[test]
+    fn out_of_range_edges_ignored() {
+        let g = generate::star(16);
+        let m = degree_aware::map(0..8, &g.degrees()[..8].to_vec().clone(), 4, 2);
+        // edges referencing vertices ≥ 8 must be skipped silently
+        let plan = plan_bypass(&m, g.edges());
+        for s in plan.rows.iter().chain(&plan.cols) {
+            assert!(s.to < 4);
+        }
+    }
+}

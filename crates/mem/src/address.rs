@@ -1,0 +1,126 @@
+//! Physical address decomposition.
+
+use serde::{Deserialize, Serialize};
+
+/// How addresses spread across banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interleave {
+    /// Consecutive bursts rotate across banks (bank-interleaved): streams
+    /// exploit bank-level parallelism.
+    BankInterleaved,
+    /// A whole row fills before moving to the next bank (row-interleaved):
+    /// streams maximise row-buffer hits on one bank at a time.
+    RowInterleaved,
+}
+
+/// Bank/row decomposition of physical addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    /// Number of banks (across all ranks).
+    pub banks: usize,
+    /// Row size in bytes (row-buffer size per bank).
+    pub row_bytes: usize,
+    /// Interleave granularity in bytes (one burst).
+    pub block_bytes: usize,
+    /// Bank-spreading policy.
+    pub interleave: Interleave,
+}
+
+impl AddressMapping {
+    /// An 8-bank bank-interleaved device with 8 KB rows and 64 B bursts.
+    pub fn default_ddr3() -> Self {
+        Self {
+            banks: 8,
+            row_bytes: 8 * 1024,
+            block_bytes: 64,
+            interleave: Interleave::BankInterleaved,
+        }
+    }
+
+    /// The row-interleaved variant of [`Self::default_ddr3`].
+    pub fn row_interleaved_ddr3() -> Self {
+        Self {
+            interleave: Interleave::RowInterleaved,
+            ..Self::default_ddr3()
+        }
+    }
+
+    /// `(bank, row)` of a byte address.
+    pub fn decode(&self, addr: u64) -> (usize, u64) {
+        let block = addr / self.block_bytes as u64;
+        let blocks_per_row = (self.row_bytes / self.block_bytes) as u64;
+        match self.interleave {
+            Interleave::BankInterleaved => {
+                let bank = (block % self.banks as u64) as usize;
+                let row = (block / self.banks as u64) / blocks_per_row;
+                (bank, row)
+            }
+            Interleave::RowInterleaved => {
+                let row_index = block / blocks_per_row;
+                let bank = (row_index % self.banks as u64) as usize;
+                let row = row_index / self.banks as u64;
+                (bank, row)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_blocks_rotate_banks() {
+        let m = AddressMapping::default_ddr3();
+        let banks: Vec<usize> = (0..8u64).map(|i| m.decode(i * 64).0).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn same_block_same_location() {
+        let m = AddressMapping::default_ddr3();
+        assert_eq!(m.decode(0), m.decode(63));
+        assert_ne!(m.decode(0).0, m.decode(64).0);
+    }
+
+    #[test]
+    fn row_interleave_keeps_a_row_on_one_bank() {
+        let m = AddressMapping::row_interleaved_ddr3();
+        // every burst of the first 8 KB lands on bank 0, row 0
+        for blk in 0..128u64 {
+            assert_eq!(m.decode(blk * 64), (0, 0));
+        }
+        // the next row goes to bank 1
+        assert_eq!(m.decode(8 * 1024), (1, 0));
+    }
+
+    #[test]
+    fn interleave_changes_streaming_behaviour() {
+        use crate::dram::{Dram, DramRequest};
+        use crate::timing::DramTiming;
+        let run = |mapping: AddressMapping| {
+            let mut d = Dram::new(DramTiming::ddr3_1600(), mapping);
+            for i in 0..512u64 {
+                d.submit(DramRequest { id: i, addr: i * 64, is_write: false, arrival: 0 });
+            }
+            d.run_to_completion()
+        };
+        let bank = run(AddressMapping::default_ddr3());
+        let row = run(AddressMapping::row_interleaved_ddr3());
+        // both serve a sequential stream well; row-interleave has strictly
+        // more row hits, bank-interleave more bank parallelism
+        assert!(row.hit_rate() >= bank.hit_rate());
+        assert!(bank.finish_cycle <= row.finish_cycle + 200);
+    }
+
+    #[test]
+    fn rows_advance_after_bank_sweep() {
+        let m = AddressMapping::default_ddr3();
+        let blocks_per_row = (m.row_bytes / m.block_bytes) as u64; // 128
+        // bank 0's second row starts after banks*blocks_per_row blocks
+        let addr = 8 * blocks_per_row * 64;
+        let (bank, row) = m.decode(addr);
+        assert_eq!(bank, 0);
+        assert_eq!(row, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Global SRAM scratchpad model.
+//!
+//! Aurora itself needs no inter-phase staging buffer ("the proposed design
+//! can directly transfer the output feature vectors from sub-accelerator A
+//! to sub-accelerator B without the need for any storage", §VI-B), but the
+//! baseline accelerators do — this scratchpad models those global buffers
+//! and their bandwidth/occupancy cost.
+
+use serde::{Deserialize, Serialize};
+
+/// A flat scratchpad with capacity, bandwidth, and access counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scratchpad {
+    capacity: usize,
+    /// Bytes per cycle of aggregate port bandwidth.
+    bytes_per_cycle: usize,
+    used: usize,
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    /// Allocations rejected for lack of space (spill events — these turn
+    /// into DRAM traffic in the baselines).
+    pub spills: u64,
+}
+
+impl Scratchpad {
+    /// A scratchpad of `capacity` bytes and `bytes_per_cycle` bandwidth.
+    pub fn new(capacity: usize, bytes_per_cycle: usize) -> Self {
+        assert!(bytes_per_cycle > 0);
+        Self {
+            capacity,
+            bytes_per_cycle,
+            used: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            spills: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Attempts to reserve `bytes`; on failure records a spill and returns
+    /// `false`.
+    pub fn allocate(&mut self, bytes: usize) -> bool {
+        if self.used + bytes > self.capacity {
+            self.spills += 1;
+            false
+        } else {
+            self.used += bytes;
+            true
+        }
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// # Panics
+    /// Panics when freeing more than is resident.
+    pub fn release(&mut self, bytes: usize) {
+        assert!(bytes <= self.used, "releasing more than resident");
+        self.used -= bytes;
+    }
+
+    /// Empties the scratchpad.
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Cycles to read `bytes`.
+    pub fn read(&mut self, bytes: u64) -> u64 {
+        self.read_bytes += bytes;
+        bytes.div_ceil(self.bytes_per_cycle as u64)
+    }
+
+    /// Cycles to write `bytes`.
+    pub fn write(&mut self, bytes: u64) -> u64 {
+        self.write_bytes += bytes;
+        bytes.div_ceil(self.bytes_per_cycle as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_and_spills() {
+        let mut s = Scratchpad::new(100, 8);
+        assert!(s.allocate(80));
+        assert!(!s.allocate(30));
+        assert_eq!(s.spills, 1);
+        assert_eq!(s.used(), 80);
+        s.release(50);
+        assert!(s.allocate(30));
+    }
+
+    #[test]
+    fn bandwidth_cycles() {
+        let mut s = Scratchpad::new(1024, 16);
+        assert_eq!(s.read(64), 4);
+        assert_eq!(s.write(65), 5);
+        assert_eq!(s.read_bytes, 64);
+        assert_eq!(s.write_bytes, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more")]
+    fn release_checked() {
+        Scratchpad::new(10, 1).release(5);
+    }
+
+    #[test]
+    fn reset_clears_occupancy_only() {
+        let mut s = Scratchpad::new(10, 1);
+        s.allocate(5);
+        s.read(3);
+        s.reset();
+        assert_eq!(s.used(), 0);
+        assert_eq!(s.read_bytes, 3);
+    }
+}

@@ -1,0 +1,101 @@
+//! DRAM timing parameters (memory-clock cycles).
+
+use serde::{Deserialize, Serialize};
+
+/// Bank/channel timing constraints of a DDRx device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Activate → column command (row open) delay.
+    pub t_rcd: u64,
+    /// Precharge delay (row close).
+    pub t_rp: u64,
+    /// Column access (CAS) latency.
+    pub t_cl: u64,
+    /// Data-burst occupancy of the shared data bus per access.
+    pub t_burst: u64,
+    /// Row cycle time: minimum spacing of activates to one bank.
+    pub t_rc: u64,
+    /// Refresh interval: one all-bank refresh is due every `t_refi` cycles.
+    pub t_refi: u64,
+    /// Refresh duration: the device is unavailable for `t_rfc` cycles.
+    pub t_rfc: u64,
+    /// Data-bus turnaround penalty when switching read↔write.
+    pub t_turnaround: u64,
+    /// Bytes transferred per burst.
+    pub burst_bytes: u64,
+    /// Memory-clock frequency in MHz (data rate already folded into
+    /// `burst_bytes` / `t_burst`).
+    pub clock_mhz: u64,
+}
+
+impl DramTiming {
+    /// DDR3-1600-like device: the generation DRAMSim2 shipped configs for.
+    pub fn ddr3_1600() -> Self {
+        Self {
+            t_rcd: 11,
+            t_rp: 11,
+            t_cl: 11,
+            t_burst: 4,
+            t_rc: 39,
+            t_refi: 6240, // 7.8 µs @ 800 MHz
+            t_rfc: 208,   // 4 Gb-class device
+            t_turnaround: 7,
+            burst_bytes: 64,
+            clock_mhz: 800,
+        }
+    }
+
+    /// Latency of a row-buffer hit (CAS + burst).
+    pub fn hit_latency(&self) -> u64 {
+        self.t_cl + self.t_burst
+    }
+
+    /// Latency of a row-buffer miss on an open bank (precharge + activate +
+    /// CAS + burst).
+    pub fn miss_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+    }
+
+    /// Latency when the bank is idle (activate + CAS + burst).
+    pub fn closed_latency(&self) -> u64 {
+        self.t_rcd + self.t_cl + self.t_burst
+    }
+
+    /// Peak bandwidth in bytes per memory cycle.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.burst_bytes as f64 / self.t_burst as f64
+    }
+
+    /// Peak bandwidth in GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.peak_bytes_per_cycle() * self.clock_mhz as f64 * 1e6 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_latencies_ordered() {
+        let t = DramTiming::ddr3_1600();
+        assert!(t.hit_latency() < t.closed_latency());
+        assert!(t.closed_latency() < t.miss_latency());
+    }
+
+    #[test]
+    fn refresh_constants_sane() {
+        let t = DramTiming::ddr3_1600();
+        assert!(t.t_rfc < t.t_refi, "refresh must not dominate");
+        // refresh overhead ≈ tRFC/tREFI ≈ 3.3%
+        let overhead = t.t_rfc as f64 / t.t_refi as f64;
+        assert!(overhead > 0.01 && overhead < 0.06, "overhead {overhead}");
+    }
+
+    #[test]
+    fn ddr3_bandwidth_sane() {
+        let t = DramTiming::ddr3_1600();
+        // 64 B / 4 cycles @ 800 MHz = 12.8 GB/s per channel
+        assert!((t.peak_gbps() - 12.8).abs() < 0.1, "got {}", t.peak_gbps());
+    }
+}

@@ -1,0 +1,38 @@
+//! GNN model zoo and message-passing IR for the Aurora simulator.
+//!
+//! The paper abstracts every GNN layer into three phases (§II, Fig. 1):
+//! **Edge Update** (ψ), **Aggregation** (⊕) and **Vertex Update** (φ), and
+//! classifies models into C-GNNs, A-GNNs and MP-GNNs by the form of the
+//! update function. Table II enumerates the primitive operations each phase
+//! needs per model; those operation kinds are exactly what the
+//! reconfigurable PE datapath must support (Fig. 6).
+//!
+//! This crate provides:
+//!
+//! * [`ops`] — the primitive operation kinds of Table II with FLOP costs;
+//! * [`phase`] — phase specifications (which ops run in which phase);
+//! * [`spec`] — [`spec::ModelSpec`], the static description of a model;
+//! * [`zoo`] — the ten evaluated models (GCN, GraphSAGE-Mean, GIN, CommNet,
+//!   Vanilla-Attention, AGNN, G-GCN, GraphSAGE-Pool, EdgeConv-1/-5);
+//! * [`workload`] — op-count characterisation (`O_ue`, `O_a`, `O_uv`, …) of
+//!   a (model, graph, layer) triple — the inputs of Algorithm 2;
+//! * [`reference`] — a numeric executor for every model, the golden output
+//!   the PE functional model is validated against;
+//! * [`kernels`] — the PolyBench operators the paper uses as phase
+//!   benchmarks (gramschmidt, mvt, gemver, gesummv);
+//! * [`linalg`] — the small dense kernels shared by the above.
+
+pub mod kernels;
+pub mod linalg;
+pub mod ops;
+pub mod phase;
+pub mod reference;
+pub mod spec;
+pub mod workload;
+pub mod zoo;
+
+pub use ops::{Activation, OpKind};
+pub use phase::{Phase, PhaseSpec};
+pub use reference::GnnLayer;
+pub use spec::{ModelCategory, ModelId, ModelSpec};
+pub use workload::{LayerShape, PhaseOpCounts, Workload};

@@ -1,0 +1,184 @@
+//! Small dense linear-algebra kernels shared by the reference executors and
+//! the PolyBench phase benchmarks.
+
+/// `y = W · x` where `W` is `rows × cols` row-major and `x` has `cols`
+/// elements.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn matvec(w: &[f64], rows: usize, cols: usize, x: &[f64]) -> Vec<f64> {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    assert_eq!(x.len(), cols, "input length mismatch");
+    let mut y = vec![0.0; rows];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        *yr = dot(row, x);
+    }
+    y
+}
+
+/// Dot product of equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `a += b` element-wise.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `a = max(a, b)` element-wise.
+pub fn max_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "max length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = x.max(*y);
+    }
+}
+
+/// `a *= s` element-wise.
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Element-wise product `a ⊙ b`.
+pub fn hadamard(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "hadamard length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// ReLU in place.
+pub fn relu_inplace(a: &mut [f64]) {
+    for x in a.iter_mut() {
+        *x = x.max(0.0);
+    }
+}
+
+/// Logistic sigmoid in place.
+pub fn sigmoid_inplace(a: &mut [f64]) {
+    for x in a.iter_mut() {
+        *x = 1.0 / (1.0 + (-*x).exp());
+    }
+}
+
+/// Numerically stable softmax in place; a zero-length slice is a no-op.
+pub fn softmax_inplace(a: &mut [f64]) {
+    if a.is_empty() {
+        return;
+    }
+    let m = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in a.iter_mut() {
+        *x = (*x - m).exp();
+        sum += *x;
+    }
+    for x in a.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Concatenation `[a, b]`.
+pub fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(a.len() + b.len());
+    v.extend_from_slice(a);
+    v.extend_from_slice(b);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matvec_identity() {
+        let w = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(matvec(&w, 2, 2, &[3.0, -4.0]), vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        // [1 2 3; 4 5 6] * [1, 1, 1] = [6, 15]
+        let w = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(matvec(&w, 2, 3, &[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn dot_and_hadamard() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = vec![1.0, -2.0];
+        add_assign(&mut a, &[1.0, 1.0]);
+        assert_eq!(a, vec![2.0, -1.0]);
+        max_assign(&mut a, &[0.0, 5.0]);
+        assert_eq!(a, vec![2.0, 5.0]);
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![1.0, 2.5]);
+        relu_inplace(&mut a);
+        assert_eq!(a, vec![1.0, 2.5]);
+        let mut b = vec![-1.0, 3.0];
+        relu_inplace(&mut b);
+        assert_eq!(b, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        let mut a = vec![-100.0, 0.0, 100.0];
+        sigmoid_inplace(&mut a);
+        assert!(a[0] < 1e-12);
+        assert!((a[1] - 0.5).abs() < 1e-12);
+        assert!((a[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut a = vec![1000.0, 1001.0, 999.0];
+        softmax_inplace(&mut a);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(a.iter().all(|&x| x.is_finite() && x >= 0.0));
+        softmax_inplace(&mut []);
+    }
+
+    #[test]
+    fn concat_order() {
+        assert_eq!(concat(&[1.0], &[2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_rejects_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_always_normalises(v in proptest::collection::vec(-50.0f64..50.0, 1..20)) {
+            let mut a = v;
+            softmax_inplace(&mut a);
+            prop_assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn matvec_linear_in_x(
+            x in proptest::collection::vec(-10.0f64..10.0, 4),
+            k in -5.0f64..5.0
+        ) {
+            let w: Vec<f64> = (0..12).map(|i| i as f64 * 0.25 - 1.0).collect();
+            let y1 = matvec(&w, 3, 4, &x);
+            let xs: Vec<f64> = x.iter().map(|v| v * k).collect();
+            let y2 = matvec(&w, 3, 4, &xs);
+            for (a, b) in y1.iter().zip(&y2) {
+                prop_assert!((a * k - b).abs() < 1e-6, "a*k={} b={}", a * k, b);
+            }
+        }
+    }
+}

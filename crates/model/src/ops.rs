@@ -1,0 +1,183 @@
+//! Primitive GNN operations (Table II) and their costs.
+//!
+//! Table II's legend: *Scalar* denotes a scalar coefficient, *V* a vector,
+//! *M* a matrix, `×` multiplication, `·` dot product, `⊙` element-wise
+//! product, `Σ` accumulation, `α` an activation function and `||`
+//! concatenation. Each [`OpKind`] corresponds to one PE datapath
+//! configuration (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Non-linear activation functions appearing in the zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    ReLU,
+    Sigmoid,
+    /// Row-wise softmax (A-GNN final activation, Eq. 3).
+    Softmax,
+}
+
+impl Activation {
+    /// Applies the activation to one element (softmax handled at the vector
+    /// level by [`crate::linalg::softmax_inplace`]).
+    pub fn apply_scalar(self, x: f64) -> f64 {
+        match self {
+            Activation::ReLU => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Softmax => x, // vector-level; identity element-wise
+        }
+    }
+
+    /// FLOPs to activate a length-`dim` vector (costing exp ≈ 1 flop —
+    /// the same convention the paper's op counting uses for PPU work).
+    pub fn flops(self, dim: usize) -> u64 {
+        match self {
+            Activation::ReLU => dim as u64,
+            Activation::Sigmoid => 3 * dim as u64,
+            Activation::Softmax => 3 * dim as u64,
+        }
+    }
+}
+
+/// The primitive operation kinds of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `Scalar × V` — scale a vector by a scalar coefficient.
+    ScalarVec,
+    /// `V · V` — dot product producing a scalar.
+    VecDot,
+    /// `V ⊙ V` — element-wise (Hadamard) product.
+    VecHadamard,
+    /// `V + V` — element-wise addition (the gemver-style accumulate step).
+    VecAdd,
+    /// `M × V` — dense matrix-vector product.
+    MatVec,
+    /// `Σ V` — pure accumulation of vectors (adders only, Fig. 6 (c)).
+    AccumVec,
+    /// `max(V, V)` — element-wise max (GraphSAGE-Pool aggregation).
+    MaxVec,
+    /// `α` — non-linear activation, executed in the PPU.
+    Act(Activation),
+    /// `V || V` — concatenation, executed in the PPU (no arithmetic).
+    Concat,
+}
+
+impl OpKind {
+    /// FLOPs for one instance of this op.
+    ///
+    /// * Vector ops take the vector length as `dim_in`.
+    /// * `MatVec` multiplies a `dim_out × dim_in` matrix by a `dim_in`
+    ///   vector: `2 · dim_in · dim_out` FLOPs (multiply + accumulate).
+    pub fn flops(self, dim_in: usize, dim_out: usize) -> u64 {
+        let n = dim_in as u64;
+        match self {
+            OpKind::ScalarVec => n,
+            OpKind::VecDot => 2 * n,
+            OpKind::VecHadamard => n,
+            OpKind::VecAdd => n,
+            OpKind::MatVec => 2 * n * dim_out as u64,
+            OpKind::AccumVec => n,
+            OpKind::MaxVec => n,
+            OpKind::Act(a) => a.flops(dim_in),
+            OpKind::Concat => 0,
+        }
+    }
+
+    /// Whether the op needs the multiplier array (false → adders/PPU only).
+    pub fn needs_multipliers(self) -> bool {
+        matches!(
+            self,
+            OpKind::ScalarVec | OpKind::VecDot | OpKind::VecHadamard | OpKind::MatVec
+        )
+    }
+
+    /// Whether the op is executed in the post-processing unit rather than
+    /// the MAC array.
+    pub fn is_ppu_op(self) -> bool {
+        matches!(self, OpKind::Act(_) | OpKind::Concat | OpKind::MaxVec)
+    }
+
+    /// Table II notation for this op.
+    pub fn notation(self) -> &'static str {
+        match self {
+            OpKind::ScalarVec => "Scalar×V",
+            OpKind::VecDot => "V·V",
+            OpKind::VecHadamard => "V⊙V",
+            OpKind::VecAdd => "V+V",
+            OpKind::MatVec => "M×V",
+            OpKind::AccumVec => "ΣV",
+            OpKind::MaxVec => "max(V)",
+            OpKind::Act(Activation::ReLU) => "α(ReLU)",
+            OpKind::Act(Activation::Sigmoid) => "α(σ)",
+            OpKind::Act(Activation::Softmax) => "α(SoftMax)",
+            OpKind::Concat => "V||V",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_costs() {
+        assert_eq!(OpKind::ScalarVec.flops(8, 0), 8);
+        assert_eq!(OpKind::VecDot.flops(8, 0), 16);
+        assert_eq!(OpKind::VecHadamard.flops(8, 0), 8);
+        assert_eq!(OpKind::MatVec.flops(4, 3), 24);
+        assert_eq!(OpKind::AccumVec.flops(5, 0), 5);
+        assert_eq!(OpKind::Concat.flops(100, 100), 0);
+        assert_eq!(OpKind::Act(Activation::ReLU).flops(10, 0), 10);
+        assert_eq!(OpKind::Act(Activation::Sigmoid).flops(10, 0), 30);
+    }
+
+    #[test]
+    fn multiplier_requirements_match_fig6() {
+        // Fig. 6 (a): V×V / M×V / V·V use paired multipliers + adders.
+        assert!(OpKind::MatVec.needs_multipliers());
+        assert!(OpKind::VecDot.needs_multipliers());
+        // Fig. 6 (b): scalar / Hadamard use multipliers without accumulation.
+        assert!(OpKind::ScalarVec.needs_multipliers());
+        assert!(OpKind::VecHadamard.needs_multipliers());
+        // Fig. 6 (c): ΣV bypasses multipliers.
+        assert!(!OpKind::AccumVec.needs_multipliers());
+        assert!(!OpKind::VecAdd.needs_multipliers());
+    }
+
+    #[test]
+    fn ppu_ops() {
+        assert!(OpKind::Act(Activation::ReLU).is_ppu_op());
+        assert!(OpKind::Concat.is_ppu_op());
+        assert!(OpKind::MaxVec.is_ppu_op());
+        assert!(!OpKind::MatVec.is_ppu_op());
+    }
+
+    #[test]
+    fn activation_scalar_semantics() {
+        assert_eq!(Activation::ReLU.apply_scalar(-3.0), 0.0);
+        assert_eq!(Activation::ReLU.apply_scalar(2.0), 2.0);
+        let s = Activation::Sigmoid.apply_scalar(0.0);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn notation_strings_unique() {
+        let all = [
+            OpKind::ScalarVec,
+            OpKind::VecDot,
+            OpKind::VecHadamard,
+            OpKind::VecAdd,
+            OpKind::MatVec,
+            OpKind::AccumVec,
+            OpKind::MaxVec,
+            OpKind::Act(Activation::ReLU),
+            OpKind::Act(Activation::Sigmoid),
+            OpKind::Act(Activation::Softmax),
+            OpKind::Concat,
+        ];
+        let mut set = std::collections::HashSet::new();
+        for op in all {
+            assert!(set.insert(op.notation()), "duplicate {:?}", op.notation());
+        }
+    }
+}

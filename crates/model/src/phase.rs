@@ -1,0 +1,135 @@
+//! GNN execution phases (§II, Fig. 1) and per-phase operation lists.
+
+use crate::ops::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// The three message-passing phases of a GNN layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// ψ — compute per-edge features from endpoint features (Fig. 1 a).
+    EdgeUpdate,
+    /// ⊕ — reduce neighbour/edge features into one vector (Fig. 1 b).
+    Aggregation,
+    /// φ — transform the aggregated vector with the weight matrix (Fig. 1 c).
+    VertexUpdate,
+}
+
+impl Phase {
+    /// The phases in pipeline order.
+    pub const ALL: [Phase; 3] = [Phase::EdgeUpdate, Phase::Aggregation, Phase::VertexUpdate];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::EdgeUpdate => "Edge Update",
+            Phase::Aggregation => "Aggregation",
+            Phase::VertexUpdate => "Vertex Update",
+        }
+    }
+
+    /// Which sub-accelerator executes this phase. Edge update and
+    /// aggregation "exhibit the same communication patterns [and] are
+    /// running on the same architecture" (sub-accelerator A, §V);
+    /// vertex update runs on sub-accelerator B.
+    pub fn sub_accelerator(self) -> SubAccelerator {
+        match self {
+            Phase::EdgeUpdate | Phase::Aggregation => SubAccelerator::A,
+            Phase::VertexUpdate => SubAccelerator::B,
+        }
+    }
+}
+
+/// The two dynamically partitioned sub-accelerators (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubAccelerator {
+    /// Irregular phases: edge update + aggregation.
+    A,
+    /// Regular neural computation: vertex update.
+    B,
+}
+
+/// The operations one phase performs, with their per-unit granularity.
+///
+/// `per_edge` ops execute once per edge, `per_vertex` ops once per vertex —
+/// this is the granularity Table II implies and what the workload
+/// characterisation multiplies out.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PhaseSpec {
+    /// Ops executed once per edge.
+    pub per_edge: Vec<OpKind>,
+    /// Ops executed once per vertex.
+    pub per_vertex: Vec<OpKind>,
+}
+
+impl PhaseSpec {
+    /// A phase with no work ("Null" in Table II).
+    pub fn null() -> Self {
+        Self::default()
+    }
+
+    /// Whether the phase does anything.
+    pub fn is_null(&self) -> bool {
+        self.per_edge.is_empty() && self.per_vertex.is_empty()
+    }
+
+    /// All distinct op kinds in this phase.
+    pub fn op_kinds(&self) -> Vec<OpKind> {
+        let mut v: Vec<OpKind> = self
+            .per_edge
+            .iter()
+            .chain(&self.per_vertex)
+            .copied()
+            .collect();
+        v.sort_by_key(|o| o.notation());
+        v.dedup();
+        v
+    }
+
+    /// Whether this phase needs the multiplier array at all.
+    pub fn needs_multipliers(&self) -> bool {
+        self.per_edge
+            .iter()
+            .chain(&self.per_vertex)
+            .any(|o| o.needs_multipliers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Activation;
+
+    #[test]
+    fn phase_to_sub_accelerator() {
+        assert_eq!(Phase::EdgeUpdate.sub_accelerator(), SubAccelerator::A);
+        assert_eq!(Phase::Aggregation.sub_accelerator(), SubAccelerator::A);
+        assert_eq!(Phase::VertexUpdate.sub_accelerator(), SubAccelerator::B);
+    }
+
+    #[test]
+    fn null_phase() {
+        let p = PhaseSpec::null();
+        assert!(p.is_null());
+        assert!(!p.needs_multipliers());
+        assert!(p.op_kinds().is_empty());
+    }
+
+    #[test]
+    fn op_kinds_dedup() {
+        let p = PhaseSpec {
+            per_edge: vec![OpKind::ScalarVec, OpKind::ScalarVec, OpKind::VecDot],
+            per_vertex: vec![OpKind::Act(Activation::ReLU)],
+        };
+        assert_eq!(p.op_kinds().len(), 3);
+        assert!(p.needs_multipliers());
+    }
+
+    #[test]
+    fn accumulate_only_phase_needs_no_multipliers() {
+        let p = PhaseSpec {
+            per_edge: vec![OpKind::AccumVec],
+            per_vertex: vec![],
+        };
+        assert!(!p.needs_multipliers());
+    }
+}

@@ -1,0 +1,216 @@
+//! Numeric reference execution of GNN layers.
+//!
+//! These executors compute the *actual* layer mathematics (Eqs. 1-5) in
+//! double precision. They serve two purposes:
+//!
+//! 1. **Golden outputs** — the PE functional datapath model (`aurora-pe`)
+//!    must reproduce these results bit-for-bit for the operation mixes it
+//!    claims to support.
+//! 2. **Semantics anchor** — the op counts in [`crate::workload`] are
+//!    validated against what a real execution performs.
+
+use crate::spec::{ModelId, ModelSpec};
+use crate::zoo;
+use aurora_graph::{Csr, FeatureMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One executable GNN layer with fixed weights.
+pub trait GnnLayer {
+    /// Which zoo model this is.
+    fn model_id(&self) -> ModelId;
+
+    /// Output feature width.
+    fn output_dim(&self) -> usize;
+
+    /// Runs one message-passing layer over `g` with input features `x`
+    /// (row `v` = feature vector of vertex `v`).
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix;
+
+    /// The static spec of this layer's model.
+    fn spec(&self) -> ModelSpec {
+        self.model_id().spec()
+    }
+}
+
+/// Deterministic weight initialisation: uniform in `(-s, s)` with
+/// `s = 1/√cols` (Glorot-ish), seeded.
+pub fn init_weights(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = 1.0 / (cols.max(1) as f64).sqrt();
+    (0..rows * cols).map(|_| rng.gen_range(-s..s)).collect()
+}
+
+/// A stack of layers executed back to back — a full GNN.
+pub struct GnnNetwork {
+    layers: Vec<Box<dyn GnnLayer>>,
+}
+
+impl GnnNetwork {
+    /// Builds a `model` network through the given feature widths
+    /// (`dims[0]` input → … → `dims.last()` output), with deterministic
+    /// per-layer weights derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics with fewer than two dims (no layer to build).
+    pub fn new(model: ModelId, dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        if matches!(model, ModelId::EdgeConv1 | ModelId::EdgeConv5) {
+            assert!(
+                dims.windows(2).all(|w| w[0] == w[1]),
+                "EdgeConv layers are width-preserving; use equal dims"
+            );
+        }
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| layer_for(model, w[0], w[1], seed.wrapping_add(i as u64 * 0x51)))
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the full forward pass.
+    pub fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        let mut h = self.layers[0].forward(g, x);
+        for layer in &self.layers[1..] {
+            h = layer.forward(g, &h);
+        }
+        h
+    }
+}
+
+/// Instantiates any zoo model with deterministic weights.
+pub fn layer_for(id: ModelId, f_in: usize, f_out: usize, seed: u64) -> Box<dyn GnnLayer> {
+    match id {
+        ModelId::Gcn => Box::new(zoo::gcn::Gcn::new_random(f_in, f_out, seed)),
+        ModelId::SageMean => Box::new(zoo::sage::SageMean::new_random(f_in, f_out, seed)),
+        ModelId::Gin => Box::new(zoo::gin::Gin::new_random(f_in, f_out, seed)),
+        ModelId::CommNet => Box::new(zoo::commnet::CommNet::new_random(f_in, f_out, seed)),
+        ModelId::VanillaAttention => {
+            Box::new(zoo::attention::VanillaAttention::new_random(f_in, f_out, seed))
+        }
+        ModelId::Agnn => Box::new(zoo::attention::Agnn::new_random(f_in, f_out, seed)),
+        ModelId::GGcn => Box::new(zoo::ggcn::GGcn::new_random(f_in, f_out, seed)),
+        ModelId::SagePool => Box::new(zoo::sage::SagePool::new_random(f_in, f_out, seed)),
+        ModelId::EdgeConv1 => Box::new(zoo::edgeconv::EdgeConv::new_random(f_in, 1, seed)),
+        ModelId::EdgeConv5 => Box::new(zoo::edgeconv::EdgeConv::new_random(f_in, 5, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_graph::generate;
+
+    #[test]
+    fn every_model_runs_and_shapes_check() {
+        let g = generate::rmat(24, 100, Default::default(), 3).with_self_loops();
+        let x = FeatureMatrix::random(24, 12, 0.8, 5);
+        for id in ModelId::ALL {
+            let layer = layer_for(id, 12, 6, 9);
+            let y = layer.forward(&g, &x);
+            assert_eq!(y.rows(), 24, "{}", id.name());
+            assert_eq!(y.cols(), layer.output_dim(), "{}", id.name());
+            assert!(
+                y.as_slice().iter().all(|v| v.is_finite()),
+                "{} produced non-finite output",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let g = generate::ring(8);
+        let x = FeatureMatrix::random(8, 4, 1.0, 1);
+        for id in ModelId::ALL {
+            let a = layer_for(id, 4, 3, 7).forward(&g, &x);
+            let b = layer_for(id, 4, 3, 7).forward(&g, &x);
+            assert_eq!(a, b, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn weights_deterministic_and_bounded() {
+        let a = init_weights(4, 9, 11);
+        let b = init_weights(4, 9, 11);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|w| w.abs() < 1.0 / 3.0 + 1e-12));
+        assert_ne!(a, init_weights(4, 9, 12));
+    }
+
+    #[test]
+    fn network_stacks_layers() {
+        let g = generate::rmat(16, 60, Default::default(), 1);
+        let x = FeatureMatrix::random(16, 8, 1.0, 2);
+        let net = GnnNetwork::new(ModelId::Gcn, &[8, 6, 4], 3);
+        assert_eq!(net.depth(), 2);
+        let y = net.forward(&g, &x);
+        assert_eq!(y.cols(), 4);
+        // equals the manual two-layer composition with the same seeds
+        let l1 = layer_for(ModelId::Gcn, 8, 6, 3);
+        let l2 = layer_for(ModelId::Gcn, 6, 4, 3 + 0x51);
+        let manual = l2.forward(&g, &l1.forward(&g, &x));
+        assert!(y.max_abs_diff(&manual) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width-preserving")]
+    fn edgeconv_network_rejects_width_change() {
+        GnnNetwork::new(ModelId::EdgeConv1, &[8, 4], 0);
+    }
+
+    /// GNNs are permutation-equivariant: relabelling the graph and its
+    /// features permutes the output identically. This is the strongest
+    /// blanket correctness property a message-passing layer has, and it
+    /// holds for every model in the zoo.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index-driven permutation checks
+    fn all_models_are_permutation_equivariant() {
+        use aurora_graph::reorder;
+        let g = generate::rmat(20, 90, Default::default(), 6);
+        let x = FeatureMatrix::random(20, 5, 1.0, 2);
+        let perm = reorder::bfs(&g, 0);
+        let h = reorder::apply(&g, &perm);
+        let mut xp = FeatureMatrix::zeros(20, 5);
+        for v in 0..20usize {
+            xp.row_mut(perm[v] as usize).copy_from_slice(x.row(v));
+        }
+        for id in ModelId::ALL {
+            let layer = layer_for(id, 5, 3, 8);
+            let y = layer.forward(&g, &x);
+            let yp = layer.forward(&h, &xp);
+            for v in 0..20usize {
+                let a = y.row(v);
+                let b = yp.row(perm[v] as usize);
+                for (ai, bi) in a.iter().zip(b) {
+                    assert!(
+                        (ai - bi).abs() < 1e-9,
+                        "{} violated equivariance at vertex {v}",
+                        id.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_safe() {
+        // graph with no edges at all
+        let g = Csr::empty(5);
+        let x = FeatureMatrix::random(5, 4, 1.0, 2);
+        for id in ModelId::ALL {
+            let y = layer_for(id, 4, 3, 3).forward(&g, &x);
+            assert!(
+                y.as_slice().iter().all(|v| v.is_finite()),
+                "{} not safe on empty graph",
+                id.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Static model descriptions — the rows of Table II.
+
+use crate::ops::{Activation, OpKind};
+use crate::phase::{Phase, PhaseSpec};
+use serde::{Deserialize, Serialize};
+
+/// The paper's three-way taxonomy (§II): the vertex-update coefficient is a
+/// fixed scalar (C-GNN), a learned scalar (A-GNN) or a learned vector
+/// (MP-GNN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelCategory {
+    CGnn,
+    AGnn,
+    MpGnn,
+}
+
+impl ModelCategory {
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelCategory::CGnn => "C-GNN",
+            ModelCategory::AGnn => "A-GNN",
+            ModelCategory::MpGnn => "MP-GNN",
+        }
+    }
+}
+
+/// The ten evaluated models (rows of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelId {
+    Gcn,
+    SageMean,
+    Gin,
+    CommNet,
+    VanillaAttention,
+    Agnn,
+    GGcn,
+    SagePool,
+    EdgeConv1,
+    EdgeConv5,
+}
+
+impl ModelId {
+    /// All models in Table II order.
+    pub const ALL: [ModelId; 10] = [
+        ModelId::Gcn,
+        ModelId::SageMean,
+        ModelId::Gin,
+        ModelId::CommNet,
+        ModelId::VanillaAttention,
+        ModelId::Agnn,
+        ModelId::GGcn,
+        ModelId::SagePool,
+        ModelId::EdgeConv1,
+        ModelId::EdgeConv5,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Gcn => "GCN",
+            ModelId::SageMean => "GraphSAGE-Mean",
+            ModelId::Gin => "GIN",
+            ModelId::CommNet => "CommNet",
+            ModelId::VanillaAttention => "Vanilla-Attention",
+            ModelId::Agnn => "Attention-based GNN",
+            ModelId::GGcn => "G-GCN",
+            ModelId::SagePool => "GraphSAGE-Pooling",
+            ModelId::EdgeConv1 => "EdgeConv-1",
+            ModelId::EdgeConv5 => "EdgeConv-5",
+        }
+    }
+
+    /// The static specification (Table II row).
+    pub fn spec(self) -> ModelSpec {
+        use Activation::*;
+        use OpKind::*;
+        let (category, edge_update, vertex_update, edge_layers) = match self {
+            // GCN: EU Scalar×V (1/√(DuDv) scaling); VU M×V, α.
+            ModelId::Gcn => (
+                ModelCategory::CGnn,
+                PhaseSpec {
+                    per_edge: vec![ScalarVec],
+                    per_vertex: vec![],
+                },
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![MatVec, Act(ReLU)],
+                },
+                1,
+            ),
+            // GraphSAGE-Mean: EU Null; VU M×V.
+            ModelId::SageMean => (
+                ModelCategory::CGnn,
+                PhaseSpec::null(),
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![MatVec],
+                },
+                0,
+            ),
+            // GIN: EU Null; VU M×V (MLP).
+            ModelId::Gin => (
+                ModelCategory::CGnn,
+                PhaseSpec::null(),
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![MatVec],
+                },
+                0,
+            ),
+            // CommNet: EU Null; VU M×V.
+            ModelId::CommNet => (
+                ModelCategory::CGnn,
+                PhaseSpec::null(),
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![MatVec],
+                },
+                0,
+            ),
+            // Vanilla attention: EU Scalar×V + V·V; VU M×V, α(SoftMax).
+            ModelId::VanillaAttention => (
+                ModelCategory::AGnn,
+                PhaseSpec {
+                    per_edge: vec![VecDot, ScalarVec],
+                    per_vertex: vec![],
+                },
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![MatVec, Act(Softmax)],
+                },
+                1,
+            ),
+            // Attention-based GNN: same op mix as vanilla attention.
+            ModelId::Agnn => (
+                ModelCategory::AGnn,
+                PhaseSpec {
+                    per_edge: vec![VecDot, ScalarVec],
+                    per_vertex: vec![],
+                },
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![MatVec, Act(Softmax)],
+                },
+                1,
+            ),
+            // G-GCN: EU M×V, V⊙V, α(σ); VU M×V, α(ReLU). (Eq. 4)
+            ModelId::GGcn => (
+                ModelCategory::MpGnn,
+                PhaseSpec {
+                    per_edge: vec![MatVec, Act(Sigmoid), VecHadamard],
+                    per_vertex: vec![],
+                },
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![MatVec, Act(ReLU)],
+                },
+                1,
+            ),
+            // GraphSAGE-Pool: EU M×V, α; VU M×V, V||V, α. (Eq. 5)
+            ModelId::SagePool => (
+                ModelCategory::MpGnn,
+                PhaseSpec {
+                    per_edge: vec![MatVec, Act(Sigmoid)],
+                    per_vertex: vec![],
+                },
+                PhaseSpec {
+                    per_edge: vec![],
+                    per_vertex: vec![Concat, MatVec, Act(ReLU)],
+                },
+                1,
+            ),
+            // EdgeConv-1: EU M×V; VU Null.
+            ModelId::EdgeConv1 => (
+                ModelCategory::MpGnn,
+                PhaseSpec {
+                    per_edge: vec![MatVec],
+                    per_vertex: vec![],
+                },
+                PhaseSpec::null(),
+                1,
+            ),
+            // EdgeConv-5: EU (M×V, α) × 5 MLP layers; VU Null.
+            ModelId::EdgeConv5 => (
+                ModelCategory::MpGnn,
+                PhaseSpec {
+                    per_edge: vec![
+                        MatVec,
+                        Act(ReLU),
+                        MatVec,
+                        Act(ReLU),
+                        MatVec,
+                        Act(ReLU),
+                        MatVec,
+                        Act(ReLU),
+                        MatVec,
+                        Act(ReLU),
+                    ],
+                    per_vertex: vec![],
+                },
+                PhaseSpec::null(),
+                5,
+            ),
+        };
+        // Aggregation: Table II shows a single ΣV column spanning all rows.
+        // GraphSAGE-Pool's ⊕ is element-wise max (Eq. 5) — identical cost,
+        // different reduction operator; the reference executor honours max.
+        let aggregation = PhaseSpec {
+            per_edge: vec![if self == ModelId::SagePool {
+                MaxVec
+            } else {
+                AccumVec
+            }],
+            per_vertex: vec![],
+        };
+        ModelSpec {
+            id: self,
+            category,
+            edge_update,
+            aggregation,
+            vertex_update,
+            edge_mlp_layers: edge_layers,
+        }
+    }
+}
+
+/// A complete static model description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    pub id: ModelId,
+    pub category: ModelCategory,
+    /// ψ — per-edge ops ("Null" row in Table II when empty).
+    pub edge_update: PhaseSpec,
+    /// ⊕ — the reduction.
+    pub aggregation: PhaseSpec,
+    /// φ — per-vertex neural update ("Null" for EdgeConv).
+    pub vertex_update: PhaseSpec,
+    /// Number of weight layers applied per edge (EdgeConv-5 stacks five).
+    pub edge_mlp_layers: usize,
+}
+
+impl ModelSpec {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.id.name()
+    }
+
+    /// The phase spec for a given phase.
+    pub fn phase(&self, p: Phase) -> &PhaseSpec {
+        match p {
+            Phase::EdgeUpdate => &self.edge_update,
+            Phase::Aggregation => &self.aggregation,
+            Phase::VertexUpdate => &self.vertex_update,
+        }
+    }
+
+    /// Whether the model has a non-trivial edge-update phase (§V: "If edge
+    /// updates are not necessary, GNN execution can be initiated with
+    /// aggregation, and set AComp1 to 0").
+    pub fn has_edge_update(&self) -> bool {
+        !self.edge_update.is_null()
+    }
+
+    /// Whether the model has a vertex-update phase (§V: "only one
+    /// accelerator will be formed if vertex updates are not required").
+    pub fn has_vertex_update(&self) -> bool {
+        !self.vertex_update.is_null()
+    }
+
+    /// Width of the per-edge feature the edge-update phase produces, given
+    /// input feature width `f_in` (0 when there is no edge update). This is
+    /// Algorithm 2's `E_f`.
+    pub fn edge_feature_dim(&self, f_in: usize) -> usize {
+        if self.has_edge_update() {
+            f_in
+        } else {
+            0
+        }
+    }
+
+    /// Whether the model requires message-passing edge embeddings —
+    /// the Table I column prior accelerators lack.
+    pub fn uses_edge_embeddings(&self) -> bool {
+        self.edge_update
+            .per_edge
+            .iter()
+            .any(|o| matches!(o, OpKind::MatVec | OpKind::VecHadamard))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_covers_all_categories() {
+        use std::collections::HashSet;
+        let cats: HashSet<_> = ModelId::ALL.iter().map(|m| m.spec().category).collect();
+        assert_eq!(cats.len(), 3, "C-GNN, A-GNN and MP-GNN all covered");
+    }
+
+    #[test]
+    fn table2_null_phases() {
+        assert!(!ModelId::SageMean.spec().has_edge_update());
+        assert!(!ModelId::Gin.spec().has_edge_update());
+        assert!(!ModelId::CommNet.spec().has_edge_update());
+        assert!(!ModelId::EdgeConv1.spec().has_vertex_update());
+        assert!(!ModelId::EdgeConv5.spec().has_vertex_update());
+        assert!(ModelId::Gcn.spec().has_edge_update());
+        assert!(ModelId::Gcn.spec().has_vertex_update());
+    }
+
+    #[test]
+    fn table2_gcn_ops() {
+        let s = ModelId::Gcn.spec();
+        assert_eq!(s.edge_update.per_edge, vec![OpKind::ScalarVec]);
+        assert_eq!(
+            s.vertex_update.per_vertex,
+            vec![OpKind::MatVec, OpKind::Act(Activation::ReLU)]
+        );
+        assert_eq!(s.aggregation.per_edge, vec![OpKind::AccumVec]);
+    }
+
+    #[test]
+    fn table2_attention_ops() {
+        for id in [ModelId::VanillaAttention, ModelId::Agnn] {
+            let s = id.spec();
+            assert!(s.edge_update.per_edge.contains(&OpKind::VecDot));
+            assert!(s.edge_update.per_edge.contains(&OpKind::ScalarVec));
+            assert!(s
+                .vertex_update
+                .per_vertex
+                .contains(&OpKind::Act(Activation::Softmax)));
+        }
+    }
+
+    #[test]
+    fn table2_ggcn_ops() {
+        let s = ModelId::GGcn.spec();
+        assert!(s.edge_update.per_edge.contains(&OpKind::MatVec));
+        assert!(s.edge_update.per_edge.contains(&OpKind::VecHadamard));
+        assert!(s
+            .edge_update
+            .per_edge
+            .contains(&OpKind::Act(Activation::Sigmoid)));
+        assert!(s.uses_edge_embeddings());
+    }
+
+    #[test]
+    fn table2_sage_pool_ops() {
+        let s = ModelId::SagePool.spec();
+        assert!(s.vertex_update.per_vertex.contains(&OpKind::Concat));
+        assert_eq!(s.aggregation.per_edge, vec![OpKind::MaxVec]);
+    }
+
+    #[test]
+    fn edgeconv5_stacks_five_layers() {
+        let s = ModelId::EdgeConv5.spec();
+        assert_eq!(s.edge_mlp_layers, 5);
+        let matvecs = s
+            .edge_update
+            .per_edge
+            .iter()
+            .filter(|o| **o == OpKind::MatVec)
+            .count();
+        assert_eq!(matvecs, 5);
+    }
+
+    #[test]
+    fn edge_feature_dim_follows_edge_update() {
+        assert_eq!(ModelId::Gcn.spec().edge_feature_dim(64), 64);
+        assert_eq!(ModelId::Gin.spec().edge_feature_dim(64), 0);
+    }
+
+    #[test]
+    fn c_gnns_never_use_edge_embeddings() {
+        for id in ModelId::ALL {
+            let s = id.spec();
+            if s.category == ModelCategory::CGnn {
+                assert!(!s.uses_edge_embeddings(), "{}", s.name());
+            }
+        }
+        assert!(ModelId::GGcn.spec().uses_edge_embeddings());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut set = std::collections::HashSet::new();
+        for id in ModelId::ALL {
+            assert!(set.insert(id.name()));
+        }
+    }
+}

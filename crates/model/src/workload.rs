@@ -1,0 +1,393 @@
+//! Workload characterisation: the op counts Algorithm 2 consumes.
+//!
+//! Given a model, a graph (`n` vertices, `m` edges) and a layer shape, this
+//! module multiplies out Table II into `O_ue` (edge-update ops), `O_a`
+//! (aggregation ops) and `O_uv` (vertex-update ops), plus `E_f` (edge
+//! feature width) — exactly the inputs of the partition heuristic.
+
+use crate::ops::OpKind;
+use crate::phase::{Phase, PhaseSpec};
+use crate::spec::{ModelId, ModelSpec};
+use aurora_graph::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Feature widths of one GNN layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Input feature width `F_in`.
+    pub f_in: usize,
+    /// Output feature width `F_out`.
+    pub f_out: usize,
+}
+
+impl LayerShape {
+    pub fn new(f_in: usize, f_out: usize) -> Self {
+        assert!(f_in > 0 && f_out > 0, "feature widths must be positive");
+        Self { f_in, f_out }
+    }
+}
+
+/// A (model, graph, layer) triple to be characterised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    pub model: ModelSpec,
+    /// |V| of the (sub)graph.
+    pub num_vertices: usize,
+    /// |E| of the (sub)graph.
+    pub num_edges: usize,
+    pub shape: LayerShape,
+}
+
+impl Workload {
+    /// Characterises `model` on the full graph `g`.
+    pub fn of(model: ModelId, g: &Csr, shape: LayerShape) -> Self {
+        Self {
+            model: model.spec(),
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            shape,
+        }
+    }
+
+    /// Characterises from raw sizes (used for subgraphs and baselines).
+    pub fn from_sizes(model: ModelId, n: usize, m: usize, shape: LayerShape) -> Self {
+        Self {
+            model: model.spec(),
+            num_vertices: n,
+            num_edges: m,
+            shape,
+        }
+    }
+
+    /// Algorithm 2's `E_f`: the per-edge feature width.
+    pub fn edge_feature_dim(&self) -> usize {
+        self.model.edge_feature_dim(self.shape.f_in)
+    }
+
+    /// FLOPs of one instance of a phase's op sequence.
+    ///
+    /// The op list is walked in order with a running vector width: `Concat`
+    /// doubles it (GraphSAGE-Pool concatenates the aggregate with the
+    /// vertex's own feature before the weight multiply, Eq. 5), `MatVec`
+    /// maps it to `mat_out`, everything else preserves it.
+    fn sequence_flops(ops: &[OpKind], start_dim: usize, mat_out: usize) -> u64 {
+        let mut dim = start_dim;
+        let mut total = 0u64;
+        for &op in ops {
+            match op {
+                OpKind::Concat => {
+                    total += op.flops(dim, dim);
+                    dim *= 2;
+                }
+                OpKind::MatVec => {
+                    total += op.flops(dim, mat_out);
+                    dim = mat_out;
+                }
+                OpKind::VecDot => {
+                    // consumes two vectors, produces a scalar coefficient;
+                    // the running width (the message) is unchanged.
+                    total += op.flops(dim, 1);
+                }
+                _ => {
+                    total += op.flops(dim, dim);
+                }
+            }
+        }
+        total
+    }
+
+    /// Total FLOPs of one phase across the whole (sub)graph.
+    pub fn phase_ops(&self, phase: Phase) -> u64 {
+        let spec: &PhaseSpec = self.model.phase(phase);
+        let (edge_dim, mat_out) = match phase {
+            // Edge MLPs are width-preserving (W_u, W_pl are F×F).
+            Phase::EdgeUpdate => (self.shape.f_in, self.shape.f_in),
+            // Aggregation reduces the per-edge message: width E_f when the
+            // model produced edge features, else the raw vertex feature.
+            Phase::Aggregation => {
+                let d = if self.model.has_edge_update() {
+                    self.edge_feature_dim()
+                } else {
+                    self.shape.f_in
+                };
+                (d, d)
+            }
+            // Vertex update maps F_in (possibly concatenated) to F_out.
+            Phase::VertexUpdate => (self.shape.f_in, self.shape.f_out),
+        };
+        let per_edge = Self::sequence_flops(&spec.per_edge, edge_dim, mat_out);
+        let per_vertex = Self::sequence_flops(&spec.per_vertex, edge_dim, mat_out);
+        per_edge * self.num_edges as u64 + per_vertex * self.num_vertices as u64
+    }
+
+    /// Splits one phase's FLOPs into (multiplies, adds) for energy
+    /// accounting: `M×V`/`V·V` are half multiply + half accumulate,
+    /// `Scalar×V`/`V⊙V` are pure multiplies, the accumulate family and PPU
+    /// work are adds.
+    pub fn phase_mult_add(&self, phase: Phase) -> (u64, u64) {
+        let spec = self.model.phase(phase);
+        let total = self.phase_ops(phase);
+        if total == 0 {
+            return (0, 0);
+        }
+        // weight the split by each op kind's share of one op-sequence pass
+        let (edge_dim, mat_out) = match phase {
+            Phase::EdgeUpdate => (self.shape.f_in, self.shape.f_in),
+            Phase::Aggregation => {
+                let d = if self.model.has_edge_update() {
+                    self.edge_feature_dim()
+                } else {
+                    self.shape.f_in
+                };
+                (d, d)
+            }
+            Phase::VertexUpdate => (self.shape.f_in, self.shape.f_out),
+        };
+        let mut mult_w = 0u64;
+        let mut add_w = 0u64;
+        for ops in [&spec.per_edge, &spec.per_vertex] {
+            let mut dim = edge_dim;
+            for &op in ops.iter() {
+                let f = match op {
+                    OpKind::Concat => {
+                        let f = op.flops(dim, dim);
+                        dim *= 2;
+                        f
+                    }
+                    OpKind::MatVec => {
+                        let f = op.flops(dim, mat_out);
+                        dim = mat_out;
+                        f
+                    }
+                    OpKind::VecDot => op.flops(dim, 1),
+                    _ => op.flops(dim, dim),
+                };
+                match op {
+                    OpKind::MatVec | OpKind::VecDot => {
+                        mult_w += f / 2;
+                        add_w += f - f / 2;
+                    }
+                    OpKind::ScalarVec | OpKind::VecHadamard => mult_w += f,
+                    _ => add_w += f,
+                }
+            }
+        }
+        let w = mult_w + add_w;
+        if w == 0 {
+            return (0, total);
+        }
+        let mults = total * mult_w / w;
+        (mults, total - mults)
+    }
+
+    /// The full characterisation.
+    pub fn op_counts(&self) -> PhaseOpCounts {
+        PhaseOpCounts {
+            edge_update: self.phase_ops(Phase::EdgeUpdate),
+            aggregation: self.phase_ops(Phase::Aggregation),
+            vertex_update: self.phase_ops(Phase::VertexUpdate),
+            edge_feature_dim: self.edge_feature_dim(),
+            num_edges: self.num_edges,
+            num_vertices: self.num_vertices,
+        }
+    }
+
+    /// Bytes of input features at double precision.
+    pub fn input_feature_bytes(&self) -> u64 {
+        (self.num_vertices * self.shape.f_in * 8) as u64
+    }
+
+    /// Bytes of output features at double precision.
+    pub fn output_feature_bytes(&self) -> u64 {
+        let out_dim = if self.model.has_vertex_update() {
+            self.shape.f_out
+        } else {
+            self.edge_feature_dim().max(self.shape.f_in)
+        };
+        (self.num_vertices * out_dim * 8) as u64
+    }
+
+    /// Bytes of the layer's weight matrices at double precision.
+    pub fn weight_bytes(&self) -> u64 {
+        let mut elems = 0usize;
+        if self.model.has_vertex_update() {
+            let concat = self
+                .model
+                .vertex_update
+                .per_vertex
+                .contains(&OpKind::Concat);
+            let in_dim = if concat { 2 * self.shape.f_in } else { self.shape.f_in };
+            elems += in_dim * self.shape.f_out;
+        }
+        // Edge-update MLP weights are F_in × F_in per stacked layer.
+        let edge_mats = self
+            .model
+            .edge_update
+            .per_edge
+            .iter()
+            .filter(|o| **o == OpKind::MatVec)
+            .count();
+        elems += edge_mats * self.shape.f_in * self.shape.f_in;
+        (elems * 8) as u64
+    }
+}
+
+/// Algorithm 2's inputs, fully evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseOpCounts {
+    /// `O_ue` — ops in the Edge Update phase.
+    pub edge_update: u64,
+    /// `O_a` — ops in the Aggregation phase (includes the `E_f × m`
+    /// edge-aggregate term Algorithm 2 splits into `AComp3`).
+    pub aggregation: u64,
+    /// `O_uv` — ops in the Vertex Update phase.
+    pub vertex_update: u64,
+    /// `E_f` — per-edge feature width.
+    pub edge_feature_dim: usize,
+    /// `m` — edge count.
+    pub num_edges: usize,
+    /// `n` — vertex count.
+    pub num_vertices: usize,
+}
+
+impl PhaseOpCounts {
+    /// Total ops across all phases.
+    pub fn total(&self) -> u64 {
+        self.edge_update + self.aggregation + self.vertex_update
+    }
+
+    /// The `E_f × m` edge-aggregate term of Algorithm 2 (AComp3 numerator).
+    pub fn edge_aggregate_ops(&self) -> u64 {
+        (self.edge_feature_dim * self.num_edges) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_graph::generate;
+
+    fn shape() -> LayerShape {
+        LayerShape::new(16, 8)
+    }
+
+    #[test]
+    fn gcn_counts() {
+        let g = generate::ring(10); // n = 10, m = 10
+        let w = Workload::of(ModelId::Gcn, &g, shape());
+        let c = w.op_counts();
+        // EU: Scalar×V per edge = 16 × 10.
+        assert_eq!(c.edge_update, 160);
+        // Agg: ΣV over E_f = 16 per edge.
+        assert_eq!(c.aggregation, 160);
+        // VU: M×V (2·16·8) + ReLU (8) per vertex.
+        assert_eq!(c.vertex_update, (2 * 16 * 8 + 8) * 10);
+        assert_eq!(c.edge_feature_dim, 16);
+        assert_eq!(c.edge_aggregate_ops(), 160);
+    }
+
+    #[test]
+    fn gin_has_no_edge_ops() {
+        let g = generate::ring(10);
+        let c = Workload::of(ModelId::Gin, &g, shape()).op_counts();
+        assert_eq!(c.edge_update, 0);
+        assert_eq!(c.edge_feature_dim, 0);
+        assert_eq!(c.edge_aggregate_ops(), 0);
+        assert!(c.aggregation > 0 && c.vertex_update > 0);
+    }
+
+    #[test]
+    fn edgeconv_has_no_vertex_ops() {
+        let g = generate::ring(10);
+        let c1 = Workload::of(ModelId::EdgeConv1, &g, shape()).op_counts();
+        assert_eq!(c1.vertex_update, 0);
+        let c5 = Workload::of(ModelId::EdgeConv5, &g, shape()).op_counts();
+        assert!(
+            c5.edge_update > 4 * c1.edge_update,
+            "five stacked edge MLPs cost ≈5× one"
+        );
+    }
+
+    #[test]
+    fn attention_edge_ops_include_dot() {
+        let g = generate::ring(10);
+        let c = Workload::of(ModelId::VanillaAttention, &g, shape()).op_counts();
+        // per edge: V·V (2·16) + Scalar×V (16) = 48
+        assert_eq!(c.edge_update, 48 * 10);
+    }
+
+    #[test]
+    fn sage_pool_concat_doubles_matvec_input() {
+        let g = generate::ring(10);
+        let c = Workload::of(ModelId::SagePool, &g, shape()).op_counts();
+        // VU per vertex: concat(0) + M×V with in=32, out=8 + ReLU(8)
+        assert_eq!(c.vertex_update, (2 * 32 * 8 + 8) * 10);
+    }
+
+    #[test]
+    fn ggcn_edge_update_is_heavy() {
+        let g = generate::ring(10);
+        let c = Workload::of(ModelId::GGcn, &g, shape()).op_counts();
+        // per edge: M×V (2·16·16) + σ (3·16) + ⊙ (16)
+        assert_eq!(c.edge_update, (2 * 16 * 16 + 48 + 16) * 10);
+    }
+
+    #[test]
+    fn counts_scale_linearly_with_edges() {
+        let small = Workload::from_sizes(ModelId::Gcn, 100, 1_000, shape()).op_counts();
+        let big = Workload::from_sizes(ModelId::Gcn, 100, 2_000, shape()).op_counts();
+        assert_eq!(big.edge_update, 2 * small.edge_update);
+        assert_eq!(big.aggregation, 2 * small.aggregation);
+        assert_eq!(big.vertex_update, small.vertex_update);
+    }
+
+    #[test]
+    fn weight_bytes_account_for_concat_and_edge_mlps() {
+        let gcn = Workload::from_sizes(ModelId::Gcn, 10, 10, shape());
+        assert_eq!(gcn.weight_bytes(), (16 * 8 * 8) as u64);
+        let pool = Workload::from_sizes(ModelId::SagePool, 10, 10, shape());
+        assert_eq!(pool.weight_bytes(), ((32 * 8 + 16 * 16) * 8) as u64);
+        let ec5 = Workload::from_sizes(ModelId::EdgeConv5, 10, 10, shape());
+        assert_eq!(ec5.weight_bytes(), (5 * 16 * 16 * 8) as u64);
+    }
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let g = generate::rmat(64, 300, Default::default(), 2);
+        for id in ModelId::ALL {
+            let c = Workload::of(id, &g, shape()).op_counts();
+            assert_eq!(c.total(), c.edge_update + c.aggregation + c.vertex_update);
+        }
+    }
+
+    #[test]
+    fn mult_add_split_properties() {
+        let g = generate::rmat(64, 300, Default::default(), 2);
+        for id in ModelId::ALL {
+            let w = Workload::of(id, &g, shape());
+            for p in [Phase::EdgeUpdate, Phase::Aggregation, Phase::VertexUpdate] {
+                let (m, a) = w.phase_mult_add(p);
+                assert_eq!(m + a, w.phase_ops(p), "{} {:?}", id.name(), p);
+            }
+        }
+        // aggregation (ΣV) is pure adds
+        let w = Workload::of(ModelId::Gcn, &g, shape());
+        let (m, a) = w.phase_mult_add(Phase::Aggregation);
+        assert_eq!(m, 0);
+        assert!(a > 0);
+        // GCN edge update (Scalar×V) is pure multiplies
+        let (m, a) = w.phase_mult_add(Phase::EdgeUpdate);
+        assert!(m > 0);
+        assert_eq!(a, 0);
+    }
+
+    #[test]
+    fn io_byte_helpers() {
+        let w = Workload::from_sizes(ModelId::Gcn, 10, 10, shape());
+        assert_eq!(w.input_feature_bytes(), 10 * 16 * 8);
+        assert_eq!(w.output_feature_bytes(), 10 * 8 * 8);
+        let ec = Workload::from_sizes(ModelId::EdgeConv1, 10, 10, shape());
+        // no vertex update: output is the edge/message width (16)
+        assert_eq!(ec.output_feature_bytes(), 10 * 16 * 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Attention-based models (A-GNNs), Eq. 3:
+//!
+//! ```text
+//! m_v = Σ_{u ∈ N(v)} ((x_v)ᵀ · x_u) · x_u
+//! x'_v = SoftMax(W · m_v)
+//! ```
+//!
+//! [`VanillaAttention`] uses the raw dot-product coefficient;
+//! [`Agnn`] (Thekumparampil et al.) normalises coefficients with a softmax
+//! over the neighbourhood before mixing — same Table II op mix
+//! (`Scalar×V`, `V·V` edge update), different numeric behaviour.
+
+use crate::linalg;
+use crate::reference::{init_weights, GnnLayer};
+use crate::spec::ModelId;
+use aurora_graph::{Csr, FeatureMatrix};
+
+/// Shared attention machinery.
+#[derive(Debug, Clone)]
+struct AttentionCore {
+    f_in: usize,
+    f_out: usize,
+    /// `f_out × f_in` row-major.
+    weight: Vec<f64>,
+}
+
+impl AttentionCore {
+    fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
+        assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
+        Self { f_in, f_out, weight }
+    }
+
+    /// Computes m_v given per-neighbour coefficients, then SoftMax(W·m).
+    fn forward(&self, g: &Csr, x: &FeatureMatrix, normalise: bool) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f_in, "input width mismatch");
+        let n = g.num_vertices();
+        let mut out = FeatureMatrix::zeros(n, self.f_out);
+        let mut m = vec![0.0; self.f_in];
+        let mut coeffs: Vec<f64> = Vec::new();
+        for v in 0..n as u32 {
+            m.iter_mut().for_each(|e| *e = 0.0);
+            let xv = x.row(v as usize);
+            let nbrs = g.neighbors(v);
+            coeffs.clear();
+            coeffs.extend(nbrs.iter().map(|&u| linalg::dot(xv, x.row(u as usize))));
+            if normalise {
+                linalg::softmax_inplace(&mut coeffs);
+            }
+            for (&u, &c) in nbrs.iter().zip(&coeffs) {
+                for (mi, xi) in m.iter_mut().zip(x.row(u as usize)) {
+                    *mi += c * xi;
+                }
+            }
+            let mut y = linalg::matvec(&self.weight, self.f_out, self.f_in, &m);
+            linalg::softmax_inplace(&mut y);
+            out.row_mut(v as usize).copy_from_slice(&y);
+        }
+        out
+    }
+}
+
+/// Vanilla dot-product attention (Eq. 3 verbatim).
+#[derive(Debug, Clone)]
+pub struct VanillaAttention {
+    core: AttentionCore,
+}
+
+impl VanillaAttention {
+    pub fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
+        Self {
+            core: AttentionCore::new(f_in, f_out, weight),
+        }
+    }
+
+    pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
+        Self::new(f_in, f_out, init_weights(f_out, f_in, seed))
+    }
+}
+
+impl GnnLayer for VanillaAttention {
+    fn model_id(&self) -> ModelId {
+        ModelId::VanillaAttention
+    }
+
+    fn output_dim(&self) -> usize {
+        self.core.f_out
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        self.core.forward(g, x, false)
+    }
+}
+
+/// Attention-based GNN with softmax-normalised neighbourhood coefficients.
+#[derive(Debug, Clone)]
+pub struct Agnn {
+    core: AttentionCore,
+}
+
+impl Agnn {
+    pub fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
+        Self {
+            core: AttentionCore::new(f_in, f_out, weight),
+        }
+    }
+
+    pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
+        Self::new(f_in, f_out, init_weights(f_out, f_in, seed))
+    }
+}
+
+impl GnnLayer for Agnn {
+    fn model_id(&self) -> ModelId {
+        ModelId::Agnn
+    }
+
+    fn output_dim(&self) -> usize {
+        self.core.f_out
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        self.core.forward(g, x, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_coefficient_is_dot_product() {
+        // 0 -> 1 with x_0 = [1, 0], x_1 = [2, 0]: coeff = 2, m_0 = [4, 0].
+        let mut b = aurora_graph::GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(2, 2, vec![1.0, 0.0, 2.0, 0.0]);
+        // identity weight, then softmax over 2 outputs
+        let att = VanillaAttention::new(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let y = att.forward(&g, &x);
+        // softmax([4, 0])
+        let e = (4.0f64).exp();
+        assert!((y.get(0, 0) - e / (e + 1.0)).abs() < 1e-12);
+        assert!((y.get(0, 1) - 1.0 / (e + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outputs_are_probability_rows() {
+        let g = aurora_graph::generate::rmat(16, 60, Default::default(), 2);
+        let x = FeatureMatrix::random(16, 5, 1.0, 3);
+        for y in [
+            VanillaAttention::new_random(5, 4, 6).forward(&g, &x),
+            Agnn::new_random(5, 4, 6).forward(&g, &x),
+        ] {
+            for r in 0..y.rows() {
+                let s: f64 = y.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+                assert!(y.row(r).iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn agnn_normalisation_differs_from_vanilla() {
+        let g = aurora_graph::generate::star(6);
+        let x = FeatureMatrix::random(6, 4, 1.0, 9);
+        let w = init_weights(3, 4, 1);
+        let v = VanillaAttention::new(4, 3, w.clone()).forward(&g, &x);
+        let a = Agnn::new(4, 3, w).forward(&g, &x);
+        assert!(v.max_abs_diff(&a) > 1e-9, "models should disagree numerically");
+    }
+}

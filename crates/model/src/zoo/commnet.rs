@@ -1,0 +1,91 @@
+//! CommNet (Sukhbaatar et al.) as characterised in Table II: plain-sum
+//! aggregation followed by a linear vertex update.
+//!
+//! ```text
+//! m_v = Σ_{u ∈ N(v)} x_u
+//! x'_v = W · m_v
+//! ```
+
+use crate::linalg;
+use crate::reference::{init_weights, GnnLayer};
+use crate::spec::ModelId;
+use aurora_graph::{Csr, FeatureMatrix};
+
+/// A CommNet communication step.
+#[derive(Debug, Clone)]
+pub struct CommNet {
+    f_in: usize,
+    f_out: usize,
+    /// `f_out × f_in` row-major.
+    weight: Vec<f64>,
+}
+
+impl CommNet {
+    pub fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
+        assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
+        Self { f_in, f_out, weight }
+    }
+
+    pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
+        Self::new(f_in, f_out, init_weights(f_out, f_in, seed))
+    }
+}
+
+impl GnnLayer for CommNet {
+    fn model_id(&self) -> ModelId {
+        ModelId::CommNet
+    }
+
+    fn output_dim(&self) -> usize {
+        self.f_out
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f_in, "input width mismatch");
+        let n = g.num_vertices();
+        let mut out = FeatureMatrix::zeros(n, self.f_out);
+        let mut m = vec![0.0; self.f_in];
+        for v in 0..n as u32 {
+            m.iter_mut().for_each(|e| *e = 0.0);
+            for &u in g.neighbors(v) {
+                linalg::add_assign(&mut m, x.row(u as usize));
+            }
+            let y = linalg::matvec(&self.weight, self.f_out, self.f_in, &m);
+            out.row_mut(v as usize).copy_from_slice(&y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_neighbours_only() {
+        // 0 -> 1; vertex 0 aggregates x_1, vertex 1 aggregates nothing.
+        let mut b = aurora_graph::GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(2, 1, vec![5.0, 7.0]);
+        let net = CommNet::new(1, 1, vec![2.0]);
+        let y = net.forward(&g, &x);
+        assert_eq!(y.get(0, 0), 14.0);
+        assert_eq!(y.get(1, 0), 0.0, "no self contribution");
+    }
+
+    #[test]
+    fn linearity_in_features() {
+        let g = aurora_graph::generate::ring(6);
+        let x = FeatureMatrix::random(6, 3, 1.0, 4);
+        let x2 = FeatureMatrix::from_vec(6, 3, x.as_slice().iter().map(|v| v * 2.0).collect());
+        let net = CommNet::new_random(3, 2, 8);
+        let y1 = net.forward(&g, &x);
+        let y2 = net.forward(&g, &x2);
+        assert!(y1
+            .as_slice()
+            .iter()
+            .zip(y2.as_slice())
+            .all(|(a, b)| (2.0 * a - b).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,144 @@
+//! EdgeConv (Wang et al., Dynamic Graph CNN).
+//!
+//! Table II: the edge update is an MLP over edge features (`M × V`, with
+//! activations for the 5-layer variant) and the vertex update is Null — the
+//! aggregated edge features *are* the layer output:
+//!
+//! ```text
+//! e_uv = MLP(x_u − x_v)        (1 or 5 width-preserving layers)
+//! x'_v = Σ_{u ∈ N(v)} e_uv
+//! ```
+
+use crate::linalg;
+use crate::reference::{init_weights, GnnLayer};
+use crate::spec::ModelId;
+use aurora_graph::{Csr, FeatureMatrix};
+
+/// An EdgeConv layer with a configurable edge-MLP depth (1 or 5 in the
+/// paper's zoo).
+#[derive(Debug, Clone)]
+pub struct EdgeConv {
+    f: usize,
+    /// One `f × f` weight per MLP layer.
+    layers: Vec<Vec<f64>>,
+}
+
+impl EdgeConv {
+    /// Builds from explicit width-preserving layer weights.
+    pub fn new(f: usize, layers: Vec<Vec<f64>>) -> Self {
+        assert!(!layers.is_empty(), "need at least one MLP layer");
+        for (i, w) in layers.iter().enumerate() {
+            assert_eq!(w.len(), f * f, "layer {i} weight shape mismatch");
+        }
+        Self { f, layers }
+    }
+
+    /// Deterministic random initialisation with `depth` layers.
+    pub fn new_random(f: usize, depth: usize, seed: u64) -> Self {
+        let layers = (0..depth)
+            .map(|i| init_weights(f, f, seed.wrapping_add(i as u64 * 0x9e37)))
+            .collect();
+        Self::new(f, layers)
+    }
+
+    /// MLP depth.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn run_mlp(&self, mut h: Vec<f64>) -> Vec<f64> {
+        let last = self.layers.len() - 1;
+        for (i, w) in self.layers.iter().enumerate() {
+            h = linalg::matvec(w, self.f, self.f, &h);
+            // EdgeConv-5 interleaves ReLU (Table II lists α); the 1-layer
+            // variant is a bare M×V.
+            if self.layers.len() > 1 && i < last {
+                linalg::relu_inplace(&mut h);
+            }
+        }
+        h
+    }
+}
+
+impl GnnLayer for EdgeConv {
+    fn model_id(&self) -> ModelId {
+        if self.layers.len() == 1 {
+            ModelId::EdgeConv1
+        } else {
+            ModelId::EdgeConv5
+        }
+    }
+
+    fn output_dim(&self) -> usize {
+        self.f
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f, "input width mismatch");
+        let n = g.num_vertices();
+        let mut out = FeatureMatrix::zeros(n, self.f);
+        for v in 0..n as u32 {
+            let xv = x.row(v as usize);
+            let acc = out.row_mut(v as usize);
+            for &u in g.neighbors(v) {
+                let diff: Vec<f64> = x
+                    .row(u as usize)
+                    .iter()
+                    .zip(xv)
+                    .map(|(a, b)| a - b)
+                    .collect();
+                let e = self.run_mlp(diff);
+                linalg::add_assign(acc, &e);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_layer_identity_sums_differences() {
+        // identity MLP: x'_v = Σ (x_u − x_v)
+        let mut b = aurora_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(0, 2);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(3, 1, vec![1.0, 4.0, 7.0]);
+        let net = EdgeConv::new(1, vec![vec![1.0]]);
+        let y = net.forward(&g, &x);
+        assert_eq!(y.get(0, 0), (4.0 - 1.0) + (7.0 - 1.0));
+        assert_eq!(y.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn model_id_depends_on_depth() {
+        assert_eq!(EdgeConv::new_random(4, 1, 0).model_id(), ModelId::EdgeConv1);
+        assert_eq!(EdgeConv::new_random(4, 5, 0).model_id(), ModelId::EdgeConv5);
+        assert_eq!(EdgeConv::new_random(4, 5, 0).depth(), 5);
+    }
+
+    #[test]
+    fn translation_invariance_of_single_layer() {
+        // e depends only on x_u − x_v, so shifting all features leaves the
+        // output unchanged.
+        let g = aurora_graph::generate::ring(6);
+        let x = FeatureMatrix::random(6, 3, 1.0, 2);
+        let shifted =
+            FeatureMatrix::from_vec(6, 3, x.as_slice().iter().map(|v| v + 10.0).collect());
+        let net = EdgeConv::new_random(3, 1, 3);
+        let y1 = net.forward(&g, &x);
+        let y2 = net.forward(&g, &shifted);
+        assert!(y1.max_abs_diff(&y2) < 1e-9);
+    }
+
+    #[test]
+    fn five_layer_differs_from_one_layer() {
+        let g = aurora_graph::generate::ring(6);
+        let x = FeatureMatrix::random(6, 3, 1.0, 2);
+        let y1 = EdgeConv::new_random(3, 1, 3).forward(&g, &x);
+        let y5 = EdgeConv::new_random(3, 5, 3).forward(&g, &x);
+        assert!(y1.max_abs_diff(&y5) > 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Graph Attention Network (Veličković et al.) — an *extension* beyond the
+//! paper's Table II zoo, exercising the same A-GNN op mix (per-edge
+//! `V·V`-style coefficients + `Scalar×V` mixing) with multi-head attention:
+//!
+//! ```text
+//! e_uv^h   = LeakyReLU(aₕ · [Wₕ x_v ‖ Wₕ x_u])
+//! α_uv^h   = softmax_{u ∈ N(v)}(e_uv^h)
+//! x'_v     = ‖_h Σ_u α_uv^h · Wₕ x_u
+//! ```
+//!
+//! The output width is `heads × head_dim`.
+
+use crate::linalg;
+use crate::reference::{init_weights, GnnLayer};
+use crate::spec::ModelId;
+use aurora_graph::{Csr, FeatureMatrix};
+
+/// A multi-head GAT layer.
+#[derive(Debug, Clone)]
+pub struct Gat {
+    f_in: usize,
+    head_dim: usize,
+    heads: usize,
+    /// Per head: `head_dim × f_in` projection.
+    w: Vec<Vec<f64>>,
+    /// Per head: attention vector of length `2 · head_dim`.
+    a: Vec<Vec<f64>>,
+}
+
+impl Gat {
+    /// Builds from explicit per-head weights.
+    pub fn new(f_in: usize, head_dim: usize, w: Vec<Vec<f64>>, a: Vec<Vec<f64>>) -> Self {
+        assert_eq!(w.len(), a.len(), "one attention vector per head");
+        assert!(!w.is_empty(), "need at least one head");
+        for (i, (wh, ah)) in w.iter().zip(&a).enumerate() {
+            assert_eq!(wh.len(), head_dim * f_in, "head {i} projection shape");
+            assert_eq!(ah.len(), 2 * head_dim, "head {i} attention shape");
+        }
+        Self {
+            f_in,
+            head_dim,
+            heads: w.len(),
+            w,
+            a,
+        }
+    }
+
+    /// Deterministic random initialisation with `heads` heads.
+    pub fn new_random(f_in: usize, head_dim: usize, heads: usize, seed: u64) -> Self {
+        let w = (0..heads)
+            .map(|h| init_weights(head_dim, f_in, seed.wrapping_add(h as u64 * 0x95)))
+            .collect();
+        let a = (0..heads)
+            .map(|h| init_weights(1, 2 * head_dim, seed.wrapping_add(0xA + h as u64 * 0x95)))
+            .collect();
+        Self::new(f_in, head_dim, w, a)
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+fn leaky_relu(x: f64) -> f64 {
+    if x >= 0.0 {
+        x
+    } else {
+        0.2 * x
+    }
+}
+
+impl GnnLayer for Gat {
+    fn model_id(&self) -> ModelId {
+        // GAT shares the A-GNN characterisation; for workload purposes it
+        // is costed as the attention row of Table II.
+        ModelId::Agnn
+    }
+
+    fn output_dim(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f_in, "input width mismatch");
+        let n = g.num_vertices();
+        let mut out = FeatureMatrix::zeros(n, self.output_dim());
+        for h in 0..self.heads {
+            let wh = &self.w[h];
+            let ah = &self.a[h];
+            // project every vertex once per head
+            let proj: Vec<Vec<f64>> = (0..n)
+                .map(|v| linalg::matvec(wh, self.head_dim, self.f_in, x.row(v)))
+                .collect();
+            let (a_dst, a_src) = ah.split_at(self.head_dim);
+            for v in 0..n {
+                let nbrs = g.neighbors(v as u32);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                let self_term = linalg::dot(a_dst, &proj[v]);
+                let mut scores: Vec<f64> = nbrs
+                    .iter()
+                    .map(|&u| leaky_relu(self_term + linalg::dot(a_src, &proj[u as usize])))
+                    .collect();
+                linalg::softmax_inplace(&mut scores);
+                let base = h * self.head_dim;
+                let row = out.row_mut(v);
+                for (&u, &alpha) in nbrs.iter().zip(&scores) {
+                    for (i, p) in proj[u as usize].iter().enumerate() {
+                        row[base + i] += alpha * p;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_graph::{generate, GraphBuilder};
+
+    #[test]
+    fn output_width_is_heads_times_dim() {
+        let g = generate::ring(6);
+        let x = FeatureMatrix::random(6, 5, 1.0, 1);
+        let gat = Gat::new_random(5, 4, 3, 2);
+        let y = gat.forward(&g, &x);
+        assert_eq!(y.cols(), 12);
+        assert_eq!(gat.heads(), 3);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attention_weights_are_convex() {
+        // single neighbour → α = 1 → output is exactly the projected
+        // neighbour feature
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let gat = Gat::new_random(2, 3, 1, 7);
+        let y = gat.forward(&g, &x);
+        let proj = linalg::matvec(&gat.w[0], 3, 2, x.row(1));
+        for (a, b) in y.row(0).iter().zip(&proj) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_output_zero() {
+        let g = Csr::empty(3);
+        let x = FeatureMatrix::random(3, 4, 1.0, 5);
+        let y = Gat::new_random(4, 2, 2, 1).forward(&g, &x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn heads_differ() {
+        let g = generate::star(8);
+        let x = FeatureMatrix::random(8, 4, 1.0, 3);
+        let gat = Gat::new_random(4, 3, 2, 9);
+        let y = gat.forward(&g, &x);
+        let h0: Vec<f64> = y.row(0)[..3].to_vec();
+        let h1: Vec<f64> = y.row(0)[3..].to_vec();
+        assert_ne!(h0, h1, "independent heads should disagree");
+    }
+}

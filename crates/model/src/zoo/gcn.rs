@@ -1,0 +1,140 @@
+//! Graph Convolutional Network (Kipf & Welling), Eq. 1:
+//!
+//! ```text
+//! m_v = Σ_{u ∈ N(v) ∪ v}  x_u / √(D_u · D_v)
+//! x'_v = ReLU(W · m_v + b)
+//! ```
+
+use crate::linalg;
+use crate::reference::{init_weights, GnnLayer};
+use crate::spec::ModelId;
+use aurora_graph::{Csr, FeatureMatrix};
+
+/// A GCN layer with symmetric-normalised aggregation.
+#[derive(Debug, Clone)]
+pub struct Gcn {
+    f_in: usize,
+    f_out: usize,
+    /// `f_out × f_in`, row-major.
+    weight: Vec<f64>,
+    /// `f_out` bias.
+    bias: Vec<f64>,
+}
+
+impl Gcn {
+    /// Builds from explicit weights.
+    pub fn new(f_in: usize, f_out: usize, weight: Vec<f64>, bias: Vec<f64>) -> Self {
+        assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
+        assert_eq!(bias.len(), f_out, "bias shape mismatch");
+        Self {
+            f_in,
+            f_out,
+            weight,
+            bias,
+        }
+    }
+
+    /// Deterministic random initialisation.
+    pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
+        Self::new(
+            f_in,
+            f_out,
+            init_weights(f_out, f_in, seed),
+            init_weights(1, f_out, seed ^ 0xb1a5),
+        )
+    }
+}
+
+impl GnnLayer for Gcn {
+    fn model_id(&self) -> ModelId {
+        ModelId::Gcn
+    }
+
+    fn output_dim(&self) -> usize {
+        self.f_out
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f_in, "input width mismatch");
+        let n = g.num_vertices();
+        assert_eq!(x.rows(), n, "feature rows must match vertex count");
+        // Eq. 1 aggregates over N(v) ∪ v; D counts that self-loop.
+        let deg: Vec<f64> = (0..n as u32).map(|v| g.degree(v) as f64 + 1.0).collect();
+        let mut out = FeatureMatrix::zeros(n, self.f_out);
+        let mut m = vec![0.0; self.f_in];
+        for v in 0..n as u32 {
+            m.iter_mut().for_each(|e| *e = 0.0);
+            let dv = deg[v as usize];
+            // self contribution
+            let s = 1.0 / (dv * dv).sqrt();
+            for (mi, xi) in m.iter_mut().zip(x.row(v as usize)) {
+                *mi += xi * s;
+            }
+            for &u in g.neighbors(v) {
+                let s = 1.0 / (deg[u as usize] * dv).sqrt();
+                for (mi, xi) in m.iter_mut().zip(x.row(u as usize)) {
+                    *mi += xi * s;
+                }
+            }
+            let mut y = linalg::matvec(&self.weight, self.f_out, self.f_in, &m);
+            linalg::add_assign(&mut y, &self.bias);
+            linalg::relu_inplace(&mut y);
+            out.row_mut(v as usize).copy_from_slice(&y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_graph::generate;
+
+    #[test]
+    fn identity_weight_single_vertex() {
+        // One isolated vertex: m = x/1, y = ReLU(I·m) = ReLU(x).
+        let g = Csr::empty(1);
+        let x = FeatureMatrix::from_vec(1, 2, vec![3.0, -4.0]);
+        let gcn = Gcn::new(2, 2, vec![1.0, 0.0, 0.0, 1.0], vec![0.0, 0.0]);
+        let y = gcn.forward(&g, &x);
+        assert_eq!(y.row(0), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn two_vertex_normalisation() {
+        // 0 <-> 1, both degree 1 (+1 self = 2). m_0 = x_0/2 + x_1/2.
+        let mut b = aurora_graph::GraphBuilder::new(2);
+        b.add_undirected_edge(0, 1);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(2, 1, vec![2.0, 6.0]);
+        let gcn = Gcn::new(1, 1, vec![1.0], vec![0.0]);
+        let y = gcn.forward(&g, &x);
+        assert!((y.get(0, 0) - 4.0).abs() < 1e-12);
+        assert!((y.get(1, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_and_relu_applied() {
+        let g = Csr::empty(1);
+        let x = FeatureMatrix::from_vec(1, 1, vec![1.0]);
+        let gcn = Gcn::new(1, 1, vec![1.0], vec![-5.0]);
+        let y = gcn.forward(&g, &x);
+        assert_eq!(y.get(0, 0), 0.0, "ReLU clips 1 - 5");
+    }
+
+    #[test]
+    fn output_nonnegative_everywhere() {
+        let g = generate::rmat(32, 128, Default::default(), 1);
+        let x = FeatureMatrix::random(32, 8, 0.9, 2);
+        let y = Gcn::new_random(8, 4, 3).forward(&g, &x);
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn rejects_wrong_width() {
+        let g = Csr::empty(1);
+        let x = FeatureMatrix::zeros(1, 3);
+        Gcn::new_random(2, 2, 0).forward(&g, &x);
+    }
+}

@@ -1,0 +1,106 @@
+//! Graph Isomorphism Network (Xu et al.), Eq. 2:
+//!
+//! ```text
+//! m_v = (1 + ε) · x_v + Σ_{u ∈ N(v)} x_u
+//! x'_v = MLP(m_v)
+//! ```
+//!
+//! Table II characterises GIN's vertex update as a single `M × V`, so the
+//! MLP here is one linear layer.
+
+use crate::linalg;
+use crate::reference::{init_weights, GnnLayer};
+use crate::spec::ModelId;
+use aurora_graph::{Csr, FeatureMatrix};
+
+/// A GIN layer.
+#[derive(Debug, Clone)]
+pub struct Gin {
+    f_in: usize,
+    f_out: usize,
+    /// Learnable self-weight ε.
+    epsilon: f64,
+    /// `f_out × f_in` row-major MLP weight.
+    weight: Vec<f64>,
+}
+
+impl Gin {
+    pub fn new(f_in: usize, f_out: usize, epsilon: f64, weight: Vec<f64>) -> Self {
+        assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
+        Self {
+            f_in,
+            f_out,
+            epsilon,
+            weight,
+        }
+    }
+
+    pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
+        Self::new(f_in, f_out, 0.1, init_weights(f_out, f_in, seed))
+    }
+}
+
+impl GnnLayer for Gin {
+    fn model_id(&self) -> ModelId {
+        ModelId::Gin
+    }
+
+    fn output_dim(&self) -> usize {
+        self.f_out
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f_in, "input width mismatch");
+        let n = g.num_vertices();
+        let mut out = FeatureMatrix::zeros(n, self.f_out);
+        let mut m = vec![0.0; self.f_in];
+        for v in 0..n as u32 {
+            let self_scale = 1.0 + self.epsilon;
+            for (mi, xi) in m.iter_mut().zip(x.row(v as usize)) {
+                *mi = self_scale * xi;
+            }
+            for &u in g.neighbors(v) {
+                linalg::add_assign(&mut m, x.row(u as usize));
+            }
+            let y = linalg::matvec(&self.weight, self.f_out, self.f_in, &m);
+            out.row_mut(v as usize).copy_from_slice(&y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_scales_self_feature() {
+        let g = Csr::empty(1);
+        let x = FeatureMatrix::from_vec(1, 1, vec![2.0]);
+        let gin = Gin::new(1, 1, 0.5, vec![1.0]);
+        let y = gin.forward(&g, &x);
+        assert!((y.get(0, 0) - 3.0).abs() < 1e-12, "(1+0.5)·2 = 3");
+    }
+
+    #[test]
+    fn neighbours_summed_unnormalised() {
+        // 0 -> 1, 0 -> 2; ε = 0, identity weight.
+        let mut b = aurora_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(0, 2);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(3, 1, vec![1.0, 10.0, 100.0]);
+        let gin = Gin::new(1, 1, 0.0, vec![1.0]);
+        let y = gin.forward(&g, &x);
+        assert_eq!(y.get(0, 0), 111.0);
+        assert_eq!(y.get(1, 0), 10.0);
+    }
+
+    #[test]
+    fn no_activation_preserves_sign() {
+        // Table II: GIN vertex update is M×V only, no α.
+        let g = Csr::empty(1);
+        let x = FeatureMatrix::from_vec(1, 1, vec![-1.0]);
+        let gin = Gin::new(1, 1, 0.0, vec![1.0]);
+        assert_eq!(gin.forward(&g, &x).get(0, 0), -1.0);
+    }
+}

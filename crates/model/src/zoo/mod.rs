@@ -1,0 +1,21 @@
+//! The ten evaluated GNN models (Table II), each with a numeric reference
+//! implementation of its layer equation — plus [`Gat`], a multi-head
+//! graph-attention extension beyond the paper's zoo.
+
+pub mod attention;
+pub mod commnet;
+pub mod edgeconv;
+pub mod gat;
+pub mod gcn;
+pub mod ggcn;
+pub mod gin;
+pub mod sage;
+
+pub use attention::{Agnn, VanillaAttention};
+pub use commnet::CommNet;
+pub use edgeconv::EdgeConv;
+pub use gat::Gat;
+pub use gcn::Gcn;
+pub use ggcn::GGcn;
+pub use gin::Gin;
+pub use sage::{SageMean, SagePool};

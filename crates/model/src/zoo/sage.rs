@@ -1,0 +1,212 @@
+//! GraphSAGE variants (Hamilton et al.).
+//!
+//! * [`SageMean`] — mean aggregation, linear vertex update (Table II:
+//!   no edge update, `M × V` vertex update).
+//! * [`SagePool`] — Eq. 5: per-neighbour pooling MLP, element-wise max
+//!   aggregation, concat with the self feature, then the output layer:
+//!
+//! ```text
+//! m_v = Concat(max_{u ∈ N(v)} σ(W_pl · x_u + b), x_v)
+//! x'_v = ReLU(W · m_v + b')
+//! ```
+
+use crate::linalg;
+use crate::reference::{init_weights, GnnLayer};
+use crate::spec::ModelId;
+use aurora_graph::{Csr, FeatureMatrix};
+
+/// GraphSAGE with mean aggregation.
+#[derive(Debug, Clone)]
+pub struct SageMean {
+    f_in: usize,
+    f_out: usize,
+    /// `f_out × f_in` row-major.
+    weight: Vec<f64>,
+}
+
+impl SageMean {
+    pub fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
+        assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
+        Self { f_in, f_out, weight }
+    }
+
+    pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
+        Self::new(f_in, f_out, init_weights(f_out, f_in, seed))
+    }
+}
+
+impl GnnLayer for SageMean {
+    fn model_id(&self) -> ModelId {
+        ModelId::SageMean
+    }
+
+    fn output_dim(&self) -> usize {
+        self.f_out
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f_in, "input width mismatch");
+        let n = g.num_vertices();
+        let mut out = FeatureMatrix::zeros(n, self.f_out);
+        let mut m = vec![0.0; self.f_in];
+        for v in 0..n as u32 {
+            m.iter_mut().for_each(|e| *e = 0.0);
+            let nbrs = g.neighbors(v);
+            for &u in nbrs {
+                linalg::add_assign(&mut m, x.row(u as usize));
+            }
+            if !nbrs.is_empty() {
+                linalg::scale(&mut m, 1.0 / nbrs.len() as f64);
+            }
+            let y = linalg::matvec(&self.weight, self.f_out, self.f_in, &m);
+            out.row_mut(v as usize).copy_from_slice(&y);
+        }
+        out
+    }
+}
+
+/// GraphSAGE with max pooling (Eq. 5).
+#[derive(Debug, Clone)]
+pub struct SagePool {
+    f_in: usize,
+    f_out: usize,
+    /// Pooling MLP weight `f_in × f_in`.
+    w_pool: Vec<f64>,
+    /// Pooling bias `f_in`.
+    b_pool: Vec<f64>,
+    /// Output weight `f_out × 2·f_in` (applied to the concat).
+    weight: Vec<f64>,
+    /// Output bias `f_out`.
+    bias: Vec<f64>,
+}
+
+impl SagePool {
+    pub fn new(
+        f_in: usize,
+        f_out: usize,
+        w_pool: Vec<f64>,
+        b_pool: Vec<f64>,
+        weight: Vec<f64>,
+        bias: Vec<f64>,
+    ) -> Self {
+        assert_eq!(w_pool.len(), f_in * f_in, "pool weight shape mismatch");
+        assert_eq!(b_pool.len(), f_in, "pool bias shape mismatch");
+        assert_eq!(weight.len(), 2 * f_in * f_out, "output weight shape mismatch");
+        assert_eq!(bias.len(), f_out, "output bias shape mismatch");
+        Self {
+            f_in,
+            f_out,
+            w_pool,
+            b_pool,
+            weight,
+            bias,
+        }
+    }
+
+    pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
+        Self::new(
+            f_in,
+            f_out,
+            init_weights(f_in, f_in, seed),
+            init_weights(1, f_in, seed ^ 0x1),
+            init_weights(f_out, 2 * f_in, seed ^ 0x2),
+            init_weights(1, f_out, seed ^ 0x3),
+        )
+    }
+}
+
+impl GnnLayer for SagePool {
+    fn model_id(&self) -> ModelId {
+        ModelId::SagePool
+    }
+
+    fn output_dim(&self) -> usize {
+        self.f_out
+    }
+
+    fn forward(&self, g: &Csr, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.f_in, "input width mismatch");
+        let n = g.num_vertices();
+        let mut out = FeatureMatrix::zeros(n, self.f_out);
+        for v in 0..n as u32 {
+            let nbrs = g.neighbors(v);
+            // Element-wise max of σ(W_pl·x_u + b); empty → zero vector
+            // (max over nothing contributes nothing).
+            let mut pooled = vec![0.0; self.f_in];
+            let mut first = true;
+            for &u in nbrs {
+                let mut h = linalg::matvec(&self.w_pool, self.f_in, self.f_in, x.row(u as usize));
+                linalg::add_assign(&mut h, &self.b_pool);
+                linalg::sigmoid_inplace(&mut h);
+                if first {
+                    pooled.copy_from_slice(&h);
+                    first = false;
+                } else {
+                    linalg::max_assign(&mut pooled, &h);
+                }
+            }
+            let m = linalg::concat(&pooled, x.row(v as usize));
+            let mut y = linalg::matvec(&self.weight, self.f_out, 2 * self.f_in, &m);
+            linalg::add_assign(&mut y, &self.bias);
+            linalg::relu_inplace(&mut y);
+            out.row_mut(v as usize).copy_from_slice(&y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_divides_by_neighbour_count() {
+        let mut b = aurora_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(0, 2);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(3, 1, vec![0.0, 4.0, 8.0]);
+        let net = SageMean::new(1, 1, vec![1.0]);
+        let y = net.forward(&g, &x);
+        assert_eq!(y.get(0, 0), 6.0);
+        assert_eq!(y.get(1, 0), 0.0, "no neighbours → zero mean");
+    }
+
+    #[test]
+    fn pool_takes_elementwise_max() {
+        // identity pool weights, zero pool bias: pooled = max σ(x_u)
+        let mut b = aurora_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(0, 2);
+        let g = b.build();
+        let x = FeatureMatrix::from_vec(3, 1, vec![0.0, -2.0, 3.0]);
+        // output weight [1, 0]: picks the pooled half of the concat.
+        let net = SagePool::new(
+            1,
+            1,
+            vec![1.0],
+            vec![0.0],
+            vec![1.0, 0.0],
+            vec![0.0],
+        );
+        let y = net.forward(&g, &x);
+        let expect = 1.0 / (1.0 + (-3.0f64).exp()); // σ(3) > σ(-2)
+        assert!((y.get(0, 0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_concat_preserves_self_feature() {
+        // output weight [0, 1]: picks the self half of the concat.
+        let g = Csr::empty(1);
+        let x = FeatureMatrix::from_vec(1, 1, vec![2.5]);
+        let net = SagePool::new(1, 1, vec![1.0], vec![0.0], vec![0.0, 1.0], vec![0.0]);
+        let y = net.forward(&g, &x);
+        assert!((y.get(0, 0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_output_is_relu_clipped() {
+        let g = aurora_graph::generate::star(8);
+        let x = FeatureMatrix::random(8, 4, 1.0, 1);
+        let y = SagePool::new_random(4, 3, 2).forward(&g, &x);
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,243 @@
+//! NoC configuration: topology mode and bypass-link segmentation.
+
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// How the reconfigurable fabric is currently wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyMode {
+    /// Plain 2-D mesh (baseline wiring; bypass switches all open).
+    Mesh,
+    /// Mesh plus configured bypass segments (aggregation sub-accelerator).
+    MeshWithBypass,
+    /// Each row closed into a unidirectional ring using the row bypass as
+    /// the wrap-up link (weight-stationary vertex-update dataflow).
+    Rings,
+}
+
+/// One configured express segment of a row/column bypass link, attaching
+/// the routers at positions `from` and `to` (`from < to`) of row/column
+/// `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BypassSegment {
+    /// Row index (for horizontal segments) or column index (vertical).
+    pub index: usize,
+    /// Start position along the row (column coordinate) or column (row
+    /// coordinate).
+    pub from: usize,
+    /// End position; must exceed `from + 1` to be useful (an express link
+    /// over adjacent routers duplicates the mesh link but is allowed).
+    pub to: usize,
+}
+
+/// Full NoC configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh radix: the network is `k × k`.
+    pub k: usize,
+    /// Virtual channels per input port.
+    pub vcs: usize,
+    /// Flit slots per VC buffer.
+    pub vc_depth: usize,
+    /// Payload words (f64) carried per flit.
+    pub words_per_flit: usize,
+    /// Wiring mode.
+    pub mode: TopologyMode,
+    /// Configured horizontal bypass segments (≤ 1 physical link per row,
+    /// segmentable into disjoint spans).
+    pub row_bypass: Vec<BypassSegment>,
+    /// Configured vertical bypass segments.
+    pub col_bypass: Vec<BypassSegment>,
+}
+
+impl NocConfig {
+    /// A plain mesh with the paper's router provisioning (2 VCs, 4-deep).
+    pub fn mesh(k: usize) -> Self {
+        Self {
+            k,
+            vcs: 2,
+            vc_depth: 4,
+            words_per_flit: 4,
+            mode: TopologyMode::Mesh,
+            row_bypass: Vec::new(),
+            col_bypass: Vec::new(),
+        }
+    }
+
+    /// Mesh with the given bypass segments.
+    pub fn with_bypass(k: usize, rows: Vec<BypassSegment>, cols: Vec<BypassSegment>) -> Self {
+        Self {
+            mode: TopologyMode::MeshWithBypass,
+            row_bypass: rows,
+            col_bypass: cols,
+            ..Self::mesh(k)
+        }
+    }
+
+    /// Row rings for the weight-stationary vertex-update dataflow.
+    pub fn rings(k: usize) -> Self {
+        Self {
+            mode: TopologyMode::Rings,
+            ..Self::mesh(k)
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Panics
+    /// Panics when: `k == 0`, no VCs, zero-depth buffers, a segment is out
+    /// of range or degenerate, segments on one row/column overlap or share
+    /// an endpoint (each physical wire tap attaches one segment), or a
+    /// bypass is configured in a mode that doesn't use it.
+    pub fn validate(&self) {
+        assert!(self.k > 0, "mesh radix must be positive");
+        assert!(self.vcs > 0, "need at least one VC");
+        assert!(self.vc_depth > 0, "VC buffers need capacity");
+        assert!(self.words_per_flit > 0, "flits must carry payload");
+        if self.mode != TopologyMode::MeshWithBypass {
+            assert!(
+                self.row_bypass.is_empty() && self.col_bypass.is_empty(),
+                "bypass segments require MeshWithBypass mode"
+            );
+        }
+        for (kind, segs) in [("row", &self.row_bypass), ("col", &self.col_bypass)] {
+            let mut spans: std::collections::HashMap<usize, Vec<(usize, usize)>> =
+                std::collections::HashMap::new();
+            for s in segs.iter() {
+                assert!(s.index < self.k, "{kind} bypass index {} out of range", s.index);
+                assert!(s.from < s.to, "{kind} bypass segment must run forward");
+                assert!(s.to < self.k, "{kind} bypass end {} out of range", s.to);
+                spans.entry(s.index).or_default().push((s.from, s.to));
+            }
+            for (idx, mut list) in spans {
+                list.sort_unstable();
+                for w in list.windows(2) {
+                    assert!(
+                        w[0].1 < w[1].0,
+                        "{kind} bypass segments on {kind} {idx} overlap or share an endpoint"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The horizontal bypass attachment of node `id`, if any: the node id
+    /// at the other end of the segment.
+    pub fn h_bypass_peer(&self, id: NodeId) -> Option<NodeId> {
+        let (x, y) = (id % self.k, id / self.k);
+        self.row_bypass.iter().find_map(|s| {
+            if s.index != y {
+                None
+            } else if s.from == x {
+                Some(y * self.k + s.to)
+            } else if s.to == x {
+                Some(y * self.k + s.from)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The vertical bypass attachment of node `id`, if any.
+    pub fn v_bypass_peer(&self, id: NodeId) -> Option<NodeId> {
+        let (x, y) = (id % self.k, id / self.k);
+        self.col_bypass.iter().find_map(|s| {
+            if s.index != x {
+                None
+            } else if s.from == y {
+                Some(s.to * self.k + x)
+            } else if s.to == y {
+                Some(s.from * self.k + x)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of reconfigurable switch settings changed when reprogramming
+    /// from `self` to `other` — used for reconfiguration latency/energy.
+    /// The paper reports the latency of one full reconfiguration of a
+    /// `k × k` array as `2k − 1` cycles (§VI-D: 63 cycles for 32 × 32).
+    pub fn reconfiguration_cycles(&self) -> u64 {
+        (2 * self.k - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_default_validates() {
+        NocConfig::mesh(4).validate();
+        NocConfig::rings(8).validate();
+    }
+
+    #[test]
+    fn reconfig_latency_matches_paper() {
+        assert_eq!(NocConfig::mesh(32).reconfiguration_cycles(), 63);
+    }
+
+    #[test]
+    fn bypass_peers() {
+        let cfg = NocConfig::with_bypass(
+            4,
+            vec![BypassSegment { index: 1, from: 0, to: 3 }],
+            vec![BypassSegment { index: 2, from: 1, to: 3 }],
+        );
+        cfg.validate();
+        // row 1: nodes 4..7; segment joins node 4 and node 7
+        assert_eq!(cfg.h_bypass_peer(4), Some(7));
+        assert_eq!(cfg.h_bypass_peer(7), Some(4));
+        assert_eq!(cfg.h_bypass_peer(5), None);
+        assert_eq!(cfg.h_bypass_peer(0), None);
+        // col 2: segment joins (2, y=1) = 6 and (2, y=3) = 14
+        assert_eq!(cfg.v_bypass_peer(6), Some(14));
+        assert_eq!(cfg.v_bypass_peer(14), Some(6));
+        assert_eq!(cfg.v_bypass_peer(2), None);
+    }
+
+    #[test]
+    fn segmented_row_multiple_spans() {
+        let cfg = NocConfig::with_bypass(
+            8,
+            vec![
+                BypassSegment { index: 0, from: 0, to: 3 },
+                BypassSegment { index: 0, from: 4, to: 7 },
+            ],
+            vec![],
+        );
+        cfg.validate();
+        assert_eq!(cfg.h_bypass_peer(0), Some(3));
+        assert_eq!(cfg.h_bypass_peer(4), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap or share an endpoint")]
+    fn overlapping_segments_rejected() {
+        NocConfig::with_bypass(
+            8,
+            vec![
+                BypassSegment { index: 0, from: 0, to: 4 },
+                BypassSegment { index: 0, from: 4, to: 7 },
+            ],
+            vec![],
+        )
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_segment_rejected() {
+        NocConfig::with_bypass(4, vec![BypassSegment { index: 0, from: 0, to: 4 }], vec![])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "require MeshWithBypass")]
+    fn bypass_needs_right_mode() {
+        let mut cfg = NocConfig::mesh(4);
+        cfg.row_bypass.push(BypassSegment { index: 0, from: 0, to: 2 });
+        cfg.validate();
+    }
+}

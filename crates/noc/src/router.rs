@@ -1,0 +1,170 @@
+//! The reconfigurable wormhole router (Fig. 4).
+//!
+//! Each router has up to seven ports (five mesh ports plus the two bypass
+//! attachments behind the +x/+y muxes), `vcs` virtual-channel buffers per
+//! port, per-output round-robin switch allocation, and wormhole ownership:
+//! once a head flit wins an output, the output is held until the tail flit
+//! releases it. The two-stage horizontal/vertical crossbar of the paper is
+//! modelled by the one-flit-per-output-per-cycle constraint.
+
+use crate::flit::Flit;
+use crate::topology::Port;
+use std::collections::VecDeque;
+
+/// One virtual-channel buffer and its current route.
+#[derive(Debug, Clone, Default)]
+pub struct VcState {
+    pub queue: VecDeque<Flit>,
+    /// Output port held by the packet currently traversing this VC.
+    pub route: Option<Port>,
+}
+
+/// Per-router state.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// `inputs[port][vc]`.
+    pub inputs: Vec<Vec<VcState>>,
+    /// Wormhole ownership per output port: `(in_port, in_vc)`.
+    pub out_owner: [Option<(usize, usize)>; Port::COUNT],
+    /// Round-robin pointer per output port.
+    rr: [usize; Port::COUNT],
+    /// Flits forwarded through this router (hotspot statistic).
+    pub forwarded: u64,
+}
+
+impl Router {
+    /// A router with `vcs` VCs on every port.
+    pub fn new(vcs: usize) -> Self {
+        Self {
+            inputs: (0..Port::COUNT)
+                .map(|_| (0..vcs).map(|_| VcState::default()).collect())
+                .collect(),
+            out_owner: [None; Port::COUNT],
+            rr: [0; Port::COUNT],
+            forwarded: 0,
+        }
+    }
+
+    /// Total buffered flits (used by drain detection and tests).
+    pub fn occupancy(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|vc| vc.queue.len())
+            .sum()
+    }
+
+    /// Chooses at most one `(in_port, in_vc)` to traverse towards output
+    /// `out` this cycle, honouring wormhole ownership, with round-robin
+    /// fairness over `(port, vc)` pairs.
+    pub fn allocate(&mut self, out: Port) -> Option<(usize, usize)> {
+        let oi = out.index();
+        if let Some((p, v)) = self.out_owner[oi] {
+            // The wormhole owner sends whenever it has a flit ready.
+            let vc = &self.inputs[p][v];
+            if vc.route == Some(out) && !vc.queue.is_empty() {
+                return Some((p, v));
+            }
+            return None;
+        }
+        // No owner: arbitrate among VCs whose *head* flit opens a packet
+        // routed to `out`.
+        let vcs = self.inputs[0].len();
+        let total = Port::COUNT * vcs;
+        let start = self.rr[oi];
+        for k in 0..total {
+            let slot = (start + k) % total;
+            let (p, v) = (slot / vcs, slot % vcs);
+            let vc = &self.inputs[p][v];
+            if vc.route == Some(out) {
+                if let Some(f) = vc.queue.front() {
+                    if f.kind.is_head() {
+                        self.rr[oi] = (slot + 1) % total;
+                        return Some((p, v));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, Packet};
+
+    fn head_flit(id: u64, dst: usize) -> Flit {
+        Packet::for_payload(id, 0, dst, 1, 4).flits(0)[0]
+    }
+
+    #[test]
+    fn empty_router_allocates_nothing() {
+        let mut r = Router::new(2);
+        for p in Port::ALL {
+            assert_eq!(r.allocate(p), None);
+        }
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn single_candidate_wins() {
+        let mut r = Router::new(2);
+        r.inputs[Port::Local.index()][0]
+            .queue
+            .push_back(head_flit(1, 3));
+        r.inputs[Port::Local.index()][0].route = Some(Port::East);
+        assert_eq!(r.allocate(Port::East), Some((Port::Local.index(), 0)));
+        assert_eq!(r.allocate(Port::West), None);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut r = Router::new(1);
+        for p in [Port::North, Port::West] {
+            r.inputs[p.index()][0].queue.push_back(head_flit(1, 3));
+            r.inputs[p.index()][0].route = Some(Port::East);
+        }
+        let first = r.allocate(Port::East).unwrap();
+        // simulate the grant consuming nothing; arbitration pointer moved,
+        // so the other input wins next.
+        let second = r.allocate(Port::East).unwrap();
+        assert_ne!(first, second, "round robin must alternate");
+    }
+
+    #[test]
+    fn owner_holds_output() {
+        let mut r = Router::new(1);
+        let pi = Port::North.index();
+        r.inputs[pi][0].queue.push_back(Flit {
+            packet: 9,
+            kind: FlitKind::Body,
+            src: 0,
+            dst: 3,
+            injected_at: 0,
+            hops: 0,
+        });
+        r.inputs[pi][0].route = Some(Port::East);
+        // No ownership yet and head is a Body flit → nothing allocated.
+        assert_eq!(r.allocate(Port::East), None);
+        // With ownership the body flit proceeds.
+        r.out_owner[Port::East.index()] = Some((pi, 0));
+        assert_eq!(r.allocate(Port::East), Some((pi, 0)));
+    }
+
+    #[test]
+    fn owner_blocks_other_inputs() {
+        let mut r = Router::new(1);
+        r.out_owner[Port::East.index()] = Some((Port::North.index(), 0));
+        // competitor with a head flit
+        r.inputs[Port::West.index()][0]
+            .queue
+            .push_back(head_flit(2, 3));
+        r.inputs[Port::West.index()][0].route = Some(Port::East);
+        assert_eq!(
+            r.allocate(Port::East),
+            None,
+            "owned output must not be granted to another VC"
+        );
+    }
+}

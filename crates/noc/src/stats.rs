@@ -1,0 +1,107 @@
+//! Network statistics: latency, hops, hotspots, bypass usage.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative statistics of one network run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Packets fully delivered (tail ejected).
+    pub packets_delivered: u64,
+    /// Flits ejected.
+    pub flits_delivered: u64,
+    /// Sum of per-packet latencies (inject → tail ejection).
+    pub total_packet_latency: u64,
+    /// Worst per-packet latency.
+    pub max_packet_latency: u64,
+    /// Sum of per-flit hop counts.
+    pub total_hops: u64,
+    /// Flits that traversed a bypass segment.
+    pub bypass_traversals: u64,
+    /// Flits forwarded by each router (contention/hotspot profile).
+    pub per_router_forwarded: Vec<u64>,
+}
+
+impl NetworkStats {
+    /// Zeroed statistics for a `k × k` network.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            cycles: 0,
+            packets_delivered: 0,
+            flits_delivered: 0,
+            total_packet_latency: 0,
+            max_packet_latency: 0,
+            total_hops: 0,
+            bypass_traversals: 0,
+            per_router_forwarded: vec![0; nodes],
+        }
+    }
+
+    /// Mean packet latency in cycles.
+    pub fn avg_packet_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_packet_latency as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Mean hops per delivered flit.
+    pub fn avg_hops(&self) -> f64 {
+        if self.flits_delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.flits_delivered as f64
+        }
+    }
+
+    /// Peak router load — the busiest router's forwarded-flit count. A
+    /// balanced mapping drives this down; hash-mapped high-degree vertices
+    /// drive it up.
+    pub fn max_router_load(&self) -> u64 {
+        self.per_router_forwarded.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ratio of the busiest router's load to the mean (1.0 = perfectly
+    /// balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.per_router_forwarded.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.per_router_forwarded.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.max_router_load() as f64 / (total as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_stats_safe() {
+        let s = NetworkStats::new(16);
+        assert_eq!(s.avg_packet_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+        assert_eq!(s.max_router_load(), 0);
+        assert_eq!(s.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = NetworkStats::new(4);
+        s.packets_delivered = 2;
+        s.total_packet_latency = 30;
+        s.flits_delivered = 8;
+        s.total_hops = 24;
+        s.per_router_forwarded = vec![10, 0, 0, 10];
+        assert_eq!(s.avg_packet_latency(), 15.0);
+        assert_eq!(s.avg_hops(), 3.0);
+        assert_eq!(s.max_router_load(), 10);
+        assert_eq!(s.load_imbalance(), 2.0);
+    }
+}

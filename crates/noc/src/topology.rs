@@ -1,0 +1,112 @@
+//! Mesh coordinates, node ids and router ports.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear node id on a `k × k` mesh (`id = y * k + x`).
+pub type NodeId = usize;
+
+/// A 2-D mesh coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    pub x: usize,
+    pub y: usize,
+}
+
+impl Coord {
+    /// Builds from a linear node id.
+    pub fn of(id: NodeId, k: usize) -> Self {
+        Self { x: id % k, y: id / k }
+    }
+
+    /// The linear node id.
+    pub fn id(self, k: usize) -> NodeId {
+        self.y * k + self.x
+    }
+
+    /// Manhattan distance.
+    pub fn manhattan(self, other: Coord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// Router ports. The first five are the conventional mesh router ports;
+/// the bypass ports are the +x/+y mux attachments of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Port {
+    /// PE injection/ejection.
+    Local,
+    /// Towards y − 1.
+    North,
+    /// Towards y + 1.
+    South,
+    /// Towards x + 1.
+    East,
+    /// Towards x − 1.
+    West,
+    /// Attachment of a horizontal bypass segment (same row express link).
+    BypassH,
+    /// Attachment of a vertical bypass segment (same column express link).
+    BypassV,
+}
+
+impl Port {
+    /// All ports in a fixed arbitration order.
+    pub const ALL: [Port; 7] = [
+        Port::Local,
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::BypassH,
+        Port::BypassV,
+    ];
+
+    /// Dense index used for router-internal arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Port::Local => 0,
+            Port::North => 1,
+            Port::South => 2,
+            Port::East => 3,
+            Port::West => 4,
+            Port::BypassH => 5,
+            Port::BypassV => 6,
+        }
+    }
+
+    /// Number of distinct ports.
+    pub const COUNT: usize = 7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_roundtrip() {
+        let k = 5;
+        for id in 0..k * k {
+            assert_eq!(Coord::of(id, k).id(k), id);
+        }
+        assert_eq!(Coord::of(7, 5), Coord { x: 2, y: 1 });
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord { x: 1, y: 2 };
+        let b = Coord { x: 4, y: 0 };
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn port_indices_dense_and_unique() {
+        let mut seen = [false; Port::COUNT];
+        for p in Port::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

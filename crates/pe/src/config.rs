@@ -1,0 +1,122 @@
+//! PE datapath configurations (Fig. 6).
+
+use aurora_model::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// The three reconfigurable-interconnect settings of the MAC array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DatapathMode {
+    /// Fig. 6 (a): multipliers paired into one adder, adders chained for
+    /// accumulation — `V × V`, `M × V`, `V · V`.
+    MacChain,
+    /// Fig. 6 (b): a constant loaded into the multipliers, results written
+    /// back without accumulation — `Scalar × V`, `V ⊙ V`.
+    ParallelScalar,
+    /// Fig. 6 (c): multipliers and adders bypassed into a pure accumulate
+    /// path — `Σ V` (and element-wise max, which uses the same adder slots
+    /// in compare mode).
+    AccumulateBypass,
+}
+
+impl DatapathMode {
+    /// The mode required by a primitive op. PPU ops (activation, concat)
+    /// don't occupy the MAC array; they return `None`.
+    pub fn for_op(op: OpKind) -> Option<DatapathMode> {
+        match op {
+            OpKind::MatVec | OpKind::VecDot => Some(DatapathMode::MacChain),
+            OpKind::ScalarVec | OpKind::VecHadamard => Some(DatapathMode::ParallelScalar),
+            OpKind::AccumVec | OpKind::VecAdd => Some(DatapathMode::AccumulateBypass),
+            OpKind::MaxVec => Some(DatapathMode::AccumulateBypass),
+            OpKind::Act(_) | OpKind::Concat => None,
+        }
+    }
+}
+
+/// Static PE hardware parameters plus its current datapath mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeConfig {
+    /// Number of multipliers (= adders) in the MAC array.
+    pub lanes: usize,
+    /// Bank-buffer capacity in bytes (100 KB in the paper, §VI-A).
+    pub buffer_bytes: usize,
+    /// Number of buffer banks.
+    pub banks: usize,
+    /// Reuse-FIFO capacity in vectors.
+    pub fifo_depth: usize,
+    /// PPU throughput in elements per cycle.
+    pub ppu_width: usize,
+    /// Cycles to switch the reconfigurable interconnect between modes.
+    pub reconfig_cycles: u64,
+}
+
+impl Default for PeConfig {
+    /// The paper's PE: 100 KB distributed bank buffer; a 16-lane MAC array,
+    /// 8 banks, a modest reuse FIFO, and a 1-cycle datapath switch.
+    fn default() -> Self {
+        Self {
+            lanes: 16,
+            buffer_bytes: 100 * 1024,
+            banks: 8,
+            fifo_depth: 16,
+            ppu_width: 4,
+            reconfig_cycles: 1,
+        }
+    }
+}
+
+impl PeConfig {
+    /// Vertices of feature width `f` (double precision) that fit in the
+    /// bank buffer — Algorithm 1's `C_PE`.
+    pub fn vertex_capacity(&self, feature_dim: usize) -> usize {
+        (self.buffer_bytes / (feature_dim.max(1) * 8)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_model::Activation;
+
+    #[test]
+    fn op_to_mode_matches_fig6() {
+        assert_eq!(
+            DatapathMode::for_op(OpKind::MatVec),
+            Some(DatapathMode::MacChain)
+        );
+        assert_eq!(
+            DatapathMode::for_op(OpKind::VecDot),
+            Some(DatapathMode::MacChain)
+        );
+        assert_eq!(
+            DatapathMode::for_op(OpKind::ScalarVec),
+            Some(DatapathMode::ParallelScalar)
+        );
+        assert_eq!(
+            DatapathMode::for_op(OpKind::VecHadamard),
+            Some(DatapathMode::ParallelScalar)
+        );
+        assert_eq!(
+            DatapathMode::for_op(OpKind::AccumVec),
+            Some(DatapathMode::AccumulateBypass)
+        );
+        assert_eq!(DatapathMode::for_op(OpKind::Act(Activation::ReLU)), None);
+        assert_eq!(DatapathMode::for_op(OpKind::Concat), None);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let c = PeConfig::default();
+        assert_eq!(c.buffer_bytes, 100 * 1024);
+        assert!(c.lanes.is_power_of_two());
+    }
+
+    #[test]
+    fn vertex_capacity() {
+        let c = PeConfig::default();
+        // 100 KB / (100 features × 8 B) = 128
+        assert_eq!(c.vertex_capacity(100), 128);
+        assert_eq!(c.vertex_capacity(0), c.buffer_bytes / 8);
+        // huge features still give at least 1
+        assert_eq!(c.vertex_capacity(1 << 30), 1);
+    }
+}

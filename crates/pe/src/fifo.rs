@@ -1,0 +1,138 @@
+//! The reuse FIFO (Fig. 5) — a double buffer holding intermediate feature
+//! vectors received from neighbouring PEs (vertex-update phase) and updated
+//! edge features (aggregation phase), enabling inter-PE data exchange
+//! without a round trip through the bank buffer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A bounded FIFO of feature vectors with occupancy statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReuseFifo {
+    depth: usize,
+    queue: VecDeque<Vec<f64>>,
+    /// Successful pushes.
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Pushes rejected because the FIFO was full (back-pressure events).
+    pub stalls: u64,
+    /// High-water mark of occupancy.
+    pub peak_occupancy: usize,
+}
+
+impl ReuseFifo {
+    /// A FIFO holding at most `depth` vectors.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        Self {
+            depth,
+            queue: VecDeque::with_capacity(depth),
+            pushes: 0,
+            pops: 0,
+            stalls: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Capacity in vectors.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.depth
+    }
+
+    /// Attempts to enqueue; on a full FIFO the vector is returned to the
+    /// caller and a stall is recorded (the producing PE must retry — this
+    /// is the back-pressure the NoC model observes).
+    pub fn push(&mut self, v: Vec<f64>) -> Result<(), Vec<f64>> {
+        if self.is_full() {
+            self.stalls += 1;
+            Err(v)
+        } else {
+            self.queue.push_back(v);
+            self.pushes += 1;
+            self.peak_occupancy = self.peak_occupancy.max(self.queue.len());
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest vector.
+    pub fn pop(&mut self) -> Option<Vec<f64>> {
+        let v = self.queue.pop_front();
+        if v.is_some() {
+            self.pops += 1;
+        }
+        v
+    }
+
+    /// Drops all contents (tile switch).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = ReuseFifo::new(4);
+        f.push(vec![1.0]).unwrap();
+        f.push(vec![2.0]).unwrap();
+        assert_eq!(f.pop(), Some(vec![1.0]));
+        assert_eq!(f.pop(), Some(vec![2.0]));
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.pops, 2);
+    }
+
+    #[test]
+    fn backpressure_on_full() {
+        let mut f = ReuseFifo::new(2);
+        f.push(vec![1.0]).unwrap();
+        f.push(vec![2.0]).unwrap();
+        assert!(f.is_full());
+        let rejected = f.push(vec![3.0]);
+        assert_eq!(rejected, Err(vec![3.0]), "vector handed back on stall");
+        assert_eq!(f.stalls, 1);
+        f.pop();
+        assert!(f.push(vec![3.0]).is_ok());
+    }
+
+    #[test]
+    fn peak_occupancy_tracked() {
+        let mut f = ReuseFifo::new(8);
+        for i in 0..5 {
+            f.push(vec![i as f64]).unwrap();
+        }
+        for _ in 0..3 {
+            f.pop();
+        }
+        f.push(vec![9.0]).unwrap();
+        assert_eq!(f.peak_occupancy, 5);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = ReuseFifo::new(2);
+        f.push(vec![1.0]).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.pushes, 1, "stats survive clears");
+    }
+}

@@ -1,0 +1,47 @@
+//! Reconfigurable processing element (PE) model — §III-D, Figs. 5-6.
+//!
+//! Each Aurora PE contains a distributed bank buffer, a router interface, a
+//! reuse FIFO, a post-processing unit (PPU), a buffer controller, and an
+//! array of multipliers and adders joined by a reconfigurable interconnect.
+//! The datapath supports three configurations (Fig. 6):
+//!
+//! * **(a) MAC chain** — multipliers paired into an adder tree:
+//!   `V × V`, `M × V`, `V · V`;
+//! * **(b) parallel scalar** — multipliers operate independently with no
+//!   accumulation: `Scalar × V`, `V ⊙ V`;
+//! * **(c) accumulate bypass** — multipliers bypassed, adders only: `Σ V`.
+//!
+//! The model is *functional + cycle-counting*: every operation returns both
+//! the numeric result (validated against `aurora-model`'s reference
+//! executors) and the cycles it occupies the datapath.
+//!
+//! ```
+//! use aurora_pe::{PeConfig, ProcessingElement};
+//!
+//! let mut pe = ProcessingElement::new(PeConfig::default());
+//! let (y, cycles) = pe.exec_matvec(&[1.0, 2.0, 3.0, 4.0], 2, 2, &[1.0, 1.0]);
+//! assert_eq!(y, vec![3.0, 7.0]);
+//! assert!(cycles > 0);
+//! let mut acc = vec![0.0; 2];
+//! pe.exec_accumulate(&mut acc, &y); // switches to the bypass datapath
+//! assert_eq!(pe.stats().reconfigurations, 1);
+//! ```
+
+pub mod array;
+pub mod buffer;
+pub mod config;
+pub mod fifo;
+pub mod mac;
+pub mod pe;
+pub mod ppu;
+
+pub use array::WeightStationaryRow;
+pub use buffer::BankBuffer;
+pub use config::{DatapathMode, PeConfig};
+pub use fifo::ReuseFifo;
+pub use mac::MacArray;
+pub use pe::{PeStats, ProcessingElement};
+pub use ppu::PostProcessingUnit;
+
+/// Cycle count type used throughout the PE model.
+pub type Cycles = u64;

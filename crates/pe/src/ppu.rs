@@ -1,0 +1,92 @@
+//! Post-Processing Unit (Fig. 5): "the non-linear activation function
+//! and/or vector concatenation are performed in the PPU, if necessary,
+//! before writing the output feature to the distributed bank buffer".
+
+use crate::Cycles;
+use aurora_model::linalg;
+use aurora_model::Activation;
+
+/// The PPU: activations and concatenation at `width` elements per cycle.
+#[derive(Debug, Clone)]
+pub struct PostProcessingUnit {
+    width: usize,
+    /// Elements processed (for energy accounting).
+    pub elements: u64,
+}
+
+impl PostProcessingUnit {
+    /// A PPU processing `width` elements per cycle.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "PPU width must be positive");
+        Self { width, elements: 0 }
+    }
+
+    fn charge(&mut self, n: usize) -> Cycles {
+        self.elements += n as u64;
+        n.div_ceil(self.width) as Cycles
+    }
+
+    /// Applies an activation in place, returning the cycles consumed.
+    /// Softmax is applied across the whole vector (two passes).
+    pub fn activate(&mut self, a: &mut [f64], act: Activation) -> Cycles {
+        match act {
+            Activation::ReLU => linalg::relu_inplace(a),
+            Activation::Sigmoid => linalg::sigmoid_inplace(a),
+            Activation::Softmax => linalg::softmax_inplace(a),
+        }
+        let base = self.charge(a.len());
+        match act {
+            Activation::ReLU => base,
+            // transcendental paths take an extra pass through the unit
+            Activation::Sigmoid | Activation::Softmax => base * 2,
+        }
+    }
+
+    /// Concatenates two vectors, returning `(result, cycles)` — a pure
+    /// data-movement cost.
+    pub fn concat(&mut self, a: &[f64], b: &[f64]) -> (Vec<f64>, Cycles) {
+        let out = linalg::concat(a, b);
+        let cycles = self.charge(out.len());
+        (out, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_semantics_and_cost() {
+        let mut ppu = PostProcessingUnit::new(4);
+        let mut v = vec![-1.0, 2.0, -3.0, 4.0, 5.0];
+        let c = ppu.activate(&mut v, Activation::ReLU);
+        assert_eq!(v, vec![0.0, 2.0, 0.0, 4.0, 5.0]);
+        assert_eq!(c, 2); // ceil(5/4)
+        assert_eq!(ppu.elements, 5);
+    }
+
+    #[test]
+    fn sigmoid_costs_double() {
+        let mut ppu = PostProcessingUnit::new(4);
+        let mut v = vec![0.0; 4];
+        let c = ppu.activate(&mut v, Activation::Sigmoid);
+        assert_eq!(c, 2);
+        assert!(v.iter().all(|&x| (x - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn softmax_normalises() {
+        let mut ppu = PostProcessingUnit::new(8);
+        let mut v = vec![1.0, 2.0, 3.0];
+        ppu.activate(&mut v, Activation::Softmax);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_cost_is_total_length() {
+        let mut ppu = PostProcessingUnit::new(2);
+        let (out, c) = ppu.concat(&[1.0, 2.0], &[3.0]);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+        assert_eq!(c, 2); // ceil(3/2)
+    }
+}

@@ -1,0 +1,73 @@
+//! Head-to-head: Aurora vs the five baseline accelerators on one dataset
+//! — a single-dataset slice of Figs. 7/8/9/10.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use aurora::baselines::{BaselineKind, BaselineParams};
+use aurora::core::{AcceleratorConfig, AuroraSimulator};
+use aurora::graph::Dataset;
+use aurora::model::{LayerShape, ModelId};
+
+fn main() {
+    let spec = Dataset::Citeseer.spec();
+    let g = spec.synthesize();
+    let shapes = [
+        LayerShape::new(spec.feature_dim, 16),
+        LayerShape::new(16, spec.classes),
+    ];
+    println!(
+        "dataset: Citeseer ({} vertices, {} edges, {} features)",
+        g.num_vertices(),
+        g.num_edges(),
+        spec.feature_dim
+    );
+
+    let aurora = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
+        &g,
+        ModelId::Gcn,
+        &shapes,
+        "Citeseer",
+        spec.feature_density,
+    );
+
+    println!(
+        "\n{:<10}{:>14}{:>10}{:>14}{:>14}{:>12}",
+        "design", "cycles", "vs Aurora", "DRAM (MB)", "NoC cycles", "energy (mJ)"
+    );
+    let row = |name: &str, cycles: u64, dram: u64, noc: u64, e: f64| {
+        println!(
+            "{:<10}{:>14}{:>9.2}x{:>14.1}{:>14}{:>12.2}",
+            name,
+            cycles,
+            cycles as f64 / aurora.total_cycles as f64,
+            dram as f64 / 1e6,
+            noc,
+            e * 1e3
+        );
+    };
+    row(
+        "Aurora",
+        aurora.total_cycles,
+        aurora.dram.total_bytes(),
+        aurora.noc_cycles(),
+        aurora.energy_joules(),
+    );
+    for b in BaselineKind::ALL {
+        let r = b
+            .build(BaselineParams::default())
+            .simulate(&g, ModelId::Gcn, &shapes, "Citeseer");
+        row(
+            b.name(),
+            r.total_cycles,
+            r.dram.total_bytes(),
+            r.noc_cycles(),
+            r.energy_joules(),
+        );
+    }
+    println!(
+        "\n(all designs normalised to the same multiplier count, DRAM\n\
+         bandwidth and 100 MB on-chip storage, per the paper's §VI-A)"
+    );
+}

@@ -1,0 +1,67 @@
+//! Tour of the model zoo: every Table II model executed numerically and
+//! characterised for the accelerator — phases, required PE datapath modes,
+//! op counts, and the Algorithm 2 partition each one gets.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo
+//! ```
+
+use aurora::core::{AcceleratorConfig, AuroraSimulator, Workflow};
+use aurora::graph::{generate, FeatureMatrix};
+use aurora::model::reference::layer_for;
+use aurora::model::{LayerShape, ModelId, Workload};
+
+fn main() {
+    let g = generate::rmat(512, 4_000, Default::default(), 9);
+    let shape = LayerShape::new(32, 16);
+    let x = FeatureMatrix::random(g.num_vertices(), shape.f_in, 0.8, 2);
+    let sim = AuroraSimulator::new(AcceleratorConfig::default());
+
+    println!(
+        "{:<20}{:<9}{:>7}{:>7}{:>12}{:>12}{:>12}{:>10}",
+        "model", "category", "phases", "modes", "O_ue", "O_a", "O_uv", "A/B"
+    );
+    for id in ModelId::ALL {
+        // numeric forward pass (the golden reference)
+        let layer = layer_for(id, shape.f_in, shape.f_out, 11);
+        let y = layer.forward(&g, &x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+
+        // workload characterisation + workflow + partition
+        let wf = Workflow::generate(id);
+        let counts = Workload::of(id, &g, shape).op_counts();
+        let report = sim.simulate(&g, id, &[shape], "zoo");
+        let p = &report.layers[0].partition;
+        println!(
+            "{:<20}{:<9}{:>7}{:>7}{:>12}{:>12}{:>12}{:>7}/{}",
+            id.name(),
+            id.spec().category.name(),
+            wf.phases.len(),
+            wf.required_modes().len(),
+            counts.edge_update,
+            counts.aggregation,
+            counts.vertex_update,
+            p.a,
+            p.b
+        );
+    }
+
+    // extension beyond the paper's zoo: multi-head GAT
+    let gat = aurora::model::zoo::Gat::new_random(shape.f_in, 8, 4, 21);
+    let y = {
+        use aurora::model::reference::GnnLayer;
+        gat.forward(&g, &x)
+    };
+    println!(
+        "\nextension: GAT with {} heads → output width {} (finite: {})",
+        gat.heads(),
+        y.cols(),
+        y.as_slice().iter().all(|v| v.is_finite())
+    );
+
+    println!(
+        "\nEvery model ran numerically AND through the accelerator — the\n\
+         unified PE + flexible NoC covers the full Table I matrix, where\n\
+         each baseline accelerator supports only a subset."
+    );
+}

@@ -1,0 +1,23 @@
+//! # Aurora
+//!
+//! A Rust reproduction of **"Aurora: A Versatile and Flexible Accelerator
+//! for Graph Neural Networks"** (Yang, Zheng, Louri — IPDPS 2024): a
+//! cycle-level simulator of a reconfigurable GNN accelerator, plus the GNN
+//! model zoo, degree-aware mapping, partition heuristic, flexible-NoC model,
+//! DRAM substrate, energy/area models, and mechanistic models of the five
+//! baseline accelerators the paper compares against.
+//!
+//! This facade crate re-exports the workspace's public API. Start with
+//! [`core::AuroraSimulator`] (once you have a graph from [`graph`] and a
+//! model from [`model`]), or run `examples/quickstart.rs`.
+
+pub use aurora_baselines as baselines;
+pub use aurora_core as core;
+pub use aurora_energy as energy;
+pub use aurora_graph as graph;
+pub use aurora_mapping as mapping;
+pub use aurora_mem as mem;
+pub use aurora_model as model;
+pub use aurora_noc as noc;
+pub use aurora_partition as partition;
+pub use aurora_pe as pe;
