@@ -224,7 +224,7 @@ impl BaselineChassis {
             // duplicated weight copies each stream from DRAM
             mem_cycles += mem.stream_read(weight_bytes * kn.weight_copies as u64);
             mem_cycles += mem.stream_read(n as u64 * f_bytes); // base features
-            // residency window after weights claim their copies
+                                                               // residency window after weights claim their copies
             let budget = (p.onchip_bytes as f64 * kn.feature_budget_fraction
                 - (weight_bytes * kn.weight_copies as u64) as f64)
                 .max(f_bytes as f64);
@@ -322,6 +322,7 @@ impl BaselineChassis {
             energy,
             reconfigurations: 0,
             instructions: Vec::new(),
+            metrics: aurora_telemetry::MetricsSnapshot::default(),
         }
     }
 }

@@ -270,7 +270,10 @@ mod tests {
         let hygcn = log_ratio["HyGCN"];
         let regnn = log_ratio["ReGNN"];
         for (name, v) in &log_ratio {
-            assert!(hygcn >= *v, "HyGCN should be slowest on average (vs {name})");
+            assert!(
+                hygcn >= *v,
+                "HyGCN should be slowest on average (vs {name})"
+            );
             assert!(*v > 0.0, "{name} must be slower than Aurora on average");
         }
         // ReGNN and FlowGNN are the two closest competitors (paper: 28 %
@@ -279,6 +282,9 @@ mod tests {
             .iter()
             .filter(|(name, v)| **name != "ReGNN" && **v < regnn)
             .count();
-        assert!(closer <= 1, "ReGNN should be among the two closest baselines");
+        assert!(
+            closer <= 1,
+            "ReGNN should be among the two closest baselines"
+        );
     }
 }

@@ -2,13 +2,13 @@
 //! run on a scaled Cora.
 
 use aurora_baselines::{BaselineKind, BaselineParams};
+use aurora_core::functional::run_gcn_layer;
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_graph::Dataset;
-use aurora_model::{LayerShape, ModelId};
-use aurora_core::functional::run_gcn_layer;
 use aurora_graph::{generate, FeatureMatrix};
 use aurora_mapping::degree_aware;
 use aurora_model::reference::init_weights;
+use aurora_model::{LayerShape, ModelId};
 use aurora_pe::PeConfig;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 

@@ -22,8 +22,16 @@ fn bench_noc(c: &mut Criterion) {
         b.iter(|| {
             let cfg = NocConfig::with_bypass(
                 8,
-                vec![BypassSegment { index: 2, from: 0, to: 7 }],
-                vec![BypassSegment { index: 5, from: 0, to: 7 }],
+                vec![BypassSegment {
+                    index: 2,
+                    from: 0,
+                    to: 7,
+                }],
+                vec![BypassSegment {
+                    index: 5,
+                    from: 0,
+                    to: 7,
+                }],
             );
             let mut net = Network::new(cfg);
             for i in 0..64usize {
@@ -41,9 +49,7 @@ fn bench_noc(c: &mut Criterion) {
     let mapping = degree_aware::map(0..8192, &g.degrees(), 32, 8);
     let cfg = NocConfig::mesh(32);
     c.bench_function("estimator_route_walk_64k_edges", |b| {
-        b.iter(|| {
-            noc_model::aggregation_traffic(black_box(&cfg), &mapping, g.edges(), 64)
-        })
+        b.iter(|| noc_model::aggregation_traffic(black_box(&cfg), &mapping, g.edges(), 64))
     });
 }
 

@@ -5,9 +5,8 @@ use aurora_partition::partition;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_partition(c: &mut Criterion) {
-    let counts =
-        Workload::from_sizes(ModelId::Gcn, 100_000, 1_000_000, LayerShape::new(512, 128))
-            .op_counts();
+    let counts = Workload::from_sizes(ModelId::Gcn, 100_000, 1_000_000, LayerShape::new(512, 128))
+        .op_counts();
     c.bench_function("partition_sweep_1024_pes", |b| {
         b.iter(|| partition(black_box(&counts), 1024, 22.4e9))
     });

@@ -2,39 +2,50 @@
 //! hashing policy on a plain mesh, on Aurora's own engine.
 
 use aurora_bench::protocol::{shapes_for, EvalProtocol};
+use aurora_bench::{Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_mapping::MappingPolicy;
 use aurora_model::ModelId;
 
 fn main() {
-    println!("=== Mapping ablation: degree-aware + flexible NoC vs hashing + mesh ===");
-    println!(
-        "{:<10}{:>16}{:>16}{:>10}{:>16}{:>16}{:>10}",
-        "dataset", "DA noc cyc", "hash noc cyc", "noc red%", "DA total", "hash total", "total red%"
-    );
+    let mut table = Table::new("Mapping ablation: degree-aware + flexible NoC vs hashing + mesh")
+        .columns(&[
+            "dataset",
+            "DA noc cyc",
+            "hash noc cyc",
+            "noc red",
+            "DA total",
+            "hash total",
+            "total red",
+        ]);
     for p in EvalProtocol::standard() {
         let spec = p.spec();
         let g = spec.synthesize();
         let shapes = shapes_for(&spec, p.hidden);
-        let da = AuroraSimulator::new(AcceleratorConfig::default())
-            .simulate(&g, ModelId::Gcn, &shapes, p.dataset.name());
+        let da = AuroraSimulator::new(AcceleratorConfig::default()).simulate(
+            &g,
+            ModelId::Gcn,
+            &shapes,
+            p.dataset.name(),
+        );
         let hash_cfg = AcceleratorConfig {
             mapping_policy: MappingPolicy::Hashing,
             flexible_noc: false,
             ..AcceleratorConfig::default()
         };
-        let hb = AuroraSimulator::new(hash_cfg)
-            .simulate(&g, ModelId::Gcn, &shapes, p.dataset.name());
-        let red = |a: u64, b: u64| 100.0 * (1.0 - a as f64 / b.max(1) as f64);
-        println!(
-            "{:<10}{:>16}{:>16}{:>9.1}%{:>16}{:>16}{:>9.1}%",
-            p.dataset.name(),
-            da.noc_cycles(),
-            hb.noc_cycles(),
+        let hb =
+            AuroraSimulator::new(hash_cfg).simulate(&g, ModelId::Gcn, &shapes, p.dataset.name());
+        let red = |a: u64, b: u64| Cell::percent(100.0 * (1.0 - a as f64 / b.max(1) as f64), 1);
+        table.row(vec![
+            p.dataset.name().into(),
+            da.noc_cycles().into(),
+            hb.noc_cycles().into(),
             red(da.noc_cycles(), hb.noc_cycles()),
-            da.total_cycles,
-            hb.total_cycles,
+            da.total_cycles.into(),
+            hb.total_cycles.into(),
             red(da.total_cycles, hb.total_cycles),
-        );
+        ]);
     }
+    table.print();
+    table.write_json("results/ablation_mapping.json");
 }

@@ -2,15 +2,14 @@
 //! pipeline-stage balance and end-to-end impact, across the model zoo.
 
 use aurora_bench::protocol::{shapes_for, EvalProtocol};
+use aurora_bench::{Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_graph::Dataset;
 use aurora_model::ModelId;
-use aurora_partition::partition;
 use aurora_model::Workload;
+use aurora_partition::partition;
 
 fn main() {
-    println!("=== Partition ablation: Algorithm 2 vs fixed 50/50 ===");
-
     // per-model stage balance on a mid-size dataset
     let p = EvalProtocol::standard()
         .into_iter()
@@ -21,10 +20,8 @@ fn main() {
     let shapes = shapes_for(&spec, p.hidden);
     let cfg = AcceleratorConfig::default();
 
-    println!(
-        "{:<20}{:>8}{:>8}{:>12}{:>12}{:>10}",
-        "model", "a", "b", "balance", "bal(50/50)", "gain"
-    );
+    let mut balance = Table::new("Partition ablation: Algorithm 2 vs fixed 50/50 (Pubmed)")
+        .columns(&["model", "a", "b", "balance", "bal(50/50)", "gain"]);
     for id in ModelId::ALL {
         let counts = Workload::of(id, &g, shapes[0]).op_counts();
         let dynamic = partition(&counts, cfg.num_pes(), cfg.flops_per_pe());
@@ -36,24 +33,33 @@ fn main() {
             t_b: aurora_partition::time_b(&counts, cfg.num_pes() - half, cfg.flops_per_pe()),
         };
         let gain = fixed.stage_time() / dynamic.stage_time().max(f64::MIN_POSITIVE);
-        println!(
-            "{:<20}{:>8}{:>8}{:>12.3}{:>12.3}{:>9.2}x",
-            id.name(),
-            dynamic.a,
-            dynamic.b,
-            dynamic.balance(),
-            fixed.balance(),
-            gain
-        );
+        balance.row(vec![
+            id.name().into(),
+            dynamic.a.into(),
+            dynamic.b.into(),
+            Cell::float(dynamic.balance(), 3),
+            Cell::float(fixed.balance(), 3),
+            Cell::ratio(gain, 2),
+        ]);
     }
+    balance.print();
+    balance.write_json("results/ablation_partition_balance.json");
 
     // end-to-end effect on the GCN protocol. With the paper's 4 DRAM
     // channels most datasets are off-chip-bound, masking compute balance —
     // so we also report a bandwidth-rich configuration where the pipeline
     // stages are the critical path.
-    for (label, channels) in [("paper 4-channel", 4usize), ("compute-bound 16-channel", 16)] {
-        println!("\nend-to-end, {label} (two-layer GCN):");
-        println!("{:<10}{:>16}{:>16}{:>10}", "dataset", "dynamic cyc", "fixed cyc", "red%");
+    for (label, channels) in [
+        ("paper 4-channel", 4usize),
+        ("compute-bound 16-channel", 16),
+    ] {
+        println!();
+        let mut e2e = Table::new(format!("end-to-end, {label} (two-layer GCN)")).columns(&[
+            "dataset",
+            "dynamic cyc",
+            "fixed cyc",
+            "red",
+        ]);
         for p in EvalProtocol::standard() {
             let spec = p.spec();
             let g = spec.synthesize();
@@ -68,15 +74,23 @@ fn main() {
                 dynamic_partition: false,
                 ..base
             };
-            let fixed = AuroraSimulator::new(fixed_cfg)
-                .simulate(&g, ModelId::Gcn, &shapes, p.dataset.name());
-            println!(
-                "{:<10}{:>16}{:>16}{:>9.1}%",
+            let fixed = AuroraSimulator::new(fixed_cfg).simulate(
+                &g,
+                ModelId::Gcn,
+                &shapes,
                 p.dataset.name(),
-                dynamic.total_cycles,
-                fixed.total_cycles,
-                100.0 * (1.0 - dynamic.total_cycles as f64 / fixed.total_cycles.max(1) as f64)
             );
+            e2e.row(vec![
+                p.dataset.name().into(),
+                dynamic.total_cycles.into(),
+                fixed.total_cycles.into(),
+                Cell::percent(
+                    100.0 * (1.0 - dynamic.total_cycles as f64 / fixed.total_cycles.max(1) as f64),
+                    1,
+                ),
+            ]);
         }
+        e2e.print();
+        e2e.write_json(&format!("results/ablation_partition_{channels}ch.json"));
     }
 }

@@ -4,26 +4,70 @@
 //! PE control + reconfigurable switches 3.7 %; PE array 62.74 % of chip,
 //! controller 0.9 %, flexible-interconnect additions 5.2 %.
 
+use aurora_bench::{Cell, Table};
 use aurora_energy::AreaModel;
 
 fn main() {
     let model = AreaModel::default();
     let b = model.breakdown();
-    println!("=== §VI-F area analysis ({} PEs, TSMC 40 nm seed) ===", model.num_pes);
-    println!("within one PE ({:.4} mm²):", model.pe_area_mm2);
+
     let pe_total = b.pe_mac + b.pe_memory + b.pe_control + b.pe_misc;
-    println!("  MAC array              {:>8.4} mm²  ({:>5.1}%)", b.pe_mac, 100.0 * b.pe_mac / pe_total);
-    println!("  memory (SMB/IDMB/ODMB) {:>8.4} mm²  ({:>5.1}%)", b.pe_memory, 100.0 * b.pe_memory / pe_total);
-    println!("  control + switches     {:>8.4} mm²  ({:>5.1}%)", b.pe_control, 100.0 * b.pe_control / pe_total);
-    println!("  router IF / misc       {:>8.4} mm²  ({:>5.1}%)", b.pe_misc, 100.0 * b.pe_misc / pe_total);
-    println!("chip ({:.2} mm² total):", b.total_chip);
-    println!("  PE array               {:>8.2} mm²  ({:>5.2}%)", b.pe_array, 100.0 * b.pe_array / b.total_chip);
-    println!("  controller             {:>8.2} mm²  ({:>5.2}%)", b.controller, 100.0 * b.controller / b.total_chip);
-    println!("  flexible interconnect  {:>8.2} mm²  ({:>5.2}%)", b.flexible_interconnect, 100.0 * b.interconnect_overhead());
-    println!("  shared SRAM/PHY/misc   {:>8.2} mm²  ({:>5.2}%)", b.other, 100.0 * b.other / b.total_chip);
-    println!(
-        "\nflexible-interconnect overhead: {:.1}% of chip area ({})",
+    let mut pe = Table::new(format!(
+        "§VI-F area: within one PE ({:.4} mm², {} PEs, TSMC 40 nm seed)",
+        model.pe_area_mm2, model.num_pes
+    ))
+    .columns(&["component", "mm²", "share"]);
+    for (name, area) in [
+        ("MAC array", b.pe_mac),
+        ("memory (SMB/IDMB/ODMB)", b.pe_memory),
+        ("control + switches", b.pe_control),
+        ("router IF / misc", b.pe_misc),
+    ] {
+        pe.row(vec![
+            name.into(),
+            Cell::float(area, 4),
+            Cell::percent(100.0 * area / pe_total, 1),
+        ]);
+    }
+    pe.print();
+
+    println!();
+    let mut chip = Table::new(format!("§VI-F area: chip ({:.2} mm² total)", b.total_chip))
+        .columns(&["component", "mm²", "share"]);
+    for (name, area, share) in [
+        ("PE array", b.pe_array, 100.0 * b.pe_array / b.total_chip),
+        (
+            "controller",
+            b.controller,
+            100.0 * b.controller / b.total_chip,
+        ),
+        (
+            "flexible interconnect",
+            b.flexible_interconnect,
+            100.0 * b.interconnect_overhead(),
+        ),
+        (
+            "shared SRAM/PHY/misc",
+            b.other,
+            100.0 * b.other / b.total_chip,
+        ),
+    ] {
+        chip.row(vec![
+            name.into(),
+            Cell::float(area, 2),
+            Cell::percent(share, 2),
+        ]);
+    }
+    chip.note(format!(
+        "flexible-interconnect overhead: {:.1}% of chip area ({})",
         100.0 * b.interconnect_overhead(),
-        if b.interconnect_overhead() < 0.06 { "negligible ✓" } else { "HIGH" }
-    );
+        if b.interconnect_overhead() < 0.06 {
+            "negligible ✓"
+        } else {
+            "HIGH"
+        }
+    ));
+    chip.print();
+    pe.write_json("results/area_pe.json");
+    chip.write_json("results/area_chip.json");
 }

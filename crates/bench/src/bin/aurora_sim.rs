@@ -6,15 +6,22 @@
 //!                     ggcn|edgeconv1|edgeconv5]
 //!            [--hidden N] [--k N] [--hashing] [--no-flex-noc]
 //!            [--no-partition] [--baseline hygcn|awb|gcnax|regnn|flowgnn]
-//!            [--json]
+//!            [--json] [--trace out.json] [--metrics out.json]
 //! ```
 //!
+//! `--trace` writes a Chrome trace-event JSON timeline (simulated
+//! cycles; load it in Perfetto or `chrome://tracing`) with one track per
+//! sub-accelerator plus NoC, DRAM and tile-pipeline tracks. `--metrics`
+//! writes the full metrics snapshot (counters / gauges / histograms with
+//! model/layer/tile/phase scopes). Both only cover the Aurora engine —
+//! the baseline cost models are not instrumented.
+//!
 //! Example: `cargo run --release -p aurora-bench --bin aurora_sim -- \
-//!           --dataset pubmed --model gcn --k 32`
+//!           --dataset pubmed --model gcn --k 32 --trace trace.json`
 
 use aurora_baselines::{BaselineKind, BaselineParams};
 use aurora_bench::protocol::shapes_for;
-use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport};
+use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport, Telemetry};
 use aurora_graph::Dataset;
 use aurora_mapping::MappingPolicy;
 use aurora_model::ModelId;
@@ -99,6 +106,8 @@ fn main() {
     let mut dyn_part = true;
     let mut baseline: Option<BaselineKind> = None;
     let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
 
     let mut i = 0;
     let fail = |msg: &str| -> ! {
@@ -129,7 +138,16 @@ fn main() {
                 i += 1;
             }
             "--baseline" => {
-                baseline = Some(parse_baseline(need(i)).unwrap_or_else(|| fail("unknown baseline")));
+                baseline =
+                    Some(parse_baseline(need(i)).unwrap_or_else(|| fail("unknown baseline")));
+                i += 1;
+            }
+            "--trace" => {
+                trace_path = Some(need(i).clone());
+                i += 1;
+            }
+            "--metrics" => {
+                metrics_path = Some(need(i).clone());
                 i += 1;
             }
             "--hashing" => policy = MappingPolicy::Hashing,
@@ -152,6 +170,16 @@ fn main() {
         spec.feature_dim
     );
 
+    let observing = trace_path.is_some() || metrics_path.is_some();
+    let telemetry = if observing {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    if observing && baseline.is_some() {
+        eprintln!("note: --trace/--metrics only instrument the Aurora engine, not baselines");
+    }
+
     let report = match baseline {
         Some(b) => {
             if !b.build(BaselineParams::default()).supports(model) {
@@ -168,14 +196,34 @@ fn main() {
                 dynamic_partition: dyn_part,
                 ..AcceleratorConfig::default()
             };
-            AuroraSimulator::new(cfg).simulate_with_density(
-                &g,
-                model,
-                &shapes,
-                dataset.name(),
-                spec.feature_density,
-            )
+            AuroraSimulator::new(cfg)
+                .with_telemetry(telemetry.clone())
+                .simulate_with_density(&g, model, &shapes, dataset.name(), spec.feature_density)
         }
     };
+
+    if let Some(path) = &trace_path {
+        let json = telemetry.trace_json().unwrap_or_else(|| {
+            // telemetry stayed disabled (baseline run): emit a valid,
+            // empty trace document rather than nothing
+            Telemetry::enabled().trace_json().expect("enabled")
+        });
+        std::fs::write(path, json).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        eprintln!(
+            "trace: {path} ({} events; open in https://ui.perfetto.dev)",
+            telemetry.trace_len()
+        );
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = telemetry.snapshot();
+        let body = serde_json::to_string_pretty(&snapshot).expect("serialize metrics");
+        std::fs::write(path, body).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        eprintln!(
+            "metrics: {path} ({} counters, {} gauges, {} histograms)",
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len()
+        );
+    }
     print_report(&report, json);
 }

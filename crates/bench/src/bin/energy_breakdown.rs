@@ -3,15 +3,14 @@
 //! the component view behind Fig. 10's totals.
 
 use aurora_bench::protocol::{shapes_for, EvalProtocol};
+use aurora_bench::{Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_model::ModelId;
 
 fn main() {
-    println!("=== Aurora energy breakdown (two-layer GCN) ===");
-    println!(
-        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>12}",
-        "dataset", "compute%", "sram%", "dram%", "noc%", "static%", "reconf%", "total mJ"
-    );
+    let mut table = Table::new("Aurora energy breakdown (two-layer GCN)").columns(&[
+        "dataset", "compute%", "sram%", "dram%", "noc%", "static%", "reconf%", "total mJ",
+    ]);
     for p in EvalProtocol::standard() {
         let spec = p.spec();
         let g = spec.synthesize();
@@ -24,23 +23,24 @@ fn main() {
         );
         let e = &r.energy;
         let t = e.total();
-        let pct = |x: f64| 100.0 * x / t;
-        println!(
-            "{:<10}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9.3}%{:>12.3}",
-            p.dataset.name(),
+        let pct = |x: f64| Cell::percent(100.0 * x / t, 1);
+        table.row(vec![
+            p.dataset.name().into(),
             pct(e.compute),
             pct(e.local_sram + e.global_sram),
             pct(e.dram),
             pct(e.noc),
             pct(e.static_leakage),
-            pct(e.reconfiguration),
-            t * 1e3
-        );
+            Cell::percent(100.0 * e.reconfiguration / t, 3),
+            Cell::float(t * 1e3, 3),
+        ]);
     }
-    println!(
-        "\nDRAM dominates on the sparse-feature datasets (so Fig. 7's access\n\
-         reduction is the main lever behind Fig. 10), while Reddit's dense\n\
-         features shift the cost to on-chip communication — the same effect\n\
-         that shrinks Aurora's Reddit speedup in §VI-D."
+    table.note(
+        "DRAM dominates on the sparse-feature datasets (so Fig. 7's access \
+         reduction is the main lever behind Fig. 10), while Reddit's dense \
+         features shift the cost to on-chip communication — the same effect \
+         that shrinks Aurora's Reddit speedup in §VI-D.",
     );
+    table.print();
+    table.write_json("results/energy_breakdown.json");
 }

@@ -5,9 +5,9 @@
 //! GCNAX 42 %, ReGNN 69 %, FlowGNN 71 %; Aurora's reconfiguration energy
 //! stays below 3 % of its total.
 
-use aurora_bench::{print_normalized, run_standard, EvalProtocol};
-use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_bench::protocol::shapes_for;
+use aurora_bench::{print_normalized, run_standard, Cell, EvalProtocol, Table};
+use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_model::ModelId;
 
 fn main() {
@@ -15,7 +15,8 @@ fn main() {
     print_normalized("Fig. 10: energy consumption", &sweep, |c| c.energy_joules);
 
     // the reconfiguration-energy claim (§VI-E)
-    println!("Aurora reconfiguration-energy fraction per dataset:");
+    let mut reconf = Table::new("Aurora reconfiguration-energy fraction per dataset")
+        .columns(&["dataset", "fraction", "claim"]);
     for p in EvalProtocol::standard() {
         let spec = p.spec();
         let g = spec.synthesize();
@@ -26,12 +27,13 @@ fn main() {
             p.dataset.name(),
         );
         let f = r.energy.reconfiguration_fraction();
-        println!(
-            "  {:<9} {:.3}%  ({})",
-            p.dataset.name(),
-            f * 100.0,
-            if f < 0.03 { "< 3% ✓" } else { "EXCEEDS 3%" }
-        );
+        reconf.row(vec![
+            p.dataset.name().into(),
+            Cell::percent(f * 100.0, 3),
+            if f < 0.03 { "< 3% ✓" } else { "EXCEEDS 3%" }.into(),
+        ]);
     }
+    reconf.print();
+    reconf.write_json("results/fig10_reconf.json");
     aurora_bench::table::dump_json("results/fig10_energy.json", &sweep);
 }

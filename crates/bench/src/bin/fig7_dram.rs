@@ -4,13 +4,17 @@
 //! Paper-reported per-dataset average reductions vs the baselines:
 //! Cora 86 %, Citeseer 60 %, Pubmed 15 %, Nell 57 %, Reddit 65 %.
 
-use aurora_bench::{print_normalized, run_standard, EvalProtocol};
+use aurora_bench::{print_normalized, run_standard, Cell, EvalProtocol, Table};
 
 fn main() {
     let sweep = run_standard(&EvalProtocol::standard());
     print_normalized("Fig. 7: DRAM accesses", &sweep, |c| c.dram_accesses as f64);
     // the paper also reports a per-dataset average across baselines
-    println!("per-dataset average DRAM-access reduction vs baselines:");
+    let mut avg = Table::new("per-dataset average DRAM-access reduction vs baselines").columns(&[
+        "dataset",
+        "reduction",
+        "baselines vs Aurora",
+    ]);
     for d in &sweep.datasets {
         let aurora = sweep.cell("Aurora", d).dram_accesses as f64;
         let mut logsum = 0.0;
@@ -22,7 +26,13 @@ fn main() {
             }
         }
         let geo = (logsum / n as f64).exp();
-        println!("  {d:<9} {:.0}%  (baselines {geo:.2}x Aurora)", (1.0 - 1.0 / geo) * 100.0);
+        avg.row(vec![
+            d.as_str().into(),
+            Cell::percent((1.0 - 1.0 / geo) * 100.0, 0),
+            Cell::ratio(geo, 2),
+        ]);
     }
+    avg.print();
+    avg.write_json("results/fig7_dram_reductions.json");
     aurora_bench::table::dump_json("results/fig7_dram.json", &sweep);
 }

@@ -23,7 +23,10 @@ fn main() {
             }
         }
         let geo = (logsum / n as f64).exp();
-        println!("  {d:<9} {:.0}%  (baselines {geo:.2}x Aurora)", (1.0 - 1.0 / geo) * 100.0);
+        println!(
+            "  {d:<9} {:.0}%  (baselines {geo:.2}x Aurora)",
+            (1.0 - 1.0 / geo) * 100.0
+        );
     }
     aurora_bench::table::dump_json("results/fig8_noc.json", &sweep);
 }

@@ -7,29 +7,35 @@
 //! (ReGNN), 1.1–1.7× (FlowGNN). The Reddit column shows the smallest
 //! gains (dense features + graph size, §VI-D).
 
-use aurora_bench::{print_normalized, run_standard, EvalProtocol};
+use aurora_bench::{print_normalized, run_standard, Cell, EvalProtocol, Table};
 
 fn main() {
     let sweep = run_standard(&EvalProtocol::standard());
     print_normalized("Fig. 9: execution time", &sweep, |c| c.cycles as f64);
 
     // per-layer rows, as the paper's figure plots each layer separately
-    println!("per-layer normalized execution time:");
+    let mut headers = vec!["dataset", "layer"];
+    headers.extend(sweep.accelerators.iter().map(String::as_str));
+    let mut per_layer = Table::new("per-layer normalized execution time").columns(&headers);
     for d in &sweep.datasets {
         let aurora = sweep.cell("Aurora", d);
         for (li, &ac) in aurora.layer_cycles.iter().enumerate() {
-            print!("  {d:<9} L{li}:");
+            let mut row: Vec<Cell> = vec![d.as_str().into(), format!("L{li}").into()];
             for a in &sweep.accelerators {
                 let c = sweep.cell(a, d);
                 let v = c.layer_cycles.get(li).copied().unwrap_or(0) as f64 / ac as f64;
-                print!(" {a}={v:.2}");
+                row.push(Cell::float(v, 2));
             }
-            println!();
+            per_layer.row(row);
         }
     }
+    per_layer.print();
+    per_layer.write_json("results/fig9_per_layer.json");
 
     // speedup ranges vs each baseline across datasets (§VI-D)
-    println!("\nspeedup ranges (min–max across datasets):");
+    println!();
+    let mut ranges =
+        Table::new("speedup ranges (min–max across datasets)").columns(&["baseline", "min", "max"]);
     for a in &sweep.accelerators {
         if a == "Aurora" {
             continue;
@@ -41,7 +47,13 @@ fn main() {
             lo = lo.min(s);
             hi = hi.max(s);
         }
-        println!("  vs {a:<8} {lo:.1}x – {hi:.1}x");
+        ranges.row(vec![
+            a.as_str().into(),
+            Cell::ratio(lo, 1),
+            Cell::ratio(hi, 1),
+        ]);
     }
+    ranges.print();
+    ranges.write_json("results/fig9_speedup_ranges.json");
     aurora_bench::table::dump_json("results/fig9_perf.json", &sweep);
 }

@@ -2,6 +2,7 @@
 //! plain mesh vs the bypass-augmented fabric — the microarchitecture-level
 //! view behind Fig. 2's reconfiguration story.
 
+use aurora_bench::{Cell, Table};
 use aurora_noc::{run_pattern, BypassSegment, NocConfig, Pattern};
 
 fn main() {
@@ -21,34 +22,49 @@ fn main() {
         NocConfig::with_bypass(
             k,
             (0..k)
-                .map(|r| BypassSegment { index: r, from: 0, to: k - 1 })
+                .map(|r| BypassSegment {
+                    index: r,
+                    from: 0,
+                    to: k - 1,
+                })
                 .collect(),
             (0..k)
-                .map(|c| BypassSegment { index: c, from: 0, to: k - 1 })
+                .map(|c| BypassSegment {
+                    index: c,
+                    from: 0,
+                    to: k - 1,
+                })
                 .collect(),
         )
     };
 
-    println!("=== {k}×{k} NoC, {msgs} messages/node × {words} words ===");
-    println!(
-        "{:<12}{:>10}{:>10}{:>9}{:>9}{:>9}{:>11}{:>11}",
-        "pattern", "mesh cyc", "byp cyc", "p50", "p90", "p99", "mesh hops", "byp hops"
-    );
+    let mut table = Table::new(format!("{k}×{k} NoC, {msgs} messages/node × {words} words"))
+        .columns(&[
+            "pattern",
+            "mesh cyc",
+            "byp cyc",
+            "p50",
+            "p90",
+            "p99",
+            "mesh hops",
+            "byp hops",
+        ]);
     for (name, p) in patterns {
         let mesh = run_pattern(NocConfig::mesh(k), p, msgs, words);
         let byp = run_pattern(bypass_cfg(), p, msgs, words);
-        println!(
-            "{:<12}{:>10}{:>10}{:>9}{:>9}{:>9}{:>11.2}{:>11.2}",
-            name,
-            mesh.pattern_cycles,
-            byp.pattern_cycles,
-            byp.p50,
-            byp.p90,
-            byp.p99,
-            mesh.stats.avg_hops(),
-            byp.stats.avg_hops()
-        );
+        table.row(vec![
+            name.into(),
+            mesh.pattern_cycles.into(),
+            byp.pattern_cycles.into(),
+            byp.p50.into(),
+            byp.p90.into(),
+            byp.p99.into(),
+            Cell::float(mesh.stats.avg_hops(), 2),
+            Cell::float(byp.stats.avg_hops(), 2),
+        ]);
     }
+    table.print();
+    table.write_json("results/noc_patterns.json");
 
     println!("\nring mode (weight-stationary rotation):");
     let ring = run_pattern(NocConfig::rings(k), Pattern::NeighborX, msgs, words);

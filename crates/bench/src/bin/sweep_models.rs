@@ -4,6 +4,7 @@
 //! engines' imbalance; Aurora repartitions per model.
 
 use aurora_baselines::{BaselineKind, BaselineParams};
+use aurora_bench::{Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_graph::Dataset;
 use aurora_model::{LayerShape, ModelId};
@@ -18,11 +19,10 @@ fn main() {
         g.num_edges(),
         spec.feature_dim
     );
-    print!("{:<20}{:>12}{:>10}", "model", "Aurora cyc", "A/B");
-    for b in BaselineKind::ALL {
-        print!("{:>12}", b.name());
-    }
-    println!();
+
+    let mut headers = vec!["model", "Aurora cyc", "A/B"];
+    headers.extend(BaselineKind::ALL.iter().map(|b| b.name()));
+    let mut table = Table::new("model-diversity sweep").columns(&headers);
 
     let p = BaselineParams::default();
     for id in ModelId::ALL {
@@ -34,26 +34,29 @@ fn main() {
             spec.feature_density,
         );
         let l0 = &aurora.layers[0];
-        print!(
-            "{:<20}{:>12}{:>5}/{:<4}",
-            id.name(),
-            aurora.total_cycles,
-            l0.partition.a,
-            l0.partition.b
-        );
+        let mut row: Vec<Cell> = vec![
+            id.name().into(),
+            aurora.total_cycles.into(),
+            format!("{}/{}", l0.partition.a, l0.partition.b).into(),
+        ];
         for b in BaselineKind::ALL {
             let chassis = b.build(p);
             if chassis.supports(id) {
                 let r = chassis.simulate(&g, id, &shapes, "Citeseer");
-                print!("{:>11.2}x", r.total_cycles as f64 / aurora.total_cycles as f64);
+                row.push(Cell::ratio(
+                    r.total_cycles as f64 / aurora.total_cycles as f64,
+                    2,
+                ));
             } else {
-                print!("{:>12}", "—");
+                row.push(Cell::Missing);
             }
         }
-        println!();
+        table.row(row);
     }
-    println!(
-        "\n'—' = unsupported model (Table I); ratios are baseline/Aurora\n\
-         execution time on the models both can run."
+    table.note(
+        "'—' = unsupported model (Table I); ratios are baseline/Aurora \
+         execution time on the models both can run.",
     );
+    table.print();
+    table.write_json("results/sweep_models.json");
 }

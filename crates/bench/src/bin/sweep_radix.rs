@@ -3,6 +3,7 @@
 //! behind the paper's choice of 32 × 32.
 
 use aurora_bench::protocol::shapes_for;
+use aurora_bench::{Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_graph::Dataset;
 use aurora_model::ModelId;
@@ -16,10 +17,15 @@ fn main() {
         g.num_vertices(),
         g.num_edges()
     );
-    println!(
-        "{:>6}{:>8}{:>14}{:>14}{:>14}{:>14}{:>12}",
-        "k", "PEs", "cycles", "compute", "noc", "dram", "energy mJ"
-    );
+    let mut table = Table::new("radix sweep").columns(&[
+        "k",
+        "PEs",
+        "cycles",
+        "compute",
+        "noc",
+        "dram",
+        "energy mJ",
+    ]);
     for k in [16usize, 24, 32, 40, 48] {
         let cfg = AcceleratorConfig {
             k,
@@ -34,19 +40,20 @@ fn main() {
         );
         let compute: u64 = r.layers.iter().map(|l| l.compute_cycles).sum();
         let dram: u64 = r.layers.iter().map(|l| l.dram_cycles).sum();
-        println!(
-            "{:>6}{:>8}{:>14}{:>14}{:>14}{:>14}{:>12.3}",
-            k,
-            k * k,
-            r.total_cycles,
-            compute,
-            r.noc_cycles(),
-            dram,
-            r.energy_joules() * 1e3
-        );
+        table.row(vec![
+            k.into(),
+            (k * k).into(),
+            r.total_cycles.into(),
+            compute.into(),
+            r.noc_cycles().into(),
+            dram.into(),
+            Cell::float(r.energy_joules() * 1e3, 3),
+        ]);
     }
-    println!(
-        "\ncompute scales with PE count while DRAM stays flat — the array\n\
-         size where the curves cross motivates the paper's 32 × 32 choice."
+    table.note(
+        "compute scales with PE count while DRAM stays flat — the array \
+         size where the curves cross motivates the paper's 32 × 32 choice.",
     );
+    table.print();
+    table.write_json("results/sweep_radix.json");
 }

@@ -1,15 +1,13 @@
 //! Table I — GNN coverage of Aurora vs the prior accelerators.
 
 use aurora_baselines::{BaselineKind, BaselineParams};
+use aurora_bench::Table;
 use aurora_core::Workflow;
 use aurora_model::{ModelCategory, ModelId};
 
 fn main() {
-    println!("=== Table I: model coverage ===");
-    println!(
-        "{:<10}{:>8}{:>8}{:>8}",
-        "", "C-GNN", "A-GNN", "MP-GNN"
-    );
+    let mut table =
+        Table::new("Table I: model coverage").columns(&["design", "C-GNN", "A-GNN", "MP-GNN"]);
     let probe = |cat: ModelCategory| -> ModelId {
         match cat {
             ModelCategory::CGnn => ModelId::Gcn,
@@ -18,31 +16,45 @@ fn main() {
         }
     };
     let p = BaselineParams::default();
+    let cats = [
+        ModelCategory::CGnn,
+        ModelCategory::AGnn,
+        ModelCategory::MpGnn,
+    ];
     for b in BaselineKind::ALL {
         let c = b.build(p);
-        print!("{:<10}", c.name);
-        for cat in [ModelCategory::CGnn, ModelCategory::AGnn, ModelCategory::MpGnn] {
-            print!("{:>8}", if c.supports(probe(cat)) { "yes" } else { "no" });
+        let mut row = vec![c.name.into()];
+        for cat in cats {
+            row.push(if c.supports(probe(cat)) { "yes" } else { "no" }.into());
         }
-        println!();
+        table.row(row);
     }
     // Aurora: the workflow generator produces a supported plan for every
     // zoo model (the unified PE covers every Table II op).
-    print!("{:<10}", "Aurora");
-    for _cat in [ModelCategory::CGnn, ModelCategory::AGnn, ModelCategory::MpGnn] {
-        print!("{:>8}", "yes");
-    }
-    println!();
+    table.row(vec![
+        "Aurora".into(),
+        "yes".into(),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    table.print();
 
-    println!("\nAurora per-model workflow check:");
+    println!();
+    let mut check = Table::new("Aurora per-model workflow check").columns(&[
+        "model",
+        "phases",
+        "modes",
+        "single_accel",
+    ]);
     for id in ModelId::ALL {
         let w = Workflow::generate(id);
-        println!(
-            "  {:<20} phases={} modes={} single_accel={}",
-            id.name(),
-            w.phases.len(),
-            w.required_modes().len(),
-            w.single_accelerator
-        );
+        check.row(vec![
+            id.name().into(),
+            w.phases.len().into(),
+            w.required_modes().len().into(),
+            if w.single_accelerator { "yes" } else { "no" }.into(),
+        ]);
     }
+    check.print();
+    table.write_json("results/table1_coverage.json");
 }

@@ -2,14 +2,17 @@
 //! regenerated from the model specs (plus the op counts a concrete layer
 //! implies, which feed Algorithm 2).
 
+use aurora_bench::{Cell, Table};
 use aurora_model::{LayerShape, ModelId, Phase, Workload};
 
 fn main() {
-    println!("=== Table II: required operations per phase ===");
-    println!(
-        "{:<20}{:<12}{:<34}{:<14}{:<30}",
-        "Model", "Category", "Edge Update", "Aggregation", "Vertex Update"
-    );
+    let mut table = Table::new("Table II: required operations per phase").columns(&[
+        "Model",
+        "Category",
+        "Edge Update",
+        "Aggregation",
+        "Vertex Update",
+    ]);
     for id in ModelId::ALL {
         let s = id.spec();
         let fmt = |p: Phase| -> String {
@@ -23,31 +26,31 @@ fn main() {
                     .join(", ")
             }
         };
-        println!(
-            "{:<20}{:<12}{:<34}{:<14}{:<30}",
-            s.name(),
-            s.category.name(),
-            fmt(Phase::EdgeUpdate),
-            fmt(Phase::Aggregation),
-            fmt(Phase::VertexUpdate)
-        );
+        table.row(vec![
+            s.name().into(),
+            s.category.name().into(),
+            fmt(Phase::EdgeUpdate).into(),
+            fmt(Phase::Aggregation).into(),
+            fmt(Phase::VertexUpdate).into(),
+        ]);
     }
+    table.print();
 
     // concrete op counts for a reference layer (n = 10k, m = 50k, 128→64)
-    println!("\nconcrete op counts (n=10000, m=50000, 128→64):");
-    println!(
-        "{:<20}{:>16}{:>16}{:>16}{:>8}",
-        "Model", "O_ue", "O_a", "O_uv", "E_f"
-    );
+    println!();
+    let mut counts = Table::new("concrete op counts (n=10000, m=50000, 128→64)")
+        .columns(&["Model", "O_ue", "O_a", "O_uv", "E_f"]);
     for id in ModelId::ALL {
         let c = Workload::from_sizes(id, 10_000, 50_000, LayerShape::new(128, 64)).op_counts();
-        println!(
-            "{:<20}{:>16}{:>16}{:>16}{:>8}",
-            id.name(),
-            c.edge_update,
-            c.aggregation,
-            c.vertex_update,
-            c.edge_feature_dim
-        );
+        counts.row(vec![
+            id.name().into(),
+            c.edge_update.into(),
+            c.aggregation.into(),
+            c.vertex_update.into(),
+            Cell::UInt(c.edge_feature_dim as u64),
+        ]);
     }
+    counts.print();
+    table.write_json("results/table2_ops.json");
+    counts.write_json("results/table2_op_counts.json");
 }

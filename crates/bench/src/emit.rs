@@ -1,0 +1,356 @@
+//! Shared result emitter for the figure/table binaries.
+//!
+//! Every bench binary used to hand-roll `print!("{:<10}{:>12.2}…")`
+//! column layouts; this module replaces those with one [`Table`] builder
+//! that renders an aligned human-readable table, a CSV form, and a JSON
+//! sidecar (`results/<name>.json`) for downstream tooling.
+
+use serde::{Serialize, Value};
+
+/// One table cell. Strings align left; numbers align right.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Str(String),
+    UInt(u64),
+    Int(i64),
+    /// Fixed-precision float.
+    Float {
+        value: f64,
+        precision: usize,
+    },
+    /// Rendered `{value:.precision}%`.
+    Percent {
+        value: f64,
+        precision: usize,
+    },
+    /// Rendered `{value:.precision}x`.
+    Ratio {
+        value: f64,
+        precision: usize,
+    },
+    /// Rendered `—` (and `null` in JSON): not applicable.
+    Missing,
+}
+
+impl Cell {
+    /// Fixed-precision float cell.
+    pub fn float(value: f64, precision: usize) -> Self {
+        Cell::Float { value, precision }
+    }
+
+    /// Percentage cell (`value` already in percent units).
+    pub fn percent(value: f64, precision: usize) -> Self {
+        Cell::Percent { value, precision }
+    }
+
+    /// Ratio cell rendered with an `x` suffix.
+    pub fn ratio(value: f64, precision: usize) -> Self {
+        Cell::Ratio { value, precision }
+    }
+
+    fn text(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::UInt(v) => v.to_string(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float { value, precision } => format!("{value:.precision$}"),
+            Cell::Percent { value, precision } => format!("{value:.precision$}%"),
+            Cell::Ratio { value, precision } => format!("{value:.precision$}x"),
+            Cell::Missing => "—".to_string(),
+        }
+    }
+
+    fn is_left_aligned(&self) -> bool {
+        matches!(self, Cell::Str(_))
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Cell::Str(s) => Value::Str(s.clone()),
+            Cell::UInt(v) => Value::UInt(*v),
+            Cell::Int(v) => Value::Int(*v),
+            Cell::Float { value, .. } | Cell::Percent { value, .. } | Cell::Ratio { value, .. } => {
+                Value::Float(*value)
+            }
+            Cell::Missing => Value::Null,
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Str(s)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::UInt(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::UInt(v as u64)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+/// An aligned results table with optional footnotes.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table titled `title`.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Sets the column headers (builder style).
+    pub fn columns(mut self, names: &[&str]) -> Self {
+        self.columns = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the cell count doesn't match the column count.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the {} columns of `{}`",
+            self.columns.len(),
+            self.title
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The aligned human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        let texts: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::text).collect())
+            .collect();
+        for row in &texts {
+            for (i, t) in row.iter().enumerate() {
+                widths[i] = widths[i].max(t.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("=== {} ===\n", self.title));
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // headers follow their column's data alignment (first row wins)
+            let left = self
+                .rows
+                .first()
+                .map(|r| r[i].is_left_aligned())
+                .unwrap_or(true);
+            out.push_str(&pad(c, widths[i], left));
+        }
+        out.push('\n');
+        for (row, text) in self.rows.iter().zip(&texts) {
+            for (i, t) in text.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&pad(t, widths[i], row[i].is_left_aligned()));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// RFC-4180-ish CSV (quotes only where needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| esc(&c.text()))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The JSON sidecar form: `{title, columns, rows, notes}` with typed
+    /// cell values (`Missing` → `null`).
+    pub fn to_json_value(&self) -> Value {
+        Value::Map(vec![
+            ("title".into(), Value::Str(self.title.clone())),
+            (
+                "columns".into(),
+                Value::Seq(self.columns.iter().map(|c| Value::Str(c.clone())).collect()),
+            ),
+            (
+                "rows".into(),
+                Value::Seq(
+                    self.rows
+                        .iter()
+                        .map(|r| Value::Seq(r.iter().map(Cell::to_value).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes".into(),
+                Value::Seq(self.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the JSON sidecar, creating parent directories.
+    pub fn write_json(&self, path: &str) {
+        write_json_payload(path, &self.to_json_value());
+    }
+}
+
+fn pad(s: &str, width: usize, left: bool) -> String {
+    let n = s.chars().count();
+    let fill = " ".repeat(width.saturating_sub(n));
+    if left {
+        format!("{s}{fill}")
+    } else {
+        format!("{fill}{s}")
+    }
+}
+
+/// Serializes any value as pretty JSON to `path` (parents created),
+/// reporting the write on stdout. Shared by the table sidecars and the
+/// raw sweep dumps.
+pub fn dump_json<T: Serialize>(path: &str, value: &T) {
+    write_json_payload(path, &value.to_value());
+}
+
+fn write_json_payload(path: &str, value: &Value) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        if std::fs::write(path, s).is_ok() {
+            println!("(raw results written to {path})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("sample").columns(&["name", "cycles", "speedup"]);
+        t.row(vec!["Aurora".into(), 100u64.into(), Cell::ratio(1.0, 2)]);
+        t.row(vec!["HyGCN".into(), 900u64.into(), Cell::ratio(9.0, 2)]);
+        t.note("ratios are baseline/Aurora");
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "=== sample ===");
+        // header + 2 rows + note
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("name"));
+        // numeric columns right-align: both cycle values end at same col
+        let c1 = lines[2].find("100").unwrap() + 3;
+        let c2 = lines[3].find("900").unwrap() + 3;
+        assert_eq!(c1, c2);
+        assert!(lines[4].starts_with("note:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new("t").columns(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("t").columns(&["a", "b"]);
+        t.row(vec!["x,y".into(), 1u64.into()]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",1\n");
+    }
+
+    #[test]
+    fn json_sidecar_is_typed() {
+        let v = sample().to_json_value();
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        let rows = back.get("rows").and_then(Value::as_seq).unwrap();
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_seq().unwrap();
+        assert_eq!(first[0].as_str(), Some("Aurora"));
+        assert_eq!(first[1].as_u64(), Some(100));
+        // Missing renders as null
+        let mut t = Table::new("m").columns(&["a"]);
+        t.row(vec![Cell::Missing]);
+        assert!(serde_json::to_string(&t.to_json_value())
+            .unwrap()
+            .contains("null"));
+    }
+}

@@ -19,10 +19,12 @@
 //! normalised to the same multipliers/bandwidth/storage — and each binary
 //! prints its figure's metric from those runs.
 
+pub mod emit;
 pub mod protocol;
 pub mod sweep;
 pub mod table;
 
+pub use emit::{Cell, Table};
 pub use protocol::{shapes_for, EvalProtocol};
 pub use sweep::{run_standard, CellResult, SweepResult};
-pub use table::print_normalized;
+pub use table::{normalized_table, print_normalized};

@@ -75,7 +75,9 @@ mod tests {
     fn standard_covers_all_datasets() {
         let p = EvalProtocol::standard();
         assert_eq!(p.len(), 5);
-        assert!(p.iter().any(|e| e.dataset == Dataset::Reddit && e.scale > 1));
+        assert!(p
+            .iter()
+            .any(|e| e.dataset == Dataset::Reddit && e.scale > 1));
         assert!(p.iter().any(|e| e.dataset == Dataset::Cora && e.scale == 1));
     }
 

@@ -1,66 +1,68 @@
-//! ASCII table rendering for the figure binaries.
+//! Normalised-matrix rendering for the figure binaries, built on the
+//! shared [`crate::emit`] table emitter.
 
+use crate::emit::{Cell, Table};
 use crate::sweep::{CellResult, SweepResult};
 
-/// Prints a matrix of `metric` values normalised to Aurora's value per
+/// Builds the matrix of `metric` values normalised to Aurora's value per
 /// dataset (the paper normalises every figure to the proposed
-/// accelerator), plus the per-dataset and overall average reduction Aurora
-/// achieves versus the baselines. Returns the per-baseline average factor.
-pub fn print_normalized(
+/// accelerator), with a geomean column. Returns the table plus the
+/// per-baseline geomean factor.
+pub fn normalized_table(
     title: &str,
     sweep: &SweepResult,
     metric: impl Fn(&CellResult) -> f64,
-) -> Vec<(String, f64)> {
-    println!("=== {title} (normalized to Aurora) ===");
-    print!("{:<10}", "");
-    for d in &sweep.datasets {
-        print!("{d:>10}");
-    }
-    println!("{:>10}", "geomean");
+) -> (Table, Vec<(String, f64)>) {
+    let mut headers: Vec<&str> = vec!["design"];
+    headers.extend(sweep.datasets.iter().map(String::as_str));
+    headers.push("geomean");
+    let mut table = Table::new(format!("{title} (normalized to Aurora)")).columns(&headers);
 
     let mut averages = Vec::new();
     for a in &sweep.accelerators {
-        print!("{a:<10}");
+        let mut cells: Vec<Cell> = vec![a.as_str().into()];
         let mut logsum = 0.0;
         for d in &sweep.datasets {
             let v = metric(sweep.cell(a, d));
             let base = metric(sweep.cell("Aurora", d));
             let norm = if base == 0.0 { f64::NAN } else { v / base };
             logsum += norm.max(1e-12).ln();
-            print!("{norm:>10.2}");
+            cells.push(Cell::float(norm, 2));
         }
         let geo = (logsum / sweep.datasets.len() as f64).exp();
-        println!("{geo:>10.2}");
+        cells.push(Cell::float(geo, 2));
+        table.row(cells);
         averages.push((a.clone(), geo));
     }
 
     // the paper's headline: Aurora's average reduction vs each baseline
-    println!();
     for (a, geo) in &averages {
         if a != "Aurora" && *geo > 0.0 {
-            println!(
-                "Aurora reduction vs {a}: {:.0}%  (factor {:.2}x)",
-                (1.0 - 1.0 / geo) * 100.0,
-                geo
-            );
+            table.note(format!(
+                "Aurora reduction vs {a}: {:.0}%  (factor {geo:.2}x)",
+                (1.0 - 1.0 / geo) * 100.0
+            ));
         }
     }
+    (table, averages)
+}
+
+/// Prints the normalised matrix and returns the per-baseline average
+/// factor (legacy entry point used by the fig binaries).
+pub fn print_normalized(
+    title: &str,
+    sweep: &SweepResult,
+    metric: impl Fn(&CellResult) -> f64,
+) -> Vec<(String, f64)> {
+    let (table, averages) = normalized_table(title, sweep, metric);
+    table.print();
     println!();
     averages
 }
 
 /// Writes the sweep as JSON next to the binary run (for EXPERIMENTS.md).
 pub fn dump_json(path: &str, sweep: &SweepResult) {
-    if let Some(parent) = std::path::Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).ok();
-        }
-    }
-    if let Ok(s) = serde_json::to_string_pretty(sweep) {
-        if std::fs::write(path, s).is_ok() {
-            println!("(raw results written to {path})");
-        }
-    }
+    crate::emit::dump_json(path, sweep);
 }
 
 #[cfg(test)]
@@ -72,9 +74,14 @@ mod tests {
     #[test]
     fn normalized_table_prints_and_returns_factors() {
         let sweep = run_standard(&EvalProtocol::tiny()[..1]);
-        let factors = print_normalized("test", &sweep, |c| c.cycles as f64);
+        let (table, factors) = normalized_table("test", &sweep, |c| c.cycles as f64);
         assert_eq!(factors.len(), 6);
         let aurora = factors.iter().find(|(a, _)| a == "Aurora").unwrap();
         assert!((aurora.1 - 1.0).abs() < 1e-9, "Aurora normalises to 1.0");
+        let rendered = table.render();
+        assert!(rendered.contains("geomean"));
+        assert!(rendered.contains("Aurora"));
+        // one row per accelerator plus header/title, notes for 5 baselines
+        assert_eq!(table.num_rows(), 6);
     }
 }

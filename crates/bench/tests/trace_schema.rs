@@ -1,0 +1,128 @@
+//! Golden test: the Chrome trace-event JSON produced for a tiny two-layer
+//! GCN run must satisfy the schema Perfetto / `chrome://tracing` load —
+//! `ph`/`ts`/`dur`/`pid`/`tid` on every event, metadata naming each track,
+//! and distinct tracks for the two sub-accelerators and DRAM.
+
+use aurora_core::{AcceleratorConfig, AuroraSimulator, Telemetry};
+use aurora_graph::generate;
+use aurora_model::{LayerShape, ModelId};
+use serde::Value;
+use serde_json::from_str;
+
+fn run_tiny_gcn() -> (Telemetry, aurora_core::SimReport) {
+    let g = generate::rmat(256, 2_000, Default::default(), 11);
+    let telemetry = Telemetry::enabled();
+    let report = AuroraSimulator::new(AcceleratorConfig::small(8))
+        .with_telemetry(telemetry.clone())
+        .simulate(
+            &g,
+            ModelId::Gcn,
+            &[LayerShape::new(32, 16), LayerShape::new(16, 8)],
+            "golden",
+        );
+    (telemetry, report)
+}
+
+#[test]
+fn trace_json_matches_chrome_event_schema() {
+    let (telemetry, report) = run_tiny_gcn();
+    let json = telemetry.trace_json().expect("telemetry enabled");
+    let doc: Value = from_str(&json).expect("trace must be valid JSON");
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_seq)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "a 2-layer run must emit events");
+
+    let mut complete_spans = 0usize;
+    let mut track_names = Vec::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .expect("every event has ph");
+        let name = ev.get("name").and_then(Value::as_str).expect("name");
+        assert!(ev.get("pid").and_then(Value::as_u64).is_some(), "pid");
+        // process-level metadata is the only event without a thread id
+        if !(ph == "M" && name == "process_name") {
+            assert!(ev.get("tid").and_then(Value::as_u64).is_some(), "tid");
+        }
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    let n = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .expect("thread_name metadata carries args.name");
+                    track_names.push(n.to_string());
+                }
+            }
+            "X" => {
+                complete_spans += 1;
+                assert!(ev.get("ts").and_then(Value::as_u64).is_some(), "X has ts");
+                assert!(ev.get("dur").and_then(Value::as_u64).is_some(), "X has dur");
+            }
+            "i" => {
+                assert!(ev.get("ts").and_then(Value::as_u64).is_some(), "i has ts");
+            }
+            "C" => {
+                assert!(ev.get("ts").and_then(Value::as_u64).is_some(), "C has ts");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(complete_spans > 0, "timeline must contain complete spans");
+
+    // the two sub-accelerators and DRAM must appear as distinct tracks
+    for required in [
+        aurora_telemetry::tracks::SUB_A,
+        aurora_telemetry::tracks::SUB_B,
+        aurora_telemetry::tracks::DRAM,
+    ] {
+        assert!(
+            track_names.iter().any(|n| n == required),
+            "missing track {required:?} (have {track_names:?})"
+        );
+    }
+    let mut dedup = track_names.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), track_names.len(), "track names are distinct");
+
+    // spans carry simulated cycles: no span may end past the run total
+    for ev in events {
+        if ev.get("ph").and_then(Value::as_str) == Some("X") {
+            let ts = ev.get("ts").and_then(Value::as_u64).unwrap();
+            let dur = ev.get("dur").and_then(Value::as_u64).unwrap();
+            assert!(
+                ts + dur <= report.total_cycles,
+                "span [{ts}, {}] exceeds run total {}",
+                ts + dur,
+                report.total_cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_snapshot_round_trips_through_json() {
+    let (telemetry, report) = run_tiny_gcn();
+    let snapshot = telemetry.snapshot();
+    assert!(!snapshot.is_empty());
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize");
+    let back: aurora_telemetry::MetricsSnapshot = serde_json::from_str(&json).expect("parse");
+    assert_eq!(
+        back.counter_total("layer.total_cycles"),
+        report.total_cycles
+    );
+    assert_eq!(
+        back.counter_total("dram.read_bytes") + back.counter_total("dram.write_bytes"),
+        report.dram.total_bytes()
+    );
+}

@@ -21,17 +21,23 @@ use aurora_mem::MemoryController;
 use aurora_model::{LayerShape, ModelId, Phase, Workload};
 use aurora_noc::{BypassSegment, NocConfig};
 use aurora_partition::{partition, PartitionStrategy};
+use aurora_telemetry::{tracks, Scope, Telemetry};
 
 /// The Aurora accelerator simulator.
 #[derive(Debug, Clone)]
 pub struct AuroraSimulator {
     config: AcceleratorConfig,
+    telemetry: Telemetry,
 }
 
 impl AuroraSimulator {
-    /// A simulator with the given configuration.
+    /// A simulator with the given configuration. Telemetry starts
+    /// disabled; see [`Self::with_telemetry`].
     pub fn new(config: AcceleratorConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// The paper's 32 × 32 @ 700 MHz instance.
@@ -42,6 +48,20 @@ impl AuroraSimulator {
     /// The active configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    /// Attaches an observability handle: simulations record `dram.*`,
+    /// `noc.*`, `mapping.*`, `partition.*` and per-tile metrics, plus a
+    /// simulated-cycle timeline with one track per sub-accelerator
+    /// (retrieve it with `telemetry.trace_json()`).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached observability handle (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Simulates `model` inference over `g` through the given layer
@@ -76,12 +96,20 @@ impl AuroraSimulator {
         assert!((0.0..=1.0).contains(&input_density), "density in [0, 1]");
         let cfg = &self.config;
         let mut mem = MemoryController::new(cfg.dram_channels);
+        mem.attach_telemetry(self.telemetry.clone());
+        mem.set_scope(Scope::model(model.name()));
         let mut activity = ActivityCounts::default();
         let mut layers = Vec::with_capacity(shapes.len());
         let mut instructions = Vec::new();
         let mut reconfigs = 0u64;
         let mut total_cycles = 0u64;
         let wf = Workflow::generate(model);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .instant(tracks::CONTROLLER, "accept request", 0);
+            self.telemetry
+                .instant(tracks::CONTROLLER, "generate workflow", 0);
+        }
 
         if cfg.trace_instructions {
             instructions.push(Instruction::AcceptRequest {
@@ -103,6 +131,7 @@ impl AuroraSimulator {
                 shape,
                 li,
                 density,
+                total_cycles,
                 &mut mem,
                 &mut activity,
                 &mut instructions,
@@ -121,6 +150,16 @@ impl AuroraSimulator {
         }
         .evaluate(&activity);
 
+        if self.telemetry.is_enabled() {
+            let scope = Scope::model(model.name());
+            self.telemetry
+                .counter_add("run.total_cycles", &scope, total_cycles);
+            self.telemetry
+                .counter_add("run.reconfigurations", &scope, reconfigs);
+            self.telemetry
+                .gauge_set("run.energy_joules", &scope, energy.total());
+        }
+
         SimReport {
             accelerator: "Aurora".into(),
             model: model.name().into(),
@@ -133,6 +172,7 @@ impl AuroraSimulator {
             energy,
             reconfigurations: reconfigs,
             instructions,
+            metrics: self.telemetry.snapshot(),
         }
     }
 
@@ -172,13 +212,15 @@ impl AuroraSimulator {
                     }));
                     acc.dram.read_bytes += r.dram.read_bytes.saturating_sub(w_bytes);
                     acc.dram.write_bytes += r.dram.write_bytes;
-                    acc.dram.sequential_bytes +=
-                        r.dram.sequential_bytes.saturating_sub(w_bytes);
+                    acc.dram.sequential_bytes += r.dram.sequential_bytes.saturating_sub(w_bytes);
                     acc.dram.random_bytes += r.dram.random_bytes;
                     acc.activity = acc.activity.add(&r.activity);
                     acc.activity.cycles = acc.total_cycles;
                     acc.activity.dram_bytes = acc.dram.total_bytes();
                     acc.reconfigurations += r.reconfigurations;
+                    // the telemetry recorder is shared across the batch, so
+                    // the latest snapshot is the cumulative one
+                    acc.metrics = r.metrics;
                     acc
                 }
             });
@@ -202,6 +244,7 @@ impl AuroraSimulator {
         shape: LayerShape,
         layer_idx: usize,
         input_density: f64,
+        layer_start: u64,
         mem: &mut MemoryController,
         activity: &mut ActivityCounts,
         instructions: &mut Vec<Instruction>,
@@ -209,6 +252,8 @@ impl AuroraSimulator {
         let cfg = &self.config;
         let k = cfg.k;
         let trace = cfg.trace_instructions;
+        let tel = &self.telemetry;
+        let lscope = Scope::model(model.name()).layer(layer_idx);
 
         // --- Tile by on-chip capacity -----------------------------------
         let tiling_cfg = TilingConfig {
@@ -248,6 +293,39 @@ impl AuroraSimulator {
                 b: strategy.b,
             });
         }
+        strategy.record_to(tel, &lscope);
+
+        // Trace timeline: the exposed controller overheads (mapping +
+        // partition decisions, then the first NoC reconfiguration when the
+        // fabric is flexible) lead the layer; tiles follow back-to-back,
+        // each occupying max(execution, DRAM) — the double-buffer envelope.
+        let mut cursor = layer_start;
+        if tel.is_enabled() {
+            tel.span(
+                tracks::CONTROLLER,
+                &format!("map+partition layer {layer_idx}"),
+                cursor,
+                100,
+                vec![
+                    ("pes_a".into(), strategy.a.into()),
+                    ("pes_b".into(), strategy.b.into()),
+                ],
+            );
+        }
+        cursor += 100;
+        if cfg.flexible_noc {
+            let recfg_cycles = (2 * k - 1) as u64;
+            if tel.is_enabled() {
+                tel.span(
+                    tracks::CONTROLLER,
+                    "NoC reconfigure (exposed)",
+                    cursor,
+                    recfg_cycles,
+                    vec![],
+                );
+            }
+            cursor += recfg_cycles;
+        }
 
         // --- Per-tile pipeline -------------------------------------------
         let c_pe = cfg.pe.vertex_capacity(shape.f_in);
@@ -270,12 +348,14 @@ impl AuroraSimulator {
         let rings_cfg = NocConfig::rings(k);
 
         for (ti, sg) in tiling.subgraphs(g).enumerate() {
+            mem.set_scope(lscope.tile(ti));
             let range = sg.vertex_range();
             let degrees: Vec<u32> = range.clone().map(|v| g.degree(v) as u32).collect();
             let mapping: VertexMapping = match cfg.mapping_policy {
                 MappingPolicy::DegreeAware => degree_aware::map(range.clone(), &degrees, k, c_pe),
                 MappingPolicy::Hashing => hashing::map(range.clone(), &degrees, k, c_pe),
             };
+            aurora_mapping::record_quality(tel, &lscope, &mapping);
             if trace {
                 instructions.push(Instruction::MapSubgraph {
                     tile: ti,
@@ -315,8 +395,7 @@ impl AuroraSimulator {
             };
 
             // Compute time of the two pipeline stages on this tile.
-            let w_sg =
-                Workload::from_sizes(model, sg.num_vertices(), sg.num_edges(), shape);
+            let w_sg = Workload::from_sizes(model, sg.num_vertices(), sg.num_edges(), shape);
             let c_sg = w_sg.op_counts();
             let t_a = cfg.cycles_of(aurora_partition::time_a(
                 &c_sg,
@@ -406,6 +485,83 @@ impl AuroraSimulator {
             let exec = (t_a + est_a.cycles).max(t_b + est_b.cycles);
             exec_cycles.push(exec);
             dram_cycles.push(d_cycles);
+
+            let slot = exec.max(d_cycles);
+            if tel.is_enabled() {
+                est_a.record_to(tel, &lscope.phase("aggregation"));
+                est_b.record_to(tel, &lscope.phase("vertex-update"));
+                tel.span(
+                    tracks::TILES,
+                    &format!("tile {ti}"),
+                    cursor,
+                    slot,
+                    vec![
+                        ("exec_cycles".into(), exec.into()),
+                        ("dram_cycles".into(), d_cycles.into()),
+                        ("hidden_cycles".into(), exec.min(d_cycles).into()),
+                    ],
+                );
+                tel.span(
+                    tracks::SUB_A,
+                    &format!("edge update + aggregation (tile {ti})"),
+                    cursor,
+                    t_a + est_a.cycles,
+                    vec![
+                        ("compute_cycles".into(), t_a.into()),
+                        ("noc_cycles".into(), est_a.cycles.into()),
+                        ("vertices".into(), sg.num_vertices().into()),
+                        ("edges".into(), sg.num_edges().into()),
+                    ],
+                );
+                if t_b + est_b.cycles > 0 {
+                    tel.span(
+                        tracks::SUB_B,
+                        &format!("vertex update (tile {ti})"),
+                        cursor,
+                        t_b + est_b.cycles,
+                        vec![
+                            ("compute_cycles".into(), t_b.into()),
+                            ("noc_cycles".into(), est_b.cycles.into()),
+                        ],
+                    );
+                }
+                if d_cycles > 0 {
+                    tel.span(
+                        tracks::DRAM,
+                        &format!("tile {ti} off-chip traffic"),
+                        cursor,
+                        d_cycles,
+                        vec![
+                            ("owned_bytes".into(), owned_bytes.into()),
+                            ("halo_vertices".into(), halo.into()),
+                        ],
+                    );
+                }
+                if est_a.flit_hops + est_b.flit_hops > 0 {
+                    // A and B traffic share the fabric concurrently, so the
+                    // track span is clamped to the tile's slot
+                    tel.span(
+                        tracks::NOC,
+                        &format!("tile {ti} on-chip traffic"),
+                        cursor,
+                        (est_a.cycles + est_b.cycles).clamp(1, slot.max(1)),
+                        vec![
+                            (
+                                "flit_hops".into(),
+                                (est_a.flit_hops + est_b.flit_hops).into(),
+                            ),
+                            (
+                                "bypass_hops".into(),
+                                (est_a.bypass_hops + est_b.bypass_hops).into(),
+                            ),
+                        ],
+                    );
+                }
+                tel.observe("tile.exec_cycles", &lscope, exec);
+                tel.observe("tile.dram_cycles", &lscope, d_cycles);
+                tel.counter_add("tile.hidden_cycles", &lscope, exec.min(d_cycles));
+            }
+            cursor += slot;
             compute_total += t_a + t_b;
             phase_cycles.sub_a_compute += t_a;
             phase_cycles.sub_b_compute += t_b;
@@ -421,8 +577,8 @@ impl AuroraSimulator {
             }
             // bank-buffer traffic heuristic: one operand word per op plus
             // the tile's feature I/O
-            activity.local_sram_words += c_sg.total()
-                + (sg.num_vertices() * (shape.f_in + out_dim)) as u64;
+            activity.local_sram_words +=
+                c_sg.total() + (sg.num_vertices() * (shape.f_in + out_dim)) as u64;
             activity.noc_flit_hops += est_a.flit_hops + est_b.flit_hops;
             // datapath mode switches across the phase sequence, per tile
             reconfigs += wf.mode_switches();
@@ -443,6 +599,18 @@ impl AuroraSimulator {
         // mapping + partition decisions (~100 cycles) overlap with the
         // previous tile's execution; only the first is exposed.
         total += 100;
+
+        if tel.is_enabled() {
+            debug_assert_eq!(
+                cursor - layer_start,
+                total,
+                "trace timeline must cover the layer exactly"
+            );
+            tel.counter_add("layer.total_cycles", &lscope, total);
+            tel.counter_add("layer.compute_cycles", &lscope, compute_total);
+            tel.counter_add("layer.reconfigurations", &lscope, reconfigs);
+            tel.gauge_set("layer.tiles", &lscope, tiling.num_tiles() as f64);
+        }
 
         let report = LayerReport {
             layer: layer_idx,
@@ -623,7 +791,11 @@ mod tests {
         let batch = sim.simulate_batch(&refs, ModelId::Gcn, &shapes, "batch");
         let singles: u64 = graphs
             .iter()
-            .map(|g| sim.simulate(g, ModelId::Gcn, &shapes, "one").dram.total_bytes())
+            .map(|g| {
+                sim.simulate(g, ModelId::Gcn, &shapes, "one")
+                    .dram
+                    .total_bytes()
+            })
             .sum();
         assert_eq!(batch.layers.len(), 4);
         assert!(
@@ -632,8 +804,7 @@ mod tests {
             batch.dram.total_bytes()
         );
         // layer indices are globally unique
-        let ids: std::collections::HashSet<_> =
-            batch.layers.iter().map(|l| l.layer).collect();
+        let ids: std::collections::HashSet<_> = batch.layers.iter().map(|l| l.layer).collect();
         assert_eq!(ids.len(), 4);
         assert!(batch.energy_joules() > 0.0);
     }
@@ -671,6 +842,53 @@ mod tests {
                 c.total()
             );
         }
+    }
+
+    #[test]
+    fn telemetry_records_timeline_and_metrics() {
+        let g = toy_graph();
+        let t = Telemetry::enabled();
+        let shapes = [LayerShape::new(32, 16), LayerShape::new(16, 8)];
+        let r = small_sim()
+            .with_telemetry(t.clone())
+            .simulate(&g, ModelId::Gcn, &shapes, "toy");
+
+        // metrics mirror the report exactly
+        assert!(!r.metrics.is_empty());
+        assert_eq!(
+            r.metrics.counter_total("dram.read_bytes"),
+            r.dram.read_bytes
+        );
+        assert_eq!(
+            r.metrics.counter_total("dram.write_bytes"),
+            r.dram.write_bytes
+        );
+        assert_eq!(
+            r.metrics.counter_total("layer.total_cycles"),
+            r.total_cycles
+        );
+        let scope0 = Scope::model("GCN").layer(0);
+        assert_eq!(
+            r.metrics.gauge_at("partition.pes_a", &scope0),
+            Some(r.layers[0].partition.a as f64)
+        );
+        assert!(r
+            .metrics
+            .histogram_at("tile.exec_cycles", &scope0)
+            .is_some());
+
+        // timeline has the sub-accelerator tracks and per-layer spans
+        let json = t.trace_json().unwrap();
+        assert!(json.contains(tracks::SUB_A));
+        assert!(json.contains(tracks::SUB_B));
+        assert!(json.contains(tracks::DRAM));
+        assert!(json.contains("map+partition layer 1"));
+
+        // an unobserved run produces identical numbers and no metrics
+        let plain = small_sim().simulate(&g, ModelId::Gcn, &shapes, "toy");
+        assert_eq!(plain.total_cycles, r.total_cycles);
+        assert_eq!(plain.dram, r.dram);
+        assert!(plain.metrics.is_empty());
     }
 
     #[test]

@@ -78,8 +78,7 @@ pub fn run_gcn_layer(
         "mapping must cover the whole graph"
     );
     let k2 = mapping.k * mapping.k;
-    let mut pes: Vec<ProcessingElement> =
-        (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
+    let mut pes: Vec<ProcessingElement> = (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
     let mut busy = vec![0u64; k2];
     let mut out = FeatureMatrix::zeros(n, f_out);
 
@@ -145,8 +144,7 @@ pub fn run_sum_aggregate_layer(
         "mapping must cover the whole graph"
     );
     let k2 = mapping.k * mapping.k;
-    let mut pes: Vec<ProcessingElement> =
-        (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
+    let mut pes: Vec<ProcessingElement> = (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
     let mut busy = vec![0u64; k2];
     let mut out = FeatureMatrix::zeros(n, f_out);
 
@@ -201,8 +199,7 @@ pub fn run_attention_layer(
         "mapping must cover the whole graph"
     );
     let k2 = mapping.k * mapping.k;
-    let mut pes: Vec<ProcessingElement> =
-        (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
+    let mut pes: Vec<ProcessingElement> = (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
     let mut busy = vec![0u64; k2];
     let mut out = FeatureMatrix::zeros(n, f_out);
 
@@ -256,8 +253,7 @@ pub fn run_ggcn_layer(
         "mapping must cover the whole graph"
     );
     let k2 = mapping.k * mapping.k;
-    let mut pes: Vec<ProcessingElement> =
-        (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
+    let mut pes: Vec<ProcessingElement> = (0..k2).map(|_| ProcessingElement::new(pe_cfg)).collect();
     let mut busy = vec![0u64; k2];
     let mut out = FeatureMatrix::zeros(n, f_out);
 
@@ -424,7 +420,10 @@ mod tests {
             PeConfig::default(),
         );
         let comm_ref = CommNet::new(8, 4, w.clone()).forward(&g, &x);
-        assert!(comm_run.output.max_abs_diff(&comm_ref) < 1e-9, "CommNet diverged");
+        assert!(
+            comm_run.output.max_abs_diff(&comm_ref) < 1e-9,
+            "CommNet diverged"
+        );
 
         let mean_run = run_sum_aggregate_layer(
             &g,
@@ -436,7 +435,10 @@ mod tests {
             PeConfig::default(),
         );
         let mean_ref = SageMean::new(8, 4, w.clone()).forward(&g, &x);
-        assert!(mean_run.output.max_abs_diff(&mean_ref) < 1e-9, "SageMean diverged");
+        assert!(
+            mean_run.output.max_abs_diff(&mean_ref) < 1e-9,
+            "SageMean diverged"
+        );
     }
 
     #[test]
@@ -466,8 +468,7 @@ mod tests {
         let w = init_weights(3, 6, 6);
         let mapping = degree_aware::map(0..28, &g.degrees(), 4, 2);
         let run = run_ggcn_layer(&g, &x, &w_u, &w_v, &w, 3, &mapping, PeConfig::default());
-        let reference =
-            GGcn::new(6, 3, w_u.clone(), w_v.clone(), w.clone()).forward(&g, &x);
+        let reference = GGcn::new(6, 3, w_u.clone(), w_v.clone(), w.clone()).forward(&g, &x);
         assert!(
             run.output.max_abs_diff(&reference) < 1e-9,
             "G-GCN diverged by {}",

@@ -15,7 +15,10 @@ pub enum Instruction {
     /// Host request accepted by the request dispatcher (①).
     AcceptRequest { model: String, layers: usize },
     /// Workflow generated (③): active phases, single-accelerator flag.
-    GenerateWorkflow { phases: usize, single_accelerator: bool },
+    GenerateWorkflow {
+        phases: usize,
+        single_accelerator: bool,
+    },
     /// Partition decided (④): PEs for sub-accelerators A and B.
     Partition { a: usize, b: usize },
     /// Subgraph mapped (⑤).
@@ -33,7 +36,11 @@ pub enum Instruction {
     /// Tile data prefetched from DRAM.
     LoadTile { tile: usize, bytes: u64 },
     /// One phase executed on a sub-accelerator (⑦).
-    ExecutePhase { tile: usize, phase: Phase, cycles: u64 },
+    ExecutePhase {
+        tile: usize,
+        phase: Phase,
+        cycles: u64,
+    },
     /// Output features written back.
     WriteBack { tile: usize, bytes: u64 },
 }

@@ -45,3 +45,7 @@ pub use engine::AuroraSimulator;
 pub use instr::Instruction;
 pub use report::{LayerReport, NocReport, SimReport};
 pub use workflow::Workflow;
+
+// Re-exported so simulator drivers can enable observability without
+// depending on aurora-telemetry directly.
+pub use aurora_telemetry::{MetricsSnapshot, Scope, Telemetry};

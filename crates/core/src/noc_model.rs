@@ -17,6 +17,7 @@
 use aurora_mapping::VertexMapping;
 use aurora_noc::routing::{compute_route, next_node};
 use aurora_noc::{NocConfig, Port, TopologyMode};
+use aurora_telemetry::{Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Achievable fraction of raw link bandwidth under irregular traffic.
@@ -56,6 +57,22 @@ impl OnChipEstimate {
             bypass_hops: self.bypass_hops + o.bypass_hops,
         }
     }
+
+    /// Records this phase estimate under `scope` as `noc.*` counters
+    /// (cycles, flit-hops, messages, bypass usage) and hotspot gauges.
+    /// Scopes are expected to carry the phase label so the two
+    /// sub-accelerators' traffic stays separable.
+    pub fn record_to(&self, telemetry: &Telemetry, scope: &Scope) {
+        if !telemetry.is_enabled() || self.messages == 0 {
+            return;
+        }
+        telemetry.counter_add("noc.cycles", scope, self.cycles);
+        telemetry.counter_add("noc.flit_hops", scope, self.flit_hops);
+        telemetry.counter_add("noc.messages", scope, self.messages);
+        telemetry.counter_add("noc.bypass_hops", scope, self.bypass_hops);
+        telemetry.gauge_set("noc.avg_hops", scope, self.avg_hops);
+        telemetry.gauge_set("noc.max_router_load", scope, self.max_router_load as f64);
+    }
 }
 
 /// Directed link count of the configured fabric.
@@ -63,7 +80,11 @@ fn link_count(cfg: &NocConfig) -> u64 {
     let k = cfg.k as u64;
     let mesh = 4 * k * (k - 1);
     let bypass = 2 * (cfg.row_bypass.len() + cfg.col_bypass.len()) as u64;
-    let wrap = if cfg.mode == TopologyMode::Rings { k } else { 0 };
+    let wrap = if cfg.mode == TopologyMode::Rings {
+        k
+    } else {
+        0
+    };
     mesh + bypass + wrap
 }
 
@@ -120,12 +141,20 @@ pub fn aggregation_traffic(
     // router has a configured attachment — the "additional injection/
     // ejection bandwidth" the flexible NoC provides to S_PEs.
     for (node, e) in eject.iter().enumerate() {
-        let width = 1
-            + (cfg.h_bypass_peer(node).is_some() || cfg.v_bypass_peer(node).is_some()) as u64;
+        let width =
+            1 + (cfg.h_bypass_peer(node).is_some() || cfg.v_bypass_peer(node).is_some()) as u64;
         load[node] += e.div_ceil(width.max(1));
     }
 
-    finalize(cfg, load, flit_hops, bypass_hops, messages, total_hops, flits_per_msg)
+    finalize(
+        cfg,
+        load,
+        flit_hops,
+        bypass_hops,
+        messages,
+        total_hops,
+        flits_per_msg,
+    )
 }
 
 /// Estimates the weight-stationary vertex-update traffic: each of the
@@ -213,11 +242,19 @@ mod tests {
                 4,
                 plan.rows
                     .iter()
-                    .map(|s| aurora_noc::BypassSegment { index: s.index, from: s.from, to: s.to })
+                    .map(|s| aurora_noc::BypassSegment {
+                        index: s.index,
+                        from: s.from,
+                        to: s.to,
+                    })
                     .collect(),
                 plan.cols
                     .iter()
-                    .map(|s| aurora_noc::BypassSegment { index: s.index, from: s.from, to: s.to })
+                    .map(|s| aurora_noc::BypassSegment {
+                        index: s.index,
+                        from: s.from,
+                        to: s.to,
+                    })
                     .collect(),
             );
             let ed = aggregation_traffic(&cfg, &d, g.edges(), 16);
@@ -239,11 +276,19 @@ mod tests {
             8,
             plan.rows
                 .iter()
-                .map(|s| aurora_noc::BypassSegment { index: s.index, from: s.from, to: s.to })
+                .map(|s| aurora_noc::BypassSegment {
+                    index: s.index,
+                    from: s.from,
+                    to: s.to,
+                })
                 .collect(),
             plan.cols
                 .iter()
-                .map(|s| aurora_noc::BypassSegment { index: s.index, from: s.from, to: s.to })
+                .map(|s| aurora_noc::BypassSegment {
+                    index: s.index,
+                    from: s.from,
+                    to: s.to,
+                })
                 .collect(),
         );
         cfg.validate();

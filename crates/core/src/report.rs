@@ -5,6 +5,7 @@ use aurora_energy::{ActivityCounts, EnergyBreakdown};
 use aurora_mem::controller::TrafficCounters;
 use aurora_model::{LayerShape, PhaseOpCounts};
 use aurora_partition::PartitionStrategy;
+use aurora_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// On-chip communication summary of a layer or run.
@@ -90,6 +91,9 @@ pub struct SimReport {
     pub reconfigurations: u64,
     /// Controller instruction trace (present when tracing is enabled).
     pub instructions: Vec<crate::instr::Instruction>,
+    /// Full metrics snapshot (empty unless a telemetry handle was
+    /// attached to the simulator).
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimReport {
@@ -141,6 +145,7 @@ mod tests {
             energy: EnergyBreakdown::default(),
             reconfigurations: 0,
             instructions: vec![],
+            metrics: MetricsSnapshot::default(),
         }
     }
 

@@ -108,7 +108,9 @@ mod tests {
         assert!((b.pe_array / b.total_chip - 0.6274).abs() < 1e-9);
         assert!((b.controller / b.total_chip - 0.009).abs() < 1e-9);
         assert!((b.interconnect_overhead() - 0.052).abs() < 1e-9);
-        assert!((b.pe_mac / (b.pe_mac + b.pe_memory + b.pe_control + b.pe_misc) - 0.071).abs() < 1e-9);
+        assert!(
+            (b.pe_mac / (b.pe_mac + b.pe_memory + b.pe_control + b.pe_misc) - 0.071).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl GraphBuilder {
     }
 
     /// Bulk-adds directed edges.
-    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+    pub fn extend_edges(
+        &mut self,
+        it: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> &mut Self {
         for (u, v) in it {
             self.add_edge(u, v);
         }
@@ -97,7 +100,10 @@ mod tests {
     #[test]
     fn builds_sorted_dedup() {
         let mut b = GraphBuilder::new(4);
-        b.add_edge(2, 1).add_edge(0, 3).add_edge(0, 1).add_edge(0, 3);
+        b.add_edge(2, 1)
+            .add_edge(0, 3)
+            .add_edge(0, 1)
+            .add_edge(0, 3);
         let g = b.build();
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.neighbors(0), &[1, 3]);

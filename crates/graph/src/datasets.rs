@@ -165,7 +165,10 @@ mod tests {
         assert_eq!(cora.feature_dim, 1433);
         assert_eq!(cora.classes, 7);
         let reddit = Dataset::Reddit.spec();
-        assert!(reddit.feature_density > 0.5, "Reddit is >50% dense per §VI-D");
+        assert!(
+            reddit.feature_density > 0.5,
+            "Reddit is >50% dense per §VI-D"
+        );
         assert!(reddit.vertices > Dataset::Nell.spec().vertices);
     }
 

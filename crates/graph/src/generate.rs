@@ -84,7 +84,10 @@ pub fn rmat(n: usize, target_edges: usize, params: RmatParams, seed: u64) -> Csr
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
     assert!(n > 1, "need at least two vertices");
     let max_edges = n * (n - 1);
-    assert!(m <= max_edges, "cannot place {m} unique edges in {n} vertices");
+    assert!(
+        m <= max_edges,
+        "cannot place {m} unique edges in {n} vertices"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let mut placed = std::collections::HashSet::with_capacity(m);

@@ -60,7 +60,11 @@ pub fn read_edge_list<R: Read>(input: R) -> io::Result<Csr> {
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = declared_n.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     if !edges.is_empty() && n <= max_id as usize {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

@@ -80,7 +80,11 @@ pub fn top_k_by_degree(g: &Csr, k: usize) -> Vec<VertexId> {
 pub fn degree_histogram(g: &Csr) -> Vec<usize> {
     let mut hist = Vec::new();
     for d in g.degrees() {
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - (d as usize).leading_zeros()) as usize - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - (d as usize).leading_zeros()) as usize - 1
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

@@ -20,6 +20,7 @@ pub mod hashing;
 pub mod nqueen;
 pub mod plan;
 
+use aurora_telemetry::{Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -78,11 +79,8 @@ impl VertexMapping {
     /// sharing a column — the contention measure the degree-aware mapping
     /// drives to zero (its S_PEs are row/column-disjoint by construction).
     pub fn high_degree_conflicts(&self) -> usize {
-        let coords: Vec<(usize, usize)> = self
-            .high_degree
-            .iter()
-            .map(|&v| self.coord_of(v))
-            .collect();
+        let coords: Vec<(usize, usize)> =
+            self.high_degree.iter().map(|&v| self.coord_of(v)).collect();
         let mut conflicts = 0;
         for i in 0..coords.len() {
             for j in (i + 1)..coords.len() {
@@ -98,6 +96,63 @@ impl VertexMapping {
         }
         conflicts
     }
+
+    /// Mean pairwise Manhattan distance between the S_PE positions — how
+    /// far apart the N-Queen step spread the high-degree hosts (0 with
+    /// fewer than two S_PEs). A larger spread means the bypass links serve
+    /// disjoint regions of the array.
+    pub fn s_pe_spread(&self) -> f64 {
+        if self.s_pes.len() < 2 {
+            return 0.0;
+        }
+        let coords: Vec<(usize, usize)> = self
+            .s_pes
+            .iter()
+            .map(|&pe| (pe % self.k, pe / self.k))
+            .collect();
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..coords.len() {
+            for j in (i + 1)..coords.len() {
+                total += coords[i].0.abs_diff(coords[j].0) + coords[i].1.abs_diff(coords[j].1);
+                pairs += 1;
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+/// Records a mapping's placement quality under `scope`: the row/column
+/// conflict count among high-degree vertices (the quantity Algorithm 1
+/// drives to zero), the high-degree population, the S_PE spread, and the
+/// per-PE load imbalance.
+pub fn record_quality(telemetry: &Telemetry, scope: &Scope, mapping: &VertexMapping) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.observe(
+        "mapping.high_degree_conflicts",
+        scope,
+        mapping.high_degree_conflicts() as u64,
+    );
+    telemetry.observe(
+        "mapping.high_degree_count",
+        scope,
+        mapping.high_degree.len() as u64,
+    );
+    telemetry.gauge_set("mapping.s_pe_spread", scope, mapping.s_pe_spread());
+    let load = mapping.load_per_pe();
+    let max = load.iter().copied().max().unwrap_or(0);
+    let mean = if load.is_empty() {
+        0.0
+    } else {
+        load.iter().sum::<usize>() as f64 / load.len() as f64
+    };
+    telemetry.gauge_set(
+        "mapping.load_imbalance",
+        scope,
+        if mean > 0.0 { max as f64 / mean } else { 1.0 },
+    );
 }
 
 #[cfg(test)]
@@ -146,5 +201,34 @@ mod tests {
             ..m
         };
         assert_eq!(m2.high_degree_conflicts(), 0);
+    }
+
+    #[test]
+    fn spread_of_spaced_spes() {
+        let m = VertexMapping {
+            s_pes: vec![0, 3], // (0,0) and (1,1) on k=2
+            ..tiny_mapping()
+        };
+        assert_eq!(m.s_pe_spread(), 2.0);
+        assert_eq!(tiny_mapping().s_pe_spread(), 0.0, "no S_PEs → 0");
+    }
+
+    #[test]
+    fn quality_probe_records_conflicts_and_spread() {
+        let t = Telemetry::enabled();
+        let scope = Scope::model("GCN").layer(0);
+        let m = VertexMapping {
+            s_pes: vec![0, 3],
+            ..tiny_mapping()
+        };
+        record_quality(&t, &scope, &m);
+        let snap = t.snapshot();
+        let conflicts = snap
+            .histogram_at("mapping.high_degree_conflicts", &scope)
+            .unwrap();
+        assert_eq!(conflicts.count, 1);
+        assert_eq!(conflicts.max, 1); // tiny_mapping has one row conflict
+        assert_eq!(snap.gauge_at("mapping.s_pe_spread", &scope), Some(2.0));
+        assert!(snap.gauge_at("mapping.load_imbalance", &scope).unwrap() > 1.0);
     }
 }

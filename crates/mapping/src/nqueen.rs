@@ -63,9 +63,8 @@ fn min_conflicts(k: usize) -> Vec<usize> {
             d1[r + c] += 1;
             d2[r + k - c] += 1;
         }
-        let conflicts = |r: usize, c: usize, d1: &[i32], d2: &[i32]| {
-            (d1[r + c] - 1) + (d2[r + k - c] - 1)
-        };
+        let conflicts =
+            |r: usize, c: usize, d1: &[i32], d2: &[i32]| (d1[r + c] - 1) + (d2[r + k - c] - 1);
         let mut steps = 0usize;
         let budget = 60 * k;
         loop {
@@ -88,8 +87,7 @@ fn min_conflicts(k: usize) -> Vec<usize> {
                 if r2 == r1 {
                     continue;
                 }
-                let before = conflicts(r1, cols[r1], &d1, &d2)
-                    + conflicts(r2, cols[r2], &d1, &d2);
+                let before = conflicts(r1, cols[r1], &d1, &d2) + conflicts(r2, cols[r2], &d1, &d2);
                 // simulate swap
                 let (c1, c2) = (cols[r1], cols[r2]);
                 let mut e1 = d1.clone();
@@ -132,9 +130,9 @@ fn min_conflicts(k: usize) -> Vec<usize> {
 
 /// Algorithm 1's `canPlace`: column and both diagonals free.
 pub fn can_place(cols: &[usize], row: usize, col: usize) -> bool {
-    cols.iter().enumerate().all(|(r, &c)| {
-        c != col && r.abs_diff(row) != c.abs_diff(col)
-    })
+    cols.iter()
+        .enumerate()
+        .all(|(r, &c)| c != col && r.abs_diff(row) != c.abs_diff(col))
 }
 
 /// Verifies a complete placement is mutually non-attacking.

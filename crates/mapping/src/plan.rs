@@ -46,10 +46,7 @@ pub struct BypassPlan {
 /// flow `src → dst`; for aggregation that is neighbour → centre) under
 /// `mapping`. Edges touching vertices outside the mapped range are skipped
 /// (they travel via DRAM, not the NoC).
-pub fn plan_bypass(
-    mapping: &VertexMapping,
-    edges: impl Iterator<Item = (u32, u32)>,
-) -> BypassPlan {
+pub fn plan_bypass(mapping: &VertexMapping, edges: impl Iterator<Item = (u32, u32)>) -> BypassPlan {
     let k = mapping.k;
     // per row/col: the widest requested span
     let mut row_span: Vec<Option<(usize, usize)>> = vec![None; k];

@@ -101,7 +101,12 @@ mod tests {
         let run = |mapping: AddressMapping| {
             let mut d = Dram::new(DramTiming::ddr3_1600(), mapping);
             for i in 0..512u64 {
-                d.submit(DramRequest { id: i, addr: i * 64, is_write: false, arrival: 0 });
+                d.submit(DramRequest {
+                    id: i,
+                    addr: i * 64,
+                    is_write: false,
+                    arrival: 0,
+                });
             }
             d.run_to_completion()
         };
@@ -117,7 +122,7 @@ mod tests {
     fn rows_advance_after_bank_sweep() {
         let m = AddressMapping::default_ddr3();
         let blocks_per_row = (m.row_bytes / m.block_bytes) as u64; // 128
-        // bank 0's second row starts after banks*blocks_per_row blocks
+                                                                   // bank 0's second row starts after banks*blocks_per_row blocks
         let addr = 8 * blocks_per_row * 64;
         let (bank, row) = m.decode(addr);
         assert_eq!(bank, 0);

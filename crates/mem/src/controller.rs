@@ -8,6 +8,7 @@
 
 use crate::dram::{Dram, DramRequest, DramStats};
 use crate::timing::DramTiming;
+use aurora_telemetry::{Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Access-counting view of off-chip traffic.
@@ -44,6 +45,11 @@ pub struct MemoryController {
     rand_efficiency: f64,
     counters: TrafficCounters,
     next_id: u64,
+    /// Observability handle (disabled by default: probes cost one branch).
+    telemetry: Telemetry,
+    /// Labels attributed to subsequent traffic (the engine narrows this to
+    /// the current layer/tile).
+    scope: Scope,
 }
 
 impl MemoryController {
@@ -59,7 +65,36 @@ impl MemoryController {
             rand_efficiency: 0.35,
             counters: TrafficCounters::default(),
             next_id: 0,
+            telemetry: Telemetry::disabled(),
+            scope: Scope::ROOT,
         }
+    }
+
+    /// Attaches an observability handle; subsequent traffic is recorded
+    /// as `dram.*` counters and a `dram.request_bytes` histogram under
+    /// the current scope.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Sets the scope attributed to subsequent traffic.
+    pub fn set_scope(&mut self, scope: Scope) {
+        self.scope = scope;
+    }
+
+    fn probe(&self, counter: &str, bytes: u64, sequential: bool) {
+        if !self.telemetry.is_enabled() || bytes == 0 {
+            return;
+        }
+        self.telemetry.counter_add(counter, &self.scope, bytes);
+        let locality = if sequential {
+            "dram.sequential_bytes"
+        } else {
+            "dram.random_bytes"
+        };
+        self.telemetry.counter_add(locality, &self.scope, bytes);
+        self.telemetry
+            .observe("dram.request_bytes", &self.scope, bytes);
     }
 
     /// Device timing.
@@ -76,6 +111,7 @@ impl MemoryController {
     pub fn stream_read(&mut self, bytes: u64) -> u64 {
         self.counters.read_bytes += bytes;
         self.counters.sequential_bytes += bytes;
+        self.probe("dram.read_bytes", bytes, true);
         self.stream_cycles(bytes, true)
     }
 
@@ -83,6 +119,7 @@ impl MemoryController {
     pub fn stream_write(&mut self, bytes: u64) -> u64 {
         self.counters.write_bytes += bytes;
         self.counters.sequential_bytes += bytes;
+        self.probe("dram.write_bytes", bytes, true);
         self.stream_cycles(bytes, true)
     }
 
@@ -90,6 +127,7 @@ impl MemoryController {
     pub fn random_read(&mut self, bytes: u64) -> u64 {
         self.counters.read_bytes += bytes;
         self.counters.random_bytes += bytes;
+        self.probe("dram.read_bytes", bytes, false);
         self.stream_cycles(bytes, false)
     }
 
@@ -97,6 +135,7 @@ impl MemoryController {
     pub fn random_write(&mut self, bytes: u64) -> u64 {
         self.counters.write_bytes += bytes;
         self.counters.random_bytes += bytes;
+        self.probe("dram.write_bytes", bytes, false);
         self.stream_cycles(bytes, false)
     }
 
@@ -158,6 +197,37 @@ mod tests {
         assert_eq!(c.random_bytes, 200);
         assert_eq!(c.total_bytes(), 1700);
         assert_eq!(c.accesses(64), 27);
+    }
+
+    #[test]
+    fn telemetry_mirrors_counters() {
+        let mut mc = MemoryController::new(2);
+        let t = Telemetry::enabled();
+        mc.attach_telemetry(t.clone());
+        mc.set_scope(Scope::model("GCN").layer(0));
+        mc.stream_read(1000);
+        mc.random_read(200);
+        mc.set_scope(Scope::model("GCN").layer(1));
+        mc.stream_write(500);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_total("dram.read_bytes"), 1200);
+        assert_eq!(snap.counter_total("dram.write_bytes"), 500);
+        assert_eq!(snap.counter_total("dram.sequential_bytes"), 1500);
+        assert_eq!(snap.counter_total("dram.random_bytes"), 200);
+        assert_eq!(
+            snap.counter_at("dram.write_bytes", &Scope::model("GCN").layer(1)),
+            Some(500)
+        );
+        // telemetry mirrors, never replaces, the plain counters
+        assert_eq!(mc.counters().total_bytes(), 1700);
+    }
+
+    #[test]
+    fn detached_controller_records_nothing() {
+        let mut mc = MemoryController::new(1);
+        mc.stream_read(64);
+        // no handle attached: the default telemetry is disabled
+        assert!(!Telemetry::disabled().is_enabled());
     }
 
     #[test]

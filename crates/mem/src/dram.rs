@@ -190,8 +190,7 @@ impl Dram {
                 Some(w) if w != req.is_write => self.timing.t_turnaround,
                 _ => 0,
             };
-            let burst_start = self
-                .after_refresh(data_ready.max(self.bus_free_at + turnaround));
+            let burst_start = self.after_refresh(data_ready.max(self.bus_free_at + turnaround));
             let finish = burst_start + self.timing.t_burst;
             self.bus_free_at = finish;
             self.last_was_write = Some(req.is_write);

@@ -28,7 +28,11 @@ impl MultiChannelDram {
 
     /// DDR3-1600 channels with the default mapping.
     pub fn ddr3(channels: usize) -> Self {
-        Self::new(channels, DramTiming::ddr3_1600(), AddressMapping::default_ddr3())
+        Self::new(
+            channels,
+            DramTiming::ddr3_1600(),
+            AddressMapping::default_ddr3(),
+        )
     }
 
     /// Number of channels.
@@ -46,8 +50,8 @@ impl MultiChannelDram {
         let ch = self.channel_of(addr);
         // strip the channel bits so each device sees a dense local space
         let blocks = addr / self.burst_bytes;
-        let local = (blocks / self.channels.len() as u64) * self.burst_bytes
-            + addr % self.burst_bytes;
+        let local =
+            (blocks / self.channels.len() as u64) * self.burst_bytes + addr % self.burst_bytes;
         self.channels[ch].submit(DramRequest {
             id: self.next_id,
             addr: local,

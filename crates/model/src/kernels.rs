@@ -116,7 +116,8 @@ pub fn gemver(
 /// FLOPs of [`gemver`].
 pub fn gemver_flops(n: usize) -> u64 {
     let n = n as u64;
-    4 * n * n /* rank-2 update */ + (2 * n * n + 2 * n) /* x */ + (2 * n * n + n) /* w */
+    4 * n * n /* rank-2 update */ + (2 * n * n + 2 * n) /* x */ + (2 * n * n + n)
+    /* w */
 }
 
 /// PolyBench `gesummv`: `y = α·A·x + β·B·x`.

@@ -91,9 +91,9 @@ pub fn layer_for(id: ModelId, f_in: usize, f_out: usize, seed: u64) -> Box<dyn G
         ModelId::SageMean => Box::new(zoo::sage::SageMean::new_random(f_in, f_out, seed)),
         ModelId::Gin => Box::new(zoo::gin::Gin::new_random(f_in, f_out, seed)),
         ModelId::CommNet => Box::new(zoo::commnet::CommNet::new_random(f_in, f_out, seed)),
-        ModelId::VanillaAttention => {
-            Box::new(zoo::attention::VanillaAttention::new_random(f_in, f_out, seed))
-        }
+        ModelId::VanillaAttention => Box::new(zoo::attention::VanillaAttention::new_random(
+            f_in, f_out, seed,
+        )),
         ModelId::Agnn => Box::new(zoo::attention::Agnn::new_random(f_in, f_out, seed)),
         ModelId::GGcn => Box::new(zoo::ggcn::GGcn::new_random(f_in, f_out, seed)),
         ModelId::SagePool => Box::new(zoo::sage::SagePool::new_random(f_in, f_out, seed)),

@@ -216,7 +216,11 @@ impl Workload {
                 .vertex_update
                 .per_vertex
                 .contains(&OpKind::Concat);
-            let in_dim = if concat { 2 * self.shape.f_in } else { self.shape.f_in };
+            let in_dim = if concat {
+                2 * self.shape.f_in
+            } else {
+                self.shape.f_in
+            };
             elems += in_dim * self.shape.f_out;
         }
         // Edge-update MLP weights are F_in × F_in per stacked layer.

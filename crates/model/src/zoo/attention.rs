@@ -27,7 +27,11 @@ struct AttentionCore {
 impl AttentionCore {
     fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
         assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
-        Self { f_in, f_out, weight }
+        Self {
+            f_in,
+            f_out,
+            weight,
+        }
     }
 
     /// Computes m_v given per-neighbour coefficients, then SoftMax(W·m).
@@ -166,6 +170,9 @@ mod tests {
         let w = init_weights(3, 4, 1);
         let v = VanillaAttention::new(4, 3, w.clone()).forward(&g, &x);
         let a = Agnn::new(4, 3, w).forward(&g, &x);
-        assert!(v.max_abs_diff(&a) > 1e-9, "models should disagree numerically");
+        assert!(
+            v.max_abs_diff(&a) > 1e-9,
+            "models should disagree numerically"
+        );
     }
 }

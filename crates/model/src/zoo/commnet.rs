@@ -23,7 +23,11 @@ pub struct CommNet {
 impl CommNet {
     pub fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
         assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
-        Self { f_in, f_out, weight }
+        Self {
+            f_in,
+            f_out,
+            weight,
+        }
     }
 
     pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {

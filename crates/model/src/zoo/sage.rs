@@ -27,7 +27,11 @@ pub struct SageMean {
 impl SageMean {
     pub fn new(f_in: usize, f_out: usize, weight: Vec<f64>) -> Self {
         assert_eq!(weight.len(), f_in * f_out, "weight shape mismatch");
-        Self { f_in, f_out, weight }
+        Self {
+            f_in,
+            f_out,
+            weight,
+        }
     }
 
     pub fn new_random(f_in: usize, f_out: usize, seed: u64) -> Self {
@@ -91,7 +95,11 @@ impl SagePool {
     ) -> Self {
         assert_eq!(w_pool.len(), f_in * f_in, "pool weight shape mismatch");
         assert_eq!(b_pool.len(), f_in, "pool bias shape mismatch");
-        assert_eq!(weight.len(), 2 * f_in * f_out, "output weight shape mismatch");
+        assert_eq!(
+            weight.len(),
+            2 * f_in * f_out,
+            "output weight shape mismatch"
+        );
         assert_eq!(bias.len(), f_out, "output bias shape mismatch");
         Self {
             f_in,
@@ -179,14 +187,7 @@ mod tests {
         let g = b.build();
         let x = FeatureMatrix::from_vec(3, 1, vec![0.0, -2.0, 3.0]);
         // output weight [1, 0]: picks the pooled half of the concat.
-        let net = SagePool::new(
-            1,
-            1,
-            vec![1.0],
-            vec![0.0],
-            vec![1.0, 0.0],
-            vec![0.0],
-        );
+        let net = SagePool::new(1, 1, vec![1.0], vec![0.0], vec![1.0, 0.0], vec![0.0]);
         let y = net.forward(&g, &x);
         let expect = 1.0 / (1.0 + (-3.0f64).exp()); // σ(3) > σ(-2)
         assert!((y.get(0, 0) - expect).abs() < 1e-12);

@@ -104,7 +104,11 @@ impl NocConfig {
             let mut spans: std::collections::HashMap<usize, Vec<(usize, usize)>> =
                 std::collections::HashMap::new();
             for s in segs.iter() {
-                assert!(s.index < self.k, "{kind} bypass index {} out of range", s.index);
+                assert!(
+                    s.index < self.k,
+                    "{kind} bypass index {} out of range",
+                    s.index
+                );
                 assert!(s.from < s.to, "{kind} bypass segment must run forward");
                 assert!(s.to < self.k, "{kind} bypass end {} out of range", s.to);
                 spans.entry(s.index).or_default().push((s.from, s.to));
@@ -182,8 +186,16 @@ mod tests {
     fn bypass_peers() {
         let cfg = NocConfig::with_bypass(
             4,
-            vec![BypassSegment { index: 1, from: 0, to: 3 }],
-            vec![BypassSegment { index: 2, from: 1, to: 3 }],
+            vec![BypassSegment {
+                index: 1,
+                from: 0,
+                to: 3,
+            }],
+            vec![BypassSegment {
+                index: 2,
+                from: 1,
+                to: 3,
+            }],
         );
         cfg.validate();
         // row 1: nodes 4..7; segment joins node 4 and node 7
@@ -202,8 +214,16 @@ mod tests {
         let cfg = NocConfig::with_bypass(
             8,
             vec![
-                BypassSegment { index: 0, from: 0, to: 3 },
-                BypassSegment { index: 0, from: 4, to: 7 },
+                BypassSegment {
+                    index: 0,
+                    from: 0,
+                    to: 3,
+                },
+                BypassSegment {
+                    index: 0,
+                    from: 4,
+                    to: 7,
+                },
             ],
             vec![],
         );
@@ -218,8 +238,16 @@ mod tests {
         NocConfig::with_bypass(
             8,
             vec![
-                BypassSegment { index: 0, from: 0, to: 4 },
-                BypassSegment { index: 0, from: 4, to: 7 },
+                BypassSegment {
+                    index: 0,
+                    from: 0,
+                    to: 4,
+                },
+                BypassSegment {
+                    index: 0,
+                    from: 4,
+                    to: 7,
+                },
             ],
             vec![],
         )
@@ -229,15 +257,27 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_segment_rejected() {
-        NocConfig::with_bypass(4, vec![BypassSegment { index: 0, from: 0, to: 4 }], vec![])
-            .validate();
+        NocConfig::with_bypass(
+            4,
+            vec![BypassSegment {
+                index: 0,
+                from: 0,
+                to: 4,
+            }],
+            vec![],
+        )
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "require MeshWithBypass")]
     fn bypass_needs_right_mode() {
         let mut cfg = NocConfig::mesh(4);
-        cfg.row_bypass.push(BypassSegment { index: 0, from: 0, to: 2 });
+        cfg.row_bypass.push(BypassSegment {
+            index: 0,
+            from: 0,
+            to: 2,
+        });
         cfg.validate();
     }
 }

@@ -118,8 +118,7 @@ impl Network {
                 None => {
                     debug_assert!(flit.kind.is_head(), "packet must start with a head flit");
                     // pick the first VC with room for the head flit
-                    match (0..vcs).find(|&v| self.routers[node].inputs[li][v].queue.len() < depth)
-                    {
+                    match (0..vcs).find(|&v| self.routers[node].inputs[li][v].queue.len() < depth) {
                         Some(v) => v,
                         None => continue, // all VCs full: back-pressure
                     }
@@ -233,7 +232,9 @@ impl Network {
                     }
                 }
                 Some((dn, dport, dvc)) => {
-                    self.routers[dn].inputs[dport.index()][dvc].queue.push_back(flit);
+                    self.routers[dn].inputs[dport.index()][dvc]
+                        .queue
+                        .push_back(flit);
                 }
             }
         }
@@ -270,7 +271,11 @@ impl Network {
             let k = self.cfg.k as u64;
             let mesh = 4 * k * (k - 1);
             let bypass = 2 * (self.cfg.row_bypass.len() + self.cfg.col_bypass.len()) as u64;
-            let wrap = if self.cfg.mode == TopologyMode::Rings { k } else { 0 };
+            let wrap = if self.cfg.mode == TopologyMode::Rings {
+                k
+            } else {
+                0
+            };
             mesh + bypass + wrap
         };
         self.stats.total_hops as f64 / (links as f64 * self.cycle as f64)
@@ -358,7 +363,11 @@ mod tests {
 
         let cfg = NocConfig::with_bypass(
             8,
-            vec![BypassSegment { index: 0, from: 0, to: 7 }],
+            vec![BypassSegment {
+                index: 0,
+                from: 0,
+                to: 7,
+            }],
             vec![],
         );
         let mut byp = Network::new(cfg);

@@ -153,7 +153,11 @@ mod tests {
     fn bypass_shortens_long_row_route() {
         let cfg = NocConfig::with_bypass(
             8,
-            vec![BypassSegment { index: 0, from: 0, to: 7 }],
+            vec![BypassSegment {
+                index: 0,
+                from: 0,
+                to: 7,
+            }],
             vec![],
         );
         // (0,0) → (7,0): mesh = 7 hops, bypass = 1
@@ -169,7 +173,11 @@ mod tests {
     fn bypass_not_taken_when_worse() {
         let cfg = NocConfig::with_bypass(
             8,
-            vec![BypassSegment { index: 0, from: 0, to: 7 }],
+            vec![BypassSegment {
+                index: 0,
+                from: 0,
+                to: 7,
+            }],
             vec![],
         );
         // (0,0) → (2,0): bypass to 7 is worse; mesh East.
@@ -181,7 +189,11 @@ mod tests {
         let cfg = NocConfig::with_bypass(
             8,
             vec![],
-            vec![BypassSegment { index: 3, from: 0, to: 6 }],
+            vec![BypassSegment {
+                index: 3,
+                from: 0,
+                to: 6,
+            }],
         );
         // (3,0) → (3,7): V bypass 0→6 then one mesh hop
         assert_eq!(compute_route(&cfg, 3, 3 + 7 * 8), Port::BypassV);

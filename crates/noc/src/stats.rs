@@ -1,5 +1,6 @@
 //! Network statistics: latency, hops, hotspots, bypass usage.
 
+use aurora_telemetry::{Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Cumulative statistics of one network run.
@@ -76,6 +77,25 @@ impl NetworkStats {
         }
         self.max_router_load() as f64 / (total as f64 / n as f64)
     }
+
+    /// Records this run's router/link statistics as `noc.*` metrics under
+    /// `scope`: delivery counters, a per-packet-latency histogram sample
+    /// set (sum/max), and hotspot gauges.
+    pub fn record_to(&self, telemetry: &Telemetry, scope: &Scope) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.counter_add("noc.cycles", scope, self.cycles);
+        telemetry.counter_add("noc.packets_delivered", scope, self.packets_delivered);
+        telemetry.counter_add("noc.flits_delivered", scope, self.flits_delivered);
+        telemetry.counter_add("noc.flit_hops", scope, self.total_hops);
+        telemetry.counter_add("noc.bypass_traversals", scope, self.bypass_traversals);
+        telemetry.observe("noc.packet_latency_max", scope, self.max_packet_latency);
+        telemetry.gauge_set("noc.avg_packet_latency", scope, self.avg_packet_latency());
+        telemetry.gauge_set("noc.avg_hops", scope, self.avg_hops());
+        telemetry.gauge_set("noc.max_router_load", scope, self.max_router_load() as f64);
+        telemetry.gauge_set("noc.load_imbalance", scope, self.load_imbalance());
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +123,27 @@ mod tests {
         assert_eq!(s.avg_hops(), 3.0);
         assert_eq!(s.max_router_load(), 10);
         assert_eq!(s.load_imbalance(), 2.0);
+    }
+
+    #[test]
+    fn record_to_exports_the_profile() {
+        let mut s = NetworkStats::new(4);
+        s.cycles = 100;
+        s.packets_delivered = 2;
+        s.total_packet_latency = 30;
+        s.max_packet_latency = 20;
+        s.flits_delivered = 8;
+        s.total_hops = 24;
+        s.bypass_traversals = 6;
+        s.per_router_forwarded = vec![10, 0, 0, 10];
+
+        let t = Telemetry::enabled();
+        let scope = Scope::model("pattern").phase("uniform");
+        s.record_to(&t, &scope);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_at("noc.cycles", &scope), Some(100));
+        assert_eq!(snap.counter_at("noc.bypass_traversals", &scope), Some(6));
+        assert_eq!(snap.gauge_at("noc.avg_hops", &scope), Some(3.0));
+        assert_eq!(snap.gauge_at("noc.load_imbalance", &scope), Some(2.0));
     }
 }

@@ -15,7 +15,10 @@ pub struct Coord {
 impl Coord {
     /// Builds from a linear node id.
     pub fn of(id: NodeId, k: usize) -> Self {
-        Self { x: id % k, y: id / k }
+        Self {
+            x: id % k,
+            y: id / k,
+        }
     }
 
     /// The linear node id.

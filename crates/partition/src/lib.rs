@@ -31,6 +31,7 @@
 //! ```
 
 use aurora_model::PhaseOpCounts;
+use aurora_telemetry::{Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// The chosen split of `P` PEs into sub-accelerators A and B.
@@ -67,6 +68,21 @@ impl PartitionStrategy {
         } else {
             (self.t_a + self.t_b) / (2.0 * longest)
         }
+    }
+
+    /// Records this split under `scope`: PE allocation, the two stage
+    /// times, and the Algorithm 2 balance figure. The engine calls this
+    /// once per layer, so per-layer scopes show how the partition tracks
+    /// each layer's phase mix.
+    pub fn record_to(&self, telemetry: &Telemetry, scope: &Scope) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.gauge_set("partition.pes_a", scope, self.a as f64);
+        telemetry.gauge_set("partition.pes_b", scope, self.b as f64);
+        telemetry.gauge_set("partition.stage_a_seconds", scope, self.t_a);
+        telemetry.gauge_set("partition.stage_b_seconds", scope, self.t_b);
+        telemetry.gauge_set("partition.balance", scope, self.balance());
     }
 }
 
@@ -165,7 +181,10 @@ pub fn partition_with_comm(
 ) -> PartitionStrategy {
     assert!(total_pes > 0, "need at least one PE");
     assert!(flops_per_pe > 0.0, "PE throughput must be positive");
-    assert!(comm_a >= 0.0 && comm_b >= 0.0, "communication times are non-negative");
+    assert!(
+        comm_a >= 0.0 && comm_b >= 0.0,
+        "communication times are non-negative"
+    );
     if counts.vertex_update == 0 {
         let a = total_pes;
         return PartitionStrategy {
@@ -326,6 +345,22 @@ mod tests {
             "comm-aware a = {} should exceed plain a = {}",
             comm.a,
             plain.a
+        );
+    }
+
+    #[test]
+    fn record_to_exports_stage_balance() {
+        let c = counts_for(ModelId::Gcn, 2000, 12000);
+        let s = partition(&c, 256, 1e9);
+        let t = Telemetry::enabled();
+        let scope = Scope::model("GCN").layer(1);
+        s.record_to(&t, &scope);
+        let snap = t.snapshot();
+        assert_eq!(snap.gauge_at("partition.pes_a", &scope), Some(s.a as f64));
+        assert_eq!(snap.gauge_at("partition.pes_b", &scope), Some(s.b as f64));
+        assert_eq!(
+            snap.gauge_at("partition.balance", &scope),
+            Some(s.balance())
         );
     }
 

@@ -79,8 +79,7 @@ impl WeightStationaryRow {
                     continue;
                 }
                 let (slice_out, c) = pe.exec_matvec(&self.slices[i], rows, self.f_in, v);
-                out[self.slice_starts[i]..self.slice_starts[i + 1]]
-                    .copy_from_slice(&slice_out);
+                out[self.slice_starts[i]..self.slice_starts[i + 1]].copy_from_slice(&slice_out);
                 max_step = max_step.max(c + 1); // +1: the ring hop
             }
             outputs.push(out);
@@ -102,7 +101,9 @@ mod tests {
     use aurora_model::linalg;
 
     fn weight(f_out: usize, f_in: usize) -> Vec<f64> {
-        (0..f_out * f_in).map(|i| (i % 13) as f64 * 0.25 - 1.0).collect()
+        (0..f_out * f_in)
+            .map(|i| (i % 13) as f64 * 0.25 - 1.0)
+            .collect()
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock bencher: `bench_function` + `Bencher::iter`, the
+//! `criterion_group!` / `criterion_main!` macros, and `black_box`. No
+//! statistics beyond min/mean — enough to compare hot paths across
+//! commits with the same binaries.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to each registered function.
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    budget: Duration,
+    /// Minimum measured iterations.
+    min_iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_millis(500),
+            min_iters: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            min_iters: self.min_iters,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    budget: Duration,
+    min_iters: u32,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // one warmup iteration, then measure until the budget is spent
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < self.min_iters || start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            iters += 1;
+            if iters >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<40} mean {:>12?}  min {:>12?}  ({} iters)",
+            mean,
+            min,
+            self.samples.len()
+        );
+    }
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

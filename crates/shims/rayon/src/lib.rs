@@ -1,0 +1,28 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` returns the plain sequential slice iterator, so all the
+//! downstream `Iterator` adaptors (`map`, `flat_map`, `collect`, …) work
+//! unchanged. Results are identical to rayon's; only wall-clock
+//! parallelism is lost. Swap back to the real crate when the build
+//! environment has registry access.
+
+/// Sequential `par_iter` over slices (and everything that derefs to one).
+pub trait IntoSeqParIter<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoSeqParIter<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+impl<T> IntoSeqParIter<T> for Vec<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoSeqParIter;
+}

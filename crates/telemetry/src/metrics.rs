@@ -1,0 +1,301 @@
+//! The metrics registry: named counters, gauges and log-scale histograms
+//! keyed by `(name, scope)`.
+
+use crate::scope::Scope;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Log₂-bucketed histogram of `u64` samples. Bucket `i` counts samples
+/// whose bit length is `i` (i.e. values in `[2^(i−1), 2^i)`; bucket 0
+/// counts zeros), so the 65 buckets cover the full `u64` range with
+/// relative-error resolution — the right shape for cycle and byte
+/// distributions that span many orders of magnitude.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `buckets[i]` counts samples with bit length `i` (65 entries,
+    /// trailing zero buckets trimmed).
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Bucket index of a value: its bit length.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        let idx = Self::bucket_of(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Arithmetic mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the inclusive upper bound of the first
+    /// bucket at which the cumulative count reaches `q · count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // upper bound of bucket i, capped at the observed max
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+/// In-memory metric store. Keys are `(name, scope)`; maps are ordered so
+/// snapshots serialize deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<(String, Scope), u64>,
+    gauges: BTreeMap<(String, Scope), f64>,
+    histograms: BTreeMap<(String, Scope), Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn counter_add(&mut self, name: &str, scope: &Scope, delta: u64) {
+        if let Some(v) = self.counters.get_mut(&(name.to_string(), scope.clone())) {
+            *v += delta;
+        } else {
+            self.counters
+                .insert((name.to_string(), scope.clone()), delta);
+        }
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, scope: &Scope, value: f64) {
+        self.gauges.insert((name.to_string(), scope.clone()), value);
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, name: &str, scope: &Scope, value: u64) {
+        self.histograms
+            .entry((name.to_string(), scope.clone()))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Immutable, serializable copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|((name, scope), &value)| CounterEntry {
+                    name: name.clone(),
+                    scope: scope.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|((name, scope), &value)| GaugeEntry {
+                    name: name.clone(),
+                    scope: scope.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|((name, scope), h)| HistogramEntry {
+                    name: name.clone(),
+                    scope: scope.clone(),
+                    histogram: h.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    pub name: String,
+    pub scope: Scope,
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    pub name: String,
+    pub scope: Scope,
+    pub value: f64,
+}
+
+/// One histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    pub name: String,
+    pub scope: Scope,
+    pub histogram: Histogram,
+}
+
+/// Serializable dump of a [`Registry`], embedded in `SimReport` and
+/// written by `aurora_sim --metrics`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterEntry>,
+    pub gauges: Vec<GaugeEntry>,
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded (telemetry disabled).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Sum of every counter with this name, across scopes.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The counter with exactly this name and scope.
+    pub fn counter_at(&self, name: &str, scope: &Scope) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && &c.scope == scope)
+            .map(|c| c.value)
+    }
+
+    /// The gauge with exactly this name and scope.
+    pub fn gauge_at(&self, name: &str, scope: &Scope) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && &g.scope == scope)
+            .map(|g| g.value)
+    }
+
+    /// The histogram with exactly this name and scope.
+    pub fn histogram_at(&self, name: &str, scope: &Scope) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && &h.scope == scope)
+            .map(|h| &h.histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_scope() {
+        let mut r = Registry::new();
+        let s0 = Scope::model("GCN").layer(0);
+        let s1 = Scope::model("GCN").layer(1);
+        r.counter_add("bytes", &s0, 10);
+        r.counter_add("bytes", &s0, 5);
+        r.counter_add("bytes", &s1, 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_at("bytes", &s0), Some(15));
+        assert_eq!(snap.counter_at("bytes", &s1), Some(3));
+        assert_eq!(snap.counter_total("bytes"), 18);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let mut r = Registry::new();
+        r.gauge_set("balance", &Scope::ROOT, 0.4);
+        r.gauge_set("balance", &Scope::ROOT, 0.9);
+        assert_eq!(r.snapshot().gauge_at("balance", &Scope::ROOT), Some(0.9));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1106);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+        assert!(h.quantile(0.5) <= 100);
+        assert_eq!(h.quantile(1.0), 1000);
+        // zero goes to bucket 0
+        h.observe(0);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.buckets[0], 1);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_serializable() {
+        let mut r = Registry::new();
+        r.counter_add("z", &Scope::ROOT, 1);
+        r.counter_add("a", &Scope::ROOT, 2);
+        r.observe("lat", &Scope::model("GIN"), 7);
+        let s1 = serde_json::to_string(&r.snapshot()).unwrap();
+        let s2 = serde_json::to_string(&r.snapshot()).unwrap();
+        assert_eq!(s1, s2);
+        // names sorted: "a" before "z"
+        assert!(s1.find("\"a\"").unwrap() < s1.find("\"z\"").unwrap());
+        let back: MetricsSnapshot = serde_json::from_str(&s1).unwrap();
+        assert_eq!(back, r.snapshot());
+    }
+}

@@ -1,0 +1,126 @@
+//! Metric scopes: the label set every metric is keyed by.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The labels a metric sample is attributed to. All fields are optional;
+/// an empty scope means "whole simulation". Scopes order
+/// lexicographically (model, then layer, tile, phase) so registry
+/// snapshots are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Scope {
+    /// Model name (e.g. `GCN`).
+    pub model: Option<String>,
+    /// Layer index within the run.
+    pub layer: Option<u32>,
+    /// Tile (subgraph) index within the layer.
+    pub tile: Option<u32>,
+    /// Phase name (e.g. `aggregation`, `vertex-update`).
+    pub phase: Option<String>,
+}
+
+impl Scope {
+    /// The empty (run-wide) scope.
+    pub const ROOT: Scope = Scope {
+        model: None,
+        layer: None,
+        tile: None,
+        phase: None,
+    };
+
+    /// Scope for a whole model run.
+    pub fn model(model: impl Into<String>) -> Self {
+        Scope {
+            model: Some(model.into()),
+            ..Self::ROOT
+        }
+    }
+
+    /// Narrows to a layer.
+    pub fn layer(&self, layer: usize) -> Self {
+        Scope {
+            layer: Some(layer as u32),
+            ..self.clone()
+        }
+    }
+
+    /// Narrows to a tile.
+    pub fn tile(&self, tile: usize) -> Self {
+        Scope {
+            tile: Some(tile as u32),
+            ..self.clone()
+        }
+    }
+
+    /// Narrows to a phase.
+    pub fn phase(&self, phase: impl Into<String>) -> Self {
+        Scope {
+            phase: Some(phase.into()),
+            ..self.clone()
+        }
+    }
+
+    /// True when no label is set.
+    pub fn is_root(&self) -> bool {
+        *self == Self::ROOT
+    }
+}
+
+impl fmt::Display for Scope {
+    /// Prometheus-style rendering: `{model=GCN,layer=0,tile=3}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return Ok(());
+        }
+        let mut sep = "";
+        write!(f, "{{")?;
+        if let Some(m) = &self.model {
+            write!(f, "{sep}model={m}")?;
+            sep = ",";
+        }
+        if let Some(l) = self.layer {
+            write!(f, "{sep}layer={l}")?;
+            sep = ",";
+        }
+        if let Some(t) = self.tile {
+            write!(f, "{sep}tile={t}")?;
+            sep = ",";
+        }
+        if let Some(p) = &self.phase {
+            write!(f, "{sep}phase={p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrowing_builders_compose() {
+        let s = Scope::model("GCN").layer(2).tile(7).phase("aggregation");
+        assert_eq!(s.model.as_deref(), Some("GCN"));
+        assert_eq!(s.layer, Some(2));
+        assert_eq!(s.tile, Some(7));
+        assert_eq!(s.phase.as_deref(), Some("aggregation"));
+        assert_eq!(
+            s.to_string(),
+            "{model=GCN,layer=2,tile=7,phase=aggregation}"
+        );
+    }
+
+    #[test]
+    fn root_scope_renders_empty() {
+        assert_eq!(Scope::ROOT.to_string(), "");
+        assert!(Scope::default().is_root());
+    }
+
+    #[test]
+    fn scopes_order_deterministically() {
+        let a = Scope::model("A").layer(0);
+        let b = Scope::model("A").layer(1);
+        let c = Scope::model("B");
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,377 @@
+//! Simulated-cycle timeline recorder emitting Chrome trace-event JSON.
+//!
+//! Timestamps are **simulated accelerator cycles**, not wall-clock: the
+//! emitted `ts`/`dur` fields carry cycles in the trace's microsecond
+//! slots, so one viewer-µs reads as one cycle in Perfetto or
+//! `chrome://tracing`. Each named track becomes one thread (`tid`) of a
+//! single process, labelled through `thread_name` metadata events and
+//! ordered by registration through `thread_sort_index`.
+
+use serde::Value;
+use serde_json;
+
+/// Canonical track names used by the simulator probes. Binaries and tests
+/// reference these so the trace layout is stable.
+pub mod tracks {
+    /// Edge-update + aggregation pipeline stage.
+    pub const SUB_A: &str = "Sub-accelerator A (edge update + aggregation)";
+    /// Vertex-update pipeline stage.
+    pub const SUB_B: &str = "Sub-accelerator B (vertex update)";
+    /// On-chip network traffic.
+    pub const NOC: &str = "NoC traffic";
+    /// Off-chip DRAM channel activity.
+    pub const DRAM: &str = "DRAM channels";
+    /// Per-tile double-buffered pipeline (the overlap envelope).
+    pub const TILES: &str = "Tile pipeline (double-buffer overlap)";
+    /// Controller decisions: workflow generation, partition, mapping,
+    /// reconfiguration.
+    pub const CONTROLLER: &str = "Controller";
+}
+
+/// Argument value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl ArgValue {
+    fn to_value(&self) -> Value {
+        match self {
+            ArgValue::U64(u) => Value::UInt(*u),
+            ArgValue::F64(f) => Value::Float(*f),
+            ArgValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+/// One recorded event (before rendering).
+#[derive(Debug, Clone)]
+enum Recorded {
+    /// Complete event (`ph: "X"`).
+    Span {
+        track: usize,
+        name: String,
+        ts: u64,
+        dur: u64,
+        args: Vec<(String, ArgValue)>,
+    },
+    /// Instant event (`ph: "i"`).
+    Instant { track: usize, name: String, ts: u64 },
+    /// Counter sample (`ph: "C"`), rendered as a stacked series.
+    Counter {
+        track: usize,
+        name: String,
+        ts: u64,
+        value: f64,
+    },
+}
+
+impl Recorded {
+    fn ts(&self) -> u64 {
+        match self {
+            Recorded::Span { ts, .. }
+            | Recorded::Instant { ts, .. }
+            | Recorded::Counter { ts, .. } => *ts,
+        }
+    }
+
+    fn track(&self) -> usize {
+        match self {
+            Recorded::Span { track, .. }
+            | Recorded::Instant { track, .. }
+            | Recorded::Counter { track, .. } => *track,
+        }
+    }
+}
+
+/// Accumulates spans / instants / counter samples on named tracks and
+/// renders them as Chrome trace-event JSON.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    tracks: Vec<String>,
+    events: Vec<Recorded>,
+}
+
+const PID: u64 = 1;
+
+impl TraceBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a track name; tid is registration order + 1.
+    fn track_id(&mut self, name: &str) -> usize {
+        if let Some(i) = self.tracks.iter().position(|t| t == name) {
+            i
+        } else {
+            self.tracks.push(name.to_string());
+            self.tracks.len() - 1
+        }
+    }
+
+    /// Records a complete span of `dur` cycles starting at cycle `ts`.
+    pub fn span(
+        &mut self,
+        track: &str,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        let track = self.track_id(track);
+        self.events.push(Recorded::Span {
+            track,
+            name: name.to_string(),
+            ts,
+            dur,
+            args,
+        });
+    }
+
+    /// Records an instant marker at cycle `ts`.
+    pub fn instant(&mut self, track: &str, name: &str, ts: u64) {
+        let track = self.track_id(track);
+        self.events.push(Recorded::Instant {
+            track,
+            name: name.to_string(),
+            ts,
+        });
+    }
+
+    /// Records a counter sample at cycle `ts`.
+    pub fn counter(&mut self, track: &str, name: &str, ts: u64, value: f64) {
+        let track = self.track_id(track);
+        self.events.push(Recorded::Counter {
+            track,
+            name: name.to_string(),
+            ts,
+            value,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the Chrome trace-event JSON document (pretty-printed).
+    ///
+    /// Layout: a top-level object with `traceEvents` (metadata first,
+    /// then events sorted by timestamp) and `displayTimeUnit`. Load the
+    /// file in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<Value> = Vec::with_capacity(self.events.len() + 2 * self.tracks.len());
+
+        events.push(meta_event(
+            "process_name",
+            PID,
+            None,
+            vec![("name".into(), Value::Str("aurora-sim".into()))],
+        ));
+        for (i, name) in self.tracks.iter().enumerate() {
+            let tid = (i + 1) as u64;
+            events.push(meta_event(
+                "thread_name",
+                PID,
+                Some(tid),
+                vec![("name".into(), Value::Str(name.clone()))],
+            ));
+            events.push(meta_event(
+                "thread_sort_index",
+                PID,
+                Some(tid),
+                vec![("sort_index".into(), Value::UInt(tid))],
+            ));
+        }
+
+        let mut sorted: Vec<&Recorded> = self.events.iter().collect();
+        sorted.sort_by_key(|e| (e.ts(), e.track()));
+        for e in sorted {
+            events.push(render_event(e));
+        }
+
+        let doc = Value::Map(vec![
+            ("traceEvents".into(), Value::Seq(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+            (
+                "otherData".into(),
+                Value::Map(vec![(
+                    "time_unit".into(),
+                    Value::Str("simulated accelerator cycles (1 viewer-us = 1 cycle)".into()),
+                )]),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("trace document serializes")
+    }
+}
+
+fn meta_event(name: &str, pid: u64, tid: Option<u64>, args: Vec<(String, Value)>) -> Value {
+    let mut fields = vec![
+        ("name".into(), Value::Str(name.into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".into(), Value::UInt(tid)));
+    }
+    fields.push(("args".into(), Value::Map(args)));
+    Value::Map(fields)
+}
+
+fn render_event(e: &Recorded) -> Value {
+    match e {
+        Recorded::Span {
+            track,
+            name,
+            ts,
+            dur,
+            args,
+        } => {
+            let mut fields = vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("cat".into(), Value::Str("sim".into())),
+                ("ph".into(), Value::Str("X".into())),
+                ("ts".into(), Value::UInt(*ts)),
+                ("dur".into(), Value::UInt(*dur)),
+                ("pid".into(), Value::UInt(PID)),
+                ("tid".into(), Value::UInt((*track + 1) as u64)),
+            ];
+            if !args.is_empty() {
+                fields.push((
+                    "args".into(),
+                    Value::Map(
+                        args.iter()
+                            .map(|(k, v)| (k.clone(), v.to_value()))
+                            .collect(),
+                    ),
+                ));
+            }
+            Value::Map(fields)
+        }
+        Recorded::Instant { track, name, ts } => Value::Map(vec![
+            ("name".into(), Value::Str(name.clone())),
+            ("cat".into(), Value::Str("sim".into())),
+            ("ph".into(), Value::Str("i".into())),
+            ("s".into(), Value::Str("t".into())),
+            ("ts".into(), Value::UInt(*ts)),
+            ("pid".into(), Value::UInt(PID)),
+            ("tid".into(), Value::UInt((*track + 1) as u64)),
+        ]),
+        Recorded::Counter {
+            track,
+            name,
+            ts,
+            value,
+        } => Value::Map(vec![
+            ("name".into(), Value::Str(name.clone())),
+            ("ph".into(), Value::Str("C".into())),
+            ("ts".into(), Value::UInt(*ts)),
+            ("pid".into(), Value::UInt(PID)),
+            ("tid".into(), Value::UInt((*track + 1) as u64)),
+            (
+                "args".into(),
+                Value::Map(vec![("value".into(), Value::Float(*value))]),
+            ),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_intern_and_keep_registration_order() {
+        let mut t = TraceBuffer::new();
+        t.span(tracks::SUB_A, "a", 0, 10, vec![]);
+        t.span(tracks::SUB_B, "b", 0, 10, vec![]);
+        t.span(tracks::SUB_A, "a2", 10, 5, vec![]);
+        assert_eq!(
+            t.tracks,
+            vec![tracks::SUB_A.to_string(), tracks::SUB_B.to_string()]
+        );
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_has_required_fields() {
+        let mut t = TraceBuffer::new();
+        t.span(
+            tracks::SUB_A,
+            "tile 0",
+            100,
+            50,
+            vec![("vertices".into(), ArgValue::U64(64))],
+        );
+        t.instant(tracks::CONTROLLER, "reconfigure", 90);
+        t.counter(tracks::DRAM, "bytes_in_flight", 100, 4096.0);
+
+        let json = t.to_chrome_json();
+        let doc: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Value::as_seq).unwrap();
+        // 1 process_name + 3 tracks × 2 metadata + 3 events
+        assert_eq!(events.len(), 1 + 3 * 2 + 3);
+
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("has a complete event");
+        assert_eq!(span.get("ts").and_then(Value::as_u64), Some(100));
+        assert_eq!(span.get("dur").and_then(Value::as_u64), Some(50));
+        assert_eq!(span.get("pid").and_then(Value::as_u64), Some(1));
+        assert!(span.get("tid").and_then(Value::as_u64).is_some());
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("vertices"))
+                .and_then(Value::as_u64),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn events_sorted_by_timestamp_in_output() {
+        let mut t = TraceBuffer::new();
+        t.span(tracks::SUB_A, "late", 100, 1, vec![]);
+        t.span(tracks::SUB_A, "early", 5, 1, vec![]);
+        let json = t.to_chrome_json();
+        assert!(json.find("early").unwrap() < json.find("late").unwrap());
+    }
+}

@@ -33,15 +33,27 @@ fn main() {
     // the degree-aware planner produces for a high-degree vertex)
     let cfg = NocConfig::with_bypass(
         k,
-        vec![BypassSegment { index: 3, from: 0, to: 4 }],
-        vec![BypassSegment { index: 4, from: 3, to: 7 }],
+        vec![BypassSegment {
+            index: 3,
+            from: 0,
+            to: 4,
+        }],
+        vec![BypassSegment {
+            index: 4,
+            from: 3,
+            to: 7,
+        }],
     );
     let mut byp = Network::new(cfg);
     hotspot_traffic(&mut byp, k, hub);
     byp.drain(100_000).expect("bypass drains");
     let bs = byp.stats().clone();
 
-    println!("=== one-to-many hotspot into ({}, {}) on an {k}×{k} NoC ===", hub % k, hub / k);
+    println!(
+        "=== one-to-many hotspot into ({}, {}) on an {k}×{k} NoC ===",
+        hub % k,
+        hub / k
+    );
     println!(
         "{:<18}{:>12}{:>12}{:>12}{:>12}",
         "", "cycles", "avg latency", "avg hops", "bypass hops"

@@ -68,11 +68,17 @@ fn main() {
     let y5 = ec5.forward(&g, &x);
     println!(
         "EdgeConv-1 output row 0: {:?}",
-        y1.row(0).iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        y1.row(0)
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     println!(
         "EdgeConv-5 output row 0: {:?}",
-        y5.row(0).iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        y5.row(0)
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     // accelerator cost: EdgeConv has no vertex update → one accelerator
@@ -88,14 +94,22 @@ fn main() {
         })
         .collect();
     let refs: Vec<&aurora::graph::Csr> = scans.iter().collect();
-    let batch = sim.simulate_batch(&refs, ModelId::EdgeConv1, &[LayerShape::new(64, 64)], "scans");
+    let batch = sim.simulate_batch(
+        &refs,
+        ModelId::EdgeConv1,
+        &[LayerShape::new(64, 64)],
+        "scans",
+    );
     println!(
         "batch of 4 scans: {} cycles total, {:.1} MB DRAM (weights loaded once)",
         batch.total_cycles,
         batch.dram.total_bytes() as f64 / 1e6
     );
 
-    for (id, label) in [(ModelId::EdgeConv1, "EdgeConv-1"), (ModelId::EdgeConv5, "EdgeConv-5")] {
+    for (id, label) in [
+        (ModelId::EdgeConv1, "EdgeConv-1"),
+        (ModelId::EdgeConv5, "EdgeConv-5"),
+    ] {
         let r = sim.simulate(&g, id, &[LayerShape::new(64, 64)], label);
         let l = &r.layers[0];
         println!(

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, formatting, lints.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

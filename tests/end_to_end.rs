@@ -50,9 +50,9 @@ fn aurora_beats_every_baseline_on_a_real_dataset() {
         density,
     );
     for b in BaselineKind::ALL {
-        let r = b
-            .build(BaselineParams::default())
-            .simulate(&g, ModelId::Gcn, &shapes, "Citeseer/4");
+        let r =
+            b.build(BaselineParams::default())
+                .simulate(&g, ModelId::Gcn, &shapes, "Citeseer/4");
         assert!(
             r.total_cycles > aurora.total_cycles,
             "{} not slower than Aurora",

@@ -59,7 +59,10 @@ fn estimator_and_engine_agree_bypass_helps_a_star() {
         plan.cols.iter().map(to_seg).collect(),
     );
     let est_byp = noc_model::aggregation_traffic(&byp, &mapping, g.edges(), words);
-    assert!(est_byp.avg_hops <= est_mesh.avg_hops, "estimator: bypass shortens");
+    assert!(
+        est_byp.avg_hops <= est_mesh.avg_hops,
+        "estimator: bypass shortens"
+    );
 
     let traffic: Vec<_> = g
         .edges()
@@ -103,7 +106,10 @@ fn hashing_hotspots_show_in_both_models() {
     // the cycle-level engine sees an imbalance for both, and the
     // degree-aware placement never makes it *worse* by much
     assert!(imb_h > 1.0 && imb_d > 1.0);
-    assert!(imb_d <= imb_h * 1.5, "degree-aware {imb_d} vs hashing {imb_h}");
+    assert!(
+        imb_d <= imb_h * 1.5,
+        "degree-aware {imb_d} vs hashing {imb_h}"
+    );
 }
 
 #[test]

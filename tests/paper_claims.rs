@@ -56,11 +56,26 @@ fn area_fractions_match_paper() {
     let b = AreaModel::default().breakdown();
     let pe_total = b.pe_mac + b.pe_memory + b.pe_control + b.pe_misc;
     assert!((b.pe_mac / pe_total - 0.071).abs() < 1e-6, "MAC 7.1% of PE");
-    assert!((b.pe_memory / pe_total - 0.829).abs() < 1e-6, "memory 82.9%");
-    assert!((b.pe_control / pe_total - 0.037).abs() < 1e-6, "control 3.7%");
-    assert!((b.pe_array / b.total_chip - 0.6274).abs() < 1e-6, "PE array 62.74%");
-    assert!((b.controller / b.total_chip - 0.009).abs() < 1e-6, "controller 0.9%");
-    assert!((b.interconnect_overhead() - 0.052).abs() < 1e-6, "interconnect 5.2%");
+    assert!(
+        (b.pe_memory / pe_total - 0.829).abs() < 1e-6,
+        "memory 82.9%"
+    );
+    assert!(
+        (b.pe_control / pe_total - 0.037).abs() < 1e-6,
+        "control 3.7%"
+    );
+    assert!(
+        (b.pe_array / b.total_chip - 0.6274).abs() < 1e-6,
+        "PE array 62.74%"
+    );
+    assert!(
+        (b.controller / b.total_chip - 0.009).abs() < 1e-6,
+        "controller 0.9%"
+    );
+    assert!(
+        (b.interconnect_overhead() - 0.052).abs() < 1e-6,
+        "interconnect 5.2%"
+    );
 }
 
 /// Table I: Aurora supports every category; §V's special cases hold.

@@ -111,7 +111,11 @@ fn bypass_fabric_wins_bit_complement() {
     let byp_cfg = NocConfig::with_bypass(
         k,
         (0..k)
-            .map(|r| aurora::noc::BypassSegment { index: r, from: 0, to: k - 1 })
+            .map(|r| aurora::noc::BypassSegment {
+                index: r,
+                from: 0,
+                to: k - 1,
+            })
             .collect(),
         vec![],
     );
