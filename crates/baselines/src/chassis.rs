@@ -138,7 +138,13 @@ impl BaselineChassis {
             let range = sg.vertex_range();
             let degrees: Vec<u32> = range.clone().map(|v| g.degree(v) as u32).collect();
             let mapping = hashing::map(range, &degrees, k, c_pe);
-            let est = noc_model::aggregation_traffic(&cfg, &mapping, sg.edges(), msg_words);
+            let est = noc_model::aggregation_traffic(
+                &cfg,
+                &mapping,
+                sg.edges(),
+                msg_words,
+                noc_model::DEFAULT_LINK_UTILISATION,
+            );
             total = total.then(&est);
         }
         total.cycles = (total.cycles as f64 * self.knobs.interconnect_factor).ceil() as u64;
@@ -323,6 +329,9 @@ impl BaselineChassis {
             reconfigurations: 0,
             instructions: Vec::new(),
             metrics: aurora_telemetry::MetricsSnapshot::default(),
+            // Baseline cost models don't decompose their pipeline; only
+            // the Aurora engine produces a bound attribution.
+            profile: aurora_core::profile::ProfileReport::default(),
         }
     }
 }

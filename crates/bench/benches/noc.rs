@@ -49,7 +49,15 @@ fn bench_noc(c: &mut Criterion) {
     let mapping = degree_aware::map(0..8192, &g.degrees(), 32, 8);
     let cfg = NocConfig::mesh(32);
     c.bench_function("estimator_route_walk_64k_edges", |b| {
-        b.iter(|| noc_model::aggregation_traffic(black_box(&cfg), &mapping, g.edges(), 64))
+        b.iter(|| {
+            noc_model::aggregation_traffic(
+                black_box(&cfg),
+                &mapping,
+                g.edges(),
+                64,
+                noc_model::DEFAULT_LINK_UTILISATION,
+            )
+        })
     });
 }
 

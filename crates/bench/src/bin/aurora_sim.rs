@@ -7,6 +7,7 @@
 //!            [--hidden N] [--k N] [--hashing] [--no-flex-noc]
 //!            [--no-partition] [--baseline hygcn|awb|gcnax|regnn|flowgnn]
 //!            [--json] [--trace out.json] [--metrics out.json]
+//!            [--profile out.json]
 //! ```
 //!
 //! `--trace` writes a Chrome trace-event JSON timeline (simulated
@@ -15,6 +16,10 @@
 //! writes the full metrics snapshot (counters / gauges / histograms with
 //! model/layer/tile/phase scopes). Both only cover the Aurora engine —
 //! the baseline cost models are not instrumented.
+//!
+//! `--profile` writes the bottleneck-attribution profile (per-tile bound
+//! taxonomy, per-layer utilisation, roofline operational intensity) as
+//! JSON and prints its human-readable tables; also Aurora-only.
 //!
 //! Example: `cargo run --release -p aurora-bench --bin aurora_sim -- \
 //!           --dataset pubmed --model gcn --k 32 --trace trace.json`
@@ -108,6 +113,7 @@ fn main() {
     let mut json = false;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
 
     let mut i = 0;
     let fail = |msg: &str| -> ! {
@@ -150,6 +156,10 @@ fn main() {
                 metrics_path = Some(need(i).clone());
                 i += 1;
             }
+            "--profile" => {
+                profile_path = Some(need(i).clone());
+                i += 1;
+            }
             "--hashing" => policy = MappingPolicy::Hashing,
             "--no-flex-noc" => flex = false,
             "--no-partition" => dyn_part = false,
@@ -176,8 +186,10 @@ fn main() {
     } else {
         Telemetry::disabled()
     };
-    if observing && baseline.is_some() {
-        eprintln!("note: --trace/--metrics only instrument the Aurora engine, not baselines");
+    if (observing || profile_path.is_some()) && baseline.is_some() {
+        eprintln!(
+            "note: --trace/--metrics/--profile only instrument the Aurora engine, not baselines"
+        );
     }
 
     let report = match baseline {
@@ -224,6 +236,9 @@ fn main() {
             snapshot.gauges.len(),
             snapshot.histograms.len()
         );
+    }
+    if let Some(path) = &profile_path {
+        aurora_bench::profile_fmt::emit(&report, path);
     }
     print_report(&report, json);
 }

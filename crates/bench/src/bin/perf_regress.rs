@@ -1,0 +1,213 @@
+//! Performance-regression harness.
+//!
+//! ```text
+//! perf_regress [--name NAME] [--k N]
+//!              [--check --baseline BENCH_seed.json [--tolerance PCT]]
+//! ```
+//!
+//! Runs a pinned workload matrix — a two-layer GCN, GraphSAGE (mean)
+//! and GIN on fixed-seed synthetic R-MAT graphs — and writes
+//! `BENCH_<NAME>.json` at the invocation directory (the repo root when
+//! run through `scripts/check.sh`). Each entry records the simulated
+//! cycle count, the bound-attribution fractions and the dominant bound
+//! from the profiler, plus host wall-time for context.
+//!
+//! The generators are deterministic, so simulated cycles are exact: any
+//! drift is a code change, not noise. Under `--check` the run exits
+//! non-zero when any workload's cycles regress more than `--tolerance`
+//! percent (default 5) over the baseline file — wall-time is recorded
+//! but never gated, since it tracks the host machine.
+//!
+//! Regenerate the committed baseline after an intentional model change:
+//! `cargo run --release -p aurora-bench --bin perf_regress -- --name seed`
+
+use aurora_bench::emit::{dump_json, Cell, Table};
+use aurora_core::{AcceleratorConfig, AuroraSimulator, Bound};
+use aurora_graph::generate;
+use aurora_model::{LayerShape, ModelId};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One pinned workload's measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WorkloadResult {
+    /// Stable key, e.g. `gcn/rmat-4k`.
+    workload: String,
+    /// Simulated cycles (deterministic; the gated metric).
+    cycles: u64,
+    /// Bound-attribution fractions of the run's tile slots.
+    compute_frac: f64,
+    noc_frac: f64,
+    dram_frac: f64,
+    imbalance_frac: f64,
+    /// The run's dominant bound label.
+    dominant: String,
+    /// Host wall-time of the simulation (context only, never gated).
+    wall_ms: f64,
+}
+
+/// The `BENCH_<name>.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchRecord {
+    name: String,
+    /// PE-array radix of the pinned matrix.
+    k: usize,
+    results: Vec<WorkloadResult>,
+}
+
+/// The pinned matrix: deterministic graphs × two-layer models.
+fn matrix(k: usize) -> Vec<WorkloadResult> {
+    let graphs = [
+        (
+            "rmat-1k",
+            generate::rmat(1_024, 8_000, Default::default(), 3),
+        ),
+        (
+            "rmat-4k",
+            generate::rmat(4_096, 40_000, Default::default(), 7),
+        ),
+    ];
+    let models = [
+        ("gcn", ModelId::Gcn),
+        ("sage-mean", ModelId::SageMean),
+        ("gin", ModelId::Gin),
+    ];
+    let shapes = [LayerShape::new(64, 32), LayerShape::new(32, 16)];
+    let cfg = AcceleratorConfig::small(k);
+
+    let mut out = Vec::new();
+    for (gname, g) in &graphs {
+        for (mname, model) in models {
+            let start = Instant::now();
+            let r = AuroraSimulator::new(cfg).simulate(g, model, &shapes, gname);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let p = &r.profile;
+            out.push(WorkloadResult {
+                workload: format!("{mname}/{gname}"),
+                cycles: r.total_cycles,
+                compute_frac: p.mix.fraction(Bound::Compute),
+                noc_frac: p.mix.fraction(Bound::Noc),
+                dram_frac: p.mix.fraction(Bound::Dram),
+                imbalance_frac: p.mix.fraction(Bound::Imbalance),
+                dominant: p.dominant().label().to_string(),
+                wall_ms,
+            });
+        }
+    }
+    out
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = "run".to_string();
+    let mut k = 8usize;
+    let mut check = false;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 5.0f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| fail("missing value"))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--name" => {
+                name = need(i);
+                i += 1;
+            }
+            "--k" => {
+                k = need(i).parse().unwrap_or_else(|_| fail("bad --k"));
+                i += 1;
+            }
+            "--baseline" => {
+                baseline_path = Some(need(i));
+                i += 1;
+            }
+            "--tolerance" => {
+                tolerance = need(i).parse().unwrap_or_else(|_| fail("bad --tolerance"));
+                i += 1;
+            }
+            "--check" => check = true,
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if check && baseline_path.is_none() {
+        fail("--check needs --baseline <file>");
+    }
+
+    let record = BenchRecord {
+        name: name.clone(),
+        k,
+        results: matrix(k),
+    };
+
+    let baseline: Option<BenchRecord> = baseline_path.as_ref().map(|p| {
+        let body = std::fs::read_to_string(p).unwrap_or_else(|e| fail(&format!("read {p}: {e}")));
+        serde_json::from_str(&body).unwrap_or_else(|e| fail(&format!("parse {p}: {e}")))
+    });
+
+    let mut t = Table::new(format!("perf_regress — k={k}, tolerance {tolerance}%")).columns(&[
+        "workload", "cycles", "baseline", "delta", "dominant", "wall ms",
+    ]);
+    let mut regressions = Vec::new();
+    for r in &record.results {
+        let base = baseline
+            .as_ref()
+            .and_then(|b| b.results.iter().find(|x| x.workload == r.workload));
+        let (base_cell, delta_cell) = match base {
+            Some(b) => {
+                let delta = 100.0 * (r.cycles as f64 - b.cycles as f64) / b.cycles as f64;
+                if delta > tolerance {
+                    regressions.push(format!(
+                        "{}: {} -> {} cycles (+{delta:.2}% > {tolerance}%)",
+                        r.workload, b.cycles, r.cycles
+                    ));
+                }
+                (Cell::UInt(b.cycles), Cell::percent(delta, 2))
+            }
+            None => (Cell::Missing, Cell::Missing),
+        };
+        t.row(vec![
+            r.workload.clone().into(),
+            r.cycles.into(),
+            base_cell,
+            delta_cell,
+            r.dominant.clone().into(),
+            Cell::float(r.wall_ms, 1),
+        ]);
+    }
+    if let (Some(b), true) = (&baseline, check) {
+        for missing in b
+            .results
+            .iter()
+            .filter(|x| !record.results.iter().any(|r| r.workload == x.workload))
+        {
+            regressions.push(format!("{}: missing from this run", missing.workload));
+        }
+    }
+    t.note("cycles are deterministic (fixed-seed generators); wall-time is informational");
+    t.print();
+
+    let out = format!("BENCH_{name}.json");
+    dump_json(&out, &record);
+
+    if check {
+        if regressions.is_empty() {
+            println!("perf check passed: no workload regressed more than {tolerance}%");
+        } else {
+            eprintln!("perf check FAILED:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

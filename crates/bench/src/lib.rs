@@ -20,6 +20,7 @@
 //! prints its figure's metric from those runs.
 
 pub mod emit;
+pub mod profile_fmt;
 pub mod protocol;
 pub mod sweep;
 pub mod table;

@@ -1,0 +1,204 @@
+//! Human-readable rendering of the bottleneck profile.
+//!
+//! `aurora_sim --profile out.json` writes the raw [`ProfileReport`] and
+//! prints this module's text form: a run-level bound mix, a roofline
+//! summary, the per-layer breakdown and the slot-heaviest tiles — the
+//! "where did the cycles go" view the taxonomy exists for.
+
+use crate::emit::{dump_json, Cell, Table};
+use aurora_core::{Bound, SimReport};
+
+fn pct(f: f64) -> Cell {
+    Cell::percent(100.0 * f, 1)
+}
+
+/// Run-level mix: one row per bound with cycles, share of the attributed
+/// total, and the run-wide slack behind the dominant bound.
+pub fn mix_table(r: &SimReport) -> Table {
+    let p = &r.profile;
+    let mut t = Table::new(format!(
+        "bound mix — {} on {} ({})",
+        r.accelerator, r.workload, r.model
+    ))
+    .columns(&["bound", "cycles", "share", "slack vs dominant"]);
+    let dominant = p.dominant();
+    for b in Bound::ALL {
+        let cycles = p.mix.of(b);
+        t.row(vec![
+            b.label().into(),
+            cycles.into(),
+            pct(p.mix.fraction(b)),
+            (p.mix.of(dominant) - cycles).into(),
+        ]);
+    }
+    t.note(format!(
+        "dominant: {}; exposed controller overhead {} cycles ({:.2}% of {} total)",
+        dominant.label(),
+        p.overhead_cycles,
+        100.0 * p.overhead_fraction(),
+        r.total_cycles
+    ));
+    t.note(format!(
+        "NoC model link utilisation: {:.2}",
+        p.link_utilisation
+    ));
+    t
+}
+
+/// Per-layer attribution: bound shares, sub-accelerator utilisation and
+/// the roofline x-coordinate of each layer.
+pub fn layer_table(r: &SimReport) -> Table {
+    let p = &r.profile;
+    let mut t = Table::new("per-layer attribution").columns(&[
+        "layer",
+        "tiles",
+        "dominant",
+        "compute",
+        "noc",
+        "dram",
+        "imbal",
+        "util A",
+        "util B",
+        "util DRAM",
+        "ops/byte",
+    ]);
+    for l in &p.layers {
+        t.row(vec![
+            l.layer.into(),
+            l.tiles.into(),
+            l.dominant.label().into(),
+            pct(l.mix.fraction(Bound::Compute)),
+            pct(l.mix.fraction(Bound::Noc)),
+            pct(l.mix.fraction(Bound::Dram)),
+            pct(l.mix.fraction(Bound::Imbalance)),
+            pct(l.util_a),
+            pct(l.util_b),
+            pct(l.util_dram),
+            Cell::float(l.operational_intensity, 2),
+        ]);
+    }
+    t
+}
+
+/// The `k` slot-heaviest tiles — where optimisation effort pays first.
+pub fn top_tiles_table(r: &SimReport, k: usize) -> Table {
+    let p = &r.profile;
+    let mut t = Table::new(format!("top {k} limiting tiles")).columns(&[
+        "layer",
+        "tile",
+        "slot cycles",
+        "bound",
+        "stage",
+        "imbalance",
+        "hot router",
+    ]);
+    for tile in p.top_limiting_tiles(k) {
+        let side = tile.critical_side();
+        t.row(vec![
+            tile.layer.into(),
+            tile.tile.into(),
+            tile.slot_cycles.into(),
+            tile.bound.label().into(),
+            match tile.critical {
+                aurora_core::profile::CriticalStage::A => "A",
+                aurora_core::profile::CriticalStage::B => "B",
+            }
+            .into(),
+            Cell::ratio(side.imbalance, 2),
+            side.hot_router
+                .map(|x| Cell::UInt(x as u64))
+                .unwrap_or(Cell::Missing),
+        ]);
+    }
+    t
+}
+
+/// Roofline header lines (not a table — three derived scalars).
+pub fn roofline_lines(r: &SimReport) -> String {
+    let p = &r.profile;
+    // The machine-balance knee: ops/byte below which DRAM bandwidth, not
+    // the array, caps throughput.
+    let knee = if p.dram_peak_gbps > 0.0 {
+        p.peak_gflops / p.dram_peak_gbps
+    } else {
+        0.0
+    };
+    let regime = if p.operational_intensity < knee {
+        "bandwidth-limited"
+    } else {
+        "compute-limited"
+    };
+    format!(
+        "roofline: {:.2} ops/byte ({regime}; knee at {:.2}), \
+         {:.2} / {:.1} GFLOP/s achieved/peak, DRAM peak {:.1} GB/s\n",
+        p.operational_intensity, knee, p.achieved_gflops, p.peak_gflops, p.dram_peak_gbps
+    )
+}
+
+/// The full text form printed by `aurora_sim --profile`.
+pub fn render(r: &SimReport) -> String {
+    if r.profile.is_empty() {
+        return format!(
+            "profile: empty (the {} cost model records no attribution)\n",
+            r.accelerator
+        );
+    }
+    let mut out = String::new();
+    out.push_str(&mix_table(r).render());
+    out.push_str(&roofline_lines(r));
+    out.push_str(&layer_table(r).render());
+    out.push_str(&top_tiles_table(r, 8).render());
+    out
+}
+
+/// Writes the raw profile as JSON and prints the text form.
+pub fn emit(r: &SimReport, path: &str) {
+    dump_json(path, &r.profile);
+    print!("{}", render(r));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_core::{AcceleratorConfig, AuroraSimulator};
+    use aurora_graph::generate;
+    use aurora_model::{LayerShape, ModelId};
+
+    fn small_run() -> SimReport {
+        let g = generate::rmat(256, 2_000, Default::default(), 11);
+        AuroraSimulator::new(AcceleratorConfig::small(4)).simulate(
+            &g,
+            ModelId::Gcn,
+            &[LayerShape::new(16, 8), LayerShape::new(8, 4)],
+            "toy",
+        )
+    }
+
+    #[test]
+    fn render_covers_every_section() {
+        let r = small_run();
+        let text = render(&r);
+        assert!(text.contains("bound mix"));
+        assert!(text.contains("roofline:"));
+        assert!(text.contains("per-layer attribution"));
+        assert!(text.contains("limiting tiles"));
+        for b in Bound::ALL {
+            assert!(text.contains(b.label()), "missing bound {}", b.label());
+        }
+    }
+
+    #[test]
+    fn mix_rows_cover_all_bounds() {
+        let r = small_run();
+        assert_eq!(mix_table(&r).num_rows(), 4);
+        assert_eq!(layer_table(&r).num_rows(), r.profile.layers.len());
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholder() {
+        let mut r = small_run();
+        r.profile = Default::default();
+        r.accelerator = "HyGCN".into();
+        assert!(render(&r).contains("profile: empty"));
+    }
+}

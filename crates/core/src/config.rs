@@ -29,6 +29,14 @@ pub struct AcceleratorConfig {
     /// Fraction of on-chip buffer capacity reserved for resident vertex
     /// features when tiling.
     pub feature_fraction: f64,
+    /// Achievable fraction of raw NoC link bandwidth under irregular
+    /// traffic (paper §VI-C's "efficient on-chip bandwidth"). Wormhole
+    /// head-of-line blocking and power-law row/column skew keep real
+    /// aggregation patterns well below 1.0; the 0.6 default matches the
+    /// mean utilisation the cycle-level `aurora-noc` engine measures on
+    /// R-MAT traffic. Recorded in the profile header so reports are
+    /// self-describing.
+    pub link_utilisation: f64,
     /// Record the controller instruction trace (tests/examples only; the
     /// trace grows with tile count).
     pub trace_instructions: bool,
@@ -47,6 +55,7 @@ impl Default for AcceleratorConfig {
             flexible_noc: true,
             dynamic_partition: true,
             feature_fraction: 0.5,
+            link_utilisation: crate::noc_model::DEFAULT_LINK_UTILISATION,
             trace_instructions: false,
         }
     }
@@ -100,6 +109,16 @@ mod tests {
         let c = AcceleratorConfig::default();
         // 16 lanes × 2 flops × 700 MHz = 22.4 GFLOP/s
         assert!((c.flops_per_pe() - 22.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_utilisation_defaults_to_model_constant() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(
+            c.link_utilisation,
+            crate::noc_model::DEFAULT_LINK_UTILISATION
+        );
+        assert_eq!(c.link_utilisation, 0.6);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::config::AcceleratorConfig;
 use crate::instr::Instruction;
 use crate::noc_model::{self, OnChipEstimate};
+use crate::profile::{LayerProfile, ProfileReport, SideAttribution, TileAttribution};
 use crate::report::{LayerReport, NocReport, PhaseCycles, SimReport};
 use crate::workflow::Workflow;
 use aurora_energy::{ActivityCounts, EnergyModel};
@@ -100,6 +101,10 @@ impl AuroraSimulator {
         mem.set_scope(Scope::model(model.name()));
         let mut activity = ActivityCounts::default();
         let mut layers = Vec::with_capacity(shapes.len());
+        let mut profile = ProfileReport {
+            link_utilisation: cfg.link_utilisation,
+            ..ProfileReport::default()
+        };
         let mut instructions = Vec::new();
         let mut reconfigs = 0u64;
         let mut total_cycles = 0u64;
@@ -124,7 +129,7 @@ impl AuroraSimulator {
 
         for (li, &shape) in shapes.iter().enumerate() {
             let density = if li == 0 { input_density } else { 1.0 };
-            let (report, recfg) = self.simulate_layer(
+            let (report, recfg, layer_profile, tile_attr) = self.simulate_layer(
                 g,
                 model,
                 &wf,
@@ -138,6 +143,11 @@ impl AuroraSimulator {
             );
             reconfigs += recfg;
             total_cycles += report.total_cycles;
+            profile.mix = profile.mix.add(&layer_profile.mix);
+            profile.overhead_cycles += layer_profile.overhead_cycles;
+            profile.ops += layer_profile.ops;
+            profile.layers.push(layer_profile);
+            profile.tiles.extend(tile_attr);
             layers.push(report);
         }
 
@@ -160,6 +170,22 @@ impl AuroraSimulator {
                 .gauge_set("run.energy_joules", &scope, energy.total());
         }
 
+        profile.dram_bytes = mem.counters().total_bytes();
+        profile.operational_intensity = if profile.dram_bytes == 0 {
+            0.0
+        } else {
+            profile.ops as f64 / profile.dram_bytes as f64
+        };
+        let seconds = total_cycles as f64 / (cfg.clock_mhz as f64 * 1e6);
+        profile.achieved_gflops = if seconds > 0.0 {
+            profile.ops as f64 / seconds / 1e9
+        } else {
+            0.0
+        };
+        profile.peak_gflops = cfg.num_pes() as f64 * cfg.flops_per_pe() / 1e9;
+        profile.dram_peak_gbps =
+            mem.peak_bytes_per_cycle() * mem.timing().clock_mhz as f64 * 1e6 / 1e9;
+
         SimReport {
             accelerator: "Aurora".into(),
             model: model.name().into(),
@@ -173,6 +199,7 @@ impl AuroraSimulator {
             reconfigurations: reconfigs,
             instructions,
             metrics: self.telemetry.snapshot(),
+            profile,
         }
     }
 
@@ -221,6 +248,7 @@ impl AuroraSimulator {
                     // the telemetry recorder is shared across the batch, so
                     // the latest snapshot is the cumulative one
                     acc.metrics = r.metrics;
+                    acc.profile.merge(&r.profile, i * shapes.len());
                     acc
                 }
             });
@@ -231,10 +259,25 @@ impl AuroraSimulator {
             ..EnergyModel::default()
         }
         .evaluate(&report.activity);
+        // re-derive the roofline coordinates from the merged totals (the
+        // batch refunds resident-weight bytes, so intensity shifts)
+        report.profile.dram_bytes = report.dram.total_bytes();
+        report.profile.operational_intensity = if report.profile.dram_bytes == 0 {
+            0.0
+        } else {
+            report.profile.ops as f64 / report.profile.dram_bytes as f64
+        };
+        let seconds = report.seconds();
+        report.profile.achieved_gflops = if seconds > 0.0 {
+            report.profile.ops as f64 / seconds / 1e9
+        } else {
+            0.0
+        };
         report
     }
 
-    /// Simulates one layer; returns its report and reconfiguration count.
+    /// Simulates one layer; returns its report, reconfiguration count,
+    /// and bottleneck attribution (per layer and per tile).
     #[allow(clippy::too_many_arguments)]
     fn simulate_layer(
         &self,
@@ -248,12 +291,13 @@ impl AuroraSimulator {
         mem: &mut MemoryController,
         activity: &mut ActivityCounts,
         instructions: &mut Vec<Instruction>,
-    ) -> (LayerReport, u64) {
+    ) -> (LayerReport, u64, LayerProfile, Vec<TileAttribution>) {
         let cfg = &self.config;
         let k = cfg.k;
         let trace = cfg.trace_instructions;
         let tel = &self.telemetry;
         let lscope = Scope::model(model.name()).layer(layer_idx);
+        let dram_bytes_before = mem.counters().total_bytes();
 
         // --- Tile by on-chip capacity -----------------------------------
         let tiling_cfg = TilingConfig {
@@ -345,6 +389,9 @@ impl AuroraSimulator {
         let mut phase_cycles = PhaseCycles::default();
         let mut noc_total = OnChipEstimate::default();
         let mut reconfigs = 0u64;
+        let mut tile_attr: Vec<TileAttribution> = Vec::with_capacity(tiling.num_tiles());
+        let mut busy_a = 0u64;
+        let mut busy_b = 0u64;
         let rings_cfg = NocConfig::rings(k);
 
         for (ti, sg) in tiling.subgraphs(g).enumerate() {
@@ -356,6 +403,27 @@ impl AuroraSimulator {
                 MappingPolicy::Hashing => hashing::map(range.clone(), &degrees, k, c_pe),
             };
             aurora_mapping::record_quality(tel, &lscope, &mapping);
+            // Max-busy vs mean-busy of the mapped work, for attribution:
+            // the A side's per-vertex work scales with `1 + degree` (one
+            // message per edge plus the self term), the B side's
+            // weight-stationary update is uniform per vertex.
+            let mut load_a = vec![0u64; k * k];
+            let mut load_b = vec![0u64; k * k];
+            for (i, v) in range.clone().enumerate() {
+                let pe = mapping.pe_of(v);
+                load_a[pe] += 1 + degrees[i] as u64;
+                load_b[pe] += 1;
+            }
+            let rho = |load: &[u64]| -> f64 {
+                let max = load.iter().copied().max().unwrap_or(0);
+                let total: u64 = load.iter().sum();
+                if total == 0 {
+                    1.0
+                } else {
+                    max as f64 * load.len() as f64 / total as f64
+                }
+            };
+            let (rho_a, rho_b) = (rho(&load_a), rho(&load_b));
             if trace {
                 instructions.push(Instruction::MapSubgraph {
                     tile: ti,
@@ -413,15 +481,31 @@ impl AuroraSimulator {
             };
 
             // On-chip traffic.
-            let est_a = noc_model::aggregation_traffic(&noc_cfg, &mapping, sg.edges(), msg_words);
+            let est_a = noc_model::aggregation_traffic(
+                &noc_cfg,
+                &mapping,
+                sg.edges(),
+                msg_words,
+                cfg.link_utilisation,
+            );
             let est_b = if wf.model.has_vertex_update() && cfg.flexible_noc {
-                noc_model::ring_traffic(&rings_cfg, sg.num_vertices(), shape.f_in)
+                noc_model::ring_traffic(
+                    &rings_cfg,
+                    sg.num_vertices(),
+                    shape.f_in,
+                    cfg.link_utilisation,
+                )
             } else if wf.model.has_vertex_update() {
                 // without ring reconfiguration the vertex-update vectors
                 // take mesh routes: same volume, roughly same hops, but
                 // the contention of a converging pattern — model as ring
                 // traffic with halved link utilisation.
-                let mut e = noc_model::ring_traffic(&rings_cfg, sg.num_vertices(), shape.f_in);
+                let mut e = noc_model::ring_traffic(
+                    &rings_cfg,
+                    sg.num_vertices(),
+                    shape.f_in,
+                    cfg.link_utilisation,
+                );
                 e.cycles *= 2;
                 e
             } else {
@@ -561,6 +645,22 @@ impl AuroraSimulator {
                 tel.observe("tile.dram_cycles", &lscope, d_cycles);
                 tel.counter_add("tile.hidden_cycles", &lscope, exec.min(d_cycles));
             }
+
+            // Bound attribution: keep the losers' slack instead of
+            // throwing the max() decisions away.
+            let attr = TileAttribution::new(
+                layer_idx,
+                ti,
+                SideAttribution::new(t_a, est_a.cycles, rho_a, est_a.hot_router),
+                SideAttribution::new(t_b, est_b.cycles, rho_b, est_b.hot_router),
+                d_cycles,
+            );
+            debug_assert_eq!(attr.slot_cycles, slot, "attribution must cover the slot");
+            attr.record_to(tel, &lscope.tile(ti));
+            busy_a += t_a + est_a.cycles;
+            busy_b += t_b + est_b.cycles;
+            tile_attr.push(attr);
+
             cursor += slot;
             compute_total += t_a + t_b;
             phase_cycles.sub_a_compute += t_a;
@@ -612,6 +712,7 @@ impl AuroraSimulator {
             tel.gauge_set("layer.tiles", &lscope, tiling.num_tiles() as f64);
         }
 
+        let dram_total: u64 = dram_cycles.iter().sum();
         let report = LayerReport {
             layer: layer_idx,
             shape,
@@ -621,10 +722,37 @@ impl AuroraSimulator {
             compute_cycles: compute_total,
             phase_cycles,
             noc: NocReport::from(noc_total),
-            dram_cycles: dram_cycles.iter().sum(),
+            dram_cycles: dram_total,
             total_cycles: total,
         };
-        (report, reconfigs)
+
+        // --- Bottleneck profile ------------------------------------------
+        let mut mix = crate::profile::BoundMix::default();
+        for t in &tile_attr {
+            mix = mix.add(&t.mix);
+        }
+        let overhead_cycles = total - mix.total();
+        debug_assert_eq!(
+            mix.total() + overhead_cycles,
+            total,
+            "attributed cycles plus overhead must equal the layer total"
+        );
+        let slot_total = mix.total().max(1) as f64;
+        let layer_dram_bytes = mem.counters().total_bytes() - dram_bytes_before;
+        let layer_profile = LayerProfile {
+            layer: layer_idx,
+            tiles: tiling.num_tiles(),
+            mix,
+            overhead_cycles,
+            util_a: busy_a as f64 / slot_total,
+            util_b: busy_b as f64 / slot_total,
+            util_dram: dram_total as f64 / slot_total,
+            ops: counts.total(),
+            dram_bytes: layer_dram_bytes,
+            operational_intensity: counts.total() as f64 / (layer_dram_bytes.max(1)) as f64,
+            dominant: mix.dominant(),
+        };
+        (report, reconfigs, layer_profile, tile_attr)
     }
 }
 

@@ -37,12 +37,14 @@ pub mod engine;
 pub mod functional;
 pub mod instr;
 pub mod noc_model;
+pub mod profile;
 pub mod report;
 pub mod workflow;
 
 pub use config::AcceleratorConfig;
 pub use engine::AuroraSimulator;
 pub use instr::Instruction;
+pub use profile::{Bound, BoundMix, LayerProfile, ProfileReport, TileAttribution};
 pub use report::{LayerReport, NocReport, SimReport};
 pub use workflow::Workflow;
 

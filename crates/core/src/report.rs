@@ -1,6 +1,7 @@
 //! Simulation reports.
 
 use crate::noc_model::OnChipEstimate;
+use crate::profile::ProfileReport;
 use aurora_energy::{ActivityCounts, EnergyBreakdown};
 use aurora_mem::controller::TrafficCounters;
 use aurora_model::{LayerShape, PhaseOpCounts};
@@ -94,6 +95,10 @@ pub struct SimReport {
     /// Full metrics snapshot (empty unless a telemetry handle was
     /// attached to the simulator).
     pub metrics: MetricsSnapshot,
+    /// Bottleneck attribution: which resource bound each tile and the
+    /// run overall (always populated by the Aurora engine; empty for
+    /// baseline cost models).
+    pub profile: ProfileReport,
 }
 
 impl SimReport {
@@ -146,6 +151,7 @@ mod tests {
             reconfigurations: 0,
             instructions: vec![],
             metrics: MetricsSnapshot::default(),
+            profile: ProfileReport::default(),
         }
     }
 

@@ -181,7 +181,9 @@ impl Network {
                         .unwrap_or_else(|| panic!("no link at node {node} port {out:?}"));
                     let dvc = next_vc(&self.cfg, node, out, v);
                     if occupancy[dn][dport.index()][dvc] >= depth {
-                        continue; // no credit
+                        // no credit: the winning flit stalls this cycle
+                        self.stats.per_router_stalls[node] += 1;
+                        continue;
                     }
                     Some((dn, dport, dvc))
                 };

@@ -22,6 +22,10 @@ pub struct NetworkStats {
     pub bypass_traversals: u64,
     /// Flits forwarded by each router (contention/hotspot profile).
     pub per_router_forwarded: Vec<u64>,
+    /// Router-cycles in which an allocated flit could not advance because
+    /// the downstream VC had no credit — the cycle-level backpressure the
+    /// analytical model folds into its link-utilisation derate.
+    pub per_router_stalls: Vec<u64>,
 }
 
 impl NetworkStats {
@@ -36,6 +40,7 @@ impl NetworkStats {
             total_hops: 0,
             bypass_traversals: 0,
             per_router_forwarded: vec![0; nodes],
+            per_router_stalls: vec![0; nodes],
         }
     }
 
@@ -78,6 +83,23 @@ impl NetworkStats {
         self.max_router_load() as f64 / (total as f64 / n as f64)
     }
 
+    /// Total credit-stall events across all routers.
+    pub fn total_stalls(&self) -> u64 {
+        self.per_router_stalls.iter().sum()
+    }
+
+    /// The router that stalled the most: `(index, stall_count)`. `None`
+    /// when nothing stalled. Ties resolve to the smallest index so the
+    /// answer is deterministic.
+    pub fn hottest_router(&self) -> Option<(usize, u64)> {
+        self.per_router_stalls
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .filter(|&(_, stalls)| stalls > 0)
+    }
+
     /// Records this run's router/link statistics as `noc.*` metrics under
     /// `scope`: delivery counters, a per-packet-latency histogram sample
     /// set (sum/max), and hotspot gauges.
@@ -95,6 +117,11 @@ impl NetworkStats {
         telemetry.gauge_set("noc.avg_hops", scope, self.avg_hops());
         telemetry.gauge_set("noc.max_router_load", scope, self.max_router_load() as f64);
         telemetry.gauge_set("noc.load_imbalance", scope, self.load_imbalance());
+        telemetry.counter_add("noc.credit_stalls", scope, self.total_stalls());
+        if let Some((router, stalls)) = self.hottest_router() {
+            telemetry.gauge_set("noc.hot_router", scope, router as f64);
+            telemetry.gauge_set("noc.hot_router_stalls", scope, stalls as f64);
+        }
     }
 }
 
@@ -126,6 +153,17 @@ mod tests {
     }
 
     #[test]
+    fn hottest_router_by_stalls() {
+        let mut s = NetworkStats::new(4);
+        assert_eq!(s.hottest_router(), None);
+        assert_eq!(s.total_stalls(), 0);
+        s.per_router_stalls = vec![3, 9, 9, 1];
+        // Ties resolve to the smallest index.
+        assert_eq!(s.hottest_router(), Some((1, 9)));
+        assert_eq!(s.total_stalls(), 22);
+    }
+
+    #[test]
     fn record_to_exports_the_profile() {
         let mut s = NetworkStats::new(4);
         s.cycles = 100;
@@ -136,6 +174,7 @@ mod tests {
         s.total_hops = 24;
         s.bypass_traversals = 6;
         s.per_router_forwarded = vec![10, 0, 0, 10];
+        s.per_router_stalls = vec![0, 7, 2, 0];
 
         let t = Telemetry::enabled();
         let scope = Scope::model("pattern").phase("uniform");
@@ -145,5 +184,8 @@ mod tests {
         assert_eq!(snap.counter_at("noc.bypass_traversals", &scope), Some(6));
         assert_eq!(snap.gauge_at("noc.avg_hops", &scope), Some(3.0));
         assert_eq!(snap.gauge_at("noc.load_imbalance", &scope), Some(2.0));
+        assert_eq!(snap.counter_at("noc.credit_stalls", &scope), Some(9));
+        assert_eq!(snap.gauge_at("noc.hot_router", &scope), Some(1.0));
+        assert_eq!(snap.gauge_at("noc.hot_router_stalls", &scope), Some(7.0));
     }
 }

@@ -81,6 +81,28 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Median (approximate, bucket upper bound). 0 when empty.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile (approximate, bucket upper bound). 0 when empty.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// One-line `count/mean/p50/p95/max` summary for report footers.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1} p50={} p95={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.max
+        )
+    }
 }
 
 /// In-memory metric store. Keys are `(name, scope)`; maps are ordered so
@@ -282,6 +304,46 @@ mod tests {
         h.observe(0);
         assert_eq!(h.min, 0);
         assert_eq!(h.buckets[0], 1);
+    }
+
+    #[test]
+    fn quantiles_respect_bucket_boundaries() {
+        let mut h = Histogram::default();
+        // 10 samples of 8 (bucket 4: [8, 16)) and 1 sample of 1000
+        // (bucket 10: [512, 1024)).
+        for _ in 0..10 {
+            h.observe(8);
+        }
+        h.observe(1000);
+        // p50 lands in bucket 4; its inclusive upper bound is 15.
+        assert_eq!(h.p50(), 15);
+        // p95 needs ⌈0.95·11⌉ = 11 samples; only bucket 10's cumulative
+        // count reaches that, and its upper bound is capped at max.
+        assert_eq!(h.p95(), 1000);
+        assert_eq!(h.max, 1000);
+    }
+
+    #[test]
+    fn quantiles_on_boundary_values() {
+        let mut h = Histogram::default();
+        // Powers of two sit at the *bottom* of their bucket: 2^i has bit
+        // length i+1, so 16 opens bucket 5 whose range is [16, 32).
+        h.observe(16);
+        assert_eq!(Histogram::bucket_of(16), 5);
+        assert_eq!(Histogram::bucket_floor(5), 16);
+        // With one sample every quantile is that sample, clamped by
+        // min/max rather than the bucket bound (31).
+        assert_eq!(h.p50(), 16);
+        assert_eq!(h.p95(), 16);
+        assert_eq!(h.quantile(1.0), 16);
+    }
+
+    #[test]
+    fn summary_of_empty_histogram() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.summary(), "n=0 mean=0.0 p50=0 p95=0 max=0");
     }
 
     #[test]

@@ -16,4 +16,9 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> perf_regress --check (vs BENCH_seed.json)"
+cargo run --release -q -p aurora-bench --bin perf_regress -- \
+  --check --baseline BENCH_seed.json --name check
+rm -f BENCH_check.json
+
 echo "All checks passed."

@@ -23,7 +23,13 @@ fn estimator_tracks_engine_on_random_graph() {
     let mapping = degree_aware::map(0..96, &g.degrees(), k, 4);
     let cfg = NocConfig::mesh(k);
     let words = 12;
-    let est = noc_model::aggregation_traffic(&cfg, &mapping, g.edges(), words);
+    let est = noc_model::aggregation_traffic(
+        &cfg,
+        &mapping,
+        g.edges(),
+        words,
+        noc_model::DEFAULT_LINK_UTILISATION,
+    );
     let traffic: Vec<_> = g
         .edges()
         .map(|(u, v)| (mapping.pe_of(u), mapping.pe_of(v), words))
@@ -45,7 +51,13 @@ fn estimator_and_engine_agree_bypass_helps_a_star() {
     let words = 8;
 
     let mesh = NocConfig::mesh(k);
-    let est_mesh = noc_model::aggregation_traffic(&mesh, &mapping, g.edges(), words);
+    let est_mesh = noc_model::aggregation_traffic(
+        &mesh,
+        &mapping,
+        g.edges(),
+        words,
+        noc_model::DEFAULT_LINK_UTILISATION,
+    );
 
     let plan = plan_bypass(&mapping, g.edges());
     let to_seg = |s: &aurora::mapping::plan::SegmentPlan| BypassSegment {
@@ -58,7 +70,13 @@ fn estimator_and_engine_agree_bypass_helps_a_star() {
         plan.rows.iter().map(to_seg).collect(),
         plan.cols.iter().map(to_seg).collect(),
     );
-    let est_byp = noc_model::aggregation_traffic(&byp, &mapping, g.edges(), words);
+    let est_byp = noc_model::aggregation_traffic(
+        &byp,
+        &mapping,
+        g.edges(),
+        words,
+        noc_model::DEFAULT_LINK_UTILISATION,
+    );
     assert!(
         est_byp.avg_hops <= est_mesh.avg_hops,
         "estimator: bypass shortens"
@@ -85,8 +103,20 @@ fn hashing_hotspots_show_in_both_models() {
     let d = degree_aware::map(0..144, &g.degrees(), k, 5);
     let cfg = NocConfig::mesh(k);
 
-    let est_h = noc_model::aggregation_traffic(&cfg, &h, g.edges(), words);
-    let est_d = noc_model::aggregation_traffic(&cfg, &d, g.edges(), words);
+    let est_h = noc_model::aggregation_traffic(
+        &cfg,
+        &h,
+        g.edges(),
+        words,
+        noc_model::DEFAULT_LINK_UTILISATION,
+    );
+    let est_d = noc_model::aggregation_traffic(
+        &cfg,
+        &d,
+        g.edges(),
+        words,
+        noc_model::DEFAULT_LINK_UTILISATION,
+    );
     // identical message volume; placement only changes the distribution
     assert_eq!(est_h.messages, est_d.messages);
 
@@ -126,7 +156,7 @@ fn ring_estimate_matches_engine_rotation() {
         }
     }
     let cycles = net.drain(100_000).unwrap();
-    let est = noc_model::ring_traffic(&cfg, k * k, 4);
+    let est = noc_model::ring_traffic(&cfg, k * k, 4, noc_model::DEFAULT_LINK_UTILISATION);
     // both models are within a small factor for this uniform pattern
     let ratio = est.cycles as f64 / cycles as f64;
     assert!(
