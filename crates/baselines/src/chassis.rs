@@ -144,7 +144,8 @@ impl BaselineChassis {
                 sg.edges(),
                 msg_words,
                 noc_model::DEFAULT_LINK_UTILISATION,
-            );
+            )
+            .expect("plain mesh config routes every message");
             total = total.then(&est);
         }
         total.cycles = (total.cycles as f64 * self.knobs.interconnect_factor).ceil() as u64;

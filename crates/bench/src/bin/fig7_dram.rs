@@ -16,12 +16,14 @@ fn main() {
         "baselines vs Aurora",
     ]);
     for d in &sweep.datasets {
-        let aurora = sweep.cell("Aurora", d).dram_accesses as f64;
+        let Some(aurora) = sweep.try_cell("Aurora", d).map(|c| c.dram_accesses as f64) else {
+            continue;
+        };
         let mut logsum = 0.0;
         let mut n = 0;
         for a in &sweep.accelerators {
-            if a != "Aurora" {
-                logsum += (sweep.cell(a, d).dram_accesses as f64 / aurora).ln();
+            if let Some(c) = sweep.try_cell(a, d).filter(|_| a != "Aurora") {
+                logsum += (c.dram_accesses as f64 / aurora).ln();
                 n += 1;
             }
         }

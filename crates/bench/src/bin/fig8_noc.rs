@@ -13,12 +13,14 @@ fn main() {
     });
     println!("per-dataset average on-chip latency reduction vs baselines:");
     for d in &sweep.datasets {
-        let aurora = sweep.cell("Aurora", d).noc_cycles as f64;
+        let Some(aurora) = sweep.try_cell("Aurora", d).map(|c| c.noc_cycles as f64) else {
+            continue;
+        };
         let mut logsum = 0.0;
         let mut n = 0;
         for a in &sweep.accelerators {
-            if a != "Aurora" {
-                logsum += (sweep.cell(a, d).noc_cycles as f64 / aurora).ln();
+            if let Some(c) = sweep.try_cell(a, d).filter(|_| a != "Aurora") {
+                logsum += (c.noc_cycles as f64 / aurora).ln();
                 n += 1;
             }
         }

@@ -18,13 +18,19 @@ fn main() {
     headers.extend(sweep.accelerators.iter().map(String::as_str));
     let mut per_layer = Table::new("per-layer normalized execution time").columns(&headers);
     for d in &sweep.datasets {
-        let aurora = sweep.cell("Aurora", d);
+        let Some(aurora) = sweep.try_cell("Aurora", d) else {
+            continue;
+        };
         for (li, &ac) in aurora.layer_cycles.iter().enumerate() {
             let mut row: Vec<Cell> = vec![d.as_str().into(), format!("L{li}").into()];
             for a in &sweep.accelerators {
-                let c = sweep.cell(a, d);
-                let v = c.layer_cycles.get(li).copied().unwrap_or(0) as f64 / ac as f64;
-                row.push(Cell::float(v, 2));
+                row.push(match sweep.try_cell(a, d) {
+                    Some(c) => Cell::float(
+                        c.layer_cycles.get(li).copied().unwrap_or(0) as f64 / ac as f64,
+                        2,
+                    ),
+                    None => Cell::Missing,
+                });
             }
             per_layer.row(row);
         }
@@ -43,9 +49,11 @@ fn main() {
         let mut lo = f64::INFINITY;
         let mut hi: f64 = 0.0;
         for d in &sweep.datasets {
-            let s = sweep.cell(a, d).seconds / sweep.cell("Aurora", d).seconds;
-            lo = lo.min(s);
-            hi = hi.max(s);
+            if let (Some(c), Some(aur)) = (sweep.try_cell(a, d), sweep.try_cell("Aurora", d)) {
+                let s = c.seconds / aur.seconds;
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
         }
         ranges.row(vec![
             a.as_str().into(),

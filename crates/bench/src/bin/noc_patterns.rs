@@ -50,8 +50,17 @@ fn main() {
             "byp hops",
         ]);
     for (name, p) in patterns {
-        let mesh = run_pattern(NocConfig::mesh(k), p, msgs, words);
-        let byp = run_pattern(bypass_cfg(), p, msgs, words);
+        let (mesh, byp) = match (
+            run_pattern(NocConfig::mesh(k), p, msgs, words),
+            run_pattern(bypass_cfg(), p, msgs, words),
+        ) {
+            (Ok(m), Ok(b)) => (m, b),
+            (m, b) => {
+                let err = m.err().or(b.err()).expect("one side failed");
+                eprintln!("  {name}: skipped ({err})");
+                continue;
+            }
+        };
         table.row(vec![
             name.into(),
             mesh.pattern_cycles.into(),
@@ -67,7 +76,8 @@ fn main() {
     table.write_json("results/noc_patterns.json");
 
     println!("\nring mode (weight-stationary rotation):");
-    let ring = run_pattern(NocConfig::rings(k), Pattern::NeighborX, msgs, words);
+    let ring = run_pattern(NocConfig::rings(k), Pattern::NeighborX, msgs, words)
+        .expect("intra-row pattern drains on rings");
     println!(
         "  neighbor-X: {} cycles, {} packets, avg latency {:.1}",
         ring.pattern_cycles,

@@ -25,6 +25,7 @@ use aurora_bench::emit::{dump_json, Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator, Bound};
 use aurora_graph::generate;
 use aurora_model::{LayerShape, ModelId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -75,14 +76,24 @@ fn matrix(k: usize) -> Vec<WorkloadResult> {
     let shapes = [LayerShape::new(64, 32), LayerShape::new(32, 16)];
     let cfg = AcceleratorConfig::small(k);
 
-    let mut out = Vec::new();
-    for (gname, g) in &graphs {
-        for (mname, model) in models {
+    // The six (graph, model) workloads are independent simulations, so
+    // they fan out over the worker pool (`AURORA_THREADS`). The ordered
+    // collect keeps the result vector in the sequential graphs-outer /
+    // models-inner order, and each simulation is itself deterministic, so
+    // the recorded cycles are identical at every thread count; wall-time
+    // is measured per workload inside its task and stays informational.
+    let combos: Vec<(&str, &aurora_graph::Csr, &str, ModelId)> = graphs
+        .iter()
+        .flat_map(|(gname, g)| models.iter().map(move |(mname, m)| (*gname, g, *mname, *m)))
+        .collect();
+    combos
+        .into_par_iter()
+        .map(|(gname, g, mname, model)| {
             let start = Instant::now();
             let r = AuroraSimulator::new(cfg).simulate(g, model, &shapes, gname);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             let p = &r.profile;
-            out.push(WorkloadResult {
+            WorkloadResult {
                 workload: format!("{mname}/{gname}"),
                 cycles: r.total_cycles,
                 compute_frac: p.mix.fraction(Bound::Compute),
@@ -91,10 +102,9 @@ fn matrix(k: usize) -> Vec<WorkloadResult> {
                 imbalance_frac: p.mix.fraction(Bound::Imbalance),
                 dominant: p.dominant().label().to_string(),
                 wall_ms,
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 fn fail(msg: &str) -> ! {

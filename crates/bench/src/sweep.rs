@@ -47,22 +47,33 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    /// Looks up one cell.
-    pub fn cell(&self, accelerator: &str, dataset: &str) -> &CellResult {
+    /// Looks up one cell, or `None` when the pair was never swept (a
+    /// partial sweep, or a typo'd accelerator/dataset name).
+    pub fn try_cell(&self, accelerator: &str, dataset: &str) -> Option<&CellResult> {
         self.cells
             .iter()
             .find(|c| c.accelerator == accelerator && c.dataset == dataset)
+    }
+
+    /// Looks up one cell.
+    ///
+    /// # Panics
+    /// Panics when the pair is missing; use [`Self::try_cell`] to handle
+    /// partial sweeps gracefully.
+    pub fn cell(&self, accelerator: &str, dataset: &str) -> &CellResult {
+        self.try_cell(accelerator, dataset)
             .unwrap_or_else(|| panic!("missing cell {accelerator}/{dataset}"))
     }
 
-    /// A metric matrix `[accelerator][dataset]`.
+    /// A metric matrix `[accelerator][dataset]`; missing cells become NaN
+    /// instead of aborting, so partial sweeps still render.
     pub fn matrix(&self, metric: impl Fn(&CellResult) -> f64) -> Vec<Vec<f64>> {
         self.accelerators
             .iter()
             .map(|a| {
                 self.datasets
                     .iter()
-                    .map(|d| metric(self.cell(a, d)))
+                    .map(|d| self.try_cell(a, d).map(&metric).unwrap_or(f64::NAN))
                     .collect()
             })
             .collect()

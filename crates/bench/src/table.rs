@@ -22,14 +22,22 @@ pub fn normalized_table(
     for a in &sweep.accelerators {
         let mut cells: Vec<Cell> = vec![a.as_str().into()];
         let mut logsum = 0.0;
+        let mut present = 0usize;
         for d in &sweep.datasets {
-            let v = metric(sweep.cell(a, d));
-            let base = metric(sweep.cell("Aurora", d));
+            // a partial sweep renders a missing cell instead of aborting
+            let (v, base) = match (sweep.try_cell(a, d), sweep.try_cell("Aurora", d)) {
+                (Some(c), Some(aur)) => (metric(c), metric(aur)),
+                _ => {
+                    cells.push(Cell::Missing);
+                    continue;
+                }
+            };
             let norm = if base == 0.0 { f64::NAN } else { v / base };
             logsum += norm.max(1e-12).ln();
+            present += 1;
             cells.push(Cell::float(norm, 2));
         }
-        let geo = (logsum / sweep.datasets.len() as f64).exp();
+        let geo = (logsum / present.max(1) as f64).exp();
         cells.push(Cell::float(geo, 2));
         table.row(cells);
         averages.push((a.clone(), geo));

@@ -1,0 +1,24 @@
+//! Golden determinism: the standard sweep must serialise to the *same*
+//! JSON document no matter how many worker threads run it. This is the
+//! contract that keeps `BENCH_seed.json` and the >5 % regression gate
+//! exact: parallelism may only change wall-clock time, never a cycle
+//! count, a byte count, or a float.
+
+use aurora_bench::{run_standard, EvalProtocol};
+use rayon::pool::ThreadPool;
+
+#[test]
+fn sweep_json_is_identical_at_every_thread_count() {
+    let protocols = &EvalProtocol::tiny()[..2];
+    let golden = serde_json::to_string(&ThreadPool::new(1).install(|| run_standard(protocols)))
+        .expect("serialise");
+    for threads in [2, 4] {
+        let json =
+            serde_json::to_string(&ThreadPool::new(threads).install(|| run_standard(protocols)))
+                .expect("serialise");
+        assert_eq!(
+            golden, json,
+            "sweep result diverged at {threads} worker threads"
+        );
+    }
+}

@@ -23,6 +23,27 @@ use aurora_model::{LayerShape, ModelId, Phase, Workload};
 use aurora_noc::{BypassSegment, NocConfig};
 use aurora_partition::{partition, PartitionStrategy};
 use aurora_telemetry::{tracks, Scope, Telemetry};
+use rayon::prelude::*;
+
+/// Pure per-tile precomputation: everything about a tile that does not
+/// touch the memory controller, telemetry, or the instruction trace.
+/// Tiles are independent, so this part fans out over the worker pool
+/// (`AURORA_THREADS`); the stateful walk that consumes it stays
+/// sequential, keeping cycle results bit-identical at every thread count.
+struct TilePre {
+    mapping: VertexMapping,
+    rho_a: f64,
+    rho_b: f64,
+    noc_cfg: NocConfig,
+    num_vertices: usize,
+    num_edges: usize,
+    halo: u64,
+    w_sg: Workload,
+    t_a: u64,
+    t_b: u64,
+    est_a: OnChipEstimate,
+    est_b: OnChipEstimate,
+}
 
 /// The Aurora accelerator simulator.
 #[derive(Debug, Clone)]
@@ -394,123 +415,168 @@ impl AuroraSimulator {
         let mut busy_b = 0u64;
         let rings_cfg = NocConfig::rings(k);
 
-        for (ti, sg) in tiling.subgraphs(g).enumerate() {
-            mem.set_scope(lscope.tile(ti));
-            let range = sg.vertex_range();
-            let degrees: Vec<u32> = range.clone().map(|v| g.degree(v) as u32).collect();
-            let mapping: VertexMapping = match cfg.mapping_policy {
-                MappingPolicy::DegreeAware => degree_aware::map(range.clone(), &degrees, k, c_pe),
-                MappingPolicy::Hashing => hashing::map(range.clone(), &degrees, k, c_pe),
-            };
-            aurora_mapping::record_quality(tel, &lscope, &mapping);
-            // Max-busy vs mean-busy of the mapped work, for attribution:
-            // the A side's per-vertex work scales with `1 + degree` (one
-            // message per edge plus the self term), the B side's
-            // weight-stationary update is uniform per vertex.
-            let mut load_a = vec![0u64; k * k];
-            let mut load_b = vec![0u64; k * k];
-            for (i, v) in range.clone().enumerate() {
-                let pe = mapping.pe_of(v);
-                load_a[pe] += 1 + degrees[i] as u64;
-                load_b[pe] += 1;
-            }
-            let rho = |load: &[u64]| -> f64 {
-                let max = load.iter().copied().max().unwrap_or(0);
-                let total: u64 = load.iter().sum();
-                if total == 0 {
-                    1.0
-                } else {
-                    max as f64 * load.len() as f64 / total as f64
+        // Pure per-tile precomputation fans out over the worker pool; the
+        // index-ordered collect keeps the result vector in tile order, so
+        // the stateful walk below sees exactly the sequential schedule.
+        let pres: Vec<TilePre> = (0..tiling.num_tiles())
+            .into_par_iter()
+            .map(|ti| {
+                let sg = tiling.subgraph(g, ti);
+                let range = sg.vertex_range();
+                let degrees: Vec<u32> = range.clone().map(|v| g.degree(v) as u32).collect();
+                let mapping: VertexMapping = match cfg.mapping_policy {
+                    MappingPolicy::DegreeAware => {
+                        degree_aware::map(range.clone(), &degrees, k, c_pe)
+                    }
+                    MappingPolicy::Hashing => hashing::map(range.clone(), &degrees, k, c_pe),
+                };
+                // Max-busy vs mean-busy of the mapped work, for attribution:
+                // the A side's per-vertex work scales with `1 + degree` (one
+                // message per edge plus the self term), the B side's
+                // weight-stationary update is uniform per vertex.
+                let mut load_a = vec![0u64; k * k];
+                let mut load_b = vec![0u64; k * k];
+                for (i, v) in range.clone().enumerate() {
+                    let pe = mapping.pe_of(v);
+                    load_a[pe] += 1 + degrees[i] as u64;
+                    load_b[pe] += 1;
                 }
-            };
-            let (rho_a, rho_b) = (rho(&load_a), rho(&load_b));
+                let rho = |load: &[u64]| -> f64 {
+                    let max = load.iter().copied().max().unwrap_or(0);
+                    let total: u64 = load.iter().sum();
+                    if total == 0 {
+                        1.0
+                    } else {
+                        max as f64 * load.len() as f64 / total as f64
+                    }
+                };
+                let (rho_a, rho_b) = (rho(&load_a), rho(&load_b));
+
+                // NoC configuration for this tile. A planned bypass config
+                // that fails validation (a planner bug) falls back to the
+                // plain mesh instead of poisoning the route walk.
+                let noc_cfg = if cfg.flexible_noc {
+                    let plan = plan_bypass(&mapping, sg.edges());
+                    let to_seg = |s: &aurora_mapping::plan::SegmentPlan| BypassSegment {
+                        index: s.index,
+                        from: s.from,
+                        to: s.to,
+                    };
+                    let c = if plan.rows.is_empty() && plan.cols.is_empty() {
+                        NocConfig::mesh(k)
+                    } else {
+                        NocConfig::with_bypass(
+                            k,
+                            plan.rows.iter().map(to_seg).collect(),
+                            plan.cols.iter().map(to_seg).collect(),
+                        )
+                    };
+                    if c.validate().is_ok() {
+                        c
+                    } else {
+                        NocConfig::mesh(k)
+                    }
+                } else {
+                    NocConfig::mesh(k)
+                };
+
+                // Compute time of the two pipeline stages on this tile.
+                let w_sg = Workload::from_sizes(model, sg.num_vertices(), sg.num_edges(), shape);
+                let c_sg = w_sg.op_counts();
+                let t_a = cfg.cycles_of(aurora_partition::time_a(
+                    &c_sg,
+                    strategy.a.max(1),
+                    cfg.flops_per_pe(),
+                ));
+                let t_b = if strategy.b == 0 {
+                    0
+                } else {
+                    cfg.cycles_of(aurora_partition::time_b(
+                        &c_sg,
+                        strategy.b,
+                        cfg.flops_per_pe(),
+                    ))
+                };
+
+                // On-chip traffic. The config was validated above, so the
+                // route walk cannot fail.
+                let est_a = noc_model::aggregation_traffic(
+                    &noc_cfg,
+                    &mapping,
+                    sg.edges(),
+                    msg_words,
+                    cfg.link_utilisation,
+                )
+                .expect("validated NoC config routes every tile message");
+                let est_b = if wf.model.has_vertex_update() && cfg.flexible_noc {
+                    noc_model::ring_traffic(
+                        &rings_cfg,
+                        sg.num_vertices(),
+                        shape.f_in,
+                        cfg.link_utilisation,
+                    )
+                } else if wf.model.has_vertex_update() {
+                    // without ring reconfiguration the vertex-update vectors
+                    // take mesh routes: same volume, roughly same hops, but
+                    // the contention of a converging pattern — model as ring
+                    // traffic with halved link utilisation.
+                    let mut e = noc_model::ring_traffic(
+                        &rings_cfg,
+                        sg.num_vertices(),
+                        shape.f_in,
+                        cfg.link_utilisation,
+                    );
+                    e.cycles *= 2;
+                    e
+                } else {
+                    OnChipEstimate::default()
+                };
+
+                TilePre {
+                    mapping,
+                    rho_a,
+                    rho_b,
+                    noc_cfg,
+                    num_vertices: sg.num_vertices(),
+                    num_edges: sg.num_edges(),
+                    halo: sg.halo_vertices().len() as u64,
+                    w_sg,
+                    t_a,
+                    t_b,
+                    est_a,
+                    est_b,
+                }
+            })
+            .collect();
+
+        // Stateful walk: memory controller, telemetry, and the instruction
+        // trace consume the precomputed tiles strictly in order.
+        for (ti, pre) in pres.iter().enumerate() {
+            mem.set_scope(lscope.tile(ti));
+            aurora_mapping::record_quality(tel, &lscope, &pre.mapping);
+            let (rho_a, rho_b) = (pre.rho_a, pre.rho_b);
+            let (t_a, t_b) = (pre.t_a, pre.t_b);
+            let (est_a, est_b) = (pre.est_a, pre.est_b);
+            let w_sg = &pre.w_sg;
+            let c_sg = w_sg.op_counts();
             if trace {
                 instructions.push(Instruction::MapSubgraph {
                     tile: ti,
-                    vertices: sg.num_vertices(),
-                    high_degree: mapping.high_degree.len(),
+                    vertices: pre.num_vertices,
+                    high_degree: pre.mapping.high_degree.len(),
                 });
             }
-
-            // NoC configuration for this tile.
-            let noc_cfg = if cfg.flexible_noc {
-                let plan = plan_bypass(&mapping, sg.edges());
-                let to_seg = |s: &aurora_mapping::plan::SegmentPlan| BypassSegment {
-                    index: s.index,
-                    from: s.from,
-                    to: s.to,
-                };
-                let c = if plan.rows.is_empty() && plan.cols.is_empty() {
-                    NocConfig::mesh(k)
-                } else {
-                    NocConfig::with_bypass(
-                        k,
-                        plan.rows.iter().map(to_seg).collect(),
-                        plan.cols.iter().map(to_seg).collect(),
-                    )
-                };
+            if cfg.flexible_noc {
                 reconfigs += 1;
                 if trace {
                     instructions.push(Instruction::Configure {
                         tile: ti,
-                        bypass_segments: c.row_bypass.len() + c.col_bypass.len(),
+                        bypass_segments: pre.noc_cfg.row_bypass.len()
+                            + pre.noc_cfg.col_bypass.len(),
                         reconfig_cycles: (2 * k - 1) as u64,
                     });
                 }
-                c
-            } else {
-                NocConfig::mesh(k)
-            };
-
-            // Compute time of the two pipeline stages on this tile.
-            let w_sg = Workload::from_sizes(model, sg.num_vertices(), sg.num_edges(), shape);
-            let c_sg = w_sg.op_counts();
-            let t_a = cfg.cycles_of(aurora_partition::time_a(
-                &c_sg,
-                strategy.a.max(1),
-                cfg.flops_per_pe(),
-            ));
-            let t_b = if strategy.b == 0 {
-                0
-            } else {
-                cfg.cycles_of(aurora_partition::time_b(
-                    &c_sg,
-                    strategy.b,
-                    cfg.flops_per_pe(),
-                ))
-            };
-
-            // On-chip traffic.
-            let est_a = noc_model::aggregation_traffic(
-                &noc_cfg,
-                &mapping,
-                sg.edges(),
-                msg_words,
-                cfg.link_utilisation,
-            );
-            let est_b = if wf.model.has_vertex_update() && cfg.flexible_noc {
-                noc_model::ring_traffic(
-                    &rings_cfg,
-                    sg.num_vertices(),
-                    shape.f_in,
-                    cfg.link_utilisation,
-                )
-            } else if wf.model.has_vertex_update() {
-                // without ring reconfiguration the vertex-update vectors
-                // take mesh routes: same volume, roughly same hops, but
-                // the contention of a converging pattern — model as ring
-                // traffic with halved link utilisation.
-                let mut e = noc_model::ring_traffic(
-                    &rings_cfg,
-                    sg.num_vertices(),
-                    shape.f_in,
-                    cfg.link_utilisation,
-                );
-                e.cycles *= 2;
-                e
-            } else {
-                OnChipEstimate::default()
-            };
+            }
 
             // DRAM traffic of this tile.
             let mut mem_cycles = 0u64;
@@ -519,10 +585,10 @@ impl AuroraSimulator {
                 // only — not duplicated per PE (§VI-B).
                 mem_cycles += mem.stream_read(w_sg.weight_bytes());
             }
-            let owned_bytes = (sg.num_vertices() * shape.f_in * 8) as u64;
+            let owned_bytes = (pre.num_vertices * shape.f_in * 8) as u64;
             mem_cycles += mem.stream_read(owned_bytes);
             if wf.model.uses_edge_embeddings() {
-                let e_bytes = (sg.num_edges() * raw_msg_words * 8) as u64;
+                let e_bytes = (pre.num_edges * raw_msg_words * 8) as u64;
                 mem_cycles += mem.stream_read(e_bytes);
             }
             // Cross-tile neighbours are gathered once per tile (destination-
@@ -530,7 +596,7 @@ impl AuroraSimulator {
             // compressed form — the flexible PE consumes CSR payloads
             // directly, which is how Aurora "fully utilizes the on-chip
             // buffer capacity" where baselines re-fetch (§VI-B).
-            let halo = sg.halo_vertices().len() as u64;
+            let halo = pre.halo;
             let halo_bytes = (halo as f64 * (shape.f_in * 8) as f64 * compress) as u64;
             mem_cycles += mem.random_read(halo_bytes);
             let out_dim = if wf.model.has_vertex_update() {
@@ -538,7 +604,7 @@ impl AuroraSimulator {
             } else {
                 raw_msg_words.max(shape.f_in)
             };
-            mem_cycles += mem.stream_write((sg.num_vertices() * out_dim * 8) as u64);
+            mem_cycles += mem.stream_write((pre.num_vertices * out_dim * 8) as u64);
             let d_cycles = mem.to_accel_cycles(mem_cycles, cfg.clock_mhz);
             if trace {
                 instructions.push(Instruction::LoadTile {
@@ -558,7 +624,7 @@ impl AuroraSimulator {
                 }
                 instructions.push(Instruction::WriteBack {
                     tile: ti,
-                    bytes: (sg.num_vertices() * out_dim * 8) as u64,
+                    bytes: (pre.num_vertices * out_dim * 8) as u64,
                 });
             }
 
@@ -593,8 +659,8 @@ impl AuroraSimulator {
                     vec![
                         ("compute_cycles".into(), t_a.into()),
                         ("noc_cycles".into(), est_a.cycles.into()),
-                        ("vertices".into(), sg.num_vertices().into()),
-                        ("edges".into(), sg.num_edges().into()),
+                        ("vertices".into(), pre.num_vertices.into()),
+                        ("edges".into(), pre.num_edges.into()),
                     ],
                 );
                 if t_b + est_b.cycles > 0 {
@@ -678,7 +744,7 @@ impl AuroraSimulator {
             // bank-buffer traffic heuristic: one operand word per op plus
             // the tile's feature I/O
             activity.local_sram_words +=
-                c_sg.total() + (sg.num_vertices() * (shape.f_in + out_dim)) as u64;
+                c_sg.total() + (pre.num_vertices * (shape.f_in + out_dim)) as u64;
             activity.noc_flit_hops += est_a.flit_hops + est_b.flit_hops;
             // datapath mode switches across the phase sequence, per tile
             reconfigs += wf.mode_switches();

@@ -16,7 +16,7 @@
 
 use aurora_mapping::VertexMapping;
 use aurora_noc::routing::{compute_route, next_node};
-use aurora_noc::{NocConfig, Port, TopologyMode};
+use aurora_noc::{NocConfig, NocError, Port, TopologyMode};
 use aurora_telemetry::{Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
@@ -117,13 +117,17 @@ fn link_count(cfg: &NocConfig) -> u64 {
 /// aggregate leaves via the crossbar).
 /// `link_utilisation` is the achievable fraction of raw link bandwidth
 /// (see [`DEFAULT_LINK_UTILISATION`]).
+///
+/// Route walking uses the same fallible routing functions as the
+/// cycle-level engine: a mis-segmented bypass config surfaces as a
+/// [`NocError`] instead of a panic deep inside the estimator.
 pub fn aggregation_traffic(
     cfg: &NocConfig,
     mapping: &VertexMapping,
     edges: impl Iterator<Item = (u32, u32)>,
     msg_words: usize,
     link_utilisation: f64,
-) -> OnChipEstimate {
+) -> Result<OnChipEstimate, NocError> {
     let k = cfg.k;
     let flits_per_msg = msg_words.div_ceil(cfg.words_per_flit).max(1) as u64;
     let mut load = vec![0u64; k * k];
@@ -148,16 +152,18 @@ pub fn aggregation_traffic(
         let mut cur = src;
         let mut guard = 0;
         while cur != dst {
-            let port = compute_route(cfg, cur, dst);
+            let port = compute_route(cfg, cur, dst)?;
             load[cur] += flits_per_msg;
             flit_hops += flits_per_msg;
             total_hops += 1;
             if matches!(port, Port::BypassH | Port::BypassV) {
                 bypass_hops += flits_per_msg;
             }
-            cur = next_node(cfg, cur, port).expect("route must progress");
+            cur = next_node(cfg, cur, port)?.ok_or(NocError::RoutingLivelock { src, dst })?;
             guard += 1;
-            assert!(guard <= 4 * k * k, "routing livelock");
+            if guard > 4 * k * k {
+                return Err(NocError::RoutingLivelock { src, dst });
+            }
         }
         eject[cur] += flits_per_msg;
     }
@@ -171,7 +177,7 @@ pub fn aggregation_traffic(
         load[node] += e.div_ceil(width.max(1));
     }
 
-    finalize(
+    Ok(finalize(
         cfg,
         load,
         flit_hops,
@@ -180,7 +186,7 @@ pub fn aggregation_traffic(
         total_hops,
         flits_per_msg,
         link_utilisation,
-    )
+    ))
 }
 
 /// Estimates the weight-stationary vertex-update traffic: each of the
@@ -263,7 +269,8 @@ mod tests {
     fn empty_traffic_is_free() {
         let g = aurora_graph::Csr::empty(8);
         let m = hashing::map(0..8, &g.degrees(), 4, 2);
-        let e = aggregation_traffic(&mesh_cfg(4), &m, g.edges(), 16, DEFAULT_LINK_UTILISATION);
+        let e =
+            aggregation_traffic(&mesh_cfg(4), &m, g.edges(), 16, DEFAULT_LINK_UTILISATION).unwrap();
         assert_eq!(e.cycles, 0);
         assert_eq!(e.flit_hops, 0);
     }
@@ -277,7 +284,8 @@ mod tests {
             let g = generate::rmat(64, 700, Default::default(), seed);
             let h = hashing::map(0..64, &g.degrees(), 4, 8);
             let d = degree_aware::map(0..64, &g.degrees(), 4, 8);
-            let eh = aggregation_traffic(&mesh_cfg(4), &h, g.edges(), 16, DEFAULT_LINK_UTILISATION);
+            let eh = aggregation_traffic(&mesh_cfg(4), &h, g.edges(), 16, DEFAULT_LINK_UTILISATION)
+                .unwrap();
             let plan = aurora_mapping::plan::plan_bypass(&d, g.edges());
             let cfg = NocConfig::with_bypass(
                 4,
@@ -298,7 +306,8 @@ mod tests {
                     })
                     .collect(),
             );
-            let ed = aggregation_traffic(&cfg, &d, g.edges(), 16, DEFAULT_LINK_UTILISATION);
+            let ed =
+                aggregation_traffic(&cfg, &d, g.edges(), 16, DEFAULT_LINK_UTILISATION).unwrap();
             assert_eq!(eh.messages, ed.messages, "same message volume");
             if ed.cycles <= eh.cycles {
                 wins += 1;
@@ -317,7 +326,8 @@ mod tests {
             g.edges(),
             4,
             DEFAULT_LINK_UTILISATION,
-        );
+        )
+        .unwrap();
         let plan = aurora_mapping::plan::plan_bypass(&d, g.edges());
         let cfg = NocConfig::with_bypass(
             8,
@@ -338,8 +348,8 @@ mod tests {
                 })
                 .collect(),
         );
-        cfg.validate();
-        let with = aggregation_traffic(&cfg, &d, g.edges(), 4, DEFAULT_LINK_UTILISATION);
+        cfg.validate().unwrap();
+        let with = aggregation_traffic(&cfg, &d, g.edges(), 4, DEFAULT_LINK_UTILISATION).unwrap();
         assert!(with.bypass_hops > 0, "plan must engage the bypass");
         assert!(
             with.avg_hops < plain.avg_hops,
@@ -371,7 +381,8 @@ mod tests {
         let cfg = mesh_cfg(k);
         let words = 8;
 
-        let est = aggregation_traffic(&cfg, &mapping, g.edges(), words, DEFAULT_LINK_UTILISATION);
+        let est = aggregation_traffic(&cfg, &mapping, g.edges(), words, DEFAULT_LINK_UTILISATION)
+            .unwrap();
 
         let mut net = Network::new(cfg);
         for (u, v) in g.edges() {

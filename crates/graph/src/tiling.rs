@@ -99,6 +99,16 @@ impl Tiling {
         })
     }
 
+    /// The [`Subgraph`] view of tile `i` — the indexed counterpart of
+    /// [`Self::subgraphs`], usable from parallel per-tile fan-outs.
+    pub fn subgraph<'a>(&self, g: &'a Csr, i: usize) -> Subgraph<'a> {
+        Subgraph {
+            parent: g,
+            index: i,
+            range: self.ranges[i].clone(),
+        }
+    }
+
     /// The tile index owning vertex `v`.
     pub fn tile_of(&self, v: VertexId) -> usize {
         // Intervals are contiguous and sorted, so locate by division when

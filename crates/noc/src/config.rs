@@ -1,5 +1,6 @@
 //! NoC configuration: topology mode and bypass-link segmentation.
 
+use crate::error::{BypassKind, NocError};
 use crate::topology::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -82,47 +83,73 @@ impl NocConfig {
         }
     }
 
-    /// Validates structural invariants.
-    ///
-    /// # Panics
-    /// Panics when: `k == 0`, no VCs, zero-depth buffers, a segment is out
-    /// of range or degenerate, segments on one row/column overlap or share
-    /// an endpoint (each physical wire tap attaches one segment), or a
-    /// bypass is configured in a mode that doesn't use it.
-    pub fn validate(&self) {
-        assert!(self.k > 0, "mesh radix must be positive");
-        assert!(self.vcs > 0, "need at least one VC");
-        assert!(self.vc_depth > 0, "VC buffers need capacity");
-        assert!(self.words_per_flit > 0, "flits must carry payload");
-        if self.mode != TopologyMode::MeshWithBypass {
-            assert!(
-                self.row_bypass.is_empty() && self.col_bypass.is_empty(),
-                "bypass segments require MeshWithBypass mode"
-            );
+    /// Validates structural invariants: positive radix/VCs/buffer
+    /// depth/payload, segments in range and running forward, no two
+    /// segments on one row/column overlapping or sharing a wire tap
+    /// (each physical tap attaches one segment), and bypass segments
+    /// only in `MeshWithBypass` mode. A config that passes cannot make
+    /// `compute_route`/`next_node` step off the fabric.
+    pub fn validate(&self) -> Result<(), NocError> {
+        if self.k == 0 {
+            return Err(NocError::ZeroRadix);
         }
-        for (kind, segs) in [("row", &self.row_bypass), ("col", &self.col_bypass)] {
+        if self.vcs == 0 {
+            return Err(NocError::NoVirtualChannels);
+        }
+        if self.vc_depth == 0 {
+            return Err(NocError::ZeroVcDepth);
+        }
+        if self.words_per_flit == 0 {
+            return Err(NocError::EmptyFlitPayload);
+        }
+        if self.mode != TopologyMode::MeshWithBypass
+            && !(self.row_bypass.is_empty() && self.col_bypass.is_empty())
+        {
+            return Err(NocError::BypassRequiresBypassMode);
+        }
+        for (kind, segs) in [
+            (BypassKind::Row, &self.row_bypass),
+            (BypassKind::Col, &self.col_bypass),
+        ] {
             let mut spans: std::collections::HashMap<usize, Vec<(usize, usize)>> =
                 std::collections::HashMap::new();
             for s in segs.iter() {
-                assert!(
-                    s.index < self.k,
-                    "{kind} bypass index {} out of range",
-                    s.index
-                );
-                assert!(s.from < s.to, "{kind} bypass segment must run forward");
-                assert!(s.to < self.k, "{kind} bypass end {} out of range", s.to);
+                if s.index >= self.k {
+                    return Err(NocError::SegmentOutOfRange {
+                        kind,
+                        index: s.index,
+                        value: s.index,
+                        k: self.k,
+                    });
+                }
+                if s.from >= s.to {
+                    return Err(NocError::SegmentNotForward {
+                        kind,
+                        index: s.index,
+                        from: s.from,
+                        to: s.to,
+                    });
+                }
+                if s.to >= self.k {
+                    return Err(NocError::SegmentOutOfRange {
+                        kind,
+                        index: s.index,
+                        value: s.to,
+                        k: self.k,
+                    });
+                }
                 spans.entry(s.index).or_default().push((s.from, s.to));
             }
             for (idx, mut list) in spans {
                 list.sort_unstable();
                 for w in list.windows(2) {
-                    assert!(
-                        w[0].1 < w[1].0,
-                        "{kind} bypass segments on {kind} {idx} overlap or share an endpoint"
-                    );
+                    if w[0].1 >= w[1].0 {
+                        return Err(NocError::SegmentOverlap { kind, index: idx });
+                    }
                 }
             }
         }
+        Ok(())
     }
 
     /// The horizontal bypass attachment of node `id`, if any: the node id
@@ -173,8 +200,8 @@ mod tests {
 
     #[test]
     fn mesh_default_validates() {
-        NocConfig::mesh(4).validate();
-        NocConfig::rings(8).validate();
+        NocConfig::mesh(4).validate().unwrap();
+        NocConfig::rings(8).validate().unwrap();
     }
 
     #[test]
@@ -197,7 +224,7 @@ mod tests {
                 to: 3,
             }],
         );
-        cfg.validate();
+        cfg.validate().unwrap();
         // row 1: nodes 4..7; segment joins node 4 and node 7
         assert_eq!(cfg.h_bypass_peer(4), Some(7));
         assert_eq!(cfg.h_bypass_peer(7), Some(4));
@@ -227,15 +254,14 @@ mod tests {
             ],
             vec![],
         );
-        cfg.validate();
+        cfg.validate().unwrap();
         assert_eq!(cfg.h_bypass_peer(0), Some(3));
         assert_eq!(cfg.h_bypass_peer(4), Some(7));
     }
 
     #[test]
-    #[should_panic(expected = "overlap or share an endpoint")]
     fn overlapping_segments_rejected() {
-        NocConfig::with_bypass(
+        let err = NocConfig::with_bypass(
             8,
             vec![
                 BypassSegment {
@@ -251,13 +277,20 @@ mod tests {
             ],
             vec![],
         )
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            crate::NocError::SegmentOverlap {
+                kind: crate::BypassKind::Row,
+                index: 0
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn out_of_range_segment_rejected() {
-        NocConfig::with_bypass(
+        let err = NocConfig::with_bypass(
             4,
             vec![BypassSegment {
                 index: 0,
@@ -266,11 +299,15 @@ mod tests {
             }],
             vec![],
         )
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::NocError::SegmentOutOfRange { value: 4, k: 4, .. }
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "require MeshWithBypass")]
     fn bypass_needs_right_mode() {
         let mut cfg = NocConfig::mesh(4);
         cfg.row_bypass.push(BypassSegment {
@@ -278,6 +315,45 @@ mod tests {
             from: 0,
             to: 2,
         });
-        cfg.validate();
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            crate::NocError::BypassRequiresBypassMode
+        );
+    }
+
+    #[test]
+    fn degenerate_and_zero_configs_rejected() {
+        let err = NocConfig::with_bypass(
+            8,
+            vec![BypassSegment {
+                index: 0,
+                from: 3,
+                to: 3,
+            }],
+            vec![],
+        )
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, crate::NocError::SegmentNotForward { .. }));
+
+        let mut cfg = NocConfig::mesh(4);
+        cfg.vcs = 0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            crate::NocError::NoVirtualChannels
+        );
+        let mut cfg = NocConfig::mesh(4);
+        cfg.vc_depth = 0;
+        assert_eq!(cfg.validate().unwrap_err(), crate::NocError::ZeroVcDepth);
+        let mut cfg = NocConfig::mesh(4);
+        cfg.words_per_flit = 0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            crate::NocError::EmptyFlitPayload
+        );
+        assert_eq!(
+            NocConfig::mesh(0).validate().unwrap_err(),
+            crate::NocError::ZeroRadix
+        );
     }
 }

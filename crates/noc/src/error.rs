@@ -1,0 +1,166 @@
+//! Typed errors for the NoC layer.
+//!
+//! Malformed configurations and unroutable traffic used to abort the
+//! process deep inside route computation (`panic!("East off the mesh
+//! edge…")`) or table formatting. Every failure on the
+//! `compute_route → next_node → step → drain` path is now a [`NocError`]:
+//! configuration problems are caught up front by `NocConfig::validate`,
+//! and runtime routing/drain failures propagate to callers that can
+//! report them (a saturated pattern carries its residual flit count and
+//! hottest router instead of killing the run).
+
+use crate::topology::{NodeId, Port};
+use std::fmt;
+
+/// Which bypass family a segment error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BypassKind {
+    Row,
+    Col,
+}
+
+impl fmt::Display for BypassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BypassKind::Row => write!(f, "row"),
+            BypassKind::Col => write!(f, "col"),
+        }
+    }
+}
+
+/// Everything that can go wrong configuring or driving the fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NocError {
+    /// `k == 0`: the mesh has no routers.
+    ZeroRadix,
+    /// No virtual channels configured.
+    NoVirtualChannels,
+    /// Zero-depth VC buffers cannot hold flits.
+    ZeroVcDepth,
+    /// Flits must carry at least one payload word.
+    EmptyFlitPayload,
+    /// Bypass segments are configured but the mode is not
+    /// `MeshWithBypass`.
+    BypassRequiresBypassMode,
+    /// A segment's row/col index or endpoint exceeds the radix.
+    SegmentOutOfRange {
+        kind: BypassKind,
+        index: usize,
+        value: usize,
+        k: usize,
+    },
+    /// A segment with `from >= to` (must run forward).
+    SegmentNotForward {
+        kind: BypassKind,
+        index: usize,
+        from: usize,
+        to: usize,
+    },
+    /// Two segments on one row/col overlap or share a wire tap.
+    SegmentOverlap { kind: BypassKind, index: usize },
+    /// A ring-mode route was requested across rows (ring traffic is
+    /// intra-row by construction of the vertex-update dataflow).
+    CrossRowRingRoute { cur: NodeId, dst: NodeId },
+    /// A route stepped off the mesh edge (mis-segmented bypass or a
+    /// corrupted route decision).
+    OffMeshEdge { cur: NodeId, port: Port },
+    /// A route selected a bypass port at a node with no attachment.
+    MissingBypassAttachment { cur: NodeId, port: Port },
+    /// Switch allocation won an output port with no link behind it.
+    MissingLink { node: NodeId, port: Port },
+    /// A route failed to make progress within the hop bound.
+    RoutingLivelock { src: NodeId, dst: NodeId },
+    /// The network failed to drain within its cycle budget. Carries the
+    /// flits still in flight and the most-stalled router, so a saturated
+    /// pattern is reportable instead of fatal.
+    Saturated {
+        residual: usize,
+        hot_router: Option<(NodeId, u64)>,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::ZeroRadix => write!(f, "mesh radix must be positive"),
+            NocError::NoVirtualChannels => write!(f, "need at least one VC"),
+            NocError::ZeroVcDepth => write!(f, "VC buffers need capacity"),
+            NocError::EmptyFlitPayload => write!(f, "flits must carry payload"),
+            NocError::BypassRequiresBypassMode => {
+                write!(f, "bypass segments require MeshWithBypass mode")
+            }
+            NocError::SegmentOutOfRange {
+                kind,
+                index,
+                value,
+                k,
+            } => write!(
+                f,
+                "{kind} bypass segment on {kind} {index}: position {value} out of range for k={k}"
+            ),
+            NocError::SegmentNotForward {
+                kind,
+                index,
+                from,
+                to,
+            } => write!(
+                f,
+                "{kind} bypass segment on {kind} {index} must run forward (got {from}..{to})"
+            ),
+            NocError::SegmentOverlap { kind, index } => write!(
+                f,
+                "{kind} bypass segments on {kind} {index} overlap or share an endpoint"
+            ),
+            NocError::CrossRowRingRoute { cur, dst } => write!(
+                f,
+                "ring traffic must stay within its row ring (route {cur} -> {dst})"
+            ),
+            NocError::OffMeshEdge { cur, port } => {
+                write!(f, "route leaves the mesh edge at node {cur} via {port:?}")
+            }
+            NocError::MissingBypassAttachment { cur, port } => {
+                write!(f, "no bypass attachment at node {cur} for {port:?}")
+            }
+            NocError::MissingLink { node, port } => {
+                write!(f, "no link at node {node} port {port:?}")
+            }
+            NocError::RoutingLivelock { src, dst } => {
+                write!(f, "routing livelock on route {src} -> {dst}")
+            }
+            NocError::Saturated {
+                residual,
+                hot_router,
+            } => {
+                write!(f, "network failed to drain ({residual} flits left")?;
+                if let Some((node, stalls)) = hot_router {
+                    write!(f, "; hottest router {node} with {stalls} stalls")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_diagnostic_detail() {
+        let e = NocError::Saturated {
+            residual: 17,
+            hot_router: Some((5, 420)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("17 flits left"), "{s}");
+        assert!(s.contains("router 5"), "{s}");
+
+        let e = NocError::SegmentOverlap {
+            kind: BypassKind::Row,
+            index: 3,
+        };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

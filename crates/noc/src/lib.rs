@@ -27,6 +27,7 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod flit;
 pub mod network;
 pub mod router;
@@ -36,8 +37,9 @@ pub mod topology;
 pub mod traffic;
 
 pub use config::{BypassSegment, NocConfig, TopologyMode};
+pub use error::{BypassKind, NocError};
 pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use network::Network;
 pub use stats::NetworkStats;
 pub use topology::{Coord, NodeId, Port};
-pub use traffic::{run_pattern, Pattern, PatternRun};
+pub use traffic::{run_pattern, run_pattern_with_budget, Pattern, PatternRun};

@@ -1,6 +1,7 @@
 //! The cycle-driven network engine.
 
 use crate::config::{NocConfig, TopologyMode};
+use crate::error::NocError;
 use crate::flit::{Flit, Packet, PacketId};
 use crate::router::Router;
 use crate::routing::{compute_route, next_vc};
@@ -29,8 +30,18 @@ pub struct Network {
 
 impl Network {
     /// Builds and validates the network.
+    ///
+    /// # Panics
+    /// Panics when `cfg` fails validation. Use [`Network::try_new`] to
+    /// handle malformed configurations gracefully.
     pub fn new(cfg: NocConfig) -> Self {
-        cfg.validate();
+        Self::try_new(cfg).expect("invalid NoC config")
+    }
+
+    /// Builds the network, reporting a malformed configuration as a
+    /// [`NocError`] instead of panicking.
+    pub fn try_new(cfg: NocConfig) -> Result<Self, NocError> {
+        cfg.validate()?;
         let k = cfg.k;
         let n = k * k;
         let mut links = vec![[None; Port::COUNT]; n];
@@ -58,7 +69,7 @@ impl Network {
                 node_links[Port::BypassV.index()] = Some((peer, Port::BypassV));
             }
         }
-        Self {
+        Ok(Self {
             routers: (0..n).map(|_| Router::new(cfg.vcs)).collect(),
             links,
             inject_q: vec![VecDeque::new(); n],
@@ -68,7 +79,7 @@ impl Network {
             stats: NetworkStats::new(n),
             latencies: Vec::new(),
             cfg,
-        }
+        })
     }
 
     /// The active configuration.
@@ -101,8 +112,10 @@ impl Network {
             + self.routers.iter().map(|r| r.occupancy()).sum::<usize>()
     }
 
-    /// Advances one cycle.
-    pub fn step(&mut self) {
+    /// Advances one cycle. Routing failures — a cross-row injection in
+    /// ring mode, or a route stepping off a mis-segmented fabric — come
+    /// back as a [`NocError`] instead of a panic.
+    pub fn step(&mut self) -> Result<(), NocError> {
         let n = self.routers.len();
         let vcs = self.cfg.vcs;
         let depth = self.cfg.vc_depth;
@@ -140,7 +153,7 @@ impl Network {
                     if vc.route.is_none() {
                         if let Some(f) = vc.queue.front() {
                             if f.kind.is_head() {
-                                vc.route = Some(compute_route(&self.cfg, node, f.dst));
+                                vc.route = Some(compute_route(&self.cfg, node, f.dst)?);
                             }
                         }
                     }
@@ -178,7 +191,7 @@ impl Network {
                     None
                 } else {
                     let (dn, dport) = self.links[node][out.index()]
-                        .unwrap_or_else(|| panic!("no link at node {node} port {out:?}"));
+                        .ok_or(NocError::MissingLink { node, port: out })?;
                     let dvc = next_vc(&self.cfg, node, out, v);
                     if occupancy[dn][dport.index()][dvc] >= depth {
                         // no credit: the winning flit stalls this cycle
@@ -243,17 +256,24 @@ impl Network {
 
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        Ok(())
     }
 
-    /// Runs until all traffic is delivered or `max_cycles` elapse. Returns
-    /// `Ok(cycles run)` on drain, `Err(in-flight flits)` on timeout.
-    pub fn drain(&mut self, max_cycles: u64) -> Result<u64, usize> {
+    /// Runs until all traffic is delivered or `max_cycles` elapse.
+    /// Returns `Ok(cycles run)` on drain; a timeout yields
+    /// [`NocError::Saturated`] carrying the in-flight flit count and the
+    /// most-stalled router, and routing failures propagate from
+    /// [`Network::step`].
+    pub fn drain(&mut self, max_cycles: u64) -> Result<u64, NocError> {
         let start = self.cycle;
         while self.in_flight() > 0 {
             if self.cycle - start >= max_cycles {
-                return Err(self.in_flight());
+                return Err(NocError::Saturated {
+                    residual: self.in_flight(),
+                    hot_router: self.stats.hottest_router(),
+                });
             }
-            self.step();
+            self.step()?;
         }
         Ok(self.cycle - start)
     }
@@ -411,7 +431,7 @@ mod tests {
         }
         let depth = net.cfg.vc_depth;
         for _ in 0..2_000 {
-            net.step();
+            net.step().unwrap();
             for r in &net.routers {
                 for p in &r.inputs {
                     for vc in p {
@@ -445,6 +465,58 @@ mod tests {
         net.drain(2_000_000).expect("no deadlock");
         assert_eq!(net.stats().packets_delivered, 32);
         assert_eq!(net.stats().flits_delivered, 32 * 16);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_bypass_config() {
+        // Overlapping segments on row 0: caught by validation up front,
+        // never reaching route computation.
+        let cfg = NocConfig::with_bypass(
+            8,
+            vec![
+                BypassSegment {
+                    index: 0,
+                    from: 0,
+                    to: 4,
+                },
+                BypassSegment {
+                    index: 0,
+                    from: 4,
+                    to: 7,
+                },
+            ],
+            vec![],
+        );
+        assert!(matches!(
+            Network::try_new(cfg),
+            Err(NocError::SegmentOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_row_ring_injection_errors_instead_of_panicking() {
+        let mut net = Network::new(NocConfig::rings(4));
+        net.inject(0, 5, 4); // (0,0) → (1,1): crosses rows
+        let err = net.drain(1_000).unwrap_err();
+        assert_eq!(err, NocError::CrossRowRingRoute { cur: 0, dst: 5 });
+    }
+
+    #[test]
+    fn drain_timeout_reports_residual_and_hot_router() {
+        let mut net = Network::new(NocConfig::mesh(4));
+        for _ in 0..8 {
+            net.inject(0, 15, 64);
+        }
+        // 2 cycles is nowhere near enough: must saturate, not panic.
+        match net.drain(2) {
+            Err(NocError::Saturated {
+                residual,
+                hot_router: _,
+            }) => assert!(residual > 0),
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        // The same network finishes the job with a real budget.
+        net.drain(100_000).unwrap();
     }
 
     #[test]

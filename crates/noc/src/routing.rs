@@ -11,24 +11,27 @@
 //!   dependency.
 
 use crate::config::{NocConfig, TopologyMode};
+use crate::error::NocError;
 use crate::topology::{Coord, NodeId, Port};
 
 /// Computes the output port for a flit at `cur` destined to `dst`.
 ///
-/// # Panics
-/// Panics in ring mode if `dst` is not on the same row as `cur` (ring
-/// traffic is intra-row by construction of the vertex-update dataflow).
-pub fn compute_route(cfg: &NocConfig, cur: NodeId, dst: NodeId) -> Port {
+/// Ring mode only routes within a row (ring traffic is intra-row by
+/// construction of the vertex-update dataflow); a cross-row request
+/// yields [`NocError::CrossRowRingRoute`] instead of aborting the run.
+pub fn compute_route(cfg: &NocConfig, cur: NodeId, dst: NodeId) -> Result<Port, NocError> {
     let k = cfg.k;
     let c = Coord::of(cur, k);
     let d = Coord::of(dst, k);
     if c == d {
-        return Port::Local;
+        return Ok(Port::Local);
     }
     match cfg.mode {
         TopologyMode::Rings => {
-            assert_eq!(c.y, d.y, "ring traffic must stay within its row ring");
-            Port::East // +x, wrapping at k − 1
+            if c.y != d.y {
+                return Err(NocError::CrossRowRingRoute { cur, dst });
+            }
+            Ok(Port::East) // +x, wrapping at k − 1
         }
         TopologyMode::Mesh | TopologyMode::MeshWithBypass => {
             if c.x != d.x {
@@ -40,14 +43,14 @@ pub fn compute_route(cfg: &NocConfig, cur: NodeId, dst: NodeId) -> Port {
                         let cur_gap = c.x.abs_diff(d.x);
                         let peer_gap = px.abs_diff(d.x);
                         if peer_gap + 1 < cur_gap {
-                            return Port::BypassH;
+                            return Ok(Port::BypassH);
                         }
                     }
                 }
                 if c.x < d.x {
-                    Port::East
+                    Ok(Port::East)
                 } else {
-                    Port::West
+                    Ok(Port::West)
                 }
             } else {
                 // X resolved; resolve Y, considering the vertical bypass.
@@ -57,14 +60,14 @@ pub fn compute_route(cfg: &NocConfig, cur: NodeId, dst: NodeId) -> Port {
                         let cur_gap = c.y.abs_diff(d.y);
                         let peer_gap = py.abs_diff(d.y);
                         if peer_gap + 1 < cur_gap {
-                            return Port::BypassV;
+                            return Ok(Port::BypassV);
                         }
                     }
                 }
                 if c.y < d.y {
-                    Port::South
+                    Ok(Port::South)
                 } else {
-                    Port::North
+                    Ok(Port::North)
                 }
             }
         }
@@ -83,39 +86,60 @@ pub fn next_vc(cfg: &NocConfig, cur: NodeId, out: Port, in_vc: usize) -> usize {
 }
 
 /// Number of router-to-router hops the route from `src` to `dst` takes
-/// under `cfg` (follows `compute_route` exactly).
-pub fn hop_count(cfg: &NocConfig, src: NodeId, dst: NodeId) -> usize {
+/// under `cfg` (follows `compute_route` exactly). Fails with the
+/// underlying routing error, or [`NocError::RoutingLivelock`] if the
+/// walk exceeds the hop bound without reaching `dst`.
+pub fn hop_count(cfg: &NocConfig, src: NodeId, dst: NodeId) -> Result<usize, NocError> {
     let mut cur = src;
     let mut hops = 0;
     while cur != dst {
-        let port = compute_route(cfg, cur, dst);
-        cur = next_node(cfg, cur, port).expect("route must make progress");
+        let port = compute_route(cfg, cur, dst)?;
+        cur = next_node(cfg, cur, port)?.ok_or(NocError::RoutingLivelock { src, dst })?;
         hops += 1;
-        assert!(hops <= 4 * cfg.k * cfg.k, "routing livelock");
+        if hops > 4 * cfg.k * cfg.k {
+            return Err(NocError::RoutingLivelock { src, dst });
+        }
     }
-    hops
+    Ok(hops)
 }
 
-/// The node reached by leaving `cur` through `port` (None for Local).
-pub fn next_node(cfg: &NocConfig, cur: NodeId, port: Port) -> Option<NodeId> {
+/// The node reached by leaving `cur` through `port` (`Ok(None)` for
+/// Local). A port that steps off the fabric — the mesh edge in a
+/// non-ring mode, or a bypass port at a node without an attachment, as
+/// produced by mis-segmented bypass configs — is a [`NocError`] rather
+/// than a panic.
+pub fn next_node(cfg: &NocConfig, cur: NodeId, port: Port) -> Result<Option<NodeId>, NocError> {
     let k = cfg.k;
     let c = Coord::of(cur, k);
+    let off_edge = |ok: bool, node: NodeId| {
+        if ok {
+            Ok(Some(node))
+        } else {
+            Err(NocError::OffMeshEdge { cur, port })
+        }
+    };
     match port {
-        Port::Local => None,
-        Port::North => Some(cur - k),
-        Port::South => Some(cur + k),
+        Port::Local => Ok(None),
+        Port::North => off_edge(c.y > 0, cur.wrapping_sub(k)),
+        Port::South => off_edge(c.y + 1 < k, cur + k),
         Port::East => {
             if c.x + 1 < k {
-                Some(cur + 1)
+                Ok(Some(cur + 1))
             } else if cfg.mode == TopologyMode::Rings {
-                Some(c.y * k) // wrap over the row bypass wire
+                Ok(Some(c.y * k)) // wrap over the row bypass wire
             } else {
-                panic!("East off the mesh edge at {cur}")
+                Err(NocError::OffMeshEdge { cur, port })
             }
         }
-        Port::West => Some(cur - 1),
-        Port::BypassH => Some(cfg.h_bypass_peer(cur).expect("no H bypass here")),
-        Port::BypassV => Some(cfg.v_bypass_peer(cur).expect("no V bypass here")),
+        Port::West => off_edge(c.x > 0, cur.wrapping_sub(1)),
+        Port::BypassH => cfg
+            .h_bypass_peer(cur)
+            .map(Some)
+            .ok_or(NocError::MissingBypassAttachment { cur, port }),
+        Port::BypassV => cfg
+            .v_bypass_peer(cur)
+            .map(Some)
+            .ok_or(NocError::MissingBypassAttachment { cur, port }),
     }
 }
 
@@ -129,12 +153,12 @@ mod tests {
     fn xy_routes_x_first() {
         let cfg = NocConfig::mesh(4);
         // from (0,0) to (2,2): East first
-        assert_eq!(compute_route(&cfg, 0, 10), Port::East);
+        assert_eq!(compute_route(&cfg, 0, 10), Ok(Port::East));
         // from (2,0) to (2,2): x resolved, go South
-        assert_eq!(compute_route(&cfg, 2, 10), Port::South);
-        assert_eq!(compute_route(&cfg, 10, 10), Port::Local);
+        assert_eq!(compute_route(&cfg, 2, 10), Ok(Port::South));
+        assert_eq!(compute_route(&cfg, 10, 10), Ok(Port::Local));
         // from (3,3) to (0,0)
-        assert_eq!(compute_route(&cfg, 15, 0), Port::West);
+        assert_eq!(compute_route(&cfg, 15, 0), Ok(Port::West));
     }
 
     #[test]
@@ -144,7 +168,7 @@ mod tests {
             for dst in 0..25 {
                 let c = Coord::of(src, 5);
                 let d = Coord::of(dst, 5);
-                assert_eq!(hop_count(&cfg, src, dst), c.manhattan(d));
+                assert_eq!(hop_count(&cfg, src, dst), Ok(c.manhattan(d)));
             }
         }
     }
@@ -161,12 +185,12 @@ mod tests {
             vec![],
         );
         // (0,0) → (7,0): mesh = 7 hops, bypass = 1
-        assert_eq!(compute_route(&cfg, 0, 7), Port::BypassH);
-        assert_eq!(hop_count(&cfg, 0, 7), 1);
+        assert_eq!(compute_route(&cfg, 0, 7), Ok(Port::BypassH));
+        assert_eq!(hop_count(&cfg, 0, 7), Ok(1));
         // (1,0) → (7,0): mesh from 1 is 6; via West to 0 then bypass would
         // be 2, but dimension-ordered greedy at node 1 only looks at its own
         // attachment — node 1 has none, so it walks East.
-        assert_eq!(compute_route(&cfg, 1, 7), Port::East);
+        assert_eq!(compute_route(&cfg, 1, 7), Ok(Port::East));
     }
 
     #[test]
@@ -181,7 +205,7 @@ mod tests {
             vec![],
         );
         // (0,0) → (2,0): bypass to 7 is worse; mesh East.
-        assert_eq!(compute_route(&cfg, 0, 2), Port::East);
+        assert_eq!(compute_route(&cfg, 0, 2), Ok(Port::East));
     }
 
     #[test]
@@ -196,8 +220,8 @@ mod tests {
             }],
         );
         // (3,0) → (3,7): V bypass 0→6 then one mesh hop
-        assert_eq!(compute_route(&cfg, 3, 3 + 7 * 8), Port::BypassV);
-        assert_eq!(hop_count(&cfg, 3, 3 + 7 * 8), 2);
+        assert_eq!(compute_route(&cfg, 3, 3 + 7 * 8), Ok(Port::BypassV));
+        assert_eq!(hop_count(&cfg, 3, 3 + 7 * 8), Ok(2));
     }
 
     #[test]
@@ -205,19 +229,46 @@ mod tests {
         let cfg = NocConfig::rings(4);
         // (3,1) → (0,1): East over the wrap
         let cur = 4 + 3;
-        assert_eq!(compute_route(&cfg, cur, 4), Port::East);
-        assert_eq!(next_node(&cfg, cur, Port::East), Some(4));
+        assert_eq!(compute_route(&cfg, cur, 4), Ok(Port::East));
+        assert_eq!(next_node(&cfg, cur, Port::East), Ok(Some(4)));
         assert_eq!(next_vc(&cfg, cur, Port::East, 0), 1, "dateline crossing");
         assert_eq!(next_vc(&cfg, 4, Port::East, 0), 0, "no dateline mid-row");
         // full circle is k−... from (1,1) to (0,1): 3 hops around
-        assert_eq!(hop_count(&cfg, 5, 4), 3);
+        assert_eq!(hop_count(&cfg, 5, 4), Ok(3));
     }
 
     #[test]
-    #[should_panic(expected = "within its row ring")]
     fn ring_rejects_cross_row() {
         let cfg = NocConfig::rings(4);
-        compute_route(&cfg, 0, 5);
+        assert_eq!(
+            compute_route(&cfg, 0, 5),
+            Err(crate::NocError::CrossRowRingRoute { cur: 0, dst: 5 })
+        );
+    }
+
+    #[test]
+    fn walking_off_the_fabric_is_an_error_not_a_panic() {
+        let cfg = NocConfig::mesh(4);
+        // East off the right edge (node 3 = (3,0)).
+        assert!(matches!(
+            next_node(&cfg, 3, Port::East),
+            Err(crate::NocError::OffMeshEdge { cur: 3, .. })
+        ));
+        // North off the top edge.
+        assert!(matches!(
+            next_node(&cfg, 1, Port::North),
+            Err(crate::NocError::OffMeshEdge { cur: 1, .. })
+        ));
+        // West off the left edge.
+        assert!(matches!(
+            next_node(&cfg, 4, Port::West),
+            Err(crate::NocError::OffMeshEdge { cur: 4, .. })
+        ));
+        // Bypass port at a node with no attachment.
+        assert!(matches!(
+            next_node(&cfg, 0, Port::BypassH),
+            Err(crate::NocError::MissingBypassAttachment { cur: 0, .. })
+        ));
     }
 
     proptest! {
@@ -233,8 +284,8 @@ mod tests {
                 vec![BypassSegment { index: 3, from: 0, to: row_to.min(7) }],
                 vec![BypassSegment { index: 5, from: 1, to: col_to.min(7) }],
             );
-            cfg.validate();
-            let h = hop_count(&cfg, src, dst);
+            cfg.validate().unwrap();
+            let h = hop_count(&cfg, src, dst).unwrap();
             let manhattan = Coord::of(src, 8).manhattan(Coord::of(dst, 8));
             prop_assert!(h <= manhattan, "bypass never lengthens a route");
         }

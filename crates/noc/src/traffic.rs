@@ -6,6 +6,7 @@
 //! nearest-neighbour.
 
 use crate::config::NocConfig;
+use crate::error::NocError;
 use crate::network::Network;
 use crate::stats::NetworkStats;
 use crate::topology::{Coord, NodeId};
@@ -76,20 +77,35 @@ pub struct PatternRun {
 }
 
 /// Injects `messages_per_node` messages of `payload_words` per source under
-/// `pattern` and drains the network. Self-messages are skipped. Ring-mode
-/// fabrics only accept intra-row patterns ([`Pattern::NeighborX`],
-/// [`Pattern::Tornado`]).
+/// `pattern` and drains the network with a generous auto-sized budget.
+/// Self-messages are skipped. Ring-mode fabrics only accept intra-row
+/// patterns ([`Pattern::NeighborX`], [`Pattern::Tornado`]).
 ///
-/// # Panics
-/// Panics if the network fails to drain within a generous budget.
+/// A pattern that fails to drain is reported as
+/// [`NocError::Saturated`] — carrying the residual flit count and the
+/// hottest router — instead of aborting the process; malformed configs
+/// and routing failures surface the same way.
 pub fn run_pattern(
     cfg: NocConfig,
     pattern: Pattern,
     messages_per_node: usize,
     payload_words: usize,
-) -> PatternRun {
+) -> Result<PatternRun, NocError> {
+    run_pattern_with_budget(cfg, pattern, messages_per_node, payload_words, None)
+}
+
+/// [`run_pattern`] with an explicit drain budget in cycles (`None` =
+/// auto-size generously from the offered load). A tight budget turns a
+/// saturating pattern into an observable [`NocError::Saturated`].
+pub fn run_pattern_with_budget(
+    cfg: NocConfig,
+    pattern: Pattern,
+    messages_per_node: usize,
+    payload_words: usize,
+    budget: Option<u64>,
+) -> Result<PatternRun, NocError> {
     let k = cfg.k;
-    let mut net = Network::new(cfg);
+    let mut net = Network::try_new(cfg)?;
     let mut latencies_possible = 0u64;
     for src in 0..k * k {
         for i in 0..messages_per_node {
@@ -100,20 +116,18 @@ pub fn run_pattern(
             }
         }
     }
-    let budget = 10_000 + latencies_possible * 64 * payload_words as u64;
-    let cycles = net
-        .drain(budget)
-        .unwrap_or_else(|left| panic!("pattern failed to drain ({left} flits left)"));
+    let budget = budget.unwrap_or(10_000 + latencies_possible * 64 * payload_words as u64);
+    let cycles = net.drain(budget)?;
     // percentile estimation from the aggregate stats: we track exact
     // per-packet latencies in the engine's histogram
     let (p50, p90, p99) = net.latency_percentiles();
-    PatternRun {
+    Ok(PatternRun {
         pattern_cycles: cycles,
         stats: net.stats().clone(),
         p50,
         p90,
         p99,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -149,7 +163,7 @@ mod tests {
 
     #[test]
     fn uniform_random_completes() {
-        let run = run_pattern(NocConfig::mesh(4), Pattern::UniformRandom, 4, 8);
+        let run = run_pattern(NocConfig::mesh(4), Pattern::UniformRandom, 4, 8).unwrap();
         assert!(run.stats.packets_delivered > 0);
         assert!(run.p50 <= run.p90 && run.p90 <= run.p99);
         assert!(run.p99 >= 1);
@@ -157,8 +171,8 @@ mod tests {
 
     #[test]
     fn hotspot_has_heavier_tail_than_neighbor() {
-        let hot = run_pattern(NocConfig::mesh(4), Pattern::Hotspot(5), 4, 8);
-        let nbr = run_pattern(NocConfig::mesh(4), Pattern::NeighborX, 4, 8);
+        let hot = run_pattern(NocConfig::mesh(4), Pattern::Hotspot(5), 4, 8).unwrap();
+        let nbr = run_pattern(NocConfig::mesh(4), Pattern::NeighborX, 4, 8).unwrap();
         assert!(
             hot.p99 > nbr.p99,
             "hotspot p99 {} vs neighbor p99 {}",
@@ -170,14 +184,42 @@ mod tests {
 
     #[test]
     fn tornado_runs_on_rings() {
-        let run = run_pattern(NocConfig::rings(4), Pattern::Tornado, 2, 4);
+        let run = run_pattern(NocConfig::rings(4), Pattern::Tornado, 2, 4).unwrap();
         assert!(run.stats.packets_delivered > 0);
     }
 
     #[test]
     fn bit_complement_stresses_bisection() {
-        let bc = run_pattern(NocConfig::mesh(6), Pattern::BitComplement, 2, 8);
-        let nb = run_pattern(NocConfig::mesh(6), Pattern::NeighborX, 2, 8);
+        let bc = run_pattern(NocConfig::mesh(6), Pattern::BitComplement, 2, 8).unwrap();
+        let nb = run_pattern(NocConfig::mesh(6), Pattern::NeighborX, 2, 8).unwrap();
         assert!(bc.stats.avg_hops() > nb.stats.avg_hops());
+    }
+
+    #[test]
+    fn undrained_pattern_is_reported_not_fatal() {
+        // A hotspot with a starvation budget cannot drain: the error
+        // carries the residual flit count and the hottest router so the
+        // caller can report the saturation.
+        let err = run_pattern_with_budget(NocConfig::mesh(4), Pattern::Hotspot(5), 8, 16, Some(3))
+            .unwrap_err();
+        match err {
+            NocError::Saturated {
+                residual,
+                hot_router,
+            } => {
+                assert!(residual > 0, "flits must remain in flight");
+                if let Some((node, _)) = hot_router {
+                    assert!(node < 16);
+                }
+            }
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_row_pattern_on_rings_is_an_error() {
+        // Transpose crosses rows; ring fabrics cannot route it.
+        let err = run_pattern(NocConfig::rings(4), Pattern::Transpose, 1, 4).unwrap_err();
+        assert!(matches!(err, NocError::CrossRowRingRoute { .. }));
     }
 }

@@ -184,7 +184,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
-        VecStrategy { element, len: len.into_size_range() }
+        VecStrategy {
+            element,
+            len: len.into_size_range(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -1,0 +1,374 @@
+//! Indexed parallel iterators over the work-stealing pool.
+//!
+//! Every source here is *indexed*: it knows its length and can produce
+//! the items of any sub-range independently. Adaptor chains
+//! (`map`/`flat_map`/`filter_map`) are evaluated per chunk on pool
+//! threads, and terminals gather `(chunk_start, items)` pairs, sort by
+//! chunk start and flatten — so the result is identical whatever the
+//! thread count or steal order. `sum` goes through the same ordered
+//! gather and folds sequentially, keeping float reductions bit-exact.
+
+use crate::pool::current_pool;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// An indexed parallel iterator: a length plus the ability to produce
+/// the items of any index sub-range.
+pub trait ParallelIterator: Sized + Send + Sync {
+    type Item: Send;
+
+    /// Number of source indices (not necessarily the number of items —
+    /// `flat_map`/`filter_map` expand or drop per index).
+    fn pi_len(&self) -> usize;
+
+    /// Produces the items for source indices `[lo, hi)`, in index order,
+    /// appending to `out`.
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<Self::Item>);
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn flat_map<I, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Send + Sync,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Runs `f` on every item. Chunks execute in parallel; any panic in
+    /// `f` propagates to the caller.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let pool = current_pool();
+        pool.run_chunked(self.pi_len(), &|lo, hi| {
+            let mut buf = Vec::new();
+            self.pi_fill(lo, hi, &mut buf);
+            for item in buf {
+                f(item);
+            }
+        });
+    }
+
+    /// Collects into `C`, in source index order regardless of scheduling.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items. The addition order is the source index order
+    /// (ordered gather, then a sequential fold), so floating-point sums
+    /// are bit-identical to the single-threaded run.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        drive_ordered(&self).into_iter().sum()
+    }
+
+    /// Number of items produced (after `filter_map`/`flat_map`).
+    fn count(self) -> usize {
+        drive_ordered(&self).len()
+    }
+}
+
+/// Evaluates the chain over the current pool and returns all items in
+/// source index order.
+fn drive_ordered<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
+    let len = p.pi_len();
+    let pool = current_pool();
+    if pool.threads() <= 1 || len <= 1 {
+        let mut out = Vec::new();
+        p.pi_fill(0, len, &mut out);
+        return out;
+    }
+    let gathered: Mutex<Vec<(usize, Vec<P::Item>)>> = Mutex::new(Vec::new());
+    pool.run_chunked(len, &|lo, hi| {
+        let mut buf = Vec::new();
+        p.pi_fill(lo, hi, &mut buf);
+        gathered.lock().unwrap().push((lo, buf));
+    });
+    let mut chunks = gathered.into_inner().unwrap();
+    chunks.sort_by_key(|(lo, _)| *lo);
+    let mut out = Vec::with_capacity(chunks.iter().map(|(_, v)| v.len()).sum());
+    for (_, v) in chunks {
+        out.extend(v);
+    }
+    out
+}
+
+/// Types constructible from a parallel iterator (index-ordered).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        drive_ordered(&p)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------
+
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<R>) {
+        let mut tmp = Vec::new();
+        self.base.pi_fill(lo, hi, &mut tmp);
+        out.extend(tmp.into_iter().map(&self.f));
+    }
+}
+
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, I, F> ParallelIterator for FlatMap<B, F>
+where
+    B: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(B::Item) -> I + Send + Sync,
+{
+    type Item = I::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<I::Item>) {
+        let mut tmp = Vec::new();
+        self.base.pi_fill(lo, hi, &mut tmp);
+        for item in tmp {
+            out.extend((self.f)(item));
+        }
+    }
+}
+
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<R>) {
+        let mut tmp = Vec::new();
+        self.base.pi_fill(lo, hi, &mut tmp);
+        out.extend(tmp.into_iter().filter_map(&self.f));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Borrowing source over a slice (`par_iter`).
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<&'a T>) {
+        out.extend(self.slice[lo..hi].iter());
+    }
+}
+
+/// Owning source over a `Vec` (`into_par_iter`). Items are parked in
+/// per-index cells so disjoint chunks can move them out concurrently.
+pub struct IntoIter<T: Send> {
+    items: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for IntoIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<T>) {
+        for cell in &self.items[lo..hi] {
+            let item = cell.lock().unwrap().take().expect("index consumed once");
+            out.push(item);
+        }
+    }
+}
+
+/// Source over an integer range (`(0..n).into_par_iter()`).
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<usize>) {
+        out.extend((self.start + lo)..(self.start + hi));
+    }
+}
+
+/// Source over fixed-size windows of a slice (`par_chunks`).
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn pi_fill(&self, lo: usize, hi: usize, out: &mut Vec<&'a [T]>) {
+        for c in lo..hi {
+            let start = c * self.size;
+            let end = ((c + 1) * self.size).min(self.slice.len());
+            out.push(&self.slice[start..end]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry traits
+// ---------------------------------------------------------------------
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoIter<T>;
+
+    fn into_par_iter(self) -> IntoIter<T> {
+        IntoIter {
+            items: self.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn into_par_iter(self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn into_par_iter(self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+/// `par_iter()` — borrowing parallel iteration (rayon's
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+    C: 'a,
+    <&'a C as IntoParallelIterator>::Item: 'a,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_chunks()` over slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunks { slice: self, size }
+    }
+}

@@ -1,28 +1,193 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, now with real parallelism.
 //!
-//! `par_iter()` returns the plain sequential slice iterator, so all the
-//! downstream `Iterator` adaptors (`map`, `flat_map`, `collect`, …) work
-//! unchanged. Results are identical to rayon's; only wall-clock
-//! parallelism is lost. Swap back to the real crate when the build
-//! environment has registry access.
+//! A fixed-size work-stealing thread pool (pure `std::thread`, no
+//! external deps) backs `par_iter()` / `into_par_iter()` /
+//! `par_chunks()` / `join`. The pool is sized by `AURORA_THREADS`
+//! (default: available cores; `1` selects the exact sequential code
+//! path). All terminals gather chunk results in source index order, so
+//! output — including floating-point sums — is bit-identical to the
+//! single-threaded run regardless of thread count or steal order.
+//! Swap back to the real crate when the build environment has registry
+//! access.
 
-/// Sequential `par_iter` over slices (and everything that derefs to one).
-pub trait IntoSeqParIter<T> {
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-}
+pub mod iter;
+pub mod pool;
 
-impl<T> IntoSeqParIter<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-}
-
-impl<T> IntoSeqParIter<T> for Vec<T> {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.as_slice().iter()
-    }
-}
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    ParallelSlice,
+};
+pub use pool::{configured_threads, current_pool, global_pool, join, ThreadPool};
 
 pub mod prelude {
-    pub use crate::IntoSeqParIter;
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
+    pub use crate::pool::join;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPool;
+
+    fn pool_sizes() -> [usize; 3] {
+        [1, 2, 4]
+    }
+
+    #[test]
+    fn par_iter_map_collect_matches_sequential() {
+        let data: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = data.iter().map(|x| x * 3 + 1).collect();
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let got: Vec<u64> = pool.install(|| data.par_iter().map(|x| x * 3 + 1).collect());
+            assert_eq!(got, expected, "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn into_par_iter_moves_items_in_order() {
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let data: Vec<String> = (0..257).map(|i| format!("item-{i}")).collect();
+            let got: Vec<String> = pool.install(|| data.clone().into_par_iter().collect());
+            assert_eq!(got, data, "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn flat_map_and_filter_map_preserve_index_order() {
+        let data: Vec<usize> = (0..300).collect();
+        let expected: Vec<usize> = data
+            .iter()
+            .flat_map(|&x| vec![x * 10, x * 10 + 1])
+            .filter(|x| x % 3 != 0)
+            .collect();
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let got: Vec<usize> = pool.install(|| {
+                data.par_iter()
+                    .flat_map(|&x| vec![x * 10, x * 10 + 1])
+                    .filter_map(|x| (x % 3 != 0).then_some(x))
+                    .collect()
+            });
+            assert_eq!(got, expected, "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_pool_sizes() {
+        // Values chosen so the addition order changes the rounding; the
+        // ordered-gather contract must hide that from callers.
+        let data: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let expected: f64 = data.iter().sum();
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let got: f64 = pool.install(|| data.par_iter().sum());
+            assert_eq!(got.to_bits(), expected.to_bits(), "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice() {
+        let data: Vec<u32> = (0..103).collect();
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let sums: Vec<u32> =
+                pool.install(|| data.par_chunks(10).map(|c| c.iter().sum::<u32>()).collect());
+            let expected: Vec<u32> = data.chunks(10).map(|c| c.iter().sum::<u32>()).collect();
+            assert_eq!(sums, expected, "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let got: Vec<usize> = pool.install(|| (5..505).into_par_iter().collect());
+            assert_eq!(got, (5..505).collect::<Vec<_>>(), "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let total = AtomicU64::new(0);
+            pool.install(|| {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    total.fetch_add(i as u64, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 499_500, "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let (a, b) = pool.install(|| {
+                crate::join(|| (0..100u64).sum::<u64>(), || (0..100u64).product::<u64>())
+            });
+            assert_eq!(a, 4950, "pool size {n}");
+            assert_eq!(b, 0, "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn nested_par_iter_does_not_deadlock_even_at_pool_size_one() {
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let got: Vec<usize> = pool.install(|| {
+                (0..16usize)
+                    .into_par_iter()
+                    .map(|i| (0..16usize).into_par_iter().map(|j| i * j).sum::<usize>())
+                    .collect()
+            });
+            let expected: Vec<usize> = (0..16).map(|i| (0..16).map(|j| i * j).sum()).collect();
+            assert_eq!(got, expected, "pool size {n}");
+        }
+    }
+
+    #[test]
+    fn join_inside_par_iter_does_not_deadlock() {
+        for n in pool_sizes() {
+            let pool = ThreadPool::new(n);
+            let got: Vec<(u32, u32)> = pool.install(|| {
+                (0..32usize)
+                    .into_par_iter()
+                    .map(|i| crate::join(|| i as u32 * 2, || i as u32 * 3))
+                    .collect()
+            });
+            for (i, &(a, b)) in got.iter().enumerate() {
+                assert_eq!((a, b), (i as u32 * 2, i as u32 * 3), "pool size {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_parallel_body_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 17 {
+                        panic!("boom");
+                    }
+                })
+            })
+        }));
+        assert!(result.is_err(), "panic must cross the parallel region");
+    }
+
+    #[test]
+    fn configured_threads_parses_env_shape() {
+        // Can't mutate the process env safely under a threaded test
+        // runner; just pin the invariant that the value is positive.
+        assert!(super::configured_threads() >= 1);
+    }
 }

@@ -1,0 +1,364 @@
+//! A fixed-size work-stealing thread pool built on `std::thread`.
+//!
+//! Each worker owns a chunked deque of tasks (a `Mutex<VecDeque>` rather
+//! than a lock-free Chase-Lev deque — the tasks this workspace schedules
+//! are whole simulations or tile batches, so deque traffic is far too
+//! coarse for lock contention to matter). Workers pop from the back of
+//! their own deque and steal from the front of a victim's, so large
+//! parallel regions balance automatically.
+//!
+//! Parallel regions are *scoped*: [`ThreadPool::run_chunked`] divides an
+//! index range into chunks, scatters them over the deques, and does not
+//! return until every chunk has executed. The calling thread participates
+//! — it runs pending tasks (its own region's or anyone else's) while it
+//! waits — which is what makes nested regions (`par_iter` inside a
+//! `par_iter` body, or inside `join`) deadlock-free even at pool size 1.
+//!
+//! Pool size comes from `AURORA_THREADS` for the global pool (default =
+//! available cores; `1` selects the exact sequential path: the region
+//! body runs inline on the caller with no task machinery at all).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::Duration;
+
+/// How many chunks a region is split into per pool thread. More chunks
+/// mean finer stealing granularity; results never depend on it.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// A handle to a pool. Cheap to clone (all clones share the workers).
+/// Dropping the last external handle retires the workers.
+#[derive(Clone)]
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    /// One task deque per worker. Owners pop from the back; thieves (and
+    /// the region caller) steal from the front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks pushed and not yet popped, used to short-circuit idle scans.
+    pending: AtomicUsize,
+    /// Sleep support for idle workers.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Round-robin scatter cursor so consecutive regions spread evenly.
+    scatter: AtomicUsize,
+    threads: usize,
+}
+
+/// One schedulable unit: a chunk `[lo, hi)` of some region's index space.
+struct Task {
+    region: RegionPtr,
+    lo: usize,
+    hi: usize,
+}
+
+/// Erased pointer to a stack-allocated [`RegionCore`]. Sound because the
+/// region's owner blocks in `wait` until every chunk has completed, so
+/// the pointee outlives every task that references it.
+#[derive(Clone, Copy)]
+struct RegionPtr(*const RegionCore);
+unsafe impl Send for RegionPtr {}
+
+/// Shared state of one parallel region, allocated on the caller's stack.
+struct RegionCore {
+    /// The chunk body, lifetime-erased. Valid until `wait` returns.
+    func: *const (dyn Fn(usize, usize) + Sync),
+    /// Chunks not yet finished executing.
+    remaining: AtomicUsize,
+    /// Set when any chunk body panicked (the panic is rethrown by the
+    /// region owner so failures propagate like sequential code).
+    panicked: AtomicBool,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+unsafe impl Sync for RegionCore {}
+
+impl RegionCore {
+    /// Runs one chunk and retires it. The completion handshake happens
+    /// under `done_lock` so the region owner can never observe
+    /// `remaining == 0` while a worker still holds a reference.
+    fn run_chunk(&self, lo: usize, hi: usize) {
+        let func = unsafe { &*self.func };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(lo, hi)));
+        if result.is_err() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        let guard = self.done_lock.lock().unwrap();
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done_cv.notify_all();
+        }
+        drop(guard);
+    }
+}
+
+thread_local! {
+    /// The pool the current thread belongs to (worker threads) or has
+    /// installed ([`ThreadPool::install`]). Weak so worker thread-locals
+    /// don't keep a retired pool alive.
+    static CURRENT: std::cell::RefCell<Option<Weak<Shared>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Number of threads the global pool uses: `AURORA_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    match std::env::var("AURORA_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, created on first use from `AURORA_THREADS`.
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(configured_threads()))
+}
+
+/// The pool parallel iterators execute on: the pool installed on this
+/// thread (worker threads install their own), else the global pool.
+pub fn current_pool() -> ThreadPool {
+    let installed = CURRENT.with(|c| c.borrow().as_ref().and_then(Weak::upgrade));
+    match installed {
+        Some(shared) => ThreadPool { shared },
+        None => global_pool().clone(),
+    }
+}
+
+impl ThreadPool {
+    /// Builds a pool with `threads` workers. `threads <= 1` builds a pool
+    /// with no worker threads at all: every region runs inline on the
+    /// caller, bit-for-bit the sequential execution.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = if threads == 1 { 0 } else { threads };
+        let shared = Arc::new(Shared {
+            deques: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            pending: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            scatter: AtomicUsize::new(0),
+            threads,
+        });
+        for i in 0..workers {
+            let weak = Arc::downgrade(&shared);
+            std::thread::Builder::new()
+                .name(format!("aurora-pool-{i}"))
+                .spawn(move || worker_loop(i, weak))
+                .expect("spawn pool worker");
+        }
+        Self { shared }
+    }
+
+    /// The pool's thread count (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Runs `f` with this pool installed as the current thread's pool, so
+    /// every `par_iter`/`join` reached from `f` executes here instead of
+    /// on the global pool. Used by the determinism tests to compare the
+    /// same computation at several pool sizes in one process.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::downgrade(&self.shared)));
+        struct Restore(Option<Weak<Shared>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Splits `[0, len)` into chunks and runs `body(lo, hi)` for each,
+    /// in parallel, returning once all chunks completed. With one thread
+    /// (or a trivial range) the body runs inline: the exact sequential
+    /// path. Panics in `body` are rethrown here.
+    pub fn run_chunked(&self, len: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        if self.shared.threads <= 1 || len == 1 {
+            body(0, len);
+            return;
+        }
+        let chunk = len.div_ceil(self.shared.threads * CHUNKS_PER_THREAD).max(1);
+        let nchunks = len.div_ceil(chunk);
+        let region = RegionCore {
+            func: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize, usize) + Sync),
+                    *const (dyn Fn(usize, usize) + Sync),
+                >(body as *const _)
+            },
+            remaining: AtomicUsize::new(nchunks),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        };
+        let ptr = RegionPtr(&region as *const RegionCore);
+        let tasks = (0..nchunks).map(|c| Task {
+            region: ptr,
+            lo: c * chunk,
+            hi: ((c + 1) * chunk).min(len),
+        });
+        self.shared.push_tasks(tasks);
+        self.shared.help_until_done(&region);
+        if region.panicked.load(Ordering::SeqCst) {
+            panic!("a task in the parallel region panicked");
+        }
+    }
+}
+
+impl Shared {
+    /// Scatters tasks round-robin over the worker deques and wakes
+    /// sleepers.
+    fn push_tasks(&self, tasks: impl Iterator<Item = Task>) {
+        let start = self.scatter.fetch_add(1, Ordering::Relaxed);
+        let n = self.deques.len();
+        let mut count = 0;
+        for (i, t) in tasks.enumerate() {
+            self.deques[(start + i) % n].lock().unwrap().push_back(t);
+            count += 1;
+        }
+        self.pending.fetch_add(count, Ordering::SeqCst);
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.sleep_cv.notify_all();
+    }
+
+    /// Pops from the back of `own` or steals from the front of any other
+    /// deque.
+    fn find_task(&self, own: usize) -> Option<Task> {
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let n = self.deques.len();
+        if let Some(t) = self.deques[own % n].lock().unwrap().pop_back() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+        for off in 1..n {
+            if let Some(t) = self.deques[(own + off) % n].lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Region-owner wait loop: run any available task (keeps nested
+    /// regions and sibling regions progressing), otherwise block briefly
+    /// on the region's completion condvar.
+    fn help_until_done(&self, region: &RegionCore) {
+        loop {
+            if let Some(t) = self.find_task(0) {
+                unsafe { (*t.region.0).run_chunk(t.lo, t.hi) };
+                continue;
+            }
+            let guard = region.done_lock.lock().unwrap();
+            if region.remaining.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Re-check for work under a short timeout: a nested region's
+            // tasks may appear while we hold no lock.
+            let _ = region
+                .done_cv
+                .wait_timeout(guard, Duration::from_micros(200))
+                .unwrap();
+            if region.remaining.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(index: usize, shared: Weak<Shared>) {
+    if let Some(strong) = shared.upgrade() {
+        CURRENT.with(|c| *c.borrow_mut() = Some(Arc::downgrade(&strong)));
+        drop(strong);
+    }
+    loop {
+        let Some(pool) = shared.upgrade() else {
+            return; // every external handle dropped: retire
+        };
+        if let Some(t) = pool.find_task(index) {
+            unsafe { (*t.region.0).run_chunk(t.lo, t.hi) };
+            continue;
+        }
+        let guard = pool.sleep_lock.lock().unwrap();
+        if pool.pending.load(Ordering::SeqCst) == 0 {
+            // Timed wait so a retired pool's workers notice the dropped
+            // handles without an explicit shutdown broadcast.
+            let _ = pool
+                .sleep_cv
+                .wait_timeout(guard, Duration::from_millis(20))
+                .unwrap();
+        }
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+/// On a 1-thread pool this is exactly `(a(), b())`. A panic in either
+/// closure propagates (if both panic, `a`'s wins).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    if pool.shared.threads <= 1 {
+        return (a(), b());
+    }
+    let b_slot: Mutex<(Option<B>, Option<RB>)> = Mutex::new((Some(b), None));
+    let body = |_lo: usize, _hi: usize| {
+        let f = b_slot.lock().unwrap().0.take();
+        if let Some(f) = f {
+            let r = f();
+            b_slot.lock().unwrap().1 = Some(r);
+        }
+    };
+    let region = RegionCore {
+        func: unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync),
+            >(&body as *const _)
+        },
+        remaining: AtomicUsize::new(1),
+        panicked: AtomicBool::new(false),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    };
+    let ptr = RegionPtr(&region as *const RegionCore);
+    pool.shared.push_tasks(std::iter::once(Task {
+        region: ptr,
+        lo: 0,
+        hi: 1,
+    }));
+    let ra = a();
+    pool.shared.help_until_done(&region);
+    if region.panicked.load(Ordering::SeqCst) {
+        panic!("a task in the parallel region panicked");
+    }
+    let rb = b_slot.into_inner().unwrap().1.expect("join closure ran");
+    (ra, rb)
+}

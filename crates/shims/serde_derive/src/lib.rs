@@ -39,13 +39,17 @@ struct Input {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
-    gen_serialize(&parsed).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
-    gen_deserialize(&parsed).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 // --- parsing -----------------------------------------------------------
@@ -66,7 +70,9 @@ fn parse(input: TokenStream) -> Input {
                     i += 1;
                 }
             }
-            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
                 let k = id.to_string();
                 i += 1;
                 break k;
@@ -309,10 +315,15 @@ fn gen_deserialize(input: &Input) -> String {
                 .iter()
                 .map(|f| format!("{f}: ::serde::de_field(__v, \"{f}\")?"))
                 .collect();
-            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
         }
         Shape::TupleStruct(n) => match n {
-            1 => format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+            1 => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
             _ => {
                 let gets: Vec<String> = (0..*n)
                     .map(|i| {

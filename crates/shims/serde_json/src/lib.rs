@@ -2,8 +2,8 @@
 //! [`Value`] tree. Provides `to_string`, `to_string_pretty`, `from_str`,
 //! and a `Value` re-export — the surface this workspace uses.
 
-pub use serde::{Error, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
 
 /// Serializes `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -21,7 +21,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Parses JSON text into any [`Deserialize`] type (including [`Value`]).
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -191,7 +194,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -217,7 +225,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -319,7 +332,10 @@ mod tests {
             ("name".into(), Value::Str("aurora".into())),
             ("cycles".into(), Value::UInt(700)),
             ("balance".into(), Value::Float(0.5)),
-            ("layers".into(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)])),
+            (
+                "layers".into(),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
             ("none".into(), Value::Null),
         ]);
         let s = to_string(&v).unwrap();

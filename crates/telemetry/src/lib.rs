@@ -23,7 +23,7 @@ pub mod metrics;
 pub mod scope;
 pub mod trace;
 
-pub use metrics::{Histogram, MetricsSnapshot, Registry};
+pub use metrics::{ConcurrentRegistry, Histogram, MetricsSnapshot, Registry};
 pub use scope::Scope;
 pub use trace::{tracks, ArgValue, TraceBuffer};
 
@@ -74,9 +74,11 @@ pub enum Event<'a> {
     },
 }
 
-/// Destination for probe events.
-pub trait Sink {
-    fn record(&mut self, event: Event<'_>);
+/// Destination for probe events. Sinks are shared across simulation
+/// threads, so recording takes `&self` and implementations must be
+/// `Send + Sync` (interior mutability where state is kept).
+pub trait Sink: Send + Sync {
+    fn record(&self, event: Event<'_>);
 }
 
 /// The default sink: drops everything. `record` is an empty inlined
@@ -86,24 +88,55 @@ pub struct NullSink;
 
 impl Sink for NullSink {
     #[inline(always)]
-    fn record(&mut self, _event: Event<'_>) {}
+    fn record(&self, _event: Event<'_>) {}
 }
 
-/// The standard sink: a metrics [`Registry`] plus a [`TraceBuffer`].
-#[derive(Debug, Clone, Default)]
+/// The standard sink: a [`ConcurrentRegistry`] plus a locked
+/// [`TraceBuffer`]. Safe to share across threads; metric merges are
+/// commutative and snapshots/trace renders use one deterministic order
+/// (see the field types' docs), so a parallel run reports exactly what
+/// the sequential run would.
+#[derive(Debug)]
 pub struct Recorder {
-    pub registry: Registry,
-    pub trace: TraceBuffer,
+    registry: ConcurrentRegistry,
+    trace: Mutex<TraceBuffer>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Recorder {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            registry: ConcurrentRegistry::new(),
+            trace: Mutex::new(TraceBuffer::with_canonical_tracks()),
+        }
+    }
+
+    /// Serializable copy of every metric recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Chrome trace-event JSON of the recorded timeline.
+    pub fn trace_json(&self) -> String {
+        self.trace
+            .lock()
+            .expect("trace buffer poisoned")
+            .to_chrome_json()
+    }
+
+    /// Number of timeline events recorded so far.
+    pub fn trace_len(&self) -> usize {
+        self.trace.lock().expect("trace buffer poisoned").len()
     }
 }
 
 impl Sink for Recorder {
-    fn record(&mut self, event: Event<'_>) {
+    fn record(&self, event: Event<'_>) {
         match event {
             Event::CounterAdd { name, scope, delta } => {
                 self.registry.counter_add(name, scope, delta)
@@ -116,24 +149,38 @@ impl Sink for Recorder {
                 ts,
                 dur,
                 args,
-            } => self.trace.span(track, name, ts, dur, args),
-            Event::Instant { track, name, ts } => self.trace.instant(track, name, ts),
+            } => self
+                .trace
+                .lock()
+                .expect("trace buffer poisoned")
+                .span(track, name, ts, dur, args),
+            Event::Instant { track, name, ts } => self
+                .trace
+                .lock()
+                .expect("trace buffer poisoned")
+                .instant(track, name, ts),
             Event::CounterSample {
                 track,
                 name,
                 ts,
                 value,
-            } => self.trace.counter(track, name, ts, value),
+            } => self
+                .trace
+                .lock()
+                .expect("trace buffer poisoned")
+                .counter(track, name, ts, value),
         }
     }
 }
 
 /// Cheap-to-clone handle threaded through the simulator. Disabled by
 /// default ([`Telemetry::disabled`], also `Default`): probes on a
-/// disabled handle reduce to one branch on a `None`.
+/// disabled handle reduce to one branch on a `None`. The handle is
+/// `Send + Sync` — clones may record from any pool thread; counters go
+/// through atomics and only histogram/trace probes take a short lock.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Arc<Mutex<Recorder>>>,
+    inner: Option<Arc<Recorder>>,
 }
 
 impl Telemetry {
@@ -145,7 +192,7 @@ impl Telemetry {
     /// A handle backed by a fresh [`Recorder`]. Clones share it.
     pub fn enabled() -> Self {
         Self {
-            inner: Some(Arc::new(Mutex::new(Recorder::new()))),
+            inner: Some(Arc::new(Recorder::new())),
         }
     }
 
@@ -159,10 +206,7 @@ impl Telemetry {
     #[inline]
     pub fn record(&self, event: Event<'_>) {
         if let Some(inner) = &self.inner {
-            inner
-                .lock()
-                .expect("telemetry recorder poisoned")
-                .record(event);
+            inner.record(event);
         }
     }
 
@@ -229,11 +273,7 @@ impl Telemetry {
     /// the handle is disabled.
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
-            Some(inner) => inner
-                .lock()
-                .expect("telemetry recorder poisoned")
-                .registry
-                .snapshot(),
+            Some(inner) => inner.snapshot(),
             None => MetricsSnapshot::default(),
         }
     }
@@ -241,23 +281,13 @@ impl Telemetry {
     /// Chrome trace-event JSON of the recorded timeline, or `None`
     /// when the handle is disabled.
     pub fn trace_json(&self) -> Option<String> {
-        self.inner.as_ref().map(|inner| {
-            inner
-                .lock()
-                .expect("telemetry recorder poisoned")
-                .trace
-                .to_chrome_json()
-        })
+        self.inner.as_ref().map(|inner| inner.trace_json())
     }
 
     /// Number of timeline events recorded so far (0 when disabled).
     pub fn trace_len(&self) -> usize {
         match &self.inner {
-            Some(inner) => inner
-                .lock()
-                .expect("telemetry recorder poisoned")
-                .trace
-                .len(),
+            Some(inner) => inner.trace_len(),
             None => 0,
         }
     }
@@ -314,7 +344,7 @@ mod tests {
 
     #[test]
     fn null_sink_drops_events() {
-        let mut sink = NullSink;
+        let sink = NullSink;
         sink.record(Event::CounterAdd {
             name: "x",
             scope: &Scope::ROOT,
@@ -322,5 +352,48 @@ mod tests {
         });
         // Nothing to assert — the point is it compiles to nothing and
         // satisfies the Sink contract.
+    }
+
+    #[test]
+    fn telemetry_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+        assert_send_sync::<Recorder>();
+        assert_send_sync::<NullSink>();
+    }
+
+    #[test]
+    fn cross_thread_recording_merges_deterministically() {
+        // The same probe stream recorded sequentially and split over 4
+        // threads must yield identical snapshots: counter adds and
+        // histogram merges are commutative, and snapshot/render order
+        // comes from BTreeMaps, not thread arrival order.
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 250;
+
+        let sequential = Telemetry::enabled();
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let scope = Scope::model("GCN").layer(t);
+                sequential.counter_add("edges", &scope, (i + 1) as u64);
+                sequential.observe("tile_cycles", &scope, (i * 37 + t) as u64);
+            }
+        }
+
+        let parallel = Telemetry::enabled();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let handle = parallel.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let scope = Scope::model("GCN").layer(t);
+                        handle.counter_add("edges", &scope, (i + 1) as u64);
+                        handle.observe("tile_cycles", &scope, (i * 37 + t) as u64);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(sequential.snapshot(), parallel.snapshot());
     }
 }

@@ -4,6 +4,8 @@
 use crate::scope::Scope;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// Log₂-bucketed histogram of `u64` samples. Bucket `i` counts samples
 /// whose bit length is `i` (i.e. values in `[2^(i−1), 2^i)`; bucket 0
@@ -172,6 +174,132 @@ impl Registry {
                     histogram: h.clone(),
                 })
                 .collect(),
+        }
+    }
+}
+
+/// Histogram shard count. Samples for a given `(name, scope)` always
+/// land in the same shard, so per-key histograms never need merging —
+/// sharding only spreads lock contention across unrelated keys.
+const HIST_SHARDS: usize = 8;
+
+/// Thread-safe metric store backing [`crate::Recorder`]. Counters and
+/// gauges are atomics behind a read-mostly lock (the write lock is only
+/// taken to insert a new key); histograms take one shard `Mutex` per
+/// sample. Every mutation is commutative per key — counter adds sum,
+/// histogram merges are order-free, and gauge writes from the simulator
+/// are per-run-scoped — so concurrent recording produces the same
+/// snapshot as any sequential interleaving. Snapshots iterate
+/// `BTreeMap`s, giving one deterministic merge order no matter which
+/// thread recorded what.
+#[derive(Debug, Default)]
+pub struct ConcurrentRegistry {
+    counters: RwLock<BTreeMap<(String, Scope), AtomicU64>>,
+    /// Gauge values stored as `f64::to_bits`.
+    gauges: RwLock<BTreeMap<(String, Scope), AtomicU64>>,
+    histograms: [Mutex<BTreeMap<(String, Scope), Histogram>>; HIST_SHARDS],
+}
+
+/// Shard selector: a tiny deterministic hash of the metric name (the
+/// scope shares the shard — one name rarely spans many scopes at once).
+fn shard_of(name: &str) -> usize {
+    let mut h: usize = 5381;
+    for b in name.bytes() {
+        h = h.wrapping_mul(33) ^ b as usize;
+    }
+    h % HIST_SHARDS
+}
+
+impl ConcurrentRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn counter_add(&self, name: &str, scope: &Scope, delta: u64) {
+        {
+            let read = self.counters.read().expect("counter map poisoned");
+            if let Some(c) = read.get(&(name.to_string(), scope.clone())) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut write = self.counters.write().expect("counter map poisoned");
+        write
+            .entry((name.to_string(), scope.clone()))
+            .or_default()
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, scope: &Scope, value: f64) {
+        {
+            let read = self.gauges.read().expect("gauge map poisoned");
+            if let Some(g) = read.get(&(name.to_string(), scope.clone())) {
+                g.store(value.to_bits(), Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut write = self.gauges.write().expect("gauge map poisoned");
+        write
+            .entry((name.to_string(), scope.clone()))
+            .or_default()
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, name: &str, scope: &Scope, value: u64) {
+        self.histograms[shard_of(name)]
+            .lock()
+            .expect("histogram shard poisoned")
+            .entry((name.to_string(), scope.clone()))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Immutable, serializable copy of every metric, in `(name, scope)`
+    /// order regardless of which threads recorded.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|((name, scope), v)| CounterEntry {
+                name: name.clone(),
+                scope: scope.clone(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|((name, scope), v)| GaugeEntry {
+                name: name.clone(),
+                scope: scope.clone(),
+                value: f64::from_bits(v.load(Ordering::Relaxed)),
+            })
+            .collect();
+        let mut merged: BTreeMap<(String, Scope), Histogram> = BTreeMap::new();
+        for shard in &self.histograms {
+            for (key, h) in shard.lock().expect("histogram shard poisoned").iter() {
+                merged.insert(key.clone(), h.clone());
+            }
+        }
+        let histograms = merged
+            .into_iter()
+            .map(|((name, scope), histogram)| HistogramEntry {
+                name,
+                scope,
+                histogram,
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
         }
     }
 }

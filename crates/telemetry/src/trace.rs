@@ -115,6 +115,24 @@ impl Recorded {
             | Recorded::Counter { track, .. } => *track,
         }
     }
+
+    fn name(&self) -> &str {
+        match self {
+            Recorded::Span { name, .. }
+            | Recorded::Instant { name, .. }
+            | Recorded::Counter { name, .. } => name,
+        }
+    }
+
+    /// Rank for the output total order: spans, then instants, then
+    /// counter samples at the same `(ts, track)`.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Recorded::Span { .. } => 0,
+            Recorded::Instant { .. } => 1,
+            Recorded::Counter { .. } => 2,
+        }
+    }
 }
 
 /// Accumulates spans / instants / counter samples on named tracks and
@@ -130,6 +148,25 @@ const PID: u64 = 1;
 impl TraceBuffer {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A buffer with the canonical simulator tracks (see [`tracks`])
+    /// pre-registered, so `tid` assignment does not depend on which
+    /// track happens to record first — required for a deterministic
+    /// trace layout when several threads share one buffer.
+    pub fn with_canonical_tracks() -> Self {
+        let mut t = Self::default();
+        for name in [
+            tracks::SUB_A,
+            tracks::SUB_B,
+            tracks::NOC,
+            tracks::DRAM,
+            tracks::TILES,
+            tracks::CONTROLLER,
+        ] {
+            t.track_id(name);
+        }
+        t
     }
 
     /// Interns a track name; tid is registration order + 1.
@@ -222,8 +259,17 @@ impl TraceBuffer {
             ));
         }
 
+        // Total order over (ts, track, kind, name): the rendered
+        // document is identical however recording threads interleaved.
         let mut sorted: Vec<&Recorded> = self.events.iter().collect();
-        sorted.sort_by_key(|e| (e.ts(), e.track()));
+        sorted.sort_by(|a, b| {
+            (a.ts(), a.track(), a.kind_rank(), a.name()).cmp(&(
+                b.ts(),
+                b.track(),
+                b.kind_rank(),
+                b.name(),
+            ))
+        });
         for e in sorted {
             events.push(render_event(e));
         }

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Full local gate: build, tests, formatting, lints.
+# Full local gate: build, tests, formatting, lints, perf gate, and the
+# thread-count determinism contract.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Scratch BENCH_*.json files must not survive a failed gate: clean up the
+# check artifacts on every exit path, success or failure.
+trap 'rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json' EXIT
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
@@ -19,6 +24,33 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> perf_regress --check (vs BENCH_seed.json)"
 cargo run --release -q -p aurora-bench --bin perf_regress -- \
   --check --baseline BENCH_seed.json --name check
-rm -f BENCH_check.json
+
+echo "==> thread-count determinism (AURORA_THREADS=1 vs 2)"
+AURORA_THREADS=1 cargo run --release -q -p aurora-bench --bin perf_regress -- \
+  --name check-seq
+AURORA_THREADS=2 cargo run --release -q -p aurora-bench --bin perf_regress -- \
+  --name check-par
+# Compare everything except host wall-time, which legitimately varies.
+python3 - <<'EOF'
+import json, sys
+
+def key(path):
+    doc = json.load(open(path))
+    return [
+        (r["workload"], r["cycles"], r["compute_frac"], r["noc_frac"],
+         r["dram_frac"], r["imbalance_frac"], r["dominant"])
+        for r in doc["results"]
+    ]
+
+seq, par = key("BENCH_check-seq.json"), key("BENCH_check-par.json")
+if seq != par:
+    print("determinism check FAILED: results differ across thread counts",
+          file=sys.stderr)
+    for a, b in zip(seq, par):
+        if a != b:
+            print(f"  seq: {a}\n  par: {b}", file=sys.stderr)
+    sys.exit(1)
+print("determinism check passed: cycles identical across thread counts")
+EOF
 
 echo "All checks passed."

@@ -29,7 +29,8 @@ fn estimator_tracks_engine_on_random_graph() {
         g.edges(),
         words,
         noc_model::DEFAULT_LINK_UTILISATION,
-    );
+    )
+    .unwrap();
     let traffic: Vec<_> = g
         .edges()
         .map(|(u, v)| (mapping.pe_of(u), mapping.pe_of(v), words))
@@ -57,7 +58,8 @@ fn estimator_and_engine_agree_bypass_helps_a_star() {
         g.edges(),
         words,
         noc_model::DEFAULT_LINK_UTILISATION,
-    );
+    )
+    .unwrap();
 
     let plan = plan_bypass(&mapping, g.edges());
     let to_seg = |s: &aurora::mapping::plan::SegmentPlan| BypassSegment {
@@ -76,7 +78,8 @@ fn estimator_and_engine_agree_bypass_helps_a_star() {
         g.edges(),
         words,
         noc_model::DEFAULT_LINK_UTILISATION,
-    );
+    )
+    .unwrap();
     assert!(
         est_byp.avg_hops <= est_mesh.avg_hops,
         "estimator: bypass shortens"
@@ -109,14 +112,16 @@ fn hashing_hotspots_show_in_both_models() {
         g.edges(),
         words,
         noc_model::DEFAULT_LINK_UTILISATION,
-    );
+    )
+    .unwrap();
     let est_d = noc_model::aggregation_traffic(
         &cfg,
         &d,
         g.edges(),
         words,
         noc_model::DEFAULT_LINK_UTILISATION,
-    );
+    )
+    .unwrap();
     // identical message volume; placement only changes the distribution
     assert_eq!(est_h.messages, est_d.messages);
 

@@ -107,7 +107,7 @@ fn io_roundtrip_preserves_inference() {
 #[test]
 fn bypass_fabric_wins_bit_complement() {
     let k = 6;
-    let mesh = run_pattern(NocConfig::mesh(k), Pattern::BitComplement, 4, 8);
+    let mesh = run_pattern(NocConfig::mesh(k), Pattern::BitComplement, 4, 8).unwrap();
     let byp_cfg = NocConfig::with_bypass(
         k,
         (0..k)
@@ -119,7 +119,7 @@ fn bypass_fabric_wins_bit_complement() {
             .collect(),
         vec![],
     );
-    let byp = run_pattern(byp_cfg, Pattern::BitComplement, 4, 8);
+    let byp = run_pattern(byp_cfg, Pattern::BitComplement, 4, 8).unwrap();
     assert!(byp.stats.avg_hops() < mesh.stats.avg_hops());
     assert!(byp.pattern_cycles <= mesh.pattern_cycles);
 }
