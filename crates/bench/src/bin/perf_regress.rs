@@ -16,7 +16,10 @@
 //! drift is a code change, not noise. Under `--check` the run exits
 //! non-zero when any workload's cycles regress more than `--tolerance`
 //! percent (default 5) over the baseline file — wall-time is recorded
-//! but never gated, since it tracks the host machine.
+//! but never gated, since it tracks the host machine. Each row also
+//! shows its wall-time ratio against the baseline host run, and under
+//! `--check` any workload running slower than 2x baseline wall time is
+//! called out informationally (printed, never an exit-code failure).
 //!
 //! Regenerate the committed baseline after an intentional model change:
 //! `cargo run --release -p aurora-bench --bin perf_regress -- --name seed`
@@ -165,14 +168,15 @@ fn main() {
     });
 
     let mut t = Table::new(format!("perf_regress — k={k}, tolerance {tolerance}%")).columns(&[
-        "workload", "cycles", "baseline", "delta", "dominant", "wall ms",
+        "workload", "cycles", "baseline", "delta", "dominant", "wall ms", "wall Δ",
     ]);
     let mut regressions = Vec::new();
+    let mut wall_regressions = Vec::new();
     for r in &record.results {
         let base = baseline
             .as_ref()
             .and_then(|b| b.results.iter().find(|x| x.workload == r.workload));
-        let (base_cell, delta_cell) = match base {
+        let (base_cell, delta_cell, wall_cell) = match base {
             Some(b) => {
                 let delta = 100.0 * (r.cycles as f64 - b.cycles as f64) / b.cycles as f64;
                 if delta > tolerance {
@@ -181,9 +185,27 @@ fn main() {
                         r.workload, b.cycles, r.cycles
                     ));
                 }
-                (Cell::UInt(b.cycles), Cell::percent(delta, 2))
+                // Wall-time ratio vs the baseline host run. Informational
+                // only: the host machine and its load differ between runs,
+                // so this never gates — but a >2x slowdown is worth a look.
+                let wall_ratio = if b.wall_ms > 0.0 {
+                    r.wall_ms / b.wall_ms
+                } else {
+                    1.0
+                };
+                if wall_ratio > 2.0 {
+                    wall_regressions.push(format!(
+                        "{}: {:.1} ms -> {:.1} ms ({wall_ratio:.2}x baseline wall time)",
+                        r.workload, b.wall_ms, r.wall_ms
+                    ));
+                }
+                (
+                    Cell::UInt(b.cycles),
+                    Cell::percent(delta, 2),
+                    Cell::ratio(wall_ratio, 2),
+                )
             }
-            None => (Cell::Missing, Cell::Missing),
+            None => (Cell::Missing, Cell::Missing, Cell::Missing),
         };
         t.row(vec![
             r.workload.clone().into(),
@@ -192,6 +214,7 @@ fn main() {
             delta_cell,
             r.dominant.clone().into(),
             Cell::float(r.wall_ms, 1),
+            wall_cell,
         ]);
     }
     if let (Some(b), true) = (&baseline, check) {
@@ -210,6 +233,12 @@ fn main() {
     dump_json(&out, &record);
 
     if check {
+        if !wall_regressions.is_empty() {
+            println!("wall-time note (informational, never gated):");
+            for w in &wall_regressions {
+                println!("  {w}");
+            }
+        }
         if regressions.is_empty() {
             println!("perf check passed: no workload regressed more than {tolerance}%");
         } else {

@@ -11,7 +11,7 @@
 
 use crate::config::AcceleratorConfig;
 use crate::instr::Instruction;
-use crate::noc_model::{self, OnChipEstimate};
+use crate::noc_model::{self, OnChipEstimate, TrafficProfile};
 use crate::profile::{LayerProfile, ProfileReport, SideAttribution, TileAttribution};
 use crate::report::{LayerReport, NocReport, PhaseCycles, SimReport};
 use crate::workflow::Workflow;
@@ -20,10 +20,117 @@ use aurora_graph::{Csr, Tiling, TilingConfig};
 use aurora_mapping::{degree_aware, hashing, plan::plan_bypass, MappingPolicy, VertexMapping};
 use aurora_mem::MemoryController;
 use aurora_model::{LayerShape, ModelId, Phase, Workload};
-use aurora_noc::{BypassSegment, NocConfig};
+use aurora_noc::{BypassSegment, NocConfig, RouteTable};
 use aurora_partition::{partition, PartitionStrategy};
-use aurora_telemetry::{tracks, Scope, Telemetry};
+use aurora_telemetry::{names, tracks, Scope, Telemetry};
 use rayon::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+/// Identity of a tile's unit-flit traffic profile within one run: the
+/// profile is a pure function of the route table and the mapping, and
+/// the mapping of `(policy, k)` — fixed per run — is determined by the
+/// tile's vertex range and the per-PE capacity (which varies with each
+/// layer's `f_in`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    table_id: usize,
+    start: u32,
+    end: u32,
+    c_pe: usize,
+}
+
+/// Cross-layer cache of [`RouteTable`]s (keyed by NoC configuration) and
+/// per-tile unit-flit [`TrafficProfile`]s, held for the duration of one
+/// `simulate*` call. Later layers over the same tiling rescale a cached
+/// profile by their own `flits_per_msg` instead of re-binning edges.
+///
+/// All lookups and insertions happen on the sequential path of the
+/// engine, so hit/miss resolution — and therefore every telemetry
+/// counter — is identical at every `AURORA_THREADS` value.
+struct TrafficCache {
+    tables: Vec<RouteTable>,
+    table_ids: HashMap<NocConfig, usize>,
+    profiles: HashMap<ProfileKey, TrafficProfile>,
+    /// Insertion order of `profiles`, for FIFO eviction.
+    profile_order: VecDeque<ProfileKey>,
+    builds: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Table cap: per-tile bypass plans give each tile its own config, so a
+/// deep multi-layer run can see many distinct tables; past the cap the
+/// cache flushes wholesale (ids index `tables`, so selective eviction
+/// would dangle the profile keys).
+const MAX_ROUTE_TABLES: usize = 64;
+
+/// Profile cap (FIFO eviction). Profiles are ~2 k² words each.
+const MAX_TILE_PROFILES: usize = 1024;
+
+impl TrafficCache {
+    fn new() -> Self {
+        Self {
+            tables: Vec::new(),
+            table_ids: HashMap::new(),
+            profiles: HashMap::new(),
+            profile_order: VecDeque::new(),
+            builds: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The route table for `cfg`, building it on first sight.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails validation — engine callers validate (or
+    /// construct valid configs) before reaching the traffic model.
+    fn table_id(&mut self, cfg: &NocConfig, tel: &Telemetry, scope: &Scope) -> usize {
+        if let Some(&id) = self.table_ids.get(cfg) {
+            return id;
+        }
+        if self.tables.len() >= MAX_ROUTE_TABLES {
+            self.tables.clear();
+            self.table_ids.clear();
+            self.profiles.clear();
+            self.profile_order.clear();
+        }
+        let table = RouteTable::build(cfg).expect("validated NoC config builds a route table");
+        self.builds += 1;
+        tel.counter_add(names::NOC_ROUTE_TABLE_BUILDS, scope, 1);
+        tel.counter_add(
+            names::NOC_ROUTE_TABLE_PAIRS,
+            scope,
+            table.num_pairs() as u64,
+        );
+        let id = self.tables.len();
+        self.tables.push(table);
+        self.table_ids.insert(cfg.clone(), id);
+        id
+    }
+
+    fn table(&self, id: usize) -> &RouteTable {
+        &self.tables[id]
+    }
+
+    fn profile(&self, key: &ProfileKey) -> Option<&TrafficProfile> {
+        self.profiles.get(key)
+    }
+
+    fn insert_profile(&mut self, key: ProfileKey, profile: TrafficProfile) {
+        while self.profiles.len() >= MAX_TILE_PROFILES {
+            match self.profile_order.pop_front() {
+                Some(old) => {
+                    self.profiles.remove(&old);
+                }
+                None => break,
+            }
+        }
+        if self.profiles.insert(key, profile).is_none() {
+            self.profile_order.push_back(key);
+        }
+    }
+}
 
 /// Pure per-tile precomputation: everything about a tile that does not
 /// touch the memory controller, telemetry, or the instruction trace.
@@ -41,7 +148,6 @@ struct TilePre {
     w_sg: Workload,
     t_a: u64,
     t_b: u64,
-    est_a: OnChipEstimate,
     est_b: OnChipEstimate,
 }
 
@@ -129,6 +235,9 @@ impl AuroraSimulator {
         let mut instructions = Vec::new();
         let mut reconfigs = 0u64;
         let mut total_cycles = 0u64;
+        // Route tables and tile traffic profiles persist across the run's
+        // layers: later layers rescale instead of re-binning.
+        let mut traffic_cache = TrafficCache::new();
         let wf = Workflow::generate(model);
         if self.telemetry.is_enabled() {
             self.telemetry
@@ -161,6 +270,7 @@ impl AuroraSimulator {
                 &mut mem,
                 &mut activity,
                 &mut instructions,
+                &mut traffic_cache,
             );
             reconfigs += recfg;
             total_cycles += report.total_cycles;
@@ -191,6 +301,9 @@ impl AuroraSimulator {
                 .gauge_set("run.energy_joules", &scope, energy.total());
         }
 
+        profile.route_table_builds = traffic_cache.builds;
+        profile.tile_profile_hits = traffic_cache.hits;
+        profile.tile_profile_misses = traffic_cache.misses;
         profile.dram_bytes = mem.counters().total_bytes();
         profile.operational_intensity = if profile.dram_bytes == 0 {
             0.0
@@ -312,6 +425,7 @@ impl AuroraSimulator {
         mem: &mut MemoryController,
         activity: &mut ActivityCounts,
         instructions: &mut Vec<Instruction>,
+        cache: &mut TrafficCache,
     ) -> (LayerReport, u64, LayerProfile, Vec<TileAttribution>) {
         let cfg = &self.config;
         let k = cfg.k;
@@ -498,35 +612,21 @@ impl AuroraSimulator {
                     ))
                 };
 
-                // On-chip traffic. The config was validated above, so the
-                // route walk cannot fail.
-                let est_a = noc_model::aggregation_traffic(
-                    &noc_cfg,
-                    &mapping,
-                    sg.edges(),
-                    msg_words,
-                    cfg.link_utilisation,
-                )
-                .expect("validated NoC config routes every tile message");
-                let est_b = if wf.model.has_vertex_update() && cfg.flexible_noc {
-                    noc_model::ring_traffic(
-                        &rings_cfg,
-                        sg.num_vertices(),
-                        shape.f_in,
-                        cfg.link_utilisation,
-                    )
-                } else if wf.model.has_vertex_update() {
-                    // without ring reconfiguration the vertex-update vectors
-                    // take mesh routes: same volume, roughly same hops, but
-                    // the contention of a converging pattern — model as ring
-                    // traffic with halved link utilisation.
+                // Vertex-update traffic (the aggregation estimate goes
+                // through the route-table cache on the sequential path
+                // below). Without ring reconfiguration the vectors take
+                // mesh routes: same volume, roughly same hops, but the
+                // contention of a converging pattern — a 2× cycle
+                // multiplier on the ring estimate.
+                let est_b = if wf.model.has_vertex_update() {
+                    let contention = if cfg.flexible_noc { 1 } else { 2 };
                     let mut e = noc_model::ring_traffic(
                         &rings_cfg,
                         sg.num_vertices(),
                         shape.f_in,
                         cfg.link_utilisation,
                     );
-                    e.cycles *= 2;
+                    e.cycles *= contention;
                     e
                 } else {
                     OnChipEstimate::default()
@@ -543,10 +643,81 @@ impl AuroraSimulator {
                     w_sg,
                     t_a,
                     t_b,
-                    est_a,
                     est_b,
                 }
             })
+            .collect();
+
+        // Aggregation traffic through the cross-layer route-table/profile
+        // cache. Lookups, estimates of hits, and insertions all run on
+        // this sequential path — cache state and telemetry counters are
+        // identical at every AURORA_THREADS value; only the O(E) binning
+        // of missing tiles fans out over the pool.
+        let mut keys: Vec<ProfileKey> = Vec::with_capacity(pres.len());
+        let mut miss_tiles: Vec<usize> = Vec::new();
+        let mut est_a_of: Vec<Option<OnChipEstimate>> = Vec::with_capacity(pres.len());
+        let mut hits = 0u64;
+        for (ti, pre) in pres.iter().enumerate() {
+            let table_id = cache.table_id(&pre.noc_cfg, tel, &lscope);
+            let key = ProfileKey {
+                table_id,
+                start: pre.mapping.range.start,
+                end: pre.mapping.range.end,
+                c_pe,
+            };
+            keys.push(key);
+            // Hits are estimated *now*, before this layer's misses insert
+            // (and possibly evict) anything.
+            match cache.profile(&key) {
+                Some(p) => {
+                    hits += 1;
+                    est_a_of.push(Some(p.estimate(
+                        &pre.noc_cfg,
+                        msg_words,
+                        cfg.link_utilisation,
+                    )));
+                }
+                None => {
+                    miss_tiles.push(ti);
+                    est_a_of.push(None);
+                }
+            }
+        }
+        let binned: Vec<TrafficProfile> = {
+            let cache_ref: &TrafficCache = cache;
+            let miss_ref = &miss_tiles;
+            let pres_ref = &pres;
+            let keys_ref = &keys;
+            (0..miss_ref.len())
+                .into_par_iter()
+                .map(|i| {
+                    let ti = miss_ref[i];
+                    let sg = tiling.subgraph(g, ti);
+                    TrafficProfile::bin(
+                        cache_ref.table(keys_ref[ti].table_id),
+                        &pres_ref[ti].mapping,
+                        sg.edges(),
+                    )
+                    .expect("validated NoC config routes every tile message")
+                })
+                .collect()
+        };
+        cache.hits += hits;
+        cache.misses += miss_tiles.len() as u64;
+        tel.counter_add(names::NOC_TILE_PROFILE_HITS, &lscope, hits);
+        tel.counter_add(
+            names::NOC_TILE_PROFILE_MISSES,
+            &lscope,
+            miss_tiles.len() as u64,
+        );
+        for (&ti, profile) in miss_tiles.iter().zip(binned) {
+            est_a_of[ti] =
+                Some(profile.estimate(&pres[ti].noc_cfg, msg_words, cfg.link_utilisation));
+            cache.insert_profile(keys[ti], profile);
+        }
+        let est_as: Vec<OnChipEstimate> = est_a_of
+            .into_iter()
+            .map(|e| e.expect("every tile resolved as a hit or a binned miss"))
             .collect();
 
         // Stateful walk: memory controller, telemetry, and the instruction
@@ -556,7 +727,7 @@ impl AuroraSimulator {
             aurora_mapping::record_quality(tel, &lscope, &pre.mapping);
             let (rho_a, rho_b) = (pre.rho_a, pre.rho_b);
             let (t_a, t_b) = (pre.t_a, pre.t_b);
-            let (est_a, est_b) = (pre.est_a, pre.est_b);
+            let (est_a, est_b) = (est_as[ti], pre.est_b);
             let w_sg = &pre.w_sg;
             let c_sg = w_sg.op_counts();
             if trace {

@@ -1,11 +1,12 @@
-//! On-chip traffic estimation by route walking.
+//! On-chip traffic estimation via route-table kernels.
 //!
 //! The paper's simulator measures on-chip communication as "the total
 //! number of on-chip communication cycles", driven by "communication
 //! amount, hop count, and efficient on-chip bandwidth" (§VI-C). This
-//! module walks every message's route (using the *same* routing functions
-//! as the cycle-level `aurora-noc` engine), accumulates per-router load,
-//! and converts the profile to cycles as the max of
+//! module charges every message its route (derived from the *same*
+//! routing functions as the cycle-level `aurora-noc` engine, precomputed
+//! into a [`RouteTable`]), accumulates per-router load, and converts the
+//! profile to cycles as the max of
 //!
 //! * the **bandwidth bound** — total flit-hops over usable link capacity,
 //! * the **hotspot bound** — the busiest router's forwarded flits
@@ -13,10 +14,20 @@
 //!
 //! plus the pipeline fill (average hop count + message serialisation).
 //! The estimate is validated against the cycle-level engine in the tests.
+//!
+//! Routes are pure functions of `(NocConfig, src, dst)` and a `k × k`
+//! fabric has only k⁴ PE pairs, so [`aggregation_traffic`] runs as a
+//! **two-pass kernel** — an O(E) counting pass binning edges into a flat
+//! k⁴ `(src_pe, dst_pe)` histogram, then one application of each distinct
+//! pair's precomputed [`RouteSummary`] scaled by its multiplicity —
+//! instead of the seed's O(E·hops) per-edge walk. The per-edge walker
+//! survives as a `#[cfg(test)]` oracle proven bit-identical (including
+//! the `NocError` cases) by the `kernel_matches_legacy_oracle` property
+//! test below.
 
 use aurora_mapping::VertexMapping;
-use aurora_noc::routing::{compute_route, next_node};
-use aurora_noc::{NocConfig, NocError, Port, TopologyMode};
+use aurora_noc::routing::{RouteSummary, RouteTable};
+use aurora_noc::{NocConfig, NocError, TopologyMode};
 use aurora_telemetry::{Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +121,142 @@ fn link_count(cfg: &NocConfig) -> u64 {
     mesh + bypass + wrap
 }
 
+/// Per-tile aggregation traffic at **unit flit scale**: the outcome of
+/// the O(E) counting pass, independent of the message size.
+///
+/// Every stored quantity is linear in `flits_per_msg` (per-router
+/// forwarded flits, total flit-hops, bypass flit-hops all scale by it;
+/// message and hop counts don't depend on it at all), so one profile
+/// serves **every layer** of a run over the same tile and NoC config:
+/// [`TrafficProfile::estimate`] rescales and applies the only non-linear
+/// step — the eject-port `div_ceil` — *after* scaling, which is exactly
+/// what charging the full-size messages directly would compute. The
+/// engine caches these across layers (`noc.tile_profile.{hits,misses}`).
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    /// Mesh radix the profile was binned for (sanity-checked on use).
+    k: usize,
+    /// Per-router forwarded messages (1 flit/message scale).
+    load: Vec<u64>,
+    /// Per-router ejected messages.
+    eject: Vec<u64>,
+    /// Messages routed (edges sourced in the tile).
+    messages: u64,
+    /// Total router-to-router hops across all messages.
+    total_hops: u64,
+    /// Hops that rode bypass segments.
+    bypass_hops: u64,
+}
+
+impl TrafficProfile {
+    /// O(E) counting pass + one O(k⁴) application of the route table: for
+    /// each edge `(u, v)` sourced in the tile a message flows from `PE(u)`
+    /// towards `PE(v)` (in-tile destination) or down to the memory port at
+    /// the top of its column (out-of-tile destination — the partial
+    /// aggregate leaves via the crossbar). Edges bin into a flat k⁴
+    /// `(src_pe, dst_pe)` histogram; each *distinct* pair's precomputed
+    /// summary is then applied once, scaled by its multiplicity.
+    ///
+    /// Unroutable pairs surface as the same [`NocError`] (first erroring
+    /// edge in iteration order) the per-edge walk would produce.
+    pub fn bin(
+        table: &RouteTable,
+        mapping: &VertexMapping,
+        edges: impl Iterator<Item = (u32, u32)>,
+    ) -> Result<TrafficProfile, NocError> {
+        let k = table.config().k;
+        let n = k * k;
+        let mut hist = vec![0u64; n * n];
+        let mut messages = 0u64;
+        for (u, v) in edges {
+            if !mapping.range.contains(&u) {
+                continue; // not sourced here
+            }
+            let src = mapping.pe_of(u);
+            let dst = if mapping.range.contains(&v) {
+                mapping.pe_of(v)
+            } else {
+                // exits via the memory crossbar at the top of src's column
+                src % k
+            };
+            table.summary(src, dst)?;
+            hist[src * n + dst] += 1;
+            messages += 1;
+        }
+
+        let mut load = vec![0u64; n];
+        let mut eject = vec![0u64; n];
+        let mut total_hops = 0u64;
+        let mut bypass_hops = 0u64;
+        for src in 0..n {
+            for dst in 0..n {
+                let count = hist[src * n + dst];
+                if count == 0 {
+                    continue;
+                }
+                let s: RouteSummary = table
+                    .summary(src, dst)
+                    .expect("pair certified during the counting pass");
+                total_hops += count * s.hops as u64;
+                bypass_hops += count * s.bypass_hops as u64;
+                for node in table.load_nodes(src, dst) {
+                    load[node] += count;
+                }
+                eject[dst] += count;
+            }
+        }
+        Ok(TrafficProfile {
+            k,
+            load,
+            eject,
+            messages,
+            total_hops,
+            bypass_hops,
+        })
+    }
+
+    /// Messages the profile carries.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Converts the unit-flit profile to an estimate for `msg_words`-word
+    /// messages. Exact: every profiled quantity is linear in
+    /// `flits_per_msg`, and the eject-port `div_ceil` is applied after
+    /// scaling — precisely the value the per-edge accounting produces.
+    pub fn estimate(
+        &self,
+        cfg: &NocConfig,
+        msg_words: usize,
+        link_utilisation: f64,
+    ) -> OnChipEstimate {
+        assert_eq!(cfg.k, self.k, "profile binned for a different radix");
+        if self.messages == 0 {
+            return OnChipEstimate::default();
+        }
+        let f = cfg.flits_per_message(msg_words);
+        let mut load: Vec<u64> = self.load.iter().map(|l| l * f).collect();
+        // Ejection drains through the local port, plus the bypass mux when
+        // the router has a configured attachment — the "additional
+        // injection/ejection bandwidth" the flexible NoC provides to S_PEs.
+        for (node, e) in self.eject.iter().enumerate() {
+            let width =
+                1 + (cfg.h_bypass_peer(node).is_some() || cfg.v_bypass_peer(node).is_some()) as u64;
+            load[node] += (e * f).div_ceil(width.max(1));
+        }
+        finalize(
+            cfg,
+            load,
+            self.total_hops * f,
+            self.bypass_hops * f,
+            self.messages,
+            self.total_hops,
+            f,
+            link_utilisation,
+        )
+    }
+}
+
 /// Estimates the aggregation-phase traffic of one tile: for each edge
 /// `(u, v)` sourced in the tile, a `msg_words`-word message flows from
 /// `PE(u)` towards `PE(v)` (in-tile destination) or down to the memory
@@ -118,9 +265,13 @@ fn link_count(cfg: &NocConfig) -> u64 {
 /// `link_utilisation` is the achievable fraction of raw link bandwidth
 /// (see [`DEFAULT_LINK_UTILISATION`]).
 ///
-/// Route walking uses the same fallible routing functions as the
-/// cycle-level engine: a mis-segmented bypass config surfaces as a
-/// [`NocError`] instead of a panic deep inside the estimator.
+/// One-shot convenience over the kernel pipeline: builds the
+/// [`RouteTable`], bins a [`TrafficProfile`], and scales it. The routing
+/// functions behind the table are the engine's fallible ones, so a
+/// mis-segmented bypass config surfaces as a [`NocError`] instead of a
+/// panic deep inside the estimator. Callers estimating many tiles or
+/// layers against one config should hold the table (and profiles)
+/// themselves, as `engine.rs` does.
 pub fn aggregation_traffic(
     cfg: &NocConfig,
     mapping: &VertexMapping,
@@ -128,65 +279,9 @@ pub fn aggregation_traffic(
     msg_words: usize,
     link_utilisation: f64,
 ) -> Result<OnChipEstimate, NocError> {
-    let k = cfg.k;
-    let flits_per_msg = msg_words.div_ceil(cfg.words_per_flit).max(1) as u64;
-    let mut load = vec![0u64; k * k];
-    let mut eject = vec![0u64; k * k];
-    let mut flit_hops = 0u64;
-    let mut bypass_hops = 0u64;
-    let mut messages = 0u64;
-    let mut total_hops = 0u64;
-
-    for (u, v) in edges {
-        if !mapping.range.contains(&u) {
-            continue; // not sourced here
-        }
-        let src = mapping.pe_of(u);
-        let dst = if mapping.range.contains(&v) {
-            mapping.pe_of(v)
-        } else {
-            // exits via the memory crossbar at the top of src's column
-            src % k
-        };
-        messages += 1;
-        let mut cur = src;
-        let mut guard = 0;
-        while cur != dst {
-            let port = compute_route(cfg, cur, dst)?;
-            load[cur] += flits_per_msg;
-            flit_hops += flits_per_msg;
-            total_hops += 1;
-            if matches!(port, Port::BypassH | Port::BypassV) {
-                bypass_hops += flits_per_msg;
-            }
-            cur = next_node(cfg, cur, port)?.ok_or(NocError::RoutingLivelock { src, dst })?;
-            guard += 1;
-            if guard > 4 * k * k {
-                return Err(NocError::RoutingLivelock { src, dst });
-            }
-        }
-        eject[cur] += flits_per_msg;
-    }
-
-    // Ejection drains through the local port, plus the bypass mux when the
-    // router has a configured attachment — the "additional injection/
-    // ejection bandwidth" the flexible NoC provides to S_PEs.
-    for (node, e) in eject.iter().enumerate() {
-        let width =
-            1 + (cfg.h_bypass_peer(node).is_some() || cfg.v_bypass_peer(node).is_some()) as u64;
-        load[node] += e.div_ceil(width.max(1));
-    }
-
-    Ok(finalize(
-        cfg,
-        load,
-        flit_hops,
-        bypass_hops,
-        messages,
-        total_hops,
-        flits_per_msg,
-        link_utilisation,
-    ))
+    let table = RouteTable::build(cfg)?;
+    let profile = TrafficProfile::bin(&table, mapping, edges)?;
+    Ok(profile.estimate(cfg, msg_words, link_utilisation))
 }
 
 /// Estimates the weight-stationary vertex-update traffic: each of the
@@ -259,10 +354,176 @@ mod tests {
     use super::*;
     use aurora_graph::generate;
     use aurora_mapping::{degree_aware, hashing};
-    use aurora_noc::Network;
+    use aurora_noc::{BypassSegment, Network};
+    use proptest::prelude::*;
 
     fn mesh_cfg(k: usize) -> NocConfig {
         NocConfig::mesh(k)
+    }
+
+    /// The seed's per-edge route walker — the oracle the two-pass kernel
+    /// must match bit-for-bit, including which [`NocError`] is returned.
+    fn legacy_aggregation_traffic(
+        cfg: &NocConfig,
+        mapping: &VertexMapping,
+        edges: impl Iterator<Item = (u32, u32)>,
+        msg_words: usize,
+        link_utilisation: f64,
+    ) -> Result<OnChipEstimate, NocError> {
+        use aurora_noc::routing::{compute_route, next_node};
+        use aurora_noc::Port;
+        let k = cfg.k;
+        let flits_per_msg = msg_words.div_ceil(cfg.words_per_flit).max(1) as u64;
+        let mut load = vec![0u64; k * k];
+        let mut eject = vec![0u64; k * k];
+        let mut flit_hops = 0u64;
+        let mut bypass_hops = 0u64;
+        let mut messages = 0u64;
+        let mut total_hops = 0u64;
+
+        for (u, v) in edges {
+            if !mapping.range.contains(&u) {
+                continue;
+            }
+            let src = mapping.pe_of(u);
+            let dst = if mapping.range.contains(&v) {
+                mapping.pe_of(v)
+            } else {
+                src % k
+            };
+            messages += 1;
+            let mut cur = src;
+            let mut guard = 0;
+            while cur != dst {
+                let port = compute_route(cfg, cur, dst)?;
+                load[cur] += flits_per_msg;
+                flit_hops += flits_per_msg;
+                total_hops += 1;
+                if matches!(port, Port::BypassH | Port::BypassV) {
+                    bypass_hops += flits_per_msg;
+                }
+                cur = next_node(cfg, cur, port)?.ok_or(NocError::RoutingLivelock { src, dst })?;
+                guard += 1;
+                if guard > 4 * k * k {
+                    return Err(NocError::RoutingLivelock { src, dst });
+                }
+            }
+            eject[cur] += flits_per_msg;
+        }
+
+        for (node, e) in eject.iter().enumerate() {
+            let width =
+                1 + (cfg.h_bypass_peer(node).is_some() || cfg.v_bypass_peer(node).is_some()) as u64;
+            load[node] += e.div_ceil(width.max(1));
+        }
+
+        Ok(finalize(
+            cfg,
+            load,
+            flit_hops,
+            bypass_hops,
+            messages,
+            total_hops,
+            flits_per_msg,
+            link_utilisation,
+        ))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn kernel_matches_legacy_oracle(
+            k in 2usize..9,
+            mode in 0u8..3,
+            degree_mapped in proptest::bool::ANY,
+            raw in proptest::collection::vec((0u32..64, 0u32..64), 0..300),
+            msg_words in 0usize..40,
+            seg in (0usize..8, 0usize..8, 0usize..8, 0usize..8),
+        ) {
+            let cfg = match mode {
+                0 => NocConfig::mesh(k),
+                1 => NocConfig::rings(k), // cross-row pairs exercise NocError equivalence
+                _ => NocConfig::with_bypass(
+                    k,
+                    // from = 0 < to ∈ 1..k keeps every sampled segment valid
+                    vec![BypassSegment { index: seg.0 % k, from: 0, to: 1 + seg.1 % (k - 1) }],
+                    vec![BypassSegment { index: seg.2 % k, from: 0, to: 1 + seg.3 % (k - 1) }],
+                ),
+            };
+            cfg.validate().unwrap();
+
+            // Vertices 8..40 are mapped; ids outside exercise the
+            // skip-unsourced and fold-to-memory-port paths.
+            let range = 8u32..40u32;
+            let mut degrees = vec![0u32; 32];
+            for (u, _) in &raw {
+                if range.contains(u) {
+                    degrees[(u - range.start) as usize] += 1;
+                }
+            }
+            let mapping = if degree_mapped {
+                degree_aware::map(range.clone(), &degrees, k, 16)
+            } else {
+                hashing::map(range, &degrees, k, 16)
+            };
+
+            let kernel = aggregation_traffic(
+                &cfg,
+                &mapping,
+                raw.iter().copied(),
+                msg_words,
+                DEFAULT_LINK_UTILISATION,
+            );
+            let oracle = legacy_aggregation_traffic(
+                &cfg,
+                &mapping,
+                raw.iter().copied(),
+                msg_words,
+                DEFAULT_LINK_UTILISATION,
+            );
+            prop_assert_eq!(kernel, oracle);
+        }
+    }
+
+    /// The cached unit-flit profile rescaled to any message size must give
+    /// exactly what walking the full-size messages gives — the eject-port
+    /// `div_ceil` is the only non-linear step and it is applied after
+    /// scaling.
+    #[test]
+    fn profile_rescales_exactly_across_message_sizes() {
+        let g = generate::rmat(64, 700, Default::default(), 3);
+        let d = degree_aware::map(0..64, &g.degrees(), 4, 8);
+        for cfg in [
+            NocConfig::mesh(4),
+            NocConfig::with_bypass(
+                4,
+                vec![BypassSegment {
+                    index: 1,
+                    from: 0,
+                    to: 3,
+                }],
+                vec![BypassSegment {
+                    index: 2,
+                    from: 0,
+                    to: 3,
+                }],
+            ),
+        ] {
+            let table = RouteTable::build(&cfg).unwrap();
+            let profile = TrafficProfile::bin(&table, &d, g.edges()).unwrap();
+            for words in [1, 3, 16, 17, 64] {
+                let scaled = profile.estimate(&cfg, words, DEFAULT_LINK_UTILISATION);
+                let direct = legacy_aggregation_traffic(
+                    &cfg,
+                    &d,
+                    g.edges(),
+                    words,
+                    DEFAULT_LINK_UTILISATION,
+                )
+                .unwrap();
+                assert_eq!(scaled, direct, "{cfg:?} at {words} words");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::topology::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// How the reconfigurable fabric is currently wired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TopologyMode {
     /// Plain 2-D mesh (baseline wiring; bypass switches all open).
     Mesh,
@@ -19,7 +19,7 @@ pub enum TopologyMode {
 /// One configured express segment of a row/column bypass link, attaching
 /// the routers at positions `from` and `to` (`from < to`) of row/column
 /// `index`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BypassSegment {
     /// Row index (for horizontal segments) or column index (vertical).
     pub index: usize,
@@ -32,7 +32,11 @@ pub struct BypassSegment {
 }
 
 /// Full NoC configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Eq`/`Hash` make a configuration usable as a cache key (the route
+/// tables of `aurora_noc::routing::RouteTable` are pure functions of the
+/// configuration, so the engine memoizes them per distinct config).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NocConfig {
     /// Mesh radix: the network is `k × k`.
     pub k: usize,
@@ -183,6 +187,12 @@ impl NocConfig {
                 None
             }
         })
+    }
+
+    /// Flits needed to carry a `msg_words`-word message (at least one —
+    /// a zero-word message still occupies a header flit).
+    pub fn flits_per_message(&self, msg_words: usize) -> u64 {
+        msg_words.div_ceil(self.words_per_flit).max(1) as u64
     }
 
     /// Number of reconfigurable switch settings changed when reprogramming

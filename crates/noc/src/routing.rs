@@ -88,20 +88,293 @@ pub fn next_vc(cfg: &NocConfig, cur: NodeId, out: Port, in_vc: usize) -> usize {
 /// Number of router-to-router hops the route from `src` to `dst` takes
 /// under `cfg` (follows `compute_route` exactly). Fails with the
 /// underlying routing error, or [`NocError::RoutingLivelock`] if the
-/// walk exceeds the hop bound without reaching `dst`.
+/// route cannot reach `dst`.
+///
+/// Convenience for one-off queries: it builds a [`RouteTable`] for `cfg`
+/// and reads the answer out of it. Callers with many queries against one
+/// configuration should hold a [`RouteTable`] themselves.
 pub fn hop_count(cfg: &NocConfig, src: NodeId, dst: NodeId) -> Result<usize, NocError> {
-    let mut cur = src;
-    let mut hops = 0;
-    while cur != dst {
-        let port = compute_route(cfg, cur, dst)?;
-        cur = next_node(cfg, cur, port)?.ok_or(NocError::RoutingLivelock { src, dst })?;
-        hops += 1;
-        if hops > 4 * cfg.k * cfg.k {
-            return Err(NocError::RoutingLivelock { src, dst });
+    RouteTable::build(cfg)?.hops(src, dst)
+}
+
+/// Precomputed summary of one `(src, dst)` route: everything a traffic
+/// estimator needs except the per-node identities (walk those with
+/// [`RouteTable::load_nodes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteSummary {
+    /// Router-to-router hops (0 when `src == dst`).
+    pub hops: u32,
+    /// How many of those hops ride a bypass segment.
+    pub bypass_hops: u32,
+}
+
+/// Per-node resolution state used while building the table (per
+/// destination): hop/bypass counts for resolved nodes, or a marker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RouteState {
+    Unknown,
+    Done {
+        hops: u32,
+        bypass: u32,
+    },
+    /// The route fails (routing error, no progress, or a cycle). The
+    /// *which* error is not stored — [`RouteTable::summary`] re-derives it
+    /// by replaying the hop-by-hop walk, which reproduces it exactly.
+    Failed,
+}
+
+/// `ports` sentinel for "`compute_route` errors at this pair".
+const PORT_ERR: u8 = u8::MAX;
+
+/// `hops` sentinel for "this pair is unroutable".
+const HOPS_ERR: u32 = u32::MAX;
+
+/// Precomputed routes of one [`NocConfig`]: a dense next-hop LUT plus a
+/// per-pair [`RouteSummary`], one entry per `(src, dst)` PE pair — k⁴
+/// entries for a `k × k` fabric.
+///
+/// Routes are pure functions of the configuration, so the table is built
+/// **once** per config via the same fallible routing functions the
+/// cycle-level engine uses ([`compute_route`] / [`next_node`]): a
+/// mis-segmented bypass config fails [`RouteTable::build`] up front, and
+/// per-pair route errors (e.g. a cross-row ring request) are returned
+/// exactly as the hop-by-hop walk would produce them. Traffic estimators
+/// then charge each *distinct* pair once, scaled by its message
+/// multiplicity, instead of re-walking every edge — the O(E·hops) →
+/// O(E + k⁴) rewrite of `aggregation_traffic`.
+///
+/// Storage is deliberately compact (9 bytes/pair — ~9 MB at the paper's
+/// k = 32, where the engine may cache several tables): ports are
+/// byte-encoded and failing pairs hold a sentinel whose exact [`NocError`]
+/// is re-derived on demand by replaying the walk. The per-node
+/// load-contribution list of a route is likewise not materialized (that
+/// would be O(k⁵) memory); [`Self::load_nodes`] replays it as a cheap LUT
+/// chase instead.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    cfg: NocConfig,
+    n: usize,
+    /// `ports[cur * n + dst]`: index into [`Port::ALL`] of the output port
+    /// at `cur` towards `dst`, or [`PORT_ERR`].
+    ports: Vec<u8>,
+    /// `hops[src * n + dst]`, or [`HOPS_ERR`] for unroutable pairs.
+    hops: Vec<u32>,
+    /// `bypass[src * n + dst]`: how many of the hops ride bypass segments.
+    bypass: Vec<u32>,
+}
+
+impl RouteTable {
+    /// Builds the table for `cfg`. Configuration-level problems surface
+    /// here as the [`NocConfig::validate`] error; per-pair routing errors
+    /// are recorded per pair and returned by the accessors.
+    pub fn build(cfg: &NocConfig) -> Result<RouteTable, NocError> {
+        cfg.validate()?;
+        let n = cfg.k * cfg.k;
+        let mut ports = Vec::with_capacity(n * n);
+        for cur in 0..n {
+            for dst in 0..n {
+                ports.push(match compute_route(cfg, cur, dst) {
+                    Ok(p) => encode_port(p),
+                    Err(_) => PORT_ERR,
+                });
+            }
+        }
+
+        // Resolve every pair's summary by chasing the LUT with memoized
+        // back-fill: each node is walked at most once per destination, so
+        // the whole table costs O(k⁴), not O(k⁴ · hops).
+        let mut hops = vec![HOPS_ERR; n * n];
+        let mut bypass = vec![0u32; n * n];
+        let mut state = vec![RouteState::Unknown; n];
+        let mut stack: Vec<(NodeId, bool)> = Vec::with_capacity(n);
+        let mut on_stack = vec![false; n];
+        for dst in 0..n {
+            state.iter_mut().for_each(|s| *s = RouteState::Unknown);
+            state[dst] = RouteState::Done { hops: 0, bypass: 0 };
+            for src in 0..n {
+                if state[src] == RouteState::Unknown {
+                    stack.clear();
+                    let mut cur = src;
+                    let terminal = loop {
+                        if state[cur] != RouteState::Unknown {
+                            break state[cur];
+                        }
+                        if on_stack[cur] {
+                            break RouteState::Failed; // cycle in the next-hop graph
+                        }
+                        let step = match decode_port(ports[cur * n + dst]) {
+                            None => None, // compute_route error
+                            Some(port) => match next_node(cfg, cur, port) {
+                                // An `Err` or mid-route `Ok(None)` (no
+                                // progress) both fail the walk.
+                                Err(_) | Ok(None) => None,
+                                Ok(Some(next)) => {
+                                    Some((next, matches!(port, Port::BypassH | Port::BypassV)))
+                                }
+                            },
+                        };
+                        match step {
+                            Some((next, byp)) => {
+                                on_stack[cur] = true;
+                                stack.push((cur, byp));
+                                cur = next;
+                            }
+                            None => {
+                                // Record the failure at the node that hit it,
+                                // so later sources routing through it (and
+                                // `cur == src` itself) resolve immediately.
+                                state[cur] = RouteState::Failed;
+                                break RouteState::Failed;
+                            }
+                        }
+                    };
+                    // Back-fill the walked prefix from the terminal state.
+                    let mut acc = terminal;
+                    for &(node, byp) in stack.iter().rev() {
+                        on_stack[node] = false;
+                        if let RouteState::Done { hops, bypass } = acc {
+                            acc = RouteState::Done {
+                                hops: hops + 1,
+                                bypass: bypass + byp as u32,
+                            };
+                        }
+                        state[node] = acc;
+                    }
+                }
+                if let RouteState::Done { hops: h, bypass: b } = state[src] {
+                    hops[src * n + dst] = h;
+                    bypass[src * n + dst] = b;
+                }
+            }
+        }
+        Ok(RouteTable {
+            cfg: cfg.clone(),
+            n,
+            ports,
+            hops,
+            bypass,
+        })
+    }
+
+    /// Replays the hop-by-hop walk of a pair the build marked unroutable,
+    /// reproducing the exact [`NocError`] the walk yields — including the
+    /// livelock guard.
+    fn derive_error(&self, src: NodeId, dst: NodeId) -> NocError {
+        let cfg = &self.cfg;
+        let mut cur = src;
+        let mut guard = 0;
+        while cur != dst {
+            let port = match compute_route(cfg, cur, dst) {
+                Ok(p) => p,
+                Err(e) => return e,
+            };
+            cur = match next_node(cfg, cur, port) {
+                Ok(Some(next)) => next,
+                Ok(None) => return NocError::RoutingLivelock { src, dst },
+                Err(e) => return e,
+            };
+            guard += 1;
+            if guard > 4 * cfg.k * cfg.k {
+                return NocError::RoutingLivelock { src, dst };
+            }
+        }
+        unreachable!("pair certified unroutable by the build")
+    }
+
+    /// The configuration this table was built for.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Number of `(src, dst)` pairs held (k⁴).
+    pub fn num_pairs(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The output port at `cur` towards `dst` (LUT lookup).
+    pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> Result<Port, NocError> {
+        match decode_port(self.ports[cur * self.n + dst]) {
+            Some(p) => Ok(p),
+            None => Err(compute_route(&self.cfg, cur, dst)
+                .expect_err("build marked this pair's route computation failing")),
         }
     }
-    Ok(hops)
+
+    /// The precomputed summary of the `src → dst` route.
+    pub fn summary(&self, src: NodeId, dst: NodeId) -> Result<RouteSummary, NocError> {
+        let i = src * self.n + dst;
+        if self.hops[i] == HOPS_ERR {
+            Err(self.derive_error(src, dst))
+        } else {
+            Ok(RouteSummary {
+                hops: self.hops[i],
+                bypass_hops: self.bypass[i],
+            })
+        }
+    }
+
+    /// Hop count of the `src → dst` route (table-backed [`hop_count`]).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Result<usize, NocError> {
+        self.summary(src, dst).map(|s| s.hops as usize)
+    }
+
+    /// The nodes that *forward* a `src → dst` message — `src` and every
+    /// intermediate router, excluding `dst` (which ejects) — in route
+    /// order. Exactly the nodes whose load a hop-by-hop walk increments.
+    /// Empty for unroutable pairs.
+    pub fn load_nodes(&self, src: NodeId, dst: NodeId) -> LoadNodes<'_> {
+        let h = self.hops[src * self.n + dst];
+        LoadNodes {
+            table: self,
+            cur: src,
+            dst,
+            remaining: if h == HOPS_ERR { 0 } else { h },
+        }
+    }
 }
+
+fn encode_port(p: Port) -> u8 {
+    Port::ALL.iter().position(|q| *q == p).expect("port in ALL") as u8
+}
+
+fn decode_port(code: u8) -> Option<Port> {
+    Port::ALL.get(code as usize).copied()
+}
+
+/// Iterator over the forwarding nodes of one route (see
+/// [`RouteTable::load_nodes`]).
+#[derive(Debug)]
+pub struct LoadNodes<'a> {
+    table: &'a RouteTable,
+    cur: NodeId,
+    dst: NodeId,
+    remaining: u32,
+}
+
+impl Iterator for LoadNodes<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let node = self.cur;
+        // The summary certified this route, so the chase cannot fail.
+        let port = decode_port(self.table.ports[node * self.table.n + self.dst])
+            .expect("certified route has a next hop");
+        self.cur = next_node(&self.table.cfg, node, port)
+            .expect("certified route stays on the fabric")
+            .expect("certified route makes progress");
+        Some(node)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for LoadNodes<'_> {}
 
 /// The node reached by leaving `cur` through `port` (`Ok(None)` for
 /// Local). A port that steps off the fabric — the mesh edge in a
@@ -269,6 +542,98 @@ mod tests {
             next_node(&cfg, 0, Port::BypassH),
             Err(crate::NocError::MissingBypassAttachment { cur: 0, .. })
         ));
+    }
+
+    /// Walks the route hop-by-hop exactly like the pre-table `hop_count`
+    /// did — the oracle for the table-backed implementation.
+    fn walked_hop_count(cfg: &NocConfig, src: NodeId, dst: NodeId) -> Result<usize, NocError> {
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let port = compute_route(cfg, cur, dst)?;
+            cur = next_node(cfg, cur, port)?.ok_or(NocError::RoutingLivelock { src, dst })?;
+            hops += 1;
+            if hops > 4 * cfg.k * cfg.k {
+                return Err(NocError::RoutingLivelock { src, dst });
+            }
+        }
+        Ok(hops)
+    }
+
+    #[test]
+    fn ring_hop_counts_are_directed_distances() {
+        // Regression: table-backed hop_count on rings must keep the
+        // directed +x distance (b − a mod k) within a row and the
+        // cross-row error outside it.
+        let k = 4;
+        let cfg = NocConfig::rings(k);
+        for row in 0..k {
+            for a in 0..k {
+                for b in 0..k {
+                    let src = row * k + a;
+                    let dst = row * k + b;
+                    assert_eq!(hop_count(&cfg, src, dst), Ok((b + k - a) % k));
+                }
+            }
+        }
+        assert_eq!(
+            hop_count(&cfg, 0, 5),
+            Err(NocError::CrossRowRingRoute { cur: 0, dst: 5 })
+        );
+    }
+
+    #[test]
+    fn route_table_matches_walked_routes() {
+        for cfg in [
+            NocConfig::mesh(4),
+            NocConfig::rings(4),
+            NocConfig::with_bypass(
+                8,
+                vec![BypassSegment {
+                    index: 0,
+                    from: 0,
+                    to: 7,
+                }],
+                vec![BypassSegment {
+                    index: 5,
+                    from: 1,
+                    to: 6,
+                }],
+            ),
+        ] {
+            let table = RouteTable::build(&cfg).unwrap();
+            let n = cfg.k * cfg.k;
+            assert_eq!(table.num_pairs(), n * n);
+            for src in 0..n {
+                for dst in 0..n {
+                    assert_eq!(
+                        table.hops(src, dst),
+                        walked_hop_count(&cfg, src, dst),
+                        "{cfg:?} {src}->{dst}"
+                    );
+                    if let Ok(s) = table.summary(src, dst) {
+                        let nodes: Vec<_> = table.load_nodes(src, dst).collect();
+                        assert_eq!(nodes.len(), s.hops as usize);
+                        if s.hops > 0 {
+                            assert_eq!(nodes[0], src);
+                            assert!(!nodes.contains(&dst), "dst ejects, never forwards");
+                        }
+                    } else {
+                        assert_eq!(table.load_nodes(src, dst).count(), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_rejects_invalid_config() {
+        let mut cfg = NocConfig::mesh(4);
+        cfg.vcs = 0;
+        assert_eq!(
+            RouteTable::build(&cfg).unwrap_err(),
+            NocError::NoVirtualChannels
+        );
     }
 
     proptest! {

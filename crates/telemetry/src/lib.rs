@@ -20,6 +20,7 @@
 //! registry-plus-trace implementation used by the simulator binaries.
 
 pub mod metrics;
+pub mod names;
 pub mod scope;
 pub mod trace;
 

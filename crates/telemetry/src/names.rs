@@ -1,0 +1,21 @@
+//! Canonical names of cross-crate metrics.
+//!
+//! Most probes name their metric at the call site; the constants here are
+//! for metrics that are *written* by one crate and *asserted on* by
+//! another (engine ↔ tests), where a typo'd string would silently record
+//! into a fresh metric instead of failing to compile.
+
+/// Route tables constructed (one per distinct `NocConfig` the engine's
+/// traffic cache sees; a cached run builds each config's table once).
+pub const NOC_ROUTE_TABLE_BUILDS: &str = "noc.route_table.builds";
+
+/// Total `(src, dst)` pairs precomputed across all route-table builds
+/// (k⁴ per build).
+pub const NOC_ROUTE_TABLE_PAIRS: &str = "noc.route_table.pairs";
+
+/// Tile traffic-profile cache hits: a later layer reused a tile's binned
+/// unit-flit profile instead of re-binning its edges.
+pub const NOC_TILE_PROFILE_HITS: &str = "noc.tile_profile.hits";
+
+/// Tile traffic-profile cache misses: the O(E) counting pass ran.
+pub const NOC_TILE_PROFILE_MISSES: &str = "noc.tile_profile.misses";

@@ -25,6 +25,12 @@ echo "==> perf_regress --check (vs BENCH_seed.json)"
 cargo run --release -q -p aurora-bench --bin perf_regress -- \
   --check --baseline BENCH_seed.json --name check
 
+echo "==> noc_kernel_bench --quick (informational: traffic-kernel speedup)"
+# Wall-clock comparison of the route-table kernel vs the seed's per-edge
+# walker. Informational only — host timing never gates — but the binary
+# asserts the two estimators produce bit-identical results.
+cargo run --release -q -p aurora-bench --bin noc_kernel_bench -- --quick
+
 echo "==> thread-count determinism (AURORA_THREADS=1 vs 2)"
 AURORA_THREADS=1 cargo run --release -q -p aurora-bench --bin perf_regress -- \
   --name check-seq

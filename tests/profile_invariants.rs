@@ -7,7 +7,7 @@
 //! engine actually took.
 
 use aurora_core::profile::CriticalStage;
-use aurora_core::{AcceleratorConfig, AuroraSimulator, Bound, SimReport};
+use aurora_core::{metric_names, AcceleratorConfig, AuroraSimulator, Bound, SimReport, Telemetry};
 use aurora_graph::generate;
 use aurora_model::{LayerShape, ModelId};
 
@@ -125,6 +125,72 @@ fn mixes_roll_up_into_layer_and_run_totals() {
         let frac_sum: f64 = p.fractions().iter().map(|(_, f)| f).sum();
         assert!((frac_sum - 1.0).abs() < EPS);
     }
+}
+
+#[test]
+fn traffic_cache_counters_reconcile_with_telemetry() {
+    let g = generate::rmat(1_024, 8_000, Default::default(), 5);
+    // Two layers with the same input width: identical tilings, vertex
+    // mappings and per-tile NoC configs, so every layer-1 tile must hit
+    // the unit-flit profile cache that layer 0 populated.
+    let shapes = [LayerShape::new(32, 32), LayerShape::new(32, 16)];
+    let r = AuroraSimulator::new(AcceleratorConfig::small(8))
+        .with_telemetry(Telemetry::enabled())
+        .simulate(&g, ModelId::Gcn, &shapes, "rmat-1k");
+    let p = &r.profile;
+
+    assert_eq!(p.layers.len(), 2);
+    assert_eq!(p.layers[0].tiles, p.layers[1].tiles);
+    let tiles = p.layers[0].tiles as u64;
+    assert!(tiles > 0);
+
+    // Layer 0 bins every tile; layer 1 rescales every cached profile.
+    assert_eq!(p.tile_profile_misses, tiles);
+    assert_eq!(p.tile_profile_hits, tiles);
+    // Tables are keyed by distinct NocConfig: at least one build, never
+    // more than the number of binned tiles.
+    assert!(p.route_table_builds >= 1);
+    assert!(p.route_table_builds <= p.tile_profile_misses);
+
+    // The telemetry counters and the report fields are two views of the
+    // same cache state.
+    let m = &r.metrics;
+    assert_eq!(
+        m.counter_total(metric_names::NOC_ROUTE_TABLE_BUILDS),
+        p.route_table_builds
+    );
+    assert_eq!(
+        m.counter_total(metric_names::NOC_TILE_PROFILE_HITS),
+        p.tile_profile_hits
+    );
+    assert_eq!(
+        m.counter_total(metric_names::NOC_TILE_PROFILE_MISSES),
+        p.tile_profile_misses
+    );
+    // Each k=8 build precomputes all (k²)² = 4096 source/dest pairs.
+    assert_eq!(
+        m.counter_total(metric_names::NOC_ROUTE_TABLE_PAIRS),
+        p.route_table_builds * 4096
+    );
+
+    // Caching is transparent: a cold single-layer run of the same first
+    // layer reports identical cycles, and both cached layers see the
+    // same traffic (same tiles, same message width).
+    let cold = AuroraSimulator::new(AcceleratorConfig::small(8)).simulate(
+        &g,
+        ModelId::Gcn,
+        &shapes[..1],
+        "rmat-1k",
+    );
+    assert_eq!(cold.layers[0].total_cycles, r.layers[0].total_cycles);
+    assert_eq!(cold.profile.tile_profile_hits, 0);
+    assert_eq!(cold.profile.tile_profile_misses, tiles);
+    assert_eq!(r.layers[0].noc, r.layers[1].noc);
+
+    // A run without telemetry still fills the report fields.
+    let quiet = run(ModelId::Gcn);
+    assert!(quiet.profile.route_table_builds >= 1);
+    assert!(quiet.metrics.is_empty());
 }
 
 #[test]
