@@ -6,9 +6,16 @@
 //!                     ggcn|edgeconv1|edgeconv5]
 //!            [--hidden N] [--k N] [--hashing] [--no-flex-noc]
 //!            [--no-partition] [--baseline hygcn|awb|gcnax|regnn|flowgnn]
+//!            [--request FILE] [--threads N]
 //!            [--json] [--trace out.json] [--metrics out.json]
 //!            [--profile out.json]
 //! ```
+//!
+//! `--request FILE` bypasses the dataset/model flags entirely: the file
+//! holds one `SimRequest` JSON document (or an array of them) in the
+//! daemon's wire schema, and each request runs through the canonical
+//! `AuroraSimulator::run` entry — the same file can be replayed against
+//! a live `aurora_serve` daemon with `serve_bench --request`.
 //!
 //! `--trace` writes a Chrome trace-event JSON timeline (simulated
 //! cycles; load it in Perfetto or `chrome://tracing`) with one track per
@@ -25,49 +32,12 @@
 //!           --dataset pubmed --model gcn --k 32 --trace trace.json`
 
 use aurora_baselines::{BaselineKind, BaselineParams};
+use aurora_bench::cli::{self, Args, CommonFlags};
 use aurora_bench::protocol::shapes_for;
-use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport, Telemetry};
+use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport};
 use aurora_graph::Dataset;
 use aurora_mapping::MappingPolicy;
 use aurora_model::ModelId;
-
-fn parse_model(s: &str) -> Option<ModelId> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "gcn" => ModelId::Gcn,
-        "gin" => ModelId::Gin,
-        "sage-mean" | "sagemean" => ModelId::SageMean,
-        "sage-pool" | "sagepool" => ModelId::SagePool,
-        "commnet" => ModelId::CommNet,
-        "attention" | "vanilla-attention" => ModelId::VanillaAttention,
-        "agnn" => ModelId::Agnn,
-        "ggcn" | "g-gcn" => ModelId::GGcn,
-        "edgeconv1" | "edgeconv-1" => ModelId::EdgeConv1,
-        "edgeconv5" | "edgeconv-5" => ModelId::EdgeConv5,
-        _ => return None,
-    })
-}
-
-fn parse_dataset(s: &str) -> Option<Dataset> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "cora" => Dataset::Cora,
-        "citeseer" => Dataset::Citeseer,
-        "pubmed" => Dataset::Pubmed,
-        "nell" => Dataset::Nell,
-        "reddit" => Dataset::Reddit,
-        _ => return None,
-    })
-}
-
-fn parse_baseline(s: &str) -> Option<BaselineKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "hygcn" => BaselineKind::HyGcn,
-        "awb" | "awb-gcn" | "awbgcn" => BaselineKind::AwbGcn,
-        "gcnax" => BaselineKind::Gcnax,
-        "regnn" => BaselineKind::ReGnn,
-        "flowgnn" => BaselineKind::FlowGnn,
-        _ => return None,
-    })
-}
 
 fn print_report(r: &SimReport, json: bool) {
     if json {
@@ -100,7 +70,6 @@ fn print_report(r: &SimReport, json: bool) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dataset = Dataset::Cora;
     let mut scale = 1usize;
     let mut model = ModelId::Gcn;
@@ -110,63 +79,76 @@ fn main() {
     let mut flex = true;
     let mut dyn_part = true;
     let mut baseline: Option<BaselineKind> = None;
-    let mut json = false;
-    let mut trace_path: Option<String> = None;
-    let mut metrics_path: Option<String> = None;
-    let mut profile_path: Option<String> = None;
+    let mut request_path: Option<String> = None;
+    let mut flags = CommonFlags::default();
 
-    let mut i = 0;
-    let fail = |msg: &str| -> ! {
-        eprintln!("error: {msg}\nrun with no args for the defaults; see the doc comment for usage");
-        std::process::exit(2)
-    };
-    while i < args.len() {
-        let need = |i: usize| args.get(i + 1).unwrap_or_else(|| fail("missing value"));
-        match args[i].as_str() {
+    let mut args = Args::from_env();
+    while let Some(arg) = args.next() {
+        if flags.consume(&mut args, &arg) {
+            continue;
+        }
+        match arg.as_str() {
             "--dataset" => {
-                dataset = parse_dataset(need(i)).unwrap_or_else(|| fail("unknown dataset"));
-                i += 1;
+                dataset = cli::parse_dataset(&args.value("--dataset"))
+                    .unwrap_or_else(|| cli::fail("unknown dataset"));
             }
-            "--scale" => {
-                scale = need(i).parse().unwrap_or_else(|_| fail("bad --scale"));
-                i += 1;
-            }
+            "--scale" => scale = args.parse("--scale"),
             "--model" => {
-                model = parse_model(need(i)).unwrap_or_else(|| fail("unknown model"));
-                i += 1;
+                model = cli::parse_model(&args.value("--model"))
+                    .unwrap_or_else(|| cli::fail("unknown model"));
             }
-            "--hidden" => {
-                hidden = need(i).parse().unwrap_or_else(|_| fail("bad --hidden"));
-                i += 1;
-            }
-            "--k" => {
-                k = need(i).parse().unwrap_or_else(|_| fail("bad --k"));
-                i += 1;
-            }
+            "--hidden" => hidden = args.parse("--hidden"),
+            "--k" => k = args.parse("--k"),
             "--baseline" => {
-                baseline =
-                    Some(parse_baseline(need(i)).unwrap_or_else(|| fail("unknown baseline")));
-                i += 1;
+                baseline = Some(
+                    cli::parse_baseline(&args.value("--baseline"))
+                        .unwrap_or_else(|| cli::fail("unknown baseline")),
+                );
             }
-            "--trace" => {
-                trace_path = Some(need(i).clone());
-                i += 1;
-            }
-            "--metrics" => {
-                metrics_path = Some(need(i).clone());
-                i += 1;
-            }
-            "--profile" => {
-                profile_path = Some(need(i).clone());
-                i += 1;
-            }
+            "--request" => request_path = Some(args.value("--request")),
             "--hashing" => policy = MappingPolicy::Hashing,
             "--no-flex-noc" => flex = false,
             "--no-partition" => dyn_part = false,
-            "--json" => json = true,
-            other => fail(&format!("unknown flag {other}")),
+            other => cli::fail(&format!("unknown flag {other}")),
         }
-        i += 1;
+    }
+
+    let telemetry = flags.telemetry();
+    if (flags.observing() || flags.profile.is_some()) && baseline.is_some() {
+        eprintln!(
+            "note: --trace/--metrics/--profile only instrument the Aurora engine, not baselines"
+        );
+    }
+
+    // Request-file mode: replay the daemon's wire-format documents
+    // through the canonical `run` entry; each request carries its own
+    // config, graph spec and options.
+    if let Some(path) = &request_path {
+        if baseline.is_some() {
+            cli::fail("--request drives the Aurora engine; it cannot be combined with --baseline");
+        }
+        let requests = cli::load_requests(path);
+        let sim =
+            AuroraSimulator::new(AcceleratorConfig::default()).with_telemetry(telemetry.clone());
+        let mut last = None;
+        for req in &requests {
+            eprintln!(
+                "request: {} ({}, digest {})",
+                req.workload_label(),
+                req.model.name(),
+                req.digest()
+            );
+            let report = sim
+                .run(req)
+                .unwrap_or_else(|e| cli::fail(&format!("simulation failed: {e}")));
+            print_report(&report, flags.json);
+            last = Some(report);
+        }
+        flags.write_outputs(
+            &telemetry,
+            &last.expect("load_requests rejects empty input"),
+        );
+        return;
     }
 
     let spec = dataset.spec().scaled(scale);
@@ -180,22 +162,10 @@ fn main() {
         spec.feature_dim
     );
 
-    let observing = trace_path.is_some() || metrics_path.is_some();
-    let telemetry = if observing {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
-    if (observing || profile_path.is_some()) && baseline.is_some() {
-        eprintln!(
-            "note: --trace/--metrics/--profile only instrument the Aurora engine, not baselines"
-        );
-    }
-
     let report = match baseline {
         Some(b) => {
             if !b.build(BaselineParams::default()).supports(model) {
-                fail(&format!("{} does not support {}", b.name(), model.name()));
+                cli::fail(&format!("{} does not support {}", b.name(), model.name()));
             }
             b.build(BaselineParams::default())
                 .simulate(&g, model, &shapes, dataset.name())
@@ -214,31 +184,6 @@ fn main() {
         }
     };
 
-    if let Some(path) = &trace_path {
-        let json = telemetry.trace_json().unwrap_or_else(|| {
-            // telemetry stayed disabled (baseline run): emit a valid,
-            // empty trace document rather than nothing
-            Telemetry::enabled().trace_json().expect("enabled")
-        });
-        std::fs::write(path, json).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
-        eprintln!(
-            "trace: {path} ({} events; open in https://ui.perfetto.dev)",
-            telemetry.trace_len()
-        );
-    }
-    if let Some(path) = &metrics_path {
-        let snapshot = telemetry.snapshot();
-        let body = serde_json::to_string_pretty(&snapshot).expect("serialize metrics");
-        std::fs::write(path, body).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
-        eprintln!(
-            "metrics: {path} ({} counters, {} gauges, {} histograms)",
-            snapshot.counters.len(),
-            snapshot.gauges.len(),
-            snapshot.histograms.len()
-        );
-    }
-    if let Some(path) = &profile_path {
-        aurora_bench::profile_fmt::emit(&report, path);
-    }
-    print_report(&report, json);
+    flags.write_outputs(&telemetry, &report);
+    print_report(&report, flags.json);
 }

@@ -15,6 +15,7 @@
 //! `scripts/check.sh` runs this with `--quick` as an informational
 //! step; it never gates.
 
+use aurora_bench::cli::{fail, Args};
 use aurora_bench::emit::{Cell, Table};
 use aurora_core::noc_model::{aggregation_traffic, OnChipEstimate, DEFAULT_LINK_UTILISATION};
 use aurora_graph::generate;
@@ -124,28 +125,14 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut reps = 10usize;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--reps" => {
-                reps = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("error: bad --reps");
-                        std::process::exit(2)
-                    });
-                i += 1;
-            }
+    let mut args = Args::from_env();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => reps = args.parse("--reps"),
             "--quick" => reps = 3,
-            other => {
-                eprintln!("error: unknown flag {other}");
-                std::process::exit(2);
-            }
+            other => fail(&format!("unknown flag {other}")),
         }
-        i += 1;
     }
     let reps = reps.max(1);
 

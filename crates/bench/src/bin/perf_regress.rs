@@ -24,6 +24,7 @@
 //! Regenerate the committed baseline after an intentional model change:
 //! `cargo run --release -p aurora-bench --bin perf_regress -- --name seed`
 
+use aurora_bench::cli::{fail, Args};
 use aurora_bench::emit::{dump_json, Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator, Bound};
 use aurora_graph::generate;
@@ -110,47 +111,23 @@ fn matrix(k: usize) -> Vec<WorkloadResult> {
         .collect()
 }
 
-fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2)
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name = "run".to_string();
     let mut k = 8usize;
     let mut check = false;
     let mut baseline_path: Option<String> = None;
     let mut tolerance = 5.0f64;
 
-    let mut i = 0;
-    while i < args.len() {
-        let need = |i: usize| {
-            args.get(i + 1)
-                .unwrap_or_else(|| fail("missing value"))
-                .clone()
-        };
-        match args[i].as_str() {
-            "--name" => {
-                name = need(i);
-                i += 1;
-            }
-            "--k" => {
-                k = need(i).parse().unwrap_or_else(|_| fail("bad --k"));
-                i += 1;
-            }
-            "--baseline" => {
-                baseline_path = Some(need(i));
-                i += 1;
-            }
-            "--tolerance" => {
-                tolerance = need(i).parse().unwrap_or_else(|_| fail("bad --tolerance"));
-                i += 1;
-            }
+    let mut args = Args::from_env();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--name" => name = args.value("--name"),
+            "--k" => k = args.parse("--k"),
+            "--baseline" => baseline_path = Some(args.value("--baseline")),
+            "--tolerance" => tolerance = args.parse("--tolerance"),
             "--check" => check = true,
             other => fail(&format!("unknown flag {other}")),
         }
-        i += 1;
     }
     if check && baseline_path.is_none() {
         fail("--check needs --baseline <file>");

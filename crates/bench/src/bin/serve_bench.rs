@@ -1,0 +1,212 @@
+//! Concurrent client driver for the `aurora_serve` daemon.
+//!
+//! ```text
+//! serve_bench (--socket PATH | --tcp ADDR) [--connections N] [--repeat M]
+//!             [--request FILE] [--json]
+//! ```
+//!
+//! Opens `N` concurrent connections (default 8), each on its own
+//! thread with its own NDJSON client, and sends every request in the
+//! mix `M` times (default 2). The mix is either `--request FILE` — one
+//! `SimRequest` document or an array, the same wire schema `aurora_sim
+//! --request` replays locally — or a built-in set of four small
+//! distinct R-MAT workloads.
+//!
+//! The run then *gates* the service contracts, exiting 1 when any is
+//! violated:
+//!
+//! - every request gets a successful response (no timeouts, overloads,
+//!   or dropped lines under concurrency),
+//! - responses for the same digest carry bit-identical reports — the
+//!   determinism contract, independent of which worker or cache path
+//!   answered,
+//! - with repeats, at least one response is served from the cache
+//!   (in fact every response beyond the first per digest must be).
+//!
+//! `scripts/check.sh` runs this against a freshly started daemon as the
+//! serve smoke gate.
+
+use aurora_bench::cli::{self, Args};
+use aurora_core::{AcceleratorConfig, SimRequest, SimResponse};
+use aurora_model::{LayerShape, ModelId};
+use aurora_serve::{Client, Endpoint};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The built-in mix: four small, distinct, fast workloads.
+fn default_mix() -> Vec<SimRequest> {
+    (1u64..=4)
+        .map(|seed| {
+            SimRequest::builder(ModelId::Gcn)
+                .config(AcceleratorConfig::small(4))
+                .rmat(128, 800, seed)
+                .layer(LayerShape::new(32, 16))
+                .workload(format!("bench-{seed}"))
+                .build()
+                .expect("built-in mix is valid")
+        })
+        .collect()
+}
+
+/// One connection's work: send the whole mix `repeat` times, in order.
+fn drive(
+    endpoint: &Endpoint,
+    mix: &[SimRequest],
+    repeat: usize,
+) -> Result<Vec<SimResponse>, String> {
+    let mut client =
+        Client::connect(endpoint).map_err(|e| format!("connect to {endpoint}: {e}"))?;
+    let mut responses = Vec::with_capacity(mix.len() * repeat);
+    for round in 0..repeat {
+        for req in mix {
+            let resp = client
+                .request(req)
+                .map_err(|e| format!("round {round}, {}: {e}", req.workload_label()))?;
+            responses.push(resp);
+        }
+    }
+    Ok(responses)
+}
+
+#[derive(Serialize)]
+struct Summary {
+    connections: usize,
+    repeat: usize,
+    mix: usize,
+    responses: usize,
+    cached: usize,
+    digests: usize,
+}
+
+fn main() {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut connections = 8usize;
+    let mut repeat = 2usize;
+    let mut request_path: Option<String> = None;
+    let mut json = false;
+
+    let mut args = Args::from_env();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => endpoint = Some(Endpoint::Unix(PathBuf::from(args.value("--socket")))),
+            "--tcp" => endpoint = Some(Endpoint::Tcp(args.value("--tcp"))),
+            "--connections" => connections = args.parse("--connections"),
+            "--repeat" => repeat = args.parse("--repeat"),
+            "--request" => request_path = Some(args.value("--request")),
+            "--json" => json = true,
+            other => cli::fail(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(endpoint) = endpoint else {
+        cli::fail("need --socket PATH or --tcp ADDR");
+    };
+    if connections == 0 || repeat == 0 {
+        cli::fail("--connections and --repeat must be >= 1");
+    }
+    let mix = match &request_path {
+        Some(path) => cli::load_requests(path),
+        None => default_mix(),
+    };
+
+    let workers: Vec<_> = (0..connections)
+        .map(|_| {
+            let endpoint = endpoint.clone();
+            let mix = mix.clone();
+            std::thread::spawn(move || drive(&endpoint, &mix, repeat))
+        })
+        .collect();
+    let mut responses = Vec::new();
+    let mut failures = Vec::new();
+    for (i, handle) in workers.into_iter().enumerate() {
+        match handle.join().expect("connection thread never panics") {
+            Ok(batch) => responses.extend(batch),
+            Err(e) => failures.push(format!("connection {i}: {e}")),
+        }
+    }
+
+    // Gate 1: every request answered successfully.
+    for resp in &responses {
+        if let Some(err) = &resp.error {
+            failures.push(format!(
+                "request {} (digest {}): {}: {}",
+                resp.id, resp.digest, err.kind, err.message
+            ));
+        }
+    }
+
+    // Gate 2: per-digest determinism — every response for a digest
+    // carries the same serialized report, no matter which worker ran it
+    // or whether the cache answered.
+    let mut by_digest: BTreeMap<&str, &str> = BTreeMap::new();
+    let rendered: Vec<(String, String, bool)> = responses
+        .iter()
+        .filter(|r| r.is_ok())
+        .map(|r| {
+            let body = serde_json::to_string(r.report.as_ref().expect("ok response has report"))
+                .expect("report serializes");
+            (r.digest.clone(), body, r.cached)
+        })
+        .collect();
+    for (digest, body, _) in &rendered {
+        match by_digest.get(digest.as_str()) {
+            None => {
+                by_digest.insert(digest, body);
+            }
+            Some(first) if *first != body => {
+                failures.push(format!(
+                    "digest {digest}: reports diverged across responses"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Gate 3: repeats are served from the cache. With D distinct
+    // digests at most D responses may miss (one leader each); every
+    // other answer must be a cache hit or an in-flight join.
+    let cached = rendered.iter().filter(|(_, _, c)| *c).count();
+    let distinct = by_digest.len();
+    if failures.is_empty() && rendered.len() > distinct && cached < rendered.len() - distinct {
+        failures.push(format!(
+            "cache underused: {} of {} responses cached, expected at least {}",
+            cached,
+            rendered.len(),
+            rendered.len() - distinct
+        ));
+    }
+
+    let summary = Summary {
+        connections,
+        repeat,
+        mix: mix.len(),
+        responses: responses.len(),
+        cached,
+        digests: distinct,
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serialize")
+        );
+    } else {
+        println!(
+            "serve_bench: {} connections x {} repeats x {} requests -> {} responses \
+             ({} cached, {} distinct digests) on {endpoint}",
+            summary.connections,
+            summary.repeat,
+            summary.mix,
+            summary.responses,
+            summary.cached,
+            summary.digests,
+        );
+    }
+    if !failures.is_empty() {
+        eprintln!("serve_bench FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("serve_bench: all responses ok, reports deterministic per digest");
+}

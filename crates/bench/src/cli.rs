@@ -1,0 +1,296 @@
+//! Shared command-line plumbing for the `src/bin` drivers.
+//!
+//! Every binary used to hand-roll the same index-juggling flag loop and
+//! its own copies of the `--trace/--metrics/--profile/--threads`
+//! handling and the model/dataset/baseline name parsers. They now share:
+//!
+//! - [`Args`] — a cursor over `std::env::args` with typed `value`/`parse`
+//!   accessors that exit with usage-style errors,
+//! - [`CommonFlags`] — the observability + threading flags every driver
+//!   accepts ([`CommonFlags::consume`] recognises them inside the
+//!   binary's own match loop),
+//! - [`parse_model`] / [`parse_dataset`] / [`parse_baseline`] — the
+//!   name → enum maps,
+//! - [`load_requests`] — `--request FILE` input: one [`SimRequest`] JSON
+//!   document (or an array of them) in the exact wire format the
+//!   `aurora_serve` daemon speaks, so a request file works unchanged
+//!   against `aurora_sim --request`, `serve_bench --request`, and a raw
+//!   socket.
+
+use aurora_baselines::BaselineKind;
+use aurora_core::{SimReport, SimRequest, Telemetry};
+use aurora_graph::Dataset;
+use aurora_model::ModelId;
+use serde::Deserialize;
+use serde_json::Value;
+
+/// Prints `error: <msg>` and exits 2 (flag errors, not failures).
+pub fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// A cursor over the process arguments (program name skipped).
+pub struct Args {
+    list: Vec<String>,
+    i: usize,
+}
+
+impl Args {
+    pub fn from_env() -> Self {
+        Self {
+            list: std::env::args().skip(1).collect(),
+            i: 0,
+        }
+    }
+
+    /// For tests: a cursor over an explicit argument list.
+    pub fn from_vec(list: Vec<String>) -> Self {
+        Self { list, i: 0 }
+    }
+
+    /// The next argument, advancing the cursor.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<String> {
+        let arg = self.list.get(self.i).cloned();
+        if arg.is_some() {
+            self.i += 1;
+        }
+        arg
+    }
+
+    /// The value following a `--flag`, or a usage error naming it.
+    pub fn value(&mut self, flag: &str) -> String {
+        self.next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+    }
+
+    /// The value following a `--flag`, parsed, or a usage error.
+    pub fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> T {
+        self.value(flag)
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("bad {flag} value")))
+    }
+}
+
+/// Flags shared by the simulator-driving binaries.
+#[derive(Debug, Default, Clone)]
+pub struct CommonFlags {
+    /// `--trace PATH`: Chrome trace-event timeline of the run.
+    pub trace: Option<String>,
+    /// `--metrics PATH`: full metrics snapshot as JSON.
+    pub metrics: Option<String>,
+    /// `--profile PATH`: bottleneck-attribution profile as JSON.
+    pub profile: Option<String>,
+    /// `--threads N`: worker-pool width (exported as `AURORA_THREADS`).
+    pub threads: Option<usize>,
+    /// `--json`: machine-readable output instead of the human form.
+    pub json: bool,
+}
+
+impl CommonFlags {
+    /// Recognises one shared flag inside a binary's match loop,
+    /// consuming its value from `args` when it takes one. Returns
+    /// `false` for anything binary-specific.
+    pub fn consume(&mut self, args: &mut Args, arg: &str) -> bool {
+        match arg {
+            "--trace" => self.trace = Some(args.value("--trace")),
+            "--metrics" => self.metrics = Some(args.value("--metrics")),
+            "--profile" => self.profile = Some(args.value("--profile")),
+            "--threads" => {
+                let n: usize = args.parse("--threads");
+                if n == 0 {
+                    fail("--threads must be >= 1");
+                }
+                // The pool reads AURORA_THREADS on first use; flags are
+                // parsed before any simulation, so the export lands in
+                // time.
+                std::env::set_var("AURORA_THREADS", n.to_string());
+                self.threads = Some(n);
+            }
+            "--json" => self.json = true,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Whether any cycle-keyed instrumentation output was requested.
+    pub fn observing(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// A telemetry handle sized to the request: enabled only when a
+    /// trace or metrics file will actually be written.
+    pub fn telemetry(&self) -> Telemetry {
+        if self.observing() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Writes the requested `--trace` / `--metrics` / `--profile`
+    /// outputs after a run.
+    pub fn write_outputs(&self, telemetry: &Telemetry, report: &SimReport) {
+        if let Some(path) = &self.trace {
+            let json = telemetry.trace_json().unwrap_or_else(|| {
+                // telemetry stayed disabled (baseline run): emit a
+                // valid, empty trace document rather than nothing
+                Telemetry::enabled().trace_json().expect("enabled")
+            });
+            std::fs::write(path, json).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!(
+                "trace: {path} ({} events; open in https://ui.perfetto.dev)",
+                telemetry.trace_len()
+            );
+        }
+        if let Some(path) = &self.metrics {
+            let snapshot = telemetry.snapshot();
+            let body = serde_json::to_string_pretty(&snapshot).expect("serialize metrics");
+            std::fs::write(path, body).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!(
+                "metrics: {path} ({} counters, {} gauges, {} histograms)",
+                snapshot.counters.len(),
+                snapshot.gauges.len(),
+                snapshot.histograms.len()
+            );
+        }
+        if let Some(path) = &self.profile {
+            crate::profile_fmt::emit(report, path);
+        }
+    }
+}
+
+/// Model name → [`ModelId`], accepting the paper's spellings.
+pub fn parse_model(s: &str) -> Option<ModelId> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "gcn" => ModelId::Gcn,
+        "gin" => ModelId::Gin,
+        "sage-mean" | "sagemean" => ModelId::SageMean,
+        "sage-pool" | "sagepool" => ModelId::SagePool,
+        "commnet" => ModelId::CommNet,
+        "attention" | "vanilla-attention" => ModelId::VanillaAttention,
+        "agnn" => ModelId::Agnn,
+        "ggcn" | "g-gcn" => ModelId::GGcn,
+        "edgeconv1" | "edgeconv-1" => ModelId::EdgeConv1,
+        "edgeconv5" | "edgeconv-5" => ModelId::EdgeConv5,
+        _ => return None,
+    })
+}
+
+/// Dataset name → [`Dataset`].
+pub fn parse_dataset(s: &str) -> Option<Dataset> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "cora" => Dataset::Cora,
+        "citeseer" => Dataset::Citeseer,
+        "pubmed" => Dataset::Pubmed,
+        "nell" => Dataset::Nell,
+        "reddit" => Dataset::Reddit,
+        _ => return None,
+    })
+}
+
+/// Baseline name → [`BaselineKind`].
+pub fn parse_baseline(s: &str) -> Option<BaselineKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "hygcn" => BaselineKind::HyGcn,
+        "awb" | "awb-gcn" | "awbgcn" => BaselineKind::AwbGcn,
+        "gcnax" => BaselineKind::Gcnax,
+        "regnn" => BaselineKind::ReGnn,
+        "flowgnn" => BaselineKind::FlowGnn,
+        _ => return None,
+    })
+}
+
+/// Loads `--request FILE` input: a single `SimRequest` JSON document or
+/// an array of them, in the daemon's wire schema.
+pub fn load_requests(path: &str) -> Vec<SimRequest> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let value: Value =
+        serde_json::from_str(&body).unwrap_or_else(|e| fail(&format!("parse {path}: {e:?}")));
+    let parsed: Result<Vec<SimRequest>, _> = match &value {
+        Value::Seq(items) => items.iter().map(SimRequest::from_value).collect(),
+        single => SimRequest::from_value(single).map(|r| vec![r]),
+    };
+    let requests =
+        parsed.unwrap_or_else(|e| fail(&format!("{path} is not a SimRequest document: {e:?}")));
+    if requests.is_empty() {
+        fail(&format!("{path} holds an empty request array"));
+    }
+    for (i, r) in requests.iter().enumerate() {
+        if let Err(e) = r.validate() {
+            fail(&format!("{path}[{i}] is invalid: {e}"));
+        }
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_core::AcceleratorConfig;
+    use aurora_model::LayerShape;
+
+    #[test]
+    fn common_flags_consume_their_values() {
+        let mut args = Args::from_vec(
+            [
+                "--trace",
+                "t.json",
+                "--json",
+                "--metrics",
+                "m.json",
+                "--left",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        let mut flags = CommonFlags::default();
+        while let Some(arg) = args.next() {
+            if flags.consume(&mut args, &arg) {
+                continue;
+            }
+            assert_eq!(arg, "--left", "only the binary-specific flag falls through");
+        }
+        assert_eq!(flags.trace.as_deref(), Some("t.json"));
+        assert_eq!(flags.metrics.as_deref(), Some("m.json"));
+        assert!(flags.json);
+        assert!(flags.observing());
+    }
+
+    #[test]
+    fn request_files_accept_single_and_array_forms() {
+        let req = SimRequest::builder(ModelId::Gcn)
+            .config(AcceleratorConfig::small(4))
+            .rmat(64, 256, 1)
+            .layer(LayerShape::new(8, 4))
+            .workload("cli")
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir();
+        let single = dir.join(format!("aurora-cli-single-{}.json", std::process::id()));
+        let array = dir.join(format!("aurora-cli-array-{}.json", std::process::id()));
+        std::fs::write(&single, serde_json::to_string(&req).unwrap()).unwrap();
+        std::fs::write(
+            &array,
+            serde_json::to_string(&vec![req.clone(), req.clone()]).unwrap(),
+        )
+        .unwrap();
+        let one = load_requests(single.to_str().unwrap());
+        let two = load_requests(array.to_str().unwrap());
+        assert_eq!(one, vec![req.clone()]);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0].digest(), req.digest());
+        let _ = std::fs::remove_file(&single);
+        let _ = std::fs::remove_file(&array);
+    }
+
+    #[test]
+    fn name_parsers_cover_the_paper_spellings() {
+        assert_eq!(parse_model("SAGE-MEAN"), Some(ModelId::SageMean));
+        assert_eq!(parse_model("nope"), None);
+        assert_eq!(parse_dataset("pubmed"), Some(Dataset::Pubmed));
+        assert_eq!(parse_baseline("awb-gcn"), Some(BaselineKind::AwbGcn));
+    }
+}

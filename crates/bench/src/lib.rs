@@ -19,6 +19,7 @@
 //! normalised to the same multipliers/bandwidth/storage — and each binary
 //! prints its figure's metric from those runs.
 
+pub mod cli;
 pub mod emit;
 pub mod profile_fmt;
 pub mod protocol;

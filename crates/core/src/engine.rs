@@ -14,6 +14,7 @@ use crate::instr::Instruction;
 use crate::noc_model::{self, OnChipEstimate, TrafficProfile};
 use crate::profile::{LayerProfile, ProfileReport, SideAttribution, TileAttribution};
 use crate::report::{LayerReport, NocReport, PhaseCycles, SimReport};
+use crate::request::{GraphSpec, SimError, SimRequest};
 use crate::workflow::Workflow;
 use aurora_energy::{ActivityCounts, EnergyModel};
 use aurora_graph::{Csr, Tiling, TilingConfig};
@@ -80,14 +81,17 @@ impl TrafficCache {
         }
     }
 
-    /// The route table for `cfg`, building it on first sight.
-    ///
-    /// # Panics
-    /// Panics if `cfg` fails validation — engine callers validate (or
-    /// construct valid configs) before reaching the traffic model.
-    fn table_id(&mut self, cfg: &NocConfig, tel: &Telemetry, scope: &Scope) -> usize {
+    /// The route table for `cfg`, building it on first sight. A
+    /// configuration the NoC layer rejects surfaces as
+    /// [`SimError::Noc`] instead of aborting the run.
+    fn table_id(
+        &mut self,
+        cfg: &NocConfig,
+        tel: &Telemetry,
+        scope: &Scope,
+    ) -> Result<usize, SimError> {
         if let Some(&id) = self.table_ids.get(cfg) {
-            return id;
+            return Ok(id);
         }
         if self.tables.len() >= MAX_ROUTE_TABLES {
             self.tables.clear();
@@ -95,7 +99,7 @@ impl TrafficCache {
             self.profiles.clear();
             self.profile_order.clear();
         }
-        let table = RouteTable::build(cfg).expect("validated NoC config builds a route table");
+        let table = RouteTable::build(cfg)?;
         self.builds += 1;
         tel.counter_add(names::NOC_ROUTE_TABLE_BUILDS, scope, 1);
         tel.counter_add(
@@ -106,7 +110,7 @@ impl TrafficCache {
         let id = self.tables.len();
         self.tables.push(table);
         self.table_ids.insert(cfg.clone(), id);
-        id
+        Ok(id)
     }
 
     fn table(&self, id: usize) -> &RouteTable {
@@ -192,9 +196,41 @@ impl AuroraSimulator {
         &self.telemetry
     }
 
+    /// The canonical entry point: runs one complete, serializable
+    /// [`SimRequest`] and returns the report or a typed [`SimError`].
+    /// The `aurora-serve` daemon consumes only this method.
+    ///
+    /// The *request's* configuration drives the simulation, not the
+    /// simulator's: a report must be a pure function of the request
+    /// alone, which is what makes the content-addressed digest of the
+    /// serve result cache exact. The simulator instance contributes only
+    /// its telemetry handle.
+    pub fn run(&self, req: &SimRequest) -> Result<SimReport, SimError> {
+        req.validate()?;
+        let mut config = req.config;
+        config.trace_instructions |= req.options.trace_instructions;
+        let sim = AuroraSimulator {
+            config,
+            telemetry: self.telemetry.clone(),
+        };
+        let workload = req.workload_label();
+        let density = req.options.input_density;
+        match &req.graph {
+            // borrow inline graphs; only spec variants synthesize
+            GraphSpec::Inline(g) => sim.run_resolved(g, req.model, &req.layers, &workload, density),
+            spec => {
+                let g = spec.resolve()?;
+                sim.run_resolved(&g, req.model, &req.layers, &workload, density)
+            }
+        }
+    }
+
     /// Simulates `model` inference over `g` through the given layer
     /// shapes. `workload` is a free-form label for the report. Input
     /// features are assumed dense; see [`Self::simulate_with_density`].
+    ///
+    /// Thin wrapper over [`Self::run`]'s machinery that panics on
+    /// [`SimError`], preserving the historical signature.
     pub fn simulate(
         &self,
         g: &Csr,
@@ -212,6 +248,9 @@ impl AuroraSimulator {
     /// that advantage, which is exactly why "the performance gain on the
     /// Reddit dataset is not so significant" (§VI-D). Hidden layers are
     /// dense activations and are unaffected.
+    ///
+    /// Thin wrapper over [`Self::run`]'s machinery that panics on
+    /// [`SimError`], preserving the historical signature.
     pub fn simulate_with_density(
         &self,
         g: &Csr,
@@ -222,6 +261,31 @@ impl AuroraSimulator {
     ) -> SimReport {
         assert!(!shapes.is_empty(), "need at least one layer");
         assert!((0.0..=1.0).contains(&input_density), "density in [0, 1]");
+        self.run_resolved(g, model, shapes, workload, input_density)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// The resolved-graph execution path shared by [`Self::run`] and the
+    /// panicking wrappers.
+    fn run_resolved(
+        &self,
+        g: &Csr,
+        model: ModelId,
+        shapes: &[LayerShape],
+        workload: &str,
+        input_density: f64,
+    ) -> Result<SimReport, SimError> {
+        if g.num_vertices() == 0 {
+            return Err(SimError::EmptyGraph);
+        }
+        if shapes.is_empty() {
+            return Err(SimError::EmptyLayers);
+        }
+        if !(0.0..=1.0).contains(&input_density) {
+            return Err(SimError::InvalidDensity {
+                density: input_density,
+            });
+        }
         let cfg = &self.config;
         let mut mem = MemoryController::new(cfg.dram_channels);
         mem.attach_telemetry(self.telemetry.clone());
@@ -271,7 +335,7 @@ impl AuroraSimulator {
                 &mut activity,
                 &mut instructions,
                 &mut traffic_cache,
-            );
+            )?;
             reconfigs += recfg;
             total_cycles += report.total_cycles;
             profile.mix = profile.mix.add(&layer_profile.mix);
@@ -320,7 +384,7 @@ impl AuroraSimulator {
         profile.dram_peak_gbps =
             mem.peak_bytes_per_cycle() * mem.timing().clock_mhz as f64 * 1e6 / 1e9;
 
-        SimReport {
+        Ok(SimReport {
             accelerator: "Aurora".into(),
             model: model.name().into(),
             workload: workload.into(),
@@ -334,7 +398,7 @@ impl AuroraSimulator {
             instructions,
             metrics: self.telemetry.snapshot(),
             profile,
-        }
+        })
     }
 
     /// Simulates inference over a *batch* of graphs (the point-cloud /
@@ -353,10 +417,26 @@ impl AuroraSimulator {
         shapes: &[LayerShape],
         workload: &str,
     ) -> SimReport {
-        assert!(!graphs.is_empty(), "need at least one graph");
+        self.try_simulate_batch(graphs, model, shapes, workload)
+            .unwrap_or_else(|e| panic!("batch simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`Self::simulate_batch`]: an empty batch is
+    /// [`SimError::EmptyBatch`], and per-graph failures propagate instead
+    /// of aborting.
+    pub fn try_simulate_batch(
+        &self,
+        graphs: &[&Csr],
+        model: ModelId,
+        shapes: &[LayerShape],
+        workload: &str,
+    ) -> Result<SimReport, SimError> {
+        if graphs.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
         let mut merged: Option<SimReport> = None;
         for (i, g) in graphs.iter().enumerate() {
-            let r = self.simulate(g, model, shapes, workload);
+            let r = self.run_resolved(g, model, shapes, workload, 1.0)?;
             merged = Some(match merged {
                 None => r,
                 Some(mut acc) => {
@@ -387,7 +467,7 @@ impl AuroraSimulator {
                 }
             });
         }
-        let mut report = merged.expect("non-empty batch");
+        let mut report = merged.ok_or(SimError::EmptyBatch)?;
         report.energy = EnergyModel {
             clock_mhz: self.config.clock_mhz as f64,
             ..EnergyModel::default()
@@ -407,7 +487,7 @@ impl AuroraSimulator {
         } else {
             0.0
         };
-        report
+        Ok(report)
     }
 
     /// Simulates one layer; returns its report, reconfiguration count,
@@ -426,7 +506,7 @@ impl AuroraSimulator {
         activity: &mut ActivityCounts,
         instructions: &mut Vec<Instruction>,
         cache: &mut TrafficCache,
-    ) -> (LayerReport, u64, LayerProfile, Vec<TileAttribution>) {
+    ) -> Result<(LayerReport, u64, LayerProfile, Vec<TileAttribution>), SimError> {
         let cfg = &self.config;
         let k = cfg.k;
         let trace = cfg.trace_instructions;
@@ -658,7 +738,7 @@ impl AuroraSimulator {
         let mut est_a_of: Vec<Option<OnChipEstimate>> = Vec::with_capacity(pres.len());
         let mut hits = 0u64;
         for (ti, pre) in pres.iter().enumerate() {
-            let table_id = cache.table_id(&pre.noc_cfg, tel, &lscope);
+            let table_id = cache.table_id(&pre.noc_cfg, tel, &lscope)?;
             let key = ProfileKey {
                 table_id,
                 start: pre.mapping.range.start,
@@ -683,7 +763,10 @@ impl AuroraSimulator {
                 }
             }
         }
-        let binned: Vec<TrafficProfile> = {
+        // Misses bin in parallel but resolve sequentially: the first
+        // erroring tile (in tile order) decides the returned `SimError`,
+        // independent of AURORA_THREADS.
+        let binned: Vec<Result<TrafficProfile, aurora_noc::NocError>> = {
             let cache_ref: &TrafficCache = cache;
             let miss_ref = &miss_tiles;
             let pres_ref = &pres;
@@ -698,7 +781,6 @@ impl AuroraSimulator {
                         &pres_ref[ti].mapping,
                         sg.edges(),
                     )
-                    .expect("validated NoC config routes every tile message")
                 })
                 .collect()
         };
@@ -711,14 +793,17 @@ impl AuroraSimulator {
             miss_tiles.len() as u64,
         );
         for (&ti, profile) in miss_tiles.iter().zip(binned) {
+            let profile = profile?;
             est_a_of[ti] =
                 Some(profile.estimate(&pres[ti].noc_cfg, msg_words, cfg.link_utilisation));
             cache.insert_profile(keys[ti], profile);
         }
-        let est_as: Vec<OnChipEstimate> = est_a_of
-            .into_iter()
-            .map(|e| e.expect("every tile resolved as a hit or a binned miss"))
-            .collect();
+        let mut est_as: Vec<OnChipEstimate> = Vec::with_capacity(est_a_of.len());
+        for e in est_a_of {
+            est_as.push(e.ok_or_else(|| {
+                SimError::Internal("tile resolved neither as a hit nor a binned miss".into())
+            })?);
+        }
 
         // Stateful walk: memory controller, telemetry, and the instruction
         // trace consume the precomputed tiles strictly in order.
@@ -989,7 +1074,7 @@ impl AuroraSimulator {
             operational_intensity: counts.total() as f64 / (layer_dram_bytes.max(1)) as f64,
             dominant: mix.dominant(),
         };
-        (report, reconfigs, layer_profile, tile_attr)
+        Ok((report, reconfigs, layer_profile, tile_attr))
     }
 }
 
@@ -1254,6 +1339,66 @@ mod tests {
         assert_eq!(plain.total_cycles, r.total_cycles);
         assert_eq!(plain.dram, r.dram);
         assert!(plain.metrics.is_empty());
+    }
+
+    #[test]
+    fn run_matches_wrapper_and_types_errors() {
+        let g = toy_graph();
+        let shapes = [LayerShape::new(32, 16)];
+        let sim = small_sim();
+        let legacy = sim.simulate(&g, ModelId::Gcn, &shapes, "toy");
+        // same graph inline through the request path: identical report
+        let req = SimRequest::builder(ModelId::Gcn)
+            .config(AcceleratorConfig::small(4))
+            .inline_graph(g.clone())
+            .layers(&shapes)
+            .workload("toy")
+            .build()
+            .unwrap();
+        let via_run = sim.run(&req).unwrap();
+        assert_eq!(via_run, legacy);
+        // the request's config wins over the simulator's (purity contract)
+        let k8 = SimRequest {
+            config: AcceleratorConfig::small(8),
+            ..req.clone()
+        };
+        assert_ne!(sim.run(&k8).unwrap().total_cycles, legacy.total_cycles);
+        // a spec graph resolves deterministically to the same report
+        let spec_req = SimRequest::builder(ModelId::Gcn)
+            .config(AcceleratorConfig::small(4))
+            .rmat(128, 800, 3)
+            .layers(&shapes)
+            .workload("toy")
+            .build()
+            .unwrap();
+        assert_eq!(sim.run(&spec_req).unwrap(), legacy);
+        // user-reachable bad inputs are typed errors, not panics
+        let empty_layers = SimRequest {
+            layers: vec![],
+            ..req.clone()
+        };
+        assert_eq!(sim.run(&empty_layers).unwrap_err(), SimError::EmptyLayers);
+        let empty_graph = SimRequest {
+            graph: GraphSpec::Inline(Csr::empty(0)),
+            ..req.clone()
+        };
+        assert_eq!(sim.run(&empty_graph).unwrap_err(), SimError::EmptyGraph);
+        let bad_density = SimRequest {
+            options: crate::request::SimOptions {
+                input_density: 2.0,
+                ..req.options.clone()
+            },
+            ..req.clone()
+        };
+        assert!(matches!(
+            sim.run(&bad_density).unwrap_err(),
+            SimError::InvalidDensity { .. }
+        ));
+        assert_eq!(
+            sim.try_simulate_batch(&[], ModelId::Gcn, &shapes, "b")
+                .unwrap_err(),
+            SimError::EmptyBatch
+        );
     }
 
     #[test]

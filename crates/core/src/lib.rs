@@ -39,6 +39,7 @@ pub mod instr;
 pub mod noc_model;
 pub mod profile;
 pub mod report;
+pub mod request;
 pub mod workflow;
 
 pub use config::AcceleratorConfig;
@@ -46,6 +47,9 @@ pub use engine::AuroraSimulator;
 pub use instr::Instruction;
 pub use profile::{Bound, BoundMix, LayerProfile, ProfileReport, TileAttribution};
 pub use report::{LayerReport, NocReport, SimReport};
+pub use request::{
+    GraphSpec, SimError, SimOptions, SimRequest, SimRequestBuilder, SimResponse, WireError,
+};
 pub use workflow::Workflow;
 
 // Re-exported so simulator drivers can enable observability without

@@ -1,0 +1,545 @@
+//! The unified simulation request API and its wire envelope.
+//!
+//! A [`SimRequest`] is a *complete, self-contained* description of one
+//! simulation: accelerator configuration, graph source, model, layer
+//! shapes and options. The paper's methodology (§VI-A) makes a report a
+//! deterministic pure function of exactly these inputs — the simulator
+//! "monitors the number of arithmetic operations and the number of
+//! accesses to each memory hierarchy" from the config/graph/model alone,
+//! and the worker pool's ordered-gather contract keeps results
+//! bit-identical at every thread count. That purity is what lets
+//! `aurora-serve` cache whole reports content-addressed by
+//! [`SimRequest::digest`]: digest-equal requests *must* produce
+//! byte-equal reports, so a cached answer is exact, never approximate.
+//!
+//! [`AuroraSimulator::run`](crate::AuroraSimulator::run) is the one
+//! canonical entry point consuming a request; the older
+//! `simulate*` methods are thin wrappers that build a request and
+//! panic on [`SimError`] to preserve their historical signatures.
+
+use crate::config::AcceleratorConfig;
+use crate::report::SimReport;
+use aurora_graph::{generate, Csr, Dataset};
+use aurora_model::{LayerShape, ModelId};
+use aurora_noc::NocError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a request's graph comes from. Every variant is serializable so
+/// requests can travel over the `aurora-serve` wire; the spec variants
+/// synthesize deterministically (same spec ⇒ same [`Csr`]), which keeps
+/// the content-addressed digest honest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GraphSpec {
+    /// One of the paper's datasets, down-scaled by `scale` (1 = full).
+    Dataset { dataset: Dataset, scale: usize },
+    /// A synthetic R-MAT graph (the perf-harness workloads).
+    Rmat {
+        vertices: usize,
+        edges: usize,
+        seed: u64,
+    },
+    /// A ring lattice (cheap smoke workloads).
+    Ring { vertices: usize },
+    /// A fully materialised graph carried inline. Used by the in-process
+    /// `simulate*` wrappers; service clients normally send a spec and
+    /// let the daemon synthesize, keeping request lines small.
+    Inline(Csr),
+}
+
+impl GraphSpec {
+    /// Resolves the spec to a concrete graph. `Inline` clones; the
+    /// engine's `run` borrows inline graphs instead of calling this.
+    pub fn resolve(&self) -> Result<Csr, SimError> {
+        self.validate()?;
+        Ok(match self {
+            GraphSpec::Dataset { dataset, scale } => dataset.spec().scaled(*scale).synthesize(),
+            GraphSpec::Rmat {
+                vertices,
+                edges,
+                seed,
+            } => generate::rmat(*vertices, *edges, Default::default(), *seed),
+            GraphSpec::Ring { vertices } => generate::ring(*vertices),
+            GraphSpec::Inline(g) => g.clone(),
+        })
+    }
+
+    /// Structural validity of the spec itself (cheap; no synthesis).
+    pub fn validate(&self) -> Result<(), SimError> {
+        match self {
+            GraphSpec::Dataset { scale, .. } if *scale == 0 => Err(SimError::InvalidRequest(
+                "dataset scale must be >= 1".into(),
+            )),
+            GraphSpec::Rmat { vertices: 0, .. } | GraphSpec::Ring { vertices: 0 } => {
+                Err(SimError::EmptyGraph)
+            }
+            GraphSpec::Inline(g) if g.num_vertices() == 0 => Err(SimError::EmptyGraph),
+            _ => Ok(()),
+        }
+    }
+
+    /// Short human-readable label, used as the default workload name.
+    pub fn label(&self) -> String {
+        match self {
+            GraphSpec::Dataset { dataset, scale } if *scale <= 1 => dataset.name().to_string(),
+            GraphSpec::Dataset { dataset, scale } => format!("{}/{}", dataset.name(), scale),
+            GraphSpec::Rmat {
+                vertices, edges, ..
+            } => format!("rmat-{vertices}v-{edges}e"),
+            GraphSpec::Ring { vertices } => format!("ring-{vertices}"),
+            GraphSpec::Inline(g) => format!("inline-{}v-{}e", g.num_vertices(), g.num_edges()),
+        }
+    }
+}
+
+/// Per-request options that do not change the hardware model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Free-form label copied into the report.
+    pub workload: String,
+    /// Input feature density in `[0, 1]` (first layer only; §VI-D).
+    pub input_density: f64,
+    /// Record the controller instruction trace in the report.
+    pub trace_instructions: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            workload: String::new(),
+            input_density: 1.0,
+            trace_instructions: false,
+        }
+    }
+}
+
+/// A complete, serializable simulation request — the canonical input of
+/// [`AuroraSimulator::run`](crate::AuroraSimulator::run) and the unit the
+/// `aurora-serve` result cache is keyed on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimRequest {
+    pub config: AcceleratorConfig,
+    pub graph: GraphSpec,
+    pub model: ModelId,
+    pub layers: Vec<LayerShape>,
+    pub options: SimOptions,
+}
+
+impl SimRequest {
+    /// Starts a builder for `model`. A graph source and at least one
+    /// layer must be supplied before [`SimRequestBuilder::build`].
+    pub fn builder(model: ModelId) -> SimRequestBuilder {
+        SimRequestBuilder {
+            config: AcceleratorConfig::default(),
+            graph: None,
+            model,
+            layers: Vec::new(),
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Validates the request without running it: a graph is present and
+    /// non-empty (spec-level), layers are non-empty, the density is in
+    /// range, and the configuration is usable.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.graph.validate()?;
+        if self.layers.is_empty() {
+            return Err(SimError::EmptyLayers);
+        }
+        if !(0.0..=1.0).contains(&self.options.input_density) {
+            return Err(SimError::InvalidDensity {
+                density: self.options.input_density,
+            });
+        }
+        if self.config.k == 0 {
+            return Err(SimError::InvalidRequest("config.k must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Content-addressed identity: an FNV-1a 64-bit hash of the
+    /// request's canonical (compact, declaration-ordered) JSON, rendered
+    /// as 16 hex digits. Two requests share a digest exactly when their
+    /// serialized forms are identical, and the engine's determinism
+    /// contract then guarantees identical reports — the invariant the
+    /// serve cache relies on.
+    pub fn digest(&self) -> String {
+        let canonical = serde_json::to_string(self).expect("request serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in canonical.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// The workload label, falling back to the graph's label.
+    pub fn workload_label(&self) -> String {
+        if self.options.workload.is_empty() {
+            self.graph.label()
+        } else {
+            self.options.workload.clone()
+        }
+    }
+}
+
+/// Builder for [`SimRequest`] (the ergonomic construction path; wire
+/// clients deserialize requests directly).
+#[derive(Debug, Clone)]
+pub struct SimRequestBuilder {
+    config: AcceleratorConfig,
+    graph: Option<GraphSpec>,
+    model: ModelId,
+    layers: Vec<LayerShape>,
+    options: SimOptions,
+}
+
+impl SimRequestBuilder {
+    /// Accelerator configuration (default: the paper's 32×32 instance).
+    pub fn config(mut self, config: AcceleratorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Any graph source.
+    pub fn graph(mut self, graph: GraphSpec) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// A paper dataset at `1/scale` size.
+    pub fn dataset(self, dataset: Dataset, scale: usize) -> Self {
+        self.graph(GraphSpec::Dataset { dataset, scale })
+    }
+
+    /// A synthetic R-MAT graph.
+    pub fn rmat(self, vertices: usize, edges: usize, seed: u64) -> Self {
+        self.graph(GraphSpec::Rmat {
+            vertices,
+            edges,
+            seed,
+        })
+    }
+
+    /// A fully materialised graph carried inline.
+    pub fn inline_graph(self, g: Csr) -> Self {
+        self.graph(GraphSpec::Inline(g))
+    }
+
+    /// Appends one layer shape.
+    pub fn layer(mut self, shape: LayerShape) -> Self {
+        self.layers.push(shape);
+        self
+    }
+
+    /// Replaces the layer list.
+    pub fn layers(mut self, shapes: &[LayerShape]) -> Self {
+        self.layers = shapes.to_vec();
+        self
+    }
+
+    /// Workload label for the report.
+    pub fn workload(mut self, label: impl Into<String>) -> Self {
+        self.options.workload = label.into();
+        self
+    }
+
+    /// Input feature density (first layer only).
+    pub fn input_density(mut self, density: f64) -> Self {
+        self.options.input_density = density;
+        self
+    }
+
+    /// Record the controller instruction trace.
+    pub fn trace_instructions(mut self, on: bool) -> Self {
+        self.options.trace_instructions = on;
+        self
+    }
+
+    /// Finishes and validates the request.
+    pub fn build(self) -> Result<SimRequest, SimError> {
+        let graph = self
+            .graph
+            .ok_or_else(|| SimError::InvalidRequest("a graph source is required".into()))?;
+        let req = SimRequest {
+            config: self.config,
+            graph,
+            model: self.model,
+            layers: self.layers,
+            options: self.options,
+        };
+        req.validate()?;
+        Ok(req)
+    }
+}
+
+/// Everything that can go wrong running a [`SimRequest`]. These used to
+/// be `assert!`/`expect` aborts deep inside the engine; user-reachable
+/// inputs now surface as typed errors through
+/// [`AuroraSimulator::run`](crate::AuroraSimulator::run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The layer list is empty.
+    EmptyLayers,
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// `simulate_batch` was handed no graphs.
+    EmptyBatch,
+    /// The input feature density is outside `[0, 1]`.
+    InvalidDensity { density: f64 },
+    /// A structurally invalid request (bad scale, missing graph, k = 0).
+    InvalidRequest(String),
+    /// The NoC layer rejected a configuration or could not route a
+    /// tile message (carries the typed cause).
+    Noc(NocError),
+    /// An engine invariant broke (a bug, not a bad request).
+    Internal(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyLayers => write!(f, "need at least one layer"),
+            SimError::EmptyGraph => write!(f, "graph has no vertices"),
+            SimError::EmptyBatch => write!(f, "need at least one graph in the batch"),
+            SimError::InvalidDensity { density } => {
+                write!(f, "input density {density} outside [0, 1]")
+            }
+            SimError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            SimError::Noc(e) => write!(f, "NoC error: {e}"),
+            SimError::Internal(msg) => write!(f, "internal engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<NocError> for SimError {
+    fn from(e: NocError) -> Self {
+        SimError::Noc(e)
+    }
+}
+
+impl SimError {
+    /// Stable machine-readable kind, used as the wire error code.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::EmptyLayers => "empty_layers",
+            SimError::EmptyGraph => "empty_graph",
+            SimError::EmptyBatch => "empty_batch",
+            SimError::InvalidDensity { .. } => "invalid_density",
+            SimError::InvalidRequest(_) => "invalid_request",
+            SimError::Noc(_) => "noc",
+            SimError::Internal(_) => "internal",
+        }
+    }
+}
+
+/// A typed error on the wire: a stable `kind` plus a human message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    pub kind: String,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            kind: kind.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl From<&SimError> for WireError {
+    fn from(e: &SimError) -> Self {
+        WireError::new(e.kind(), e.to_string())
+    }
+}
+
+/// The response envelope `aurora-serve` writes for every request line:
+/// either a report (with its cache provenance) or a typed error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResponse {
+    /// Echo of the client-chosen request id.
+    pub id: u64,
+    /// The request's content digest ([`SimRequest::digest`]); empty when
+    /// the request line could not even be parsed.
+    pub digest: String,
+    /// Whether the report was served from the result cache (or by
+    /// joining an identical in-flight simulation) rather than a fresh
+    /// engine run.
+    pub cached: bool,
+    pub report: Option<SimReport>,
+    pub error: Option<WireError>,
+}
+
+impl SimResponse {
+    pub fn ok(id: u64, digest: impl Into<String>, cached: bool, report: SimReport) -> Self {
+        Self {
+            id,
+            digest: digest.into(),
+            cached,
+            report: Some(report),
+            error: None,
+        }
+    }
+
+    pub fn err(id: u64, digest: impl Into<String>, error: WireError) -> Self {
+        Self {
+            id,
+            digest: digest.into(),
+            cached: false,
+            report: None,
+            error: Some(error),
+        }
+    }
+
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.report.is_some() && self.error.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_request() -> SimRequest {
+        SimRequest::builder(ModelId::Gcn)
+            .rmat(128, 800, 3)
+            .layer(LayerShape::new(32, 16))
+            .workload("toy")
+            .build()
+            .expect("valid request")
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            SimRequest::builder(ModelId::Gcn)
+                .rmat(128, 800, 3)
+                .build()
+                .unwrap_err(),
+            SimError::EmptyLayers
+        );
+        assert!(matches!(
+            SimRequest::builder(ModelId::Gcn)
+                .layer(LayerShape::new(8, 4))
+                .build()
+                .unwrap_err(),
+            SimError::InvalidRequest(_)
+        ));
+        assert_eq!(
+            SimRequest::builder(ModelId::Gcn)
+                .rmat(0, 0, 0)
+                .layer(LayerShape::new(8, 4))
+                .build()
+                .unwrap_err(),
+            SimError::EmptyGraph
+        );
+        assert!(matches!(
+            SimRequest::builder(ModelId::Gcn)
+                .rmat(16, 40, 0)
+                .layer(LayerShape::new(8, 4))
+                .input_density(1.5)
+                .build()
+                .unwrap_err(),
+            SimError::InvalidDensity { .. }
+        ));
+    }
+
+    #[test]
+    fn digest_is_content_addressed() {
+        let a = toy_request();
+        let b = toy_request();
+        assert_eq!(a.digest(), b.digest(), "equal content, equal digest");
+        let c = SimRequest {
+            layers: vec![LayerShape::new(32, 8)],
+            ..toy_request()
+        };
+        assert_ne!(a.digest(), c.digest(), "different layers, new digest");
+        let d = SimRequest {
+            options: SimOptions {
+                workload: "renamed".into(),
+                ..a.options.clone()
+            },
+            ..toy_request()
+        };
+        // the label is part of the content: renaming re-keys the cache
+        assert_ne!(a.digest(), d.digest());
+        assert_eq!(a.digest().len(), 16);
+    }
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = toy_request();
+        let json = serde_json::to_string(&req).unwrap();
+        let back: SimRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.digest(), req.digest());
+    }
+
+    #[test]
+    fn graph_specs_resolve() {
+        let g = GraphSpec::Ring { vertices: 16 }.resolve().unwrap();
+        assert_eq!(g.num_vertices(), 16);
+        let d = GraphSpec::Dataset {
+            dataset: Dataset::Cora,
+            scale: 64,
+        }
+        .resolve()
+        .unwrap();
+        assert!(d.num_vertices() > 0);
+        assert_eq!(
+            GraphSpec::Dataset {
+                dataset: Dataset::Cora,
+                scale: 0
+            }
+            .resolve()
+            .unwrap_err()
+            .kind(),
+            "invalid_request"
+        );
+        assert_eq!(
+            GraphSpec::Inline(Csr::empty(0)).resolve().unwrap_err(),
+            SimError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(
+            GraphSpec::Dataset {
+                dataset: Dataset::Cora,
+                scale: 1
+            }
+            .label(),
+            "Cora"
+        );
+        assert_eq!(
+            GraphSpec::Dataset {
+                dataset: Dataset::Reddit,
+                scale: 16
+            }
+            .label(),
+            "Reddit/16"
+        );
+        assert_eq!(toy_request().workload_label(), "toy");
+        let unnamed = SimRequest {
+            options: SimOptions::default(),
+            ..toy_request()
+        };
+        assert_eq!(unnamed.workload_label(), "rmat-128v-800e");
+    }
+
+    #[test]
+    fn response_envelope_roundtrips() {
+        let resp = SimResponse::err(7, "abc", WireError::new("overloaded", "queue full"));
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: SimResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+        assert!(!back.is_ok());
+        assert_eq!(back.error.unwrap().kind, "overloaded");
+    }
+}

@@ -1,0 +1,137 @@
+//! The Aurora simulation daemon.
+//!
+//! ```text
+//! aurora_serve --socket /tmp/aurora.sock [--workers N] [--queue N]
+//!              [--cache N] [--timeout-ms N] [--metrics PATH]
+//! aurora_serve --tcp 127.0.0.1:7700
+//! ```
+//!
+//! Clients send one `{"id": N, "sim": {...SimRequest...}}` JSON document
+//! per line and read one `SimResponse` line back. SIGTERM/SIGINT drain
+//! gracefully: in-flight and queued simulations finish, their responses
+//! flush, the socket file is removed, and the process exits 0.
+
+use aurora_core::Telemetry;
+use aurora_serve::{serve, Endpoint, ServeConfig, SimService};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // async-signal-safe: a single atomic store; the accept loop polls it
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Registers `on_signal` for SIGTERM and SIGINT via the libc `signal`
+/// symbol (already linked through std; no external crate needed).
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aurora_serve (--socket PATH | --tcp ADDR) [--workers N] \
+         [--queue N] [--cache N] [--timeout-ms N] [--metrics PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut config = ServeConfig::default();
+    let mut metrics_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => endpoint = Some(Endpoint::Unix(PathBuf::from(value("--socket")))),
+            "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp"))),
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue_depth = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--cache" => {
+                config.cache_capacity = value("--cache").parse().unwrap_or_else(|_| usage())
+            }
+            "--timeout-ms" => {
+                config.timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--metrics" => metrics_path = Some(PathBuf::from(value("--metrics"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(endpoint) = endpoint else { usage() };
+    if config.workers == 0 {
+        // the daemon needs a pool: inline execution would serialize all
+        // connections through the accept loop's children
+        config.workers = 1;
+    }
+
+    install_signal_handlers();
+    let telemetry = Telemetry::enabled();
+    let service = Arc::new(SimService::new(config, telemetry.clone()));
+    eprintln!(
+        "aurora_serve: listening on {endpoint} \
+         (workers {}, queue {}, cache {}, timeout {} ms)",
+        config.workers, config.queue_depth, config.cache_capacity, config.timeout_ms
+    );
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // bridge the signal-handler static into the poll flag
+    {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+
+    let result = serve(Arc::clone(&service), &endpoint, shutdown);
+
+    // final metrics snapshot (cache hit/miss, latency histograms) for
+    // post-mortems and the smoke gate
+    if let Some(path) = metrics_path {
+        let snapshot = telemetry.snapshot();
+        match serde_json::to_string_pretty(&snapshot) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("aurora_serve: writing metrics to {path:?} failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("aurora_serve: metrics serialization failed: {e}"),
+        }
+    }
+
+    match result {
+        Ok(()) => {
+            eprintln!("aurora_serve: drained, bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("aurora_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Typed service errors and their wire form.
+
+use aurora_core::{SimError, WireError};
+use std::fmt;
+
+/// Everything the service can answer *instead of* a report. Every
+/// variant maps to a stable wire `kind`, and the admission-control
+/// variants are contractual: a full queue is an immediate
+/// [`ServeError::Overloaded`], never a blocked connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded admission queue was full; retry later (or against a
+    /// less loaded instance). Carries the observed depth and the cap.
+    Overloaded { queued: usize, capacity: usize },
+    /// The caller's per-request budget elapsed. The simulation itself is
+    /// not cancelled — it completes and warms the cache.
+    Timeout { ms: u64 },
+    /// The daemon is draining after SIGTERM and accepts no new work.
+    ShuttingDown,
+    /// The request line was not a valid `SimRequest` envelope.
+    BadRequest(String),
+    /// The engine rejected the request (typed [`SimError`]).
+    Sim(SimError),
+    /// A transport-level failure talking to a client.
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: {queued} queued >= capacity {capacity}")
+            }
+            ServeError::Timeout { ms } => write!(f, "timed out after {ms} ms"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Sim(e) => write!(f, "simulation error: {e}"),
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl ServeError {
+    /// Stable machine-readable kind (the wire error code).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Timeout { .. } => "timeout",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::BadRequest(_) => "bad_request",
+            // nested SimError kinds surface through the message; the top-
+            // level code tells clients which subsystem rejected them
+            ServeError::Sim(e) => match e {
+                SimError::Internal(_) => "internal",
+                _ => "sim",
+            },
+            ServeError::Io(_) => "io",
+        }
+    }
+
+    /// The error as it appears in a [`SimResponse`] envelope.
+    pub fn to_wire(&self) -> WireError {
+        WireError::new(self.kind(), self.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(
+            ServeError::Overloaded {
+                queued: 4,
+                capacity: 4
+            }
+            .kind(),
+            "overloaded"
+        );
+        assert_eq!(ServeError::Timeout { ms: 10 }.kind(), "timeout");
+        assert_eq!(ServeError::ShuttingDown.kind(), "shutting_down");
+        assert_eq!(ServeError::Sim(SimError::EmptyLayers).kind(), "sim");
+        assert_eq!(
+            ServeError::Sim(SimError::Internal("x".into())).kind(),
+            "internal"
+        );
+        let w = ServeError::BadRequest("no sim field".into()).to_wire();
+        assert_eq!(w.kind, "bad_request");
+        assert!(w.message.contains("no sim field"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `aurora-serve` — a concurrent simulation service in front of the
+//! Aurora engine.
+//!
+//! The ROADMAP's north star is a system that serves heavy traffic; this
+//! crate is the serving layer. A long-running daemon ([`bin/aurora_serve`])
+//! speaks newline-delimited JSON over a Unix socket or TCP: each line is
+//! a [`ServeRequest`] envelope carrying a serializable
+//! [`SimRequest`](aurora_core::SimRequest), each reply a
+//! [`SimResponse`](aurora_core::SimResponse).
+//!
+//! Three layers, each independently testable:
+//!
+//! * [`cache`] — the bounded content-addressed result cache
+//!   (request digest → [`SimReport`](aurora_core::SimReport), FIFO
+//!   eviction, single-flight deduplication). Reports are deterministic
+//!   pure functions of their request, so cached answers are exact.
+//! * [`service`] — admission control and scheduling: a bounded queue in
+//!   front of a worker pool, per-request timeouts, typed
+//!   [`ServeError::Overloaded`] rejection instead of blocking, graceful
+//!   drain, and `serve.*` telemetry.
+//! * [`server`] — the NDJSON transport (listener, protocol loop, and a
+//!   blocking [`Client`]).
+
+pub mod cache;
+pub mod error;
+pub mod server;
+pub mod service;
+
+pub use cache::{Flight, Lookup, ResultCache};
+pub use error::ServeError;
+pub use server::{respond, serve, Client, Endpoint, ServeRequest};
+pub use service::{ServeConfig, ServeOutcome, SimService};

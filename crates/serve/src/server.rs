@@ -1,0 +1,274 @@
+//! The newline-delimited-JSON transport: listener, per-connection
+//! protocol loop, and a small blocking client.
+//!
+//! Wire format (one JSON document per line, both directions):
+//!
+//! ```text
+//! → {"id": 7, "sim": { ...SimRequest... }}
+//! ← {"id": 7, "digest": "…16 hex…", "cached": false,
+//!    "report": { ...SimReport... }, "error": null}
+//! ```
+//!
+//! A line that fails to parse gets a `bad_request` response with the
+//! request id when one could be recovered (id `0` otherwise); the
+//! connection stays open. Requests on one connection are answered in
+//! order. Concurrency comes from concurrent connections — each gets its
+//! own thread, and the bounded admission queue inside [`SimService`]
+//! does the real scheduling.
+
+use crate::error::ServeError;
+use crate::service::SimService;
+use aurora_core::{SimRequest, SimResponse};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One request line: a client-chosen id plus the simulation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    pub id: u64,
+    pub sim: SimRequest,
+}
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at the given path (removed on bind and on
+    /// shutdown).
+    Unix(PathBuf),
+    /// A TCP listen address, e.g. `127.0.0.1:7700`.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// Serves `service` on `endpoint` until `shutdown` becomes true (the
+/// signal handler's flag), then drains and returns. Blocks the calling
+/// thread for the daemon's lifetime.
+pub fn serve(
+    service: Arc<SimService>,
+    endpoint: &Endpoint,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    let listener = match endpoint {
+        Endpoint::Unix(path) => {
+            // a stale socket file from a crashed daemon would fail the
+            // bind; nothing can be listening on it if we can remove it
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Listener::Unix(l)
+        }
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Listener::Tcp(l)
+        }
+    };
+
+    // Nonblocking accept + poll: the listener wakes every few tens of
+    // milliseconds to observe the shutdown flag — no signal-safe
+    // self-pipe machinery needed. Accepted streams get a short read
+    // timeout so idle connection threads can observe the flag too (an
+    // idle client must not hold up a drain).
+    const POLL: Duration = Duration::from_millis(25);
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        let accepted: Option<Box<dyn Conn>> = match &listener {
+            Listener::Unix(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_read_timeout(Some(POLL))?;
+                    Some(Box::new(stream))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_read_timeout(Some(POLL))?;
+                    Some(Box::new(stream))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        match accepted {
+            Some(conn) => {
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&shutdown);
+                connections.push(std::thread::spawn(move || {
+                    let _ = handle_connection(conn, &service, &shutdown);
+                }));
+            }
+            None => std::thread::sleep(POLL),
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+
+    // Drain: stop admission, finish queued work, then wait for the
+    // connection threads to flush their final responses.
+    service.drain();
+    for h in connections {
+        let _ = h.join();
+    }
+    if let Endpoint::Unix(path) = endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+/// A bidirectional stream that can split into an owned reader + writer.
+trait Conn: Send {
+    fn split(self: Box<Self>) -> std::io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)>;
+}
+
+impl Conn for UnixStream {
+    fn split(self: Box<Self>) -> std::io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)> {
+        let reader = self.try_clone()?;
+        Ok((Box::new(BufReader::new(reader)), Box::new(*self)))
+    }
+}
+
+impl Conn for TcpStream {
+    fn split(self: Box<Self>) -> std::io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)> {
+        let reader = self.try_clone()?;
+        Ok((Box::new(BufReader::new(reader)), Box::new(*self)))
+    }
+}
+
+fn handle_connection(
+    conn: Box<dyn Conn>,
+    service: &SimService,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let (mut reader, mut writer) = conn.split()?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Assemble one line, polling the shutdown flag on every read
+        // timeout. `read_line` keeps partially-read bytes in `line`, so
+        // resuming after a timeout never loses data.
+        let eof = loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break true,
+                Ok(_) => break !line.ends_with('\n'),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        if !line.trim().is_empty() {
+            let response = respond(service, &line);
+            let mut out = serde_json::to_string(&response).expect("response serializes");
+            out.push('\n');
+            writer.write_all(out.as_bytes())?;
+            writer.flush()?;
+        }
+        if eof {
+            return Ok(());
+        }
+    }
+}
+
+/// Answers one request line (the whole protocol, transport aside).
+pub fn respond(service: &SimService, line: &str) -> SimResponse {
+    let parsed: Result<ServeRequest, _> = serde_json::from_str(line);
+    match parsed {
+        Err(e) => {
+            // A malformed line still deserves an addressed reply when
+            // the id field itself was readable.
+            let id = recover_id(line);
+            SimResponse::err(
+                id,
+                "",
+                ServeError::BadRequest(format!("unparseable request: {e:?}")).to_wire(),
+            )
+        }
+        Ok(req) => match service.handle(&req.sim) {
+            Ok(outcome) => SimResponse::ok(
+                req.id,
+                outcome.digest,
+                outcome.cached,
+                (*outcome.report).clone(),
+            ),
+            Err(e) => SimResponse::err(req.id, req.sim.digest(), e.to_wire()),
+        },
+    }
+}
+
+/// Best-effort extraction of the `id` from a line that failed to parse
+/// as a full envelope.
+fn recover_id(line: &str) -> u64 {
+    #[derive(Deserialize)]
+    struct IdOnly {
+        id: u64,
+    }
+    serde_json::from_str::<serde_json::Value>(line)
+        .ok()
+        .and_then(|v| IdOnly::from_value(&v).ok().map(|i| i.id))
+        .unwrap_or(0)
+}
+
+/// A small blocking client for the NDJSON protocol, used by
+/// `serve_bench` and the smoke tests.
+pub struct Client {
+    reader: Box<dyn BufRead + Send>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, ServeError> {
+        let (reader, writer): (Box<dyn BufRead + Send>, Box<dyn Write + Send>) = match endpoint {
+            Endpoint::Unix(path) => Box::new(UnixStream::connect(path)?).split()?,
+            Endpoint::Tcp(addr) => Box::new(TcpStream::connect(addr.as_str())?).split()?,
+        };
+        Ok(Self {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, sim: &SimRequest) -> Result<SimResponse, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = ServeRequest {
+            id,
+            sim: sim.clone(),
+        };
+        let mut line = serde_json::to_string(&envelope).expect("request serializes");
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io("connection closed by daemon".into()));
+        }
+        serde_json::from_str(reply.trim_end())
+            .map_err(|e| ServeError::Io(format!("unparseable response: {e:?}")))
+    }
+}

@@ -1,0 +1,323 @@
+//! Admission control and scheduling: the in-process heart of the
+//! daemon, usable (and tested) without any socket.
+//!
+//! Request lifecycle:
+//!
+//! 1. **Lookup** — the request digest is checked against the result
+//!    cache. A ready report answers immediately; an identical in-flight
+//!    run is joined (single-flight). Both count as `serve.cache.hits`.
+//! 2. **Admission** — a leader tries to enqueue its job on the bounded
+//!    queue. A full queue is an immediate typed
+//!    [`ServeError::Overloaded`] — admission never blocks, so a
+//!    saturated daemon degrades into fast rejections instead of
+//!    unbounded latency.
+//! 3. **Execution** — worker threads pop jobs in FIFO order and run the
+//!    engine through the canonical [`AuroraSimulator::run`]; panics are
+//!    caught and surfaced as internal errors. The leader (and any
+//!    followers) wait on the flight with the per-request timeout. A
+//!    timed-out waiter abandons the wait, but the job still completes
+//!    and warms the cache.
+//! 4. **Drain** — [`SimService::drain`] stops admission (new requests
+//!    get [`ServeError::ShuttingDown`]), lets queued jobs finish, and
+//!    joins the workers.
+
+use crate::cache::{Lookup, ResultCache};
+use crate::error::ServeError;
+use aurora_core::{
+    metric_names as names, AuroraSimulator, Scope, SimReport, SimRequest, Telemetry,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`SimService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads executing simulations. `0` means no pool: the
+    /// leading caller runs its own job inline (useful in tests, where
+    /// the caller controls the thread environment).
+    pub workers: usize,
+    /// Bounded admission-queue depth; beyond it requests are rejected
+    /// with [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Result-cache capacity (completed reports retained, FIFO).
+    pub cache_capacity: usize,
+    /// Per-request wait budget in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: rayon::configured_threads(),
+            queue_depth: 64,
+            cache_capacity: 256,
+            timeout_ms: 30_000,
+        }
+    }
+}
+
+/// A successfully answered request.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    pub digest: String,
+    /// `true` when the report came from the cache or an in-flight join —
+    /// i.e. this request ran no engine work of its own.
+    pub cached: bool,
+    pub report: Arc<SimReport>,
+}
+
+struct Job {
+    digest: String,
+    request: SimRequest,
+}
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Inner {
+    cache: ResultCache,
+    queue: Queue,
+    draining: AtomicBool,
+    inflight: AtomicI64,
+    config: ServeConfig,
+    telemetry: Telemetry,
+}
+
+impl Inner {
+    /// Runs one job's engine work and resolves its flight. Engine runs
+    /// use a *disabled* telemetry handle: a long-running daemon must not
+    /// grow an unbounded trace buffer, and per-run metric deltas would
+    /// alias across concurrent requests. Service-level `serve.*`
+    /// metrics live on the service handle instead.
+    fn execute(&self, job: Job) {
+        let sim = AuroraSimulator::new(job.request.config);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(&job.request)));
+        let result = match result {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(ServeError::Sim(e)),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "engine panicked".into());
+                Err(ServeError::Sim(aurora_core::SimError::Internal(msg)))
+            }
+        };
+        self.cache.complete(&job.digest, result);
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let mut jobs = self.queue.jobs.lock().unwrap();
+            let job = loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if self.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = self.queue.available.wait(jobs).unwrap();
+            };
+            drop(jobs);
+            self.execute(job);
+        }
+    }
+}
+
+/// The concurrent simulation service: result cache + bounded queue +
+/// worker pool. Cheap to clone-share via [`Arc`].
+pub struct SimService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SimService {
+    /// Builds the service and spawns its worker pool. `telemetry`
+    /// receives the `serve.*` metrics (pass [`Telemetry::disabled`] to
+    /// opt out).
+    pub fn new(config: ServeConfig, telemetry: Telemetry) -> Self {
+        let inner = Arc::new(Inner {
+            cache: ResultCache::new(config.cache_capacity),
+            queue: Queue {
+                jobs: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            },
+            draining: AtomicBool::new(false),
+            inflight: AtomicI64::new(0),
+            config,
+            telemetry,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// A snapshot of the service's `serve.*` metrics.
+    pub fn metrics(&self) -> aurora_core::MetricsSnapshot {
+        self.inner.telemetry.snapshot()
+    }
+
+    /// Answers one request: cache hit, in-flight join, or fresh engine
+    /// run, under the configured timeout and queue budget.
+    pub fn handle(&self, request: &SimRequest) -> Result<ServeOutcome, ServeError> {
+        let started = Instant::now();
+        let result = self.handle_inner(request);
+        let tel = &self.inner.telemetry;
+        tel.observe(
+            names::SERVE_LATENCY_US,
+            &Scope::ROOT,
+            started.elapsed().as_micros() as u64,
+        );
+        match &result {
+            Err(ServeError::Overloaded { .. }) => {
+                tel.counter_add(names::SERVE_REJECT_OVERLOADED, &Scope::ROOT, 1)
+            }
+            Err(ServeError::Timeout { .. }) => {
+                tel.counter_add(names::SERVE_TIMEOUTS, &Scope::ROOT, 1)
+            }
+            Err(_) => tel.counter_add(names::SERVE_ERRORS, &Scope::ROOT, 1),
+            Ok(_) => {}
+        }
+        result
+    }
+
+    fn handle_inner(&self, request: &SimRequest) -> Result<ServeOutcome, ServeError> {
+        let inner = &*self.inner;
+        let tel = &inner.telemetry;
+        if inner.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Reject malformed requests before they take cache leadership.
+        request.validate().map_err(ServeError::Sim)?;
+        let digest = request.digest();
+        let timeout = Duration::from_millis(inner.config.timeout_ms);
+
+        let inflight = InflightGuard::enter(inner);
+        tel.counter_add(names::SERVE_REQUESTS, &Scope::ROOT, 1);
+
+        let flight = match inner.cache.lookup(&digest) {
+            Lookup::Hit(report) => {
+                tel.counter_add(names::SERVE_CACHE_HITS, &Scope::ROOT, 1);
+                drop(inflight);
+                return Ok(ServeOutcome {
+                    digest,
+                    cached: true,
+                    report,
+                });
+            }
+            Lookup::Join(flight) => {
+                let report = flight.wait(timeout)?;
+                tel.counter_add(names::SERVE_CACHE_HITS, &Scope::ROOT, 1);
+                drop(inflight);
+                return Ok(ServeOutcome {
+                    digest,
+                    cached: true,
+                    report,
+                });
+            }
+            Lookup::Lead(flight) => flight,
+        };
+        tel.counter_add(names::SERVE_CACHE_MISSES, &Scope::ROOT, 1);
+
+        let job = Job {
+            digest: digest.clone(),
+            request: request.clone(),
+        };
+        if inner.config.workers == 0 {
+            // No pool: the leader executes inline on its own thread.
+            inner.execute(job);
+        } else {
+            let rejected = {
+                let mut jobs = inner.queue.jobs.lock().unwrap();
+                if jobs.len() >= inner.config.queue_depth {
+                    Some(jobs.len())
+                } else {
+                    jobs.push_back(job);
+                    inner.queue.available.notify_one();
+                    None
+                }
+            };
+            if let Some(queued) = rejected {
+                let err = ServeError::Overloaded {
+                    queued,
+                    capacity: inner.config.queue_depth,
+                };
+                // Release leadership so a later identical request can
+                // lead; followers that already joined share the error.
+                inner.cache.abort(&digest, err.clone());
+                return Err(err);
+            }
+        }
+        let report = flight.wait(timeout)?;
+        drop(inflight);
+        Ok(ServeOutcome {
+            digest,
+            cached: false,
+            report,
+        })
+    }
+
+    /// Graceful shutdown: stop admitting, finish every queued job, join
+    /// the workers. Idempotent.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.queue.available.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // workers == 0: queued jobs cannot exist (leaders ran inline)
+    }
+}
+
+impl Drop for SimService {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// RAII tracker of the `serve.inflight` gauge.
+struct InflightGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn enter(inner: &'a Inner) -> Self {
+        let now = inner.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        inner
+            .telemetry
+            .gauge_set(names::SERVE_INFLIGHT, &Scope::ROOT, now as f64);
+        Self { inner }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let now = self.inner.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.inner
+            .telemetry
+            .gauge_set(names::SERVE_INFLIGHT, &Scope::ROOT, now.max(0) as f64);
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end service contracts: content-addressed caching,
+//! single-flight, thread-count determinism, backpressure, timeout,
+//! drain, and the NDJSON socket round-trip.
+
+use aurora_core::{metric_names as names, AcceleratorConfig, SimError, SimRequest, Telemetry};
+use aurora_model::{LayerShape, ModelId};
+use aurora_serve::{respond, serve, Client, Endpoint, ServeConfig, ServeError, SimService};
+use rayon::pool::ThreadPool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_request(seed: u64) -> SimRequest {
+    SimRequest::builder(ModelId::Gcn)
+        .config(AcceleratorConfig::small(4))
+        .rmat(128, 800, seed)
+        .layer(LayerShape::new(32, 16))
+        .workload("svc")
+        .build()
+        .expect("valid request")
+}
+
+fn service(config: ServeConfig) -> (SimService, Telemetry) {
+    let telemetry = Telemetry::enabled();
+    (SimService::new(config, telemetry.clone()), telemetry)
+}
+
+#[test]
+fn digest_equal_requests_hit_the_cache() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let req = small_request(1);
+    let first = svc.handle(&req).expect("first request runs");
+    assert!(!first.cached, "first sight must miss");
+    let second = svc.handle(&req).expect("second request hits");
+    assert!(second.cached, "digest-equal request must hit");
+    // the cached answer is the *same* report, not a re-run
+    assert!(Arc::ptr_eq(&first.report, &second.report));
+
+    let m = svc.metrics();
+    assert_eq!(m.counter_total(names::SERVE_REQUESTS), 2);
+    assert_eq!(m.counter_total(names::SERVE_CACHE_MISSES), 1);
+    assert!(m.counter_total(names::SERVE_CACHE_HITS) >= 1);
+    assert!(
+        m.histogram_at(names::SERVE_LATENCY_US, &aurora_core::Scope::ROOT)
+            .is_some(),
+        "latency histogram observed"
+    );
+}
+
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    // workers = 0 executes on the calling thread, so the installed pool
+    // is the one the engine's par_iter fan-out actually uses.
+    let req = small_request(2);
+    let run_at = |threads: usize| {
+        let (svc, _tel) = service(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        ThreadPool::new(threads).install(|| {
+            serde_json::to_string(&*svc.handle(&req).expect("runs").report).expect("serialise")
+        })
+    };
+    let seq = run_at(1);
+    let par = run_at(4);
+    assert_eq!(seq, par, "reports diverged across thread counts");
+}
+
+#[test]
+fn concurrent_identical_requests_simulate_once() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let svc = Arc::new(svc);
+    // a slightly larger graph so followers actually overlap the run
+    let req = SimRequest::builder(ModelId::Gcn)
+        .config(AcceleratorConfig::small(4))
+        .rmat(2_000, 16_000, 5)
+        .layer(LayerShape::new(64, 32))
+        .workload("single-flight")
+        .build()
+        .unwrap();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let req = req.clone();
+            std::thread::spawn(move || svc.handle(&req).expect("request succeeds"))
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first = &outcomes[0].report;
+    for o in &outcomes {
+        assert!(Arc::ptr_eq(first, &o.report), "all callers share one run");
+    }
+    let m = svc.metrics();
+    assert_eq!(
+        m.counter_total(names::SERVE_CACHE_MISSES),
+        1,
+        "exactly one engine run for 8 identical concurrent requests"
+    );
+    assert_eq!(m.counter_total(names::SERVE_CACHE_HITS), 7);
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded_instead_of_blocking() {
+    // queue depth 0: every fresh digest is over budget immediately
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..ServeConfig::default()
+    });
+    let err = svc.handle(&small_request(3)).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Overloaded { capacity: 0, .. }),
+        "got {err:?}"
+    );
+    let m = svc.metrics();
+    assert_eq!(m.counter_total(names::SERVE_REJECT_OVERLOADED), 1);
+    // the digest is leadable again: a retry after rejection is not
+    // poisoned (it just gets rejected again while the cap is 0)
+    assert!(matches!(
+        svc.handle(&small_request(3)).unwrap_err(),
+        ServeError::Overloaded { .. }
+    ));
+}
+
+#[test]
+fn saturating_flood_terminates_with_ok_or_overloaded() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        timeout_ms: 60_000,
+        ..ServeConfig::default()
+    });
+    let svc = Arc::new(svc);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || svc.handle(&small_request(10 + i)))
+        })
+        .collect();
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(_) => ok += 1,
+            Err(ServeError::Overloaded { .. }) => overloaded += 1,
+            Err(other) => panic!("unexpected error under load: {other:?}"),
+        }
+    }
+    assert_eq!(ok + overloaded, 8, "every request got a definite answer");
+    assert!(ok >= 1, "the queue must still make progress");
+}
+
+#[test]
+fn timed_out_request_still_warms_the_cache() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        timeout_ms: 0,
+        ..ServeConfig::default()
+    });
+    let req = small_request(4);
+    let err = svc.handle(&req).unwrap_err();
+    assert!(matches!(err, ServeError::Timeout { ms: 0 }), "got {err:?}");
+    assert!(svc.metrics().counter_total(names::SERVE_TIMEOUTS) >= 1);
+    // the abandoned job completes in the background and lands in the
+    // cache; a zero-budget caller is then served instantly from it
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        match svc.handle(&req) {
+            Ok(outcome) => {
+                assert!(outcome.cached, "warmed by the abandoned run");
+                break;
+            }
+            Err(ServeError::Timeout { .. }) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "abandoned job never landed in the cache"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn drain_rejects_new_work_and_joins_workers() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let req = small_request(6);
+    svc.handle(&req).expect("pre-drain request runs");
+    svc.drain();
+    assert_eq!(svc.handle(&req).unwrap_err(), ServeError::ShuttingDown);
+    svc.drain(); // idempotent
+}
+
+#[test]
+fn invalid_requests_are_typed_errors() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let invalid = SimRequest {
+        layers: vec![],
+        ..small_request(7)
+    };
+    assert_eq!(
+        svc.handle(&invalid).unwrap_err(),
+        ServeError::Sim(SimError::EmptyLayers)
+    );
+    assert_eq!(svc.metrics().counter_total(names::SERVE_ERRORS), 1);
+    // rejected before taking leadership: the engine never ran
+    assert_eq!(svc.metrics().counter_total(names::SERVE_CACHE_MISSES), 0);
+}
+
+#[test]
+fn protocol_answers_malformed_lines_without_dropping() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let garbled = respond(&svc, "{this is not json");
+    assert_eq!(garbled.error.as_ref().unwrap().kind, "bad_request");
+    assert_eq!(garbled.id, 0);
+    // a readable id in an otherwise bad envelope is echoed back
+    let half = respond(&svc, "{\"id\": 9, \"sim\": 5}");
+    assert_eq!(half.id, 9);
+    assert_eq!(half.error.as_ref().unwrap().kind, "bad_request");
+    // and a well-formed line still works on the same service
+    let line = serde_json::to_string(&aurora_serve::ServeRequest {
+        id: 11,
+        sim: small_request(8),
+    })
+    .unwrap();
+    let ok = respond(&svc, &line);
+    assert_eq!(ok.id, 11);
+    assert!(ok.is_ok(), "error: {:?}", ok.error);
+    assert_eq!(ok.digest, small_request(8).digest());
+}
+
+#[test]
+fn unix_socket_round_trip_serves_and_caches() {
+    let sock = std::env::temp_dir().join(format!("aurora-serve-test-{}.sock", std::process::id()));
+    let (svc, _tel) = service(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let svc = Arc::new(svc);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = {
+        let svc = Arc::clone(&svc);
+        let shutdown = Arc::clone(&shutdown);
+        let endpoint = Endpoint::Unix(sock.clone());
+        std::thread::spawn(move || serve(svc, &endpoint, shutdown))
+    };
+    // wait for the socket to appear
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(std::time::Instant::now() < deadline, "daemon never bound");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut client = Client::connect(&Endpoint::Unix(sock.clone())).expect("connect");
+    let req = small_request(9);
+    let first = client.request(&req).expect("first response");
+    assert!(first.is_ok(), "error: {:?}", first.error);
+    assert!(!first.cached);
+    assert_eq!(first.digest, req.digest());
+    let second = client.request(&req).expect("second response");
+    assert!(second.cached, "repeat over the wire must hit the cache");
+    assert_eq!(second.report, first.report, "cached report is identical");
+
+    shutdown.store(true, Ordering::SeqCst);
+    server.join().unwrap().expect("server exits cleanly");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}

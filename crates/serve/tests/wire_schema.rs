@@ -1,0 +1,95 @@
+//! Golden wire-schema test: the JSON forms of `SimRequest` and
+//! `SimResponse` are a public protocol — clients in other processes
+//! (and other languages) parse them — so their shape is pinned to
+//! committed fixtures, like the Chrome-trace schema in
+//! `crates/bench/tests/trace_schema.rs`. Regenerate deliberately with
+//! `UPDATE_FIXTURES=1 cargo test -p aurora-serve --test wire_schema`
+//! after an intentional protocol change (and say so in the PR).
+
+use aurora_core::{AcceleratorConfig, SimRequest, SimResponse, WireError};
+use aurora_graph::Dataset;
+use aurora_model::{LayerShape, ModelId};
+use aurora_serve::ServeRequest;
+use std::path::PathBuf;
+
+/// The canonical example request: every `GraphSpec::Dataset` field, a
+/// non-default config, two layers, and non-default options exercised.
+fn golden_request() -> SimRequest {
+    SimRequest::builder(ModelId::Gcn)
+        .config(AcceleratorConfig::small(8))
+        .dataset(Dataset::Cora, 16)
+        .layers(&[LayerShape::new(64, 32), LayerShape::new(32, 16)])
+        .workload("golden")
+        .input_density(0.5)
+        .build()
+        .expect("golden request is valid")
+}
+
+/// The content digest of [`golden_request`], pinned: a change here means
+/// every deployed cache key changes — treat it like a schema break.
+const GOLDEN_DIGEST: &str = "cc7d7517d623781e";
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+fn check(rel: &str, actual: &str) -> String {
+    let path = fixture(rel);
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{actual}\n")).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); run with UPDATE_FIXTURES=1"));
+    assert_eq!(
+        expected.trim_end(),
+        actual,
+        "wire schema drifted from {rel}; if intentional, regenerate with UPDATE_FIXTURES=1"
+    );
+    expected
+}
+
+#[test]
+fn request_envelope_matches_committed_fixture() {
+    let envelope = ServeRequest {
+        id: 42,
+        sim: golden_request(),
+    };
+    let pretty = serde_json::to_string_pretty(&envelope).unwrap();
+    let committed = check("sim_request.json", &pretty);
+
+    // the committed document deserializes back to the same request …
+    let parsed: ServeRequest = serde_json::from_str(&committed).unwrap();
+    assert_eq!(parsed, envelope);
+    // … and compact/pretty render the same value tree (the digest is
+    // computed over the compact form)
+    let compact = serde_json::to_string(&envelope.sim).unwrap();
+    let reparsed: SimRequest = serde_json::from_str(&compact).unwrap();
+    assert_eq!(reparsed, envelope.sim);
+}
+
+#[test]
+fn response_envelope_matches_committed_fixture() {
+    let response = SimResponse::err(
+        42,
+        golden_request().digest(),
+        WireError::new("overloaded", "overloaded: 64 queued >= capacity 64"),
+    );
+    let pretty = serde_json::to_string_pretty(&response).unwrap();
+    let committed = check("sim_response.json", &pretty);
+    let parsed: SimResponse = serde_json::from_str(&committed).unwrap();
+    assert_eq!(parsed, response);
+    assert!(!parsed.is_ok());
+}
+
+#[test]
+fn golden_digest_is_pinned() {
+    assert_eq!(
+        golden_request().digest(),
+        GOLDEN_DIGEST,
+        "the cache-key function changed; bump the pinned digest only for \
+         an intentional request-schema or hash change"
+    );
+}

@@ -19,3 +19,33 @@ pub const NOC_TILE_PROFILE_HITS: &str = "noc.tile_profile.hits";
 
 /// Tile traffic-profile cache misses: the O(E) counting pass ran.
 pub const NOC_TILE_PROFILE_MISSES: &str = "noc.tile_profile.misses";
+
+/// Simulation requests admitted by the serve front end (accepted for
+/// execution or answered from cache; rejected requests count under
+/// [`SERVE_REJECT_OVERLOADED`] / [`SERVE_ERRORS`] instead).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+
+/// Requests answered from the content-addressed result cache — including
+/// followers that joined an identical in-flight simulation — without a
+/// fresh engine run.
+pub const SERVE_CACHE_HITS: &str = "serve.cache.hits";
+
+/// Requests that led a fresh engine run (cache leader).
+pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
+
+/// Requests currently inside the service (queued or executing). Gauge.
+pub const SERVE_INFLIGHT: &str = "serve.inflight";
+
+/// End-to-end request latency in microseconds, observed on every return
+/// path (hit, miss, and error alike). Log2 histogram.
+pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+
+/// Requests rejected at admission because the bounded queue was full.
+pub const SERVE_REJECT_OVERLOADED: &str = "serve.reject.overloaded";
+
+/// Requests whose caller stopped waiting (the simulation still completes
+/// and warms the cache).
+pub const SERVE_TIMEOUTS: &str = "serve.timeouts";
+
+/// Requests that failed with a typed error (bad request or `SimError`).
+pub const SERVE_ERRORS: &str = "serve.errors";

@@ -6,8 +6,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Scratch BENCH_*.json files must not survive a failed gate: clean up the
-# check artifacts on every exit path, success or failure.
-trap 'rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json' EXIT
+# check artifacts on every exit path, success or failure. The serve smoke
+# step fills in SERVE_PID/SERVE_SOCK; the trap also reaps that daemon if
+# a later step (or the smoke itself) fails.
+SERVE_PID=""
+SERVE_SOCK=""
+cleanup() {
+  rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -TERM "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  [ -n "$SERVE_SOCK" ] && rm -f "$SERVE_SOCK"
+}
+trap cleanup EXIT
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
@@ -30,6 +42,27 @@ echo "==> noc_kernel_bench --quick (informational: traffic-kernel speedup)"
 # walker. Informational only — host timing never gates — but the binary
 # asserts the two estimators produce bit-identical results.
 cargo run --release -q -p aurora-bench --bin noc_kernel_bench -- --quick
+
+echo "==> serve smoke (aurora_serve + 8 concurrent serve_bench connections)"
+# Start the daemon on a scratch socket (the release binary directly, so
+# the TERM below reaches the daemon itself, not a cargo wrapper), flood
+# it with 8 concurrent mixed connections, and require every response to
+# succeed with per-digest bit-identical reports and cache hits on the
+# repeats — serve_bench exits non-zero otherwise. Then drain via SIGTERM
+# and require a clean exit.
+SERVE_SOCK="$(mktemp -u /tmp/aurora-serve-check-XXXXXX.sock)"
+./target/release/aurora_serve --socket "$SERVE_SOCK" --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SERVE_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SERVE_SOCK" ] || { echo "serve smoke FAILED: daemon never bound" >&2; exit 1; }
+./target/release/serve_bench --socket "$SERVE_SOCK" --connections 8 --repeat 2
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "serve smoke FAILED: daemon exited non-zero" >&2; exit 1; }
+SERVE_PID=""
+echo "serve smoke passed: daemon drained cleanly"
 
 echo "==> thread-count determinism (AURORA_THREADS=1 vs 2)"
 AURORA_THREADS=1 cargo run --release -q -p aurora-bench --bin perf_regress -- \
