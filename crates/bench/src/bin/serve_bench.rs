@@ -21,12 +21,19 @@
 //!   determinism contract, independent of which worker or cache path
 //!   answered,
 //! - with repeats, at least one response is served from the cache
-//!   (in fact every response beyond the first per digest must be).
+//!   (in fact every response beyond the first per digest must be),
+//! - the admin plane answers on the same socket: `health` reports
+//!   `ok`, `stats` accounts for at least this run's traffic with
+//!   ordered latency quantiles (p50 ≤ p95 ≤ p99) and a warm hit
+//!   ratio, and `metrics` carries the Prometheus exposition.
+//!
+//! The scraped stats print as a table (suppressed by `--json`).
 //!
 //! `scripts/check.sh` runs this against a freshly started daemon as the
 //! serve smoke gate.
 
 use aurora_bench::cli::{self, Args};
+use aurora_bench::emit::{Cell, Table};
 use aurora_core::{AcceleratorConfig, SimRequest, SimResponse};
 use aurora_model::{LayerShape, ModelId};
 use aurora_serve::{Client, Endpoint};
@@ -176,6 +183,19 @@ fn main() {
         ));
     }
 
+    // Gate 4: the admin plane on the same socket. Scrape health, stats
+    // and metrics from the still-running daemon and hold them to the
+    // contracts the dashboards depend on.
+    let expect_hits = rendered.len() > distinct;
+    match scrape_admin(&endpoint, responses.len() as u64, expect_hits) {
+        Ok(stats) => {
+            if !json {
+                print_stats(&stats);
+            }
+        }
+        Err(mut admin_failures) => failures.append(&mut admin_failures),
+    }
+
     let summary = Summary {
         connections,
         repeat,
@@ -208,5 +228,140 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("serve_bench: all responses ok, reports deterministic per digest");
+    println!(
+        "serve_bench: all responses ok, reports deterministic per digest, admin plane healthy"
+    );
+}
+
+/// Reads `path.to.key` out of a nested admin reply.
+fn walk<'a>(value: &'a serde_json::Value, path: &str) -> Option<&'a serde_json::Value> {
+    path.split('.').try_fold(value, |v, key| v.get(key))
+}
+
+fn walk_u64(value: &serde_json::Value, path: &str) -> u64 {
+    walk(value, path).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+/// Scrapes `health`, `stats` and `metrics` from the live daemon and
+/// gates them. Returns the `stats` body for the table, or the list of
+/// violated contracts.
+fn scrape_admin(
+    endpoint: &Endpoint,
+    min_requests: u64,
+    expect_hits: bool,
+) -> Result<serde_json::Value, Vec<String>> {
+    let mut failures = Vec::new();
+    let mut client = match Client::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => return Err(vec![format!("admin connect to {endpoint}: {e}")]),
+    };
+
+    match client.admin("health") {
+        Ok(health) => {
+            let status = health.get("status").and_then(|v| v.as_str()).unwrap_or("");
+            if status != "ok" {
+                failures.push(format!("admin health: status `{status}`, expected `ok`"));
+            }
+        }
+        Err(e) => failures.push(format!("admin health: {e}")),
+    }
+
+    let stats: Option<serde_json::Value> = match client.admin("stats") {
+        Ok(reply) => match reply.get("stats") {
+            Some(stats) => Some(stats.clone()),
+            None => {
+                failures.push("admin stats: reply missing `stats` body".to_string());
+                None
+            }
+        },
+        Err(e) => {
+            failures.push(format!("admin stats: {e}"));
+            None
+        }
+    };
+    if let Some(stats) = &stats {
+        let requests = walk_u64(stats, "requests");
+        if requests < min_requests {
+            failures.push(format!(
+                "admin stats: {requests} requests accounted, this run sent {min_requests}"
+            ));
+        }
+        let hit_ratio = walk(stats, "hit_ratio")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if expect_hits && hit_ratio <= 0.0 {
+            failures.push("admin stats: hit_ratio is 0 after a repeated mix".to_string());
+        }
+        let p50 = walk_u64(stats, "latency_us.p50_us");
+        let p95 = walk_u64(stats, "latency_us.p95_us");
+        let p99 = walk_u64(stats, "latency_us.p99_us");
+        if !(p50 <= p95 && p95 <= p99) {
+            failures.push(format!(
+                "admin stats: latency quantiles out of order (p50 {p50}, p95 {p95}, p99 {p99})"
+            ));
+        }
+        if walk_u64(stats, "latency_us.count") == 0 {
+            failures.push("admin stats: empty latency digest after traffic".to_string());
+        }
+    }
+
+    match client.admin("metrics") {
+        Ok(metrics) => {
+            let prometheus = metrics
+                .get("prometheus")
+                .and_then(|v| v.as_str())
+                .unwrap_or("");
+            for needle in ["aurora_serve_requests", "aurora_serve_latency_us_bucket"] {
+                if !prometheus.contains(needle) {
+                    failures.push(format!(
+                        "admin metrics: Prometheus exposition missing `{needle}`"
+                    ));
+                }
+            }
+            if metrics.get("snapshot").is_none() {
+                failures.push("admin metrics: reply missing raw `snapshot`".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("admin metrics: {e}")),
+    }
+
+    match (failures.is_empty(), stats) {
+        (true, Some(stats)) => Ok(stats),
+        (_, _) => Err(failures),
+    }
+}
+
+/// Renders the scraped `stats` body as the shared results table.
+fn print_stats(stats: &serde_json::Value) {
+    let mut table = Table::new("serve_bench: daemon stats").columns(&[
+        "requests",
+        "hit ratio",
+        "cache",
+        "inflight",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "queue-wait p95 us",
+    ]);
+    table.row(vec![
+        Cell::from(walk_u64(stats, "requests")),
+        Cell::percent(
+            walk(stats, "hit_ratio")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+                * 100.0,
+            1,
+        ),
+        Cell::from(format!(
+            "{}/{}",
+            walk_u64(stats, "cache_size"),
+            walk_u64(stats, "cache_capacity")
+        )),
+        Cell::from(walk_u64(stats, "inflight")),
+        Cell::from(walk_u64(stats, "latency_us.p50_us")),
+        Cell::from(walk_u64(stats, "latency_us.p95_us")),
+        Cell::from(walk_u64(stats, "latency_us.p99_us")),
+        Cell::from(walk_u64(stats, "queue_wait_us.p95_us")),
+    ]);
+    table.print();
 }

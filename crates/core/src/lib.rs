@@ -54,4 +54,6 @@ pub use workflow::Workflow;
 
 // Re-exported so simulator drivers can enable observability without
 // depending on aurora-telemetry directly.
-pub use aurora_telemetry::{names as metric_names, MetricsSnapshot, Scope, Telemetry};
+pub use aurora_telemetry::{
+    expo, names as metric_names, Histogram, MetricsSnapshot, Scope, Telemetry,
+};

@@ -3,20 +3,41 @@
 //! ```text
 //! aurora_serve --socket /tmp/aurora.sock [--workers N] [--queue N]
 //!              [--cache N] [--timeout-ms N] [--metrics PATH]
+//!              [--metrics-every SECS] [--access-log PATH|stderr]
+//!              [--slow-ms N] [--flights N] [--drain-grace-ms N]
 //! aurora_serve --tcp 127.0.0.1:7700
 //! ```
 //!
 //! Clients send one `{"id": N, "sim": {...SimRequest...}}` JSON document
-//! per line and read one `SimResponse` line back. SIGTERM/SIGINT drain
-//! gracefully: in-flight and queued simulations finish, their responses
-//! flush, the socket file is removed, and the process exits 0.
+//! per line and read one `SimResponse` line back; lines with an
+//! `"admin"` key (`health`, `stats`, `metrics`, `flights`) introspect
+//! the live daemon instead. SIGTERM/SIGINT drain gracefully: in-flight
+//! and queued simulations finish, their responses flush, open
+//! connections keep answering (health reports `draining`) for
+//! `--drain-grace-ms`, the flight recorder dumps to stderr, the socket
+//! file is removed, and the process exits 0.
+//!
+//! Observability flags:
+//!
+//! * `--access-log PATH|stderr` — one NDJSON line per served request
+//!   (seq, digest, outcome, queue-wait/execute/latency µs, bytes out).
+//! * `--metrics-every SECS` — periodic `serve.*` activity deltas on
+//!   stderr (name-ordered; idle intervals print nothing).
+//! * `--slow-ms N` / `--flights N` — flight-recorder threshold and ring
+//!   capacity.
+//! * `--metrics PATH` — full `MetricsSnapshot` JSON written at exit.
 
 use aurora_core::Telemetry;
-use aurora_serve::{serve, Endpoint, ServeConfig, SimService};
+use aurora_serve::{
+    serve_with, Endpoint, FileLog, ServeConfig, ServerOptions, SimService, StderrLog,
+};
+use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
@@ -42,15 +63,29 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: aurora_serve (--socket PATH | --tcp ADDR) [--workers N] \
-         [--queue N] [--cache N] [--timeout-ms N] [--metrics PATH]"
+         [--queue N] [--cache N] [--timeout-ms N] [--metrics PATH] \
+         [--metrics-every SECS] [--access-log PATH|stderr] [--slow-ms N] \
+         [--flights N] [--drain-grace-ms N]"
     );
     std::process::exit(2);
+}
+
+/// One `--metrics-every` stderr line: name-ordered activity since the
+/// previous interval.
+#[derive(Serialize)]
+struct MetricsDelta {
+    event: String,
+    interval_s: u64,
+    delta: BTreeMap<String, u64>,
 }
 
 fn main() -> ExitCode {
     let mut endpoint: Option<Endpoint> = None;
     let mut config = ServeConfig::default();
     let mut metrics_path: Option<PathBuf> = None;
+    let mut metrics_every_s: u64 = 0;
+    let mut access_log: Option<String> = None;
+    let mut drain_grace_ms: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,7 +106,20 @@ fn main() -> ExitCode {
             "--timeout-ms" => {
                 config.timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| usage())
             }
+            "--slow-ms" => config.slow_ms = value("--slow-ms").parse().unwrap_or_else(|_| usage()),
+            "--flights" => {
+                config.flight_capacity = value("--flights").parse().unwrap_or_else(|_| usage())
+            }
             "--metrics" => metrics_path = Some(PathBuf::from(value("--metrics"))),
+            "--metrics-every" => {
+                metrics_every_s = value("--metrics-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--access-log" => access_log = Some(value("--access-log")),
+            "--drain-grace-ms" => {
+                drain_grace_ms = value("--drain-grace-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -86,13 +134,30 @@ fn main() -> ExitCode {
         config.workers = 1;
     }
 
+    let sink: Arc<dyn aurora_serve::EventLog> = match access_log.as_deref() {
+        None => Arc::new(aurora_serve::NullLog),
+        Some("stderr") => Arc::new(StderrLog),
+        Some(path) => match FileLog::open(std::path::Path::new(path)) {
+            Ok(log) => Arc::new(log),
+            Err(e) => {
+                eprintln!("aurora_serve: cannot open access log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
     install_signal_handlers();
     let telemetry = Telemetry::enabled();
-    let service = Arc::new(SimService::new(config, telemetry.clone()));
+    let service = Arc::new(SimService::with_access_log(config, telemetry.clone(), sink));
     eprintln!(
         "aurora_serve: listening on {endpoint} \
-         (workers {}, queue {}, cache {}, timeout {} ms)",
-        config.workers, config.queue_depth, config.cache_capacity, config.timeout_ms
+         (workers {}, queue {}, cache {}, timeout {} ms, slow {} ms, flights {})",
+        config.workers,
+        config.queue_depth,
+        config.cache_capacity,
+        config.timeout_ms,
+        config.slow_ms,
+        config.flight_capacity
     );
 
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -108,7 +173,63 @@ fn main() -> ExitCode {
         });
     }
 
-    let result = serve(Arc::clone(&service), &endpoint, shutdown);
+    // periodic metric deltas on stderr: one NDJSON line per interval
+    // with activity, nothing when idle
+    if metrics_every_s > 0 {
+        let telemetry = telemetry.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            let mut previous = telemetry.snapshot();
+            'interval: loop {
+                // sleep in short steps so drain does not wait on us
+                for _ in 0..metrics_every_s * 10 {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break 'interval;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                let snapshot = telemetry.snapshot();
+                let delta = snapshot.delta_since(&previous);
+                if !delta.is_empty() {
+                    let line = MetricsDelta {
+                        event: "metrics".to_string(),
+                        interval_s: metrics_every_s,
+                        delta,
+                    };
+                    eprintln!(
+                        "{}",
+                        serde_json::to_string(&line).expect("delta serializes")
+                    );
+                }
+                previous = snapshot;
+            }
+        });
+    }
+
+    let result = serve_with(
+        Arc::clone(&service),
+        &endpoint,
+        shutdown,
+        ServerOptions {
+            drain_grace: Duration::from_millis(drain_grace_ms),
+        },
+    );
+
+    // the flight recorder's post-mortem: every retained slow/error
+    // request, one NDJSON line each, before the process goes away
+    let flights = service.flights();
+    if !flights.is_empty() {
+        eprintln!(
+            "aurora_serve: flight recorder retained {} slow/error request(s):",
+            flights.len()
+        );
+        for flight in &flights {
+            eprintln!(
+                "{}",
+                serde_json::to_string(flight).expect("flight record serializes")
+            );
+        }
+    }
 
     // final metrics snapshot (cache hit/miss, latency histograms) for
     // post-mortems and the smoke gate

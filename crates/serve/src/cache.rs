@@ -14,6 +14,7 @@
 //! done on their behalf.
 
 use crate::error::ServeError;
+use crate::observe::JobTiming;
 use aurora_core::SimReport;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -28,7 +29,11 @@ pub struct Flight {
 
 enum FlightState {
     Pending,
-    Done(Result<Arc<SimReport>, ServeError>),
+    Done {
+        result: Result<Arc<SimReport>, ServeError>,
+        /// Queue-wait/execute split measured by whoever ran the job.
+        timing: JobTiming,
+    },
 }
 
 impl Flight {
@@ -41,9 +46,9 @@ impl Flight {
 
     /// Resolves the flight and wakes every waiter. Idempotent only by
     /// construction: the cache guarantees one resolver per flight.
-    fn resolve(&self, result: Result<Arc<SimReport>, ServeError>) {
+    fn resolve(&self, result: Result<Arc<SimReport>, ServeError>, timing: JobTiming) {
         let mut st = self.state.lock().unwrap();
-        *st = FlightState::Done(result);
+        *st = FlightState::Done { result, timing };
         self.done.notify_all();
     }
 
@@ -54,7 +59,7 @@ impl Flight {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock().unwrap();
         loop {
-            if let FlightState::Done(result) = &*st {
+            if let FlightState::Done { result, .. } = &*st {
                 return result.clone();
             }
             let now = Instant::now();
@@ -66,7 +71,7 @@ impl Flight {
             let (next, wait) = self.done.wait_timeout(st, deadline - now).unwrap();
             st = next;
             if wait.timed_out() {
-                if let FlightState::Done(result) = &*st {
+                if let FlightState::Done { result, .. } = &*st {
                     return result.clone();
                 }
                 return Err(ServeError::Timeout {
@@ -80,7 +85,16 @@ impl Flight {
     pub fn poll(&self) -> Option<Result<Arc<SimReport>, ServeError>> {
         match &*self.state.lock().unwrap() {
             FlightState::Pending => None,
-            FlightState::Done(result) => Some(result.clone()),
+            FlightState::Done { result, .. } => Some(result.clone()),
+        }
+    }
+
+    /// The resolved flight's queue-wait/execute split; `None` while
+    /// pending.
+    pub fn timing(&self) -> Option<JobTiming> {
+        match &*self.state.lock().unwrap() {
+            FlightState::Pending => None,
+            FlightState::Done { timing, .. } => Some(*timing),
         }
     }
 }
@@ -142,9 +156,10 @@ impl ResultCache {
 
     /// Resolves a led flight: stores a success in the FIFO (evicting the
     /// oldest entry past capacity), wakes all followers with the shared
-    /// result, and retires the flight. Errors are delivered to waiters
-    /// but never cached — a later identical request retries.
-    pub fn complete(&self, digest: &str, result: Result<SimReport, ServeError>) {
+    /// result and the measured `timing`, and retires the flight. Errors
+    /// are delivered to waiters but never cached — a later identical
+    /// request retries.
+    pub fn complete(&self, digest: &str, result: Result<SimReport, ServeError>, timing: JobTiming) {
         let shared = result.map(Arc::new);
         let mut st = self.state.lock().unwrap();
         if let Ok(report) = &shared {
@@ -169,7 +184,7 @@ impl ResultCache {
         let flight = st.inflight.remove(digest);
         drop(st);
         if let Some(flight) = flight {
-            flight.resolve(shared);
+            flight.resolve(shared, timing);
         }
     }
 
@@ -179,7 +194,7 @@ impl ResultCache {
     pub fn abort(&self, digest: &str, err: ServeError) {
         let flight = self.state.lock().unwrap().inflight.remove(digest);
         if let Some(flight) = flight {
-            flight.resolve(Err(err));
+            flight.resolve(Err(err), JobTiming::default());
         }
     }
 
@@ -216,7 +231,7 @@ mod tests {
         let Lookup::Lead(_) = cache.lookup("a") else {
             panic!("first sight must lead");
         };
-        cache.complete("a", Ok(report("a")));
+        cache.complete("a", Ok(report("a")), JobTiming::default());
         match cache.lookup("a") {
             Lookup::Hit(r) => assert_eq!(r.workload, "a"),
             _ => panic!("completed digest must hit"),
@@ -235,9 +250,25 @@ mod tests {
             _ => panic!("expected join"),
         };
         assert!(follower.poll().is_none());
-        cache.complete("d", Ok(report("d")));
+        assert!(follower.timing().is_none(), "pending flight has no timing");
+        cache.complete(
+            "d",
+            Ok(report("d")),
+            JobTiming {
+                queue_wait_us: 3,
+                execute_us: 9,
+            },
+        );
         let got = follower.wait(Duration::from_secs(1)).unwrap();
         assert_eq!(got.workload, "d");
+        assert_eq!(
+            follower.timing(),
+            Some(JobTiming {
+                queue_wait_us: 3,
+                execute_us: 9,
+            }),
+            "timing rides the resolved flight"
+        );
         drop(leader);
     }
 
@@ -248,7 +279,7 @@ mod tests {
             let Lookup::Lead(_) = cache.lookup(d) else {
                 panic!("lead {d}");
             };
-            cache.complete(d, Ok(report(d)));
+            cache.complete(d, Ok(report(d)), JobTiming::default());
         }
         assert_eq!(cache.len(), 2);
         assert!(matches!(cache.lookup("a"), Lookup::Lead(_)), "a evicted");
@@ -262,7 +293,7 @@ mod tests {
         let Lookup::Lead(f) = cache.lookup("x") else {
             panic!("lead");
         };
-        cache.complete("x", Err(ServeError::ShuttingDown));
+        cache.complete("x", Err(ServeError::ShuttingDown), JobTiming::default());
         assert_eq!(
             f.wait(Duration::from_secs(1)).unwrap_err(),
             ServeError::ShuttingDown
@@ -280,7 +311,7 @@ mod tests {
         let err = f.wait(Duration::from_millis(10)).unwrap_err();
         assert!(matches!(err, ServeError::Timeout { .. }));
         // the flight is still live: completing it after the timeout works
-        cache.complete("slow", Ok(report("slow")));
+        cache.complete("slow", Ok(report("slow")), JobTiming::default());
         assert!(matches!(cache.lookup("slow"), Lookup::Hit(_)));
     }
 
@@ -290,7 +321,7 @@ mod tests {
         let Lookup::Lead(_) = cache.lookup("a") else {
             panic!("lead");
         };
-        cache.complete("a", Ok(report("a")));
+        cache.complete("a", Ok(report("a")), JobTiming::default());
         assert!(cache.is_empty());
         assert!(matches!(cache.lookup("a"), Lookup::Lead(_)));
     }

@@ -8,7 +8,7 @@
 //! [`SimRequest`](aurora_core::SimRequest), each reply a
 //! [`SimResponse`](aurora_core::SimResponse).
 //!
-//! Three layers, each independently testable:
+//! Five layers, each independently testable:
 //!
 //! * [`cache`] — the bounded content-addressed result cache
 //!   (request digest → [`SimReport`](aurora_core::SimReport), FIFO
@@ -20,13 +20,26 @@
 //!   drain, and `serve.*` telemetry.
 //! * [`server`] — the NDJSON transport (listener, protocol loop, and a
 //!   blocking [`Client`]).
+//! * [`observe`] — the per-request observability plane: the structured
+//!   access log behind the pluggable [`EventLog`] sink and the bounded
+//!   [`FlightRecorder`] of slow/error requests.
+//! * [`admin`] — the in-band introspection commands (`health`, `stats`,
+//!   `metrics`, `flights`) answered on the same socket.
 
+pub mod admin;
 pub mod cache;
 pub mod error;
+pub mod observe;
 pub mod server;
 pub mod service;
 
 pub use cache::{Flight, Lookup, ResultCache};
 pub use error::ServeError;
-pub use server::{respond, serve, Client, Endpoint, ServeRequest};
-pub use service::{ServeConfig, ServeOutcome, SimService};
+pub use observe::{
+    AccessRecord, EventLog, FileLog, FlightProfile, FlightRecord, FlightRecorder, JobTiming,
+    MemoryLog, NullLog, Outcome, StderrLog,
+};
+pub use server::{
+    answer, respond, serve, serve_with, Client, Endpoint, ServeRequest, ServerOptions,
+};
+pub use service::{LatencySummary, ServeConfig, ServeOutcome, ServiceStats, SimService};

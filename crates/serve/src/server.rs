@@ -15,8 +15,16 @@
 //! order. Concurrency comes from concurrent connections — each gets its
 //! own thread, and the bounded admission queue inside [`SimService`]
 //! does the real scheduling.
+//!
+//! Lines carrying an `"admin"` key are introspection commands (see
+//! [`crate::admin`]) answered on the same connection. Every *sim* line
+//! additionally produces one access-log record (with the serialized
+//! response size as `bytes_out`) through the service's `EventLog`;
+//! admin traffic is not logged.
 
+use crate::admin;
 use crate::error::ServeError;
+use crate::observe::{AccessRecord, Outcome};
 use crate::service::SimService;
 use aurora_core::{SimRequest, SimResponse};
 use serde::{Deserialize, Serialize};
@@ -26,7 +34,19 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Transport tuning for [`serve_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOptions {
+    /// How long connection threads keep answering after the shutdown
+    /// flag flips. `0` (the default, and [`serve`]'s behavior) closes
+    /// connections at the next read timeout; a grace window lets
+    /// clients observe the drain — `{"admin":"health"}` answers
+    /// `draining`, sim lines get `shutting_down` — until they hang up
+    /// or the window closes.
+    pub drain_grace: Duration,
+}
 
 /// One request line: a client-chosen id plus the simulation request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,6 +86,16 @@ pub fn serve(
     service: Arc<SimService>,
     endpoint: &Endpoint,
     shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    serve_with(service, endpoint, shutdown, ServerOptions::default())
+}
+
+/// [`serve`] with explicit [`ServerOptions`].
+pub fn serve_with(
+    service: Arc<SimService>,
+    endpoint: &Endpoint,
+    shutdown: Arc<AtomicBool>,
+    options: ServerOptions,
 ) -> std::io::Result<()> {
     let listener = match endpoint {
         Endpoint::Unix(path) => {
@@ -114,7 +144,7 @@ pub fn serve(
                 let service = Arc::clone(&service);
                 let shutdown = Arc::clone(&shutdown);
                 connections.push(std::thread::spawn(move || {
-                    let _ = handle_connection(conn, &service, &shutdown);
+                    let _ = handle_connection(conn, &service, &shutdown, options.drain_grace);
                 }));
             }
             None => std::thread::sleep(POLL),
@@ -157,29 +187,35 @@ fn handle_connection(
     conn: Box<dyn Conn>,
     service: &SimService,
     shutdown: &AtomicBool,
+    drain_grace: Duration,
 ) -> std::io::Result<()> {
     let (mut reader, mut writer) = conn.split()?;
     let mut line = String::new();
+    let mut shutdown_seen: Option<Instant> = None;
     loop {
         line.clear();
         // Assemble one line, polling the shutdown flag on every read
         // timeout. `read_line` keeps partially-read bytes in `line`, so
-        // resuming after a timeout never loses data.
+        // resuming after a timeout never loses data. Once shutdown is
+        // observed the connection stays answerable for `drain_grace`
+        // (clients poll health for the drain transition), then closes.
         let eof = loop {
             match reader.read_line(&mut line) {
                 Ok(0) => break true,
                 Ok(_) => break !line.ends_with('\n'),
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if shutdown.load(Ordering::SeqCst) {
-                        return Ok(());
+                        let seen = *shutdown_seen.get_or_insert_with(Instant::now);
+                        if seen.elapsed() >= drain_grace {
+                            return Ok(());
+                        }
                     }
                 }
                 Err(e) => return Err(e),
             }
         };
         if !line.trim().is_empty() {
-            let response = respond(service, &line);
-            let mut out = serde_json::to_string(&response).expect("response serializes");
+            let mut out = answer(service, &line);
             out.push('\n');
             writer.write_all(out.as_bytes())?;
             writer.flush()?;
@@ -190,29 +226,63 @@ fn handle_connection(
     }
 }
 
-/// Answers one request line (the whole protocol, transport aside).
+/// Answers one protocol line — admin or sim — returning the response
+/// line (no trailing newline). Sim lines are access-logged through the
+/// service's sink with the response size filled in; admin lines are
+/// not. This is the function the connection loop speaks.
+pub fn answer(service: &SimService, line: &str) -> String {
+    if let Ok(value) = serde_json::from_str::<serde_json::Value>(line) {
+        if value.get("admin").is_some() {
+            return admin::dispatch(service, &value);
+        }
+    }
+    let (response, mut record) = respond_traced(service, line);
+    let out = serde_json::to_string(&response).expect("response serializes");
+    record.bytes_out = out.len() as u64 + 1; // the newline ships too
+    service.log_access(&record);
+    out
+}
+
+/// Answers one sim request line (the whole protocol, transport aside).
 pub fn respond(service: &SimService, line: &str) -> SimResponse {
+    respond_traced(service, line).0
+}
+
+/// [`respond`] plus the request's access record (`bytes_out` still 0).
+fn respond_traced(service: &SimService, line: &str) -> (SimResponse, AccessRecord) {
     let parsed: Result<ServeRequest, _> = serde_json::from_str(line);
     match parsed {
         Err(e) => {
             // A malformed line still deserves an addressed reply when
             // the id field itself was readable.
             let id = recover_id(line);
-            SimResponse::err(
-                id,
-                "",
-                ServeError::BadRequest(format!("unparseable request: {e:?}")).to_wire(),
-            )
+            let err = ServeError::BadRequest(format!("unparseable request: {e:?}"));
+            let record = AccessRecord {
+                seq: service.next_seq(),
+                digest: String::new(),
+                workload: String::new(),
+                outcome: Outcome::Error.label().to_string(),
+                queue_wait_us: 0,
+                execute_us: 0,
+                latency_us: 0,
+                bytes_out: 0,
+                error: Some(err.to_string()),
+            };
+            (SimResponse::err(id, "", err.to_wire()), record)
         }
-        Ok(req) => match service.handle(&req.sim) {
-            Ok(outcome) => SimResponse::ok(
-                req.id,
-                outcome.digest,
-                outcome.cached,
-                (*outcome.report).clone(),
-            ),
-            Err(e) => SimResponse::err(req.id, req.sim.digest(), e.to_wire()),
-        },
+        Ok(req) => {
+            let (result, record) = service.handle_traced(&req.sim);
+            let response = match result {
+                Ok(outcome) => SimResponse::ok(
+                    req.id,
+                    outcome.digest,
+                    outcome.cached,
+                    (*outcome.report).clone(),
+                ),
+                Err(e) => SimResponse::err(req.id, req.sim.digest(), e.to_wire()),
+            };
+            (response, record)
+        }
     }
 }
 
@@ -270,5 +340,30 @@ impl Client {
         }
         serde_json::from_str(reply.trim_end())
             .map_err(|e| ServeError::Io(format!("unparseable response: {e:?}")))
+    }
+
+    /// Sends one admin command (`health`, `stats`, `metrics`,
+    /// `flights`) and blocks for its reply as a raw JSON value.
+    pub fn admin(&mut self, command: &str) -> Result<serde_json::Value, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = serde_json::Value::Map(vec![
+            ("id".to_string(), serde_json::Value::UInt(id)),
+            (
+                "admin".to_string(),
+                serde_json::Value::Str(command.to_string()),
+            ),
+        ]);
+        let mut line = serde_json::to_string(&envelope).expect("admin request serializes");
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io("connection closed by daemon".into()));
+        }
+        serde_json::from_str(reply.trim_end())
+            .map_err(|e| ServeError::Io(format!("unparseable admin reply: {e:?}")))
     }
 }

@@ -20,14 +20,27 @@
 //! 4. **Drain** — [`SimService::drain`] stops admission (new requests
 //!    get [`ServeError::ShuttingDown`]), lets queued jobs finish, and
 //!    joins the workers.
+//!
+//! Every request is also *observed*: [`SimService::handle_traced`]
+//! returns an [`AccessRecord`] alongside the result (the transport
+//! fills in `bytes_out` and writes it through the service's
+//! [`EventLog`]), slow and failed requests land in the bounded
+//! [`FlightRecorder`], and [`SimService::stats`] condenses the live
+//! state plus the `serve.*` metrics into one serializable
+//! [`ServiceStats`] for the `{"admin":"stats"}` command.
 
 use crate::cache::{Lookup, ResultCache};
 use crate::error::ServeError;
-use aurora_core::{
-    metric_names as names, AuroraSimulator, Scope, SimReport, SimRequest, Telemetry,
+use crate::observe::{
+    AccessRecord, EventLog, FlightProfile, FlightRecord, FlightRecorder, JobTiming, NullLog,
+    Outcome,
 };
+use aurora_core::{
+    metric_names as names, AuroraSimulator, Histogram, Scope, SimReport, SimRequest, Telemetry,
+};
+use serde::Serialize;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,6 +59,12 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Per-request wait budget in milliseconds.
     pub timeout_ms: u64,
+    /// Flight-recorder slowness threshold: successful requests at least
+    /// this slow (end to end) are recorded. `0` records every request;
+    /// failures are recorded regardless.
+    pub slow_ms: u64,
+    /// Flight-recorder ring capacity (`0` disables recording).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +74,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_capacity: 256,
             timeout_ms: 30_000,
+            slow_ms: 1_000,
+            flight_capacity: 32,
         }
     }
 }
@@ -66,12 +87,20 @@ pub struct ServeOutcome {
     /// `true` when the report came from the cache or an in-flight join —
     /// i.e. this request ran no engine work of its own.
     pub cached: bool,
+    /// `Hit`, `Join` or `Miss` — the cache path that answered.
+    pub outcome: Outcome,
+    /// Queue-wait/execute split of the led run (zeros for hits and
+    /// joins, which ran nothing of their own).
+    pub timing: JobTiming,
     pub report: Arc<SimReport>,
 }
 
 struct Job {
     digest: String,
     request: SimRequest,
+    /// When the job entered the queue (or started inline), for the
+    /// `serve.queue_wait_us` split.
+    enqueued: Instant,
 }
 
 struct Queue {
@@ -84,8 +113,14 @@ struct Inner {
     queue: Queue,
     draining: AtomicBool,
     inflight: AtomicI64,
+    /// Monotonic request sequence, shared by the access log and the
+    /// flight recorder.
+    seq: AtomicU64,
+    started: Instant,
     config: ServeConfig,
     telemetry: Telemetry,
+    recorder: FlightRecorder,
+    access_log: Arc<dyn EventLog>,
 }
 
 impl Inner {
@@ -95,6 +130,8 @@ impl Inner {
     /// alias across concurrent requests. Service-level `serve.*`
     /// metrics live on the service handle instead.
     fn execute(&self, job: Job) {
+        let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+        let run_started = Instant::now();
         let sim = AuroraSimulator::new(job.request.config);
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(&job.request)));
@@ -110,7 +147,11 @@ impl Inner {
                 Err(ServeError::Sim(aurora_core::SimError::Internal(msg)))
             }
         };
-        self.cache.complete(&job.digest, result);
+        let timing = JobTiming {
+            queue_wait_us,
+            execute_us: run_started.elapsed().as_micros() as u64,
+        };
+        self.cache.complete(&job.digest, result, timing);
     }
 
     fn worker_loop(&self) {
@@ -141,8 +182,18 @@ pub struct SimService {
 impl SimService {
     /// Builds the service and spawns its worker pool. `telemetry`
     /// receives the `serve.*` metrics (pass [`Telemetry::disabled`] to
-    /// opt out).
+    /// opt out). The access log is the [`NullLog`]; use
+    /// [`SimService::with_access_log`] to plug a sink in.
     pub fn new(config: ServeConfig, telemetry: Telemetry) -> Self {
+        Self::with_access_log(config, telemetry, Arc::new(NullLog))
+    }
+
+    /// [`SimService::new`] with an explicit access-log sink.
+    pub fn with_access_log(
+        config: ServeConfig,
+        telemetry: Telemetry,
+        access_log: Arc<dyn EventLog>,
+    ) -> Self {
         let inner = Arc::new(Inner {
             cache: ResultCache::new(config.cache_capacity),
             queue: Queue {
@@ -151,8 +202,12 @@ impl SimService {
             },
             draining: AtomicBool::new(false),
             inflight: AtomicI64::new(0),
+            seq: AtomicU64::new(0),
+            started: Instant::now(),
             config,
             telemetry,
+            recorder: FlightRecorder::new(config.flight_capacity),
+            access_log,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -179,17 +234,73 @@ impl SimService {
         self.inner.telemetry.snapshot()
     }
 
+    /// Time since the service was built.
+    pub fn uptime(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// True once [`SimService::drain`] has started.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently inside the service (queued or executing).
+    pub fn inflight(&self) -> u64 {
+        self.inner.inflight.load(Ordering::SeqCst).max(0) as u64
+    }
+
+    /// Jobs waiting on the admission queue right now.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.jobs.lock().unwrap().len()
+    }
+
+    /// Ready entries in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// The flight recorder's retained slow/error requests, oldest first.
+    pub fn flights(&self) -> Vec<FlightRecord> {
+        self.inner.recorder.dump()
+    }
+
+    /// Allocates the next request sequence number (also used by the
+    /// transport for lines that never reach `handle_traced`).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Writes one finished access record through the configured sink.
+    pub fn log_access(&self, record: &AccessRecord) {
+        if !self.inner.access_log.enabled() {
+            return;
+        }
+        let line = serde_json::to_string(record).expect("access record serializes");
+        self.inner.access_log.emit(&line);
+    }
+
     /// Answers one request: cache hit, in-flight join, or fresh engine
     /// run, under the configured timeout and queue budget.
     pub fn handle(&self, request: &SimRequest) -> Result<ServeOutcome, ServeError> {
+        self.handle_traced(request).0
+    }
+
+    /// [`SimService::handle`] plus the request's [`AccessRecord`]. The
+    /// record's `bytes_out` is 0 — the transport owns the wire size.
+    /// Slow and failed requests are captured by the flight recorder
+    /// here, so every entry point (socket or in-process) feeds it.
+    pub fn handle_traced(
+        &self,
+        request: &SimRequest,
+    ) -> (Result<ServeOutcome, ServeError>, AccessRecord) {
+        let inner = &*self.inner;
+        let seq = self.next_seq();
         let started = Instant::now();
         let result = self.handle_inner(request);
-        let tel = &self.inner.telemetry;
-        tel.observe(
-            names::SERVE_LATENCY_US,
-            &Scope::ROOT,
-            started.elapsed().as_micros() as u64,
-        );
+        let latency_us = started.elapsed().as_micros() as u64;
+
+        let tel = &inner.telemetry;
+        tel.observe(names::SERVE_LATENCY_US, &Scope::ROOT, latency_us);
         match &result {
             Err(ServeError::Overloaded { .. }) => {
                 tel.counter_add(names::SERVE_REJECT_OVERLOADED, &Scope::ROOT, 1)
@@ -200,7 +311,49 @@ impl SimService {
             Err(_) => tel.counter_add(names::SERVE_ERRORS, &Scope::ROOT, 1),
             Ok(_) => {}
         }
-        result
+
+        let (outcome, timing, error) = match &result {
+            Ok(o) => (o.outcome, o.timing, None),
+            Err(e) => (
+                Outcome::of_error(e),
+                JobTiming::default(),
+                Some(e.to_string()),
+            ),
+        };
+        let record = AccessRecord {
+            seq,
+            digest: match &result {
+                Ok(o) => o.digest.clone(),
+                Err(_) => request.digest(),
+            },
+            workload: request.workload_label(),
+            outcome: outcome.label().to_string(),
+            queue_wait_us: timing.queue_wait_us,
+            execute_us: timing.execute_us,
+            latency_us,
+            bytes_out: 0,
+            error,
+        };
+
+        if outcome.is_failure() || latency_us >= inner.config.slow_ms.saturating_mul(1_000) {
+            inner.recorder.record(FlightRecord {
+                seq: record.seq,
+                digest: record.digest.clone(),
+                workload: record.workload.clone(),
+                outcome: record.outcome.clone(),
+                queue_wait_us: record.queue_wait_us,
+                execute_us: record.execute_us,
+                latency_us,
+                error: record.error.clone(),
+                request: serde::Serialize::to_value(request),
+                profile: result
+                    .as_ref()
+                    .ok()
+                    .and_then(|o| FlightProfile::of(&o.report)),
+            });
+        }
+
+        (result, record)
     }
 
     fn handle_inner(&self, request: &SimRequest) -> Result<ServeOutcome, ServeError> {
@@ -224,6 +377,8 @@ impl SimService {
                 return Ok(ServeOutcome {
                     digest,
                     cached: true,
+                    outcome: Outcome::Hit,
+                    timing: JobTiming::default(),
                     report,
                 });
             }
@@ -234,6 +389,8 @@ impl SimService {
                 return Ok(ServeOutcome {
                     digest,
                     cached: true,
+                    outcome: Outcome::Join,
+                    timing: JobTiming::default(),
                     report,
                 });
             }
@@ -244,6 +401,7 @@ impl SimService {
         let job = Job {
             digest: digest.clone(),
             request: request.clone(),
+            enqueued: Instant::now(),
         };
         if inner.config.workers == 0 {
             // No pool: the leader executes inline on its own thread.
@@ -271,12 +429,56 @@ impl SimService {
             }
         }
         let report = flight.wait(timeout)?;
+        // the worker measured the split and parked it on the flight
+        let timing = flight.timing().unwrap_or_default();
+        tel.observe(
+            names::SERVE_QUEUE_WAIT_US,
+            &Scope::ROOT,
+            timing.queue_wait_us,
+        );
         drop(inflight);
         Ok(ServeOutcome {
             digest,
             cached: false,
+            outcome: Outcome::Miss,
+            timing,
             report,
         })
+    }
+
+    /// Live + metric state condensed for `{"admin":"stats"}`.
+    pub fn stats(&self) -> ServiceStats {
+        let snap = self.metrics();
+        let hits = snap.counter_total(names::SERVE_CACHE_HITS);
+        let misses = snap.counter_total(names::SERVE_CACHE_MISSES);
+        let answered = hits + misses;
+        ServiceStats {
+            status: if self.is_draining() { "draining" } else { "ok" }.to_string(),
+            uptime_us: self.uptime().as_micros() as u64,
+            requests: snap.counter_total(names::SERVE_REQUESTS),
+            cache_hits: hits,
+            cache_misses: misses,
+            hit_ratio: if answered == 0 {
+                0.0
+            } else {
+                hits as f64 / answered as f64
+            },
+            cache_size: self.cache_len() as u64,
+            cache_capacity: self.inner.config.cache_capacity as u64,
+            inflight: self.inflight(),
+            queued: self.queue_len() as u64,
+            queue_capacity: self.inner.config.queue_depth as u64,
+            rejects: snap.counter_total(names::SERVE_REJECT_OVERLOADED),
+            timeouts: snap.counter_total(names::SERVE_TIMEOUTS),
+            errors: snap.counter_total(names::SERVE_ERRORS),
+            latency_us: LatencySummary::of(
+                snap.histogram_at(names::SERVE_LATENCY_US, &Scope::ROOT),
+            ),
+            queue_wait_us: LatencySummary::of(
+                snap.histogram_at(names::SERVE_QUEUE_WAIT_US, &Scope::ROOT),
+            ),
+            flights: self.inner.recorder.len() as u64,
+        }
     }
 
     /// Graceful shutdown: stop admitting, finish every queued job, join
@@ -296,6 +498,67 @@ impl Drop for SimService {
     fn drop(&mut self) {
         self.drain();
     }
+}
+
+/// Quantile digest of one latency histogram, for stats payloads.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram; zeros when it was never observed.
+    pub fn of(histogram: Option<&Histogram>) -> Self {
+        match histogram {
+            Some(h) => Self {
+                count: h.count,
+                mean_us: h.mean(),
+                p50_us: h.p50(),
+                p95_us: h.p95(),
+                p99_us: h.p99(),
+                max_us: h.max,
+            },
+            None => Self {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            },
+        }
+    }
+}
+
+/// The `{"admin":"stats"}` payload: live service state plus the
+/// `serve.*` metric family, one serializable struct.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceStats {
+    /// `ok`, or `draining` once shutdown started.
+    pub status: String,
+    pub uptime_us: u64,
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Hits over answered (hits + misses); 0 before any answer.
+    pub hit_ratio: f64,
+    pub cache_size: u64,
+    pub cache_capacity: u64,
+    pub inflight: u64,
+    pub queued: u64,
+    pub queue_capacity: u64,
+    pub rejects: u64,
+    pub timeouts: u64,
+    pub errors: u64,
+    pub latency_us: LatencySummary,
+    pub queue_wait_us: LatencySummary,
+    /// Records currently retained by the flight recorder.
+    pub flights: u64,
 }
 
 /// RAII tracker of the `serve.inflight` gauge.

@@ -1,10 +1,15 @@
 //! End-to-end service contracts: content-addressed caching,
 //! single-flight, thread-count determinism, backpressure, timeout,
-//! drain, and the NDJSON socket round-trip.
+//! drain, the NDJSON socket round-trip, and the observability plane
+//! (access log, flight recorder, metric-name completeness, admin
+//! protocol over the wire).
 
 use aurora_core::{metric_names as names, AcceleratorConfig, SimError, SimRequest, Telemetry};
 use aurora_model::{LayerShape, ModelId};
-use aurora_serve::{respond, serve, Client, Endpoint, ServeConfig, ServeError, SimService};
+use aurora_serve::{
+    answer, respond, serve, serve_with, Client, Endpoint, MemoryLog, ServeConfig, ServeError,
+    ServerOptions, SimService,
+};
 use rayon::pool::ThreadPool;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -278,6 +283,236 @@ fn unix_socket_round_trip_serves_and_caches() {
     assert_eq!(second.report, first.report, "cached report is identical");
 
     shutdown.store(true, Ordering::SeqCst);
+    server.join().unwrap().expect("server exits cleanly");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}
+
+/// Every metric constant in `names::SERVE_ALL` must appear in the
+/// snapshot after one hit, one miss, one error, one timeout, and one
+/// reject — a new `serve.*` name that nothing records fails here.
+#[test]
+fn every_serve_metric_name_is_recorded() {
+    let telemetry = Telemetry::enabled();
+    let normal = SimService::new(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let req = small_request(20);
+    normal.handle(&req).expect("miss runs");
+    normal.handle(&req).expect("hit runs");
+    let invalid = SimRequest {
+        layers: vec![],
+        ..small_request(21)
+    };
+    assert!(normal.handle(&invalid).is_err(), "invalid request errors");
+
+    let impatient = SimService::new(
+        ServeConfig {
+            workers: 1,
+            timeout_ms: 0,
+            ..ServeConfig::default()
+        },
+        telemetry.clone(),
+    );
+    assert!(matches!(
+        impatient.handle(&small_request(22)).unwrap_err(),
+        ServeError::Timeout { .. }
+    ));
+
+    let choked = SimService::new(
+        ServeConfig {
+            workers: 1,
+            queue_depth: 0,
+            ..ServeConfig::default()
+        },
+        telemetry.clone(),
+    );
+    assert!(matches!(
+        choked.handle(&small_request(23)).unwrap_err(),
+        ServeError::Overloaded { .. }
+    ));
+
+    let snap = telemetry.snapshot();
+    for name in names::SERVE_ALL {
+        assert!(
+            snap.contains_name(name),
+            "metric `{name}` was never recorded by hit/miss/error/timeout/reject traffic"
+        );
+    }
+}
+
+/// The transport writes exactly one access-log line per simulation
+/// request — including parse failures — and none for admin traffic.
+#[test]
+fn access_log_gets_one_line_per_request() {
+    let log = Arc::new(MemoryLog::default());
+    let svc = SimService::with_access_log(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        Telemetry::enabled(),
+        Arc::clone(&log) as Arc<dyn aurora_serve::EventLog>,
+    );
+    let line = serde_json::to_string(&aurora_serve::ServeRequest {
+        id: 1,
+        sim: small_request(30),
+    })
+    .unwrap();
+    let miss = answer(&svc, &line);
+    let hit = answer(&svc, &line);
+    answer(&svc, "{\"id\": 2, \"admin\": \"health\"}"); // never logged
+    answer(&svc, "{broken json"); // logged as an error
+
+    let lines = log.lines();
+    assert_eq!(lines.len(), 3, "2 sim + 1 parse failure, admin excluded");
+    let records: Vec<serde_json::Value> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).expect("access line parses"))
+        .collect();
+    let outcome = |i: usize| records[i].get("outcome").and_then(|v| v.as_str()).unwrap();
+    assert_eq!(outcome(0), "miss");
+    assert_eq!(outcome(1), "hit");
+    assert_eq!(outcome(2), "error");
+    // monotonic sequence, real digests, and transport-measured sizes
+    let seq = |i: usize| records[i].get("seq").and_then(|v| v.as_u64()).unwrap();
+    assert!(seq(0) < seq(1) && seq(1) < seq(2), "seq must be monotonic");
+    for (record, sent) in records.iter().zip([&miss, &hit]) {
+        assert_eq!(
+            record.get("digest").and_then(|v| v.as_str()),
+            Some(small_request(30).digest().as_str())
+        );
+        assert_eq!(
+            record.get("bytes_out").and_then(|v| v.as_u64()),
+            Some(sent.len() as u64 + 1),
+            "bytes_out counts the response line plus its newline"
+        );
+        for key in ["queue_wait_us", "execute_us", "latency_us"] {
+            assert!(record.get(key).is_some(), "missing timing field `{key}`");
+        }
+    }
+    assert!(
+        records[2].get("error").and_then(|v| v.as_str()).is_some(),
+        "parse failures carry the error message"
+    );
+}
+
+/// With `slow_ms: 0` every request trips the flight recorder; executed
+/// requests carry a bound-attribution profile, failures carry errors.
+#[test]
+fn flight_recorder_retains_slow_and_error_requests() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        slow_ms: 0,
+        flight_capacity: 8,
+        ..ServeConfig::default()
+    });
+    svc.handle(&small_request(40)).expect("miss runs");
+    svc.handle(&small_request(40)).expect("hit runs");
+    let invalid = SimRequest {
+        layers: vec![],
+        ..small_request(41)
+    };
+    assert!(svc.handle(&invalid).is_err());
+
+    let flights = svc.flights();
+    assert_eq!(flights.len(), 3, "slow_ms 0 records every request");
+    assert_eq!(flights[0].outcome, "miss");
+    let profile = flights[0]
+        .profile
+        .as_ref()
+        .expect("executed request carries its bound attribution");
+    assert!(profile.total_cycles > 0);
+    assert!(
+        ["compute", "noc", "dram", "imbalance"].contains(&profile.dominant.as_str()),
+        "unexpected dominant bound `{}`",
+        profile.dominant
+    );
+    assert_eq!(flights[1].outcome, "hit");
+    assert!(
+        flights[1].profile.is_some(),
+        "hits replay the cached report's profile"
+    );
+    assert_eq!(flights[2].outcome, "error");
+    assert!(flights[2].error.is_some(), "failures carry the message");
+    assert!(flights[2].profile.is_none(), "no report, no profile");
+    // each record preserves the request JSON for replay
+    assert!(flights[0].request.get("model").is_some());
+}
+
+/// The drain grace window keeps open connections answering after
+/// SIGTERM so pollers observe health flip from `ok` to `draining`.
+#[test]
+fn admin_health_flips_to_draining_over_the_wire() {
+    let sock = std::env::temp_dir().join(format!("aurora-admin-test-{}.sock", std::process::id()));
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let svc = Arc::new(svc);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = {
+        let svc = Arc::clone(&svc);
+        let shutdown = Arc::clone(&shutdown);
+        let endpoint = Endpoint::Unix(sock.clone());
+        std::thread::spawn(move || {
+            serve_with(
+                svc,
+                &endpoint,
+                shutdown,
+                ServerOptions {
+                    drain_grace: Duration::from_secs(10),
+                },
+            )
+        })
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(std::time::Instant::now() < deadline, "daemon never bound");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut client = Client::connect(&Endpoint::Unix(sock.clone())).expect("connect");
+    client.request(&small_request(50)).expect("sim runs");
+    let health = client.admin("health").expect("health answers");
+    assert_eq!(
+        health.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "live daemon is ready"
+    );
+    let stats = client.admin("stats").expect("stats answers");
+    let inner = stats.get("stats").expect("stats body");
+    assert!(inner.get("requests").and_then(|v| v.as_u64()).unwrap() >= 1);
+    assert!(inner.get("latency_us").is_some(), "latency digest present");
+    let metrics = client.admin("metrics").expect("metrics answers");
+    let prometheus = metrics
+        .get("prometheus")
+        .and_then(|v| v.as_str())
+        .expect("prometheus exposition present");
+    assert!(
+        prometheus.contains("aurora_serve_requests"),
+        "exposition names the serve counters"
+    );
+
+    shutdown.store(true, Ordering::SeqCst);
+    // the open connection stays answering through the grace window and
+    // reports draining once the accept loop has handed off
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = client.admin("health").expect("health during drain");
+        if health.get("status").and_then(|v| v.as_str()) == Some("draining") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health never flipped to draining"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(client);
     server.join().unwrap().expect("server exits cleanly");
     assert!(!sock.exists(), "socket file removed on shutdown");
 }

@@ -11,6 +11,10 @@
 //!   sub-accelerator plus NoC, DRAM, tile-pipeline and controller
 //!   tracks (see [`tracks`]).
 //!
+//! Snapshots also render to the Prometheus text exposition format via
+//! [`expo::render`], the scrape surface of the serve daemon's
+//! `{"admin":"metrics"}` command.
+//!
 //! Probes go through the cheap-to-clone [`Telemetry`] handle. A
 //! disabled handle (the default) carries no sink: every probe is a
 //! single `Option` check that branches over an empty body, so
@@ -19,6 +23,7 @@
 //! the no-op implementation and [`Recorder`] the standard
 //! registry-plus-trace implementation used by the simulator binaries.
 
+pub mod expo;
 pub mod metrics;
 pub mod names;
 pub mod scope;

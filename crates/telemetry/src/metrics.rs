@@ -94,6 +94,11 @@ impl Histogram {
         self.quantile(0.95)
     }
 
+    /// 99th percentile (approximate, bucket upper bound). 0 when empty.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// One-line `count/mean/p50/p95/max` summary for report footers.
     pub fn summary(&self) -> String {
         format!(
@@ -375,6 +380,50 @@ impl MetricsSnapshot {
             .find(|h| h.name == name && &h.scope == scope)
             .map(|h| &h.histogram)
     }
+
+    /// `(p50, p95, p99)` of the histogram `name` at `scope`, or zeros
+    /// when it was never observed.
+    pub fn quantiles_at(&self, name: &str, scope: &Scope) -> (u64, u64, u64) {
+        match self.histogram_at(name, scope) {
+            Some(h) => (h.p50(), h.p95(), h.p99()),
+            None => (0, 0, 0),
+        }
+    }
+
+    /// True when any counter, gauge or histogram (in any scope) carries
+    /// this name — the metric-name completeness check.
+    pub fn contains_name(&self, name: &str) -> bool {
+        self.counters.iter().any(|c| c.name == name)
+            || self.gauges.iter().any(|g| g.name == name)
+            || self.histograms.iter().any(|h| h.name == name)
+    }
+
+    /// Per-name activity since `prev`: counter increments plus histogram
+    /// sample-count increments (keyed `<name>.count`), summed across
+    /// scopes and name-ordered. Names that did not move are absent, so
+    /// an idle interval yields an empty map — the `--metrics-every`
+    /// zero-delta suppression contract. Gauges are point-in-time and
+    /// carry no delta semantics, so they are excluded.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        fn totals(snap: &MetricsSnapshot) -> BTreeMap<String, u64> {
+            let mut out = BTreeMap::new();
+            for c in &snap.counters {
+                *out.entry(c.name.clone()).or_insert(0) += c.value;
+            }
+            for h in &snap.histograms {
+                *out.entry(format!("{}.count", h.name)).or_insert(0) += h.histogram.count;
+            }
+            out
+        }
+        let before = totals(prev);
+        let mut now = totals(self);
+        now.retain(|name, total| {
+            let prior = before.get(name).copied().unwrap_or(0);
+            *total = total.saturating_sub(prior);
+            *total > 0
+        });
+        now
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +521,64 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p95(), 0);
         assert_eq!(h.summary(), "n=0 mean=0.0 p50=0 p95=0 max=0");
+    }
+
+    #[test]
+    fn p99_sits_between_p95_and_max() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max);
+        // p99 needs ⌈0.99·1000⌉ = 990 samples; bucket 10 ([512, 1024))
+        // is the first to reach that, upper bound capped at max = 1000.
+        assert_eq!(h.p99(), 1000);
+    }
+
+    #[test]
+    fn snapshot_quantiles_and_name_lookup() {
+        let mut r = Registry::new();
+        r.observe("lat", &Scope::ROOT, 8);
+        r.counter_add("hits", &Scope::ROOT, 1);
+        r.gauge_set("depth", &Scope::ROOT, 2.0);
+        let snap = r.snapshot();
+        let (p50, p95, p99) = snap.quantiles_at("lat", &Scope::ROOT);
+        assert_eq!((p50, p95, p99), (8, 8, 8));
+        assert_eq!(snap.quantiles_at("absent", &Scope::ROOT), (0, 0, 0));
+        assert!(snap.contains_name("lat"));
+        assert!(snap.contains_name("hits"));
+        assert!(snap.contains_name("depth"));
+        assert!(!snap.contains_name("absent"));
+    }
+
+    #[test]
+    fn delta_since_reports_only_movement() {
+        let mut r = Registry::new();
+        r.counter_add("reqs", &Scope::ROOT, 3);
+        r.counter_add("reqs", &Scope::model("GCN"), 1);
+        r.counter_add("idle", &Scope::ROOT, 5);
+        r.observe("lat", &Scope::ROOT, 10);
+        let before = r.snapshot();
+
+        assert!(before.delta_since(&before).is_empty(), "idle interval");
+        assert_eq!(
+            before.delta_since(&MetricsSnapshot::default()),
+            BTreeMap::from([
+                ("idle".to_string(), 5),
+                ("lat.count".to_string(), 1),
+                ("reqs".to_string(), 4),
+            ])
+        );
+
+        r.counter_add("reqs", &Scope::ROOT, 2);
+        r.observe("lat", &Scope::ROOT, 20);
+        r.observe("lat", &Scope::ROOT, 30);
+        let after = r.snapshot();
+        assert_eq!(
+            after.delta_since(&before),
+            BTreeMap::from([("lat.count".to_string(), 2), ("reqs".to_string(), 2)])
+        );
     }
 
     #[test]

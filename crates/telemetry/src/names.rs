@@ -37,8 +37,16 @@ pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
 pub const SERVE_INFLIGHT: &str = "serve.inflight";
 
 /// End-to-end request latency in microseconds, observed on every return
-/// path (hit, miss, and error alike). Log2 histogram.
+/// path (hit, miss, and error alike). Log2 histogram. **Inclusive**: a
+/// sample covers queue wait, engine execution, and cache bookkeeping —
+/// subtract [`SERVE_QUEUE_WAIT_US`] to isolate service time.
 pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+
+/// Time a led job spent on the admission queue before a worker picked it
+/// up, in microseconds. Log2 histogram, observed once per executed job
+/// on the leader's return path (cache hits and joins queue nothing and
+/// record nothing; a leader that times out waiting loses its sample).
+pub const SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
 
 /// Requests rejected at admission because the bounded queue was full.
 pub const SERVE_REJECT_OVERLOADED: &str = "serve.reject.overloaded";
@@ -49,3 +57,19 @@ pub const SERVE_TIMEOUTS: &str = "serve.timeouts";
 
 /// Requests that failed with a typed error (bad request or `SimError`).
 pub const SERVE_ERRORS: &str = "serve.errors";
+
+/// Every `serve.*` metric the service emits, for completeness tests: a
+/// representative request mix must surface each of these in a snapshot,
+/// so a typo'd or silently dropped probe fails a test instead of
+/// shipping a dead dashboard panel.
+pub const SERVE_ALL: &[&str] = &[
+    SERVE_REQUESTS,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_MISSES,
+    SERVE_INFLIGHT,
+    SERVE_LATENCY_US,
+    SERVE_QUEUE_WAIT_US,
+    SERVE_REJECT_OVERLOADED,
+    SERVE_TIMEOUTS,
+    SERVE_ERRORS,
+];

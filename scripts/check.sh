@@ -11,6 +11,7 @@ cd "$(dirname "$0")/.."
 # a later step (or the smoke itself) fails.
 SERVE_PID=""
 SERVE_SOCK=""
+SERVE_LOG=""
 cleanup() {
   rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json
   if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
@@ -18,6 +19,7 @@ cleanup() {
     wait "$SERVE_PID" 2>/dev/null || true
   fi
   [ -n "$SERVE_SOCK" ] && rm -f "$SERVE_SOCK"
+  [ -n "$SERVE_LOG" ] && rm -f "$SERVE_LOG"
 }
 trap cleanup EXIT
 
@@ -48,10 +50,17 @@ echo "==> serve smoke (aurora_serve + 8 concurrent serve_bench connections)"
 # the TERM below reaches the daemon itself, not a cargo wrapper), flood
 # it with 8 concurrent mixed connections, and require every response to
 # succeed with per-digest bit-identical reports and cache hits on the
-# repeats — serve_bench exits non-zero otherwise. Then drain via SIGTERM
-# and require a clean exit.
+# repeats — serve_bench exits non-zero otherwise (it also scrapes the
+# health/stats/metrics admin commands and gates the quantile ordering
+# and hit ratio). Then exercise the admin plane directly: health must
+# flip ok -> draining across SIGTERM (the drain grace keeps open
+# connections answering), flights must retain records (slow-ms 0
+# records everything), and the access log must hold exactly one
+# well-formed NDJSON line per served request.
 SERVE_SOCK="$(mktemp -u /tmp/aurora-serve-check-XXXXXX.sock)"
-./target/release/aurora_serve --socket "$SERVE_SOCK" --workers 2 &
+SERVE_LOG="$(mktemp /tmp/aurora-serve-check-XXXXXX.log)"
+./target/release/aurora_serve --socket "$SERVE_SOCK" --workers 2 \
+  --access-log "$SERVE_LOG" --slow-ms 0 --flights 8 --drain-grace-ms 5000 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   [ -S "$SERVE_SOCK" ] && break
@@ -59,9 +68,58 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SERVE_SOCK" ] || { echo "serve smoke FAILED: daemon never bound" >&2; exit 1; }
 ./target/release/serve_bench --socket "$SERVE_SOCK" --connections 8 --repeat 2
-kill -TERM "$SERVE_PID"
+SERVE_SOCK="$SERVE_SOCK" SERVE_PID="$SERVE_PID" python3 - <<'EOF'
+import json, os, signal, socket, sys, time
+
+sock_path, pid = os.environ["SERVE_SOCK"], int(os.environ["SERVE_PID"])
+conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+conn.connect(sock_path)
+io = conn.makefile("rw", encoding="utf-8")
+
+def admin(command, id=1):
+    io.write(json.dumps({"id": id, "admin": command}) + "\n")
+    io.flush()
+    return json.loads(io.readline())
+
+health = admin("health")
+assert health["status"] == "ok", f"health before drain: {health}"
+stats = admin("stats")["stats"]
+assert stats["requests"] >= 64, f"stats undercounts: {stats['requests']}"
+assert stats["latency_us"]["p50_us"] <= stats["latency_us"]["p99_us"]
+metrics = admin("metrics")
+assert "aurora_serve_requests" in metrics["prometheus"], "exposition missing serve counters"
+flights = admin("flights")
+assert len(flights["flights"]) > 0, "flight recorder empty at slow-ms 0"
+
+# drain: the open connection keeps answering through the grace window
+os.kill(pid, signal.SIGTERM)
+deadline = time.time() + 5.0
+while True:
+    health = admin("health")
+    if health["status"] == "draining":
+        break
+    assert time.time() < deadline, "health never flipped to draining"
+    time.sleep(0.05)
+conn.close()
+print("serve admin plane: health/stats/metrics/flights answered, drain observed")
+EOF
 wait "$SERVE_PID" || { echo "serve smoke FAILED: daemon exited non-zero" >&2; exit 1; }
 SERVE_PID=""
+SERVE_LOG="$SERVE_LOG" python3 - <<'EOF'
+import json, os
+
+lines = open(os.environ["SERVE_LOG"], encoding="utf-8").read().splitlines()
+# 8 connections x 2 repeats x 4-request mix; admin traffic is never logged
+assert len(lines) == 64, f"access log holds {len(lines)} lines, expected 64"
+for line in lines:
+    record = json.loads(line)
+    for key in ("seq", "digest", "outcome", "queue_wait_us", "execute_us",
+                "latency_us", "bytes_out"):
+        assert key in record, f"access record missing {key}: {record}"
+    assert record["outcome"] in ("hit", "miss", "join"), record["outcome"]
+    assert record["bytes_out"] > 0, record
+print("access log: one well-formed line per served request")
+EOF
 echo "serve smoke passed: daemon drained cleanly"
 
 echo "==> thread-count determinism (AURORA_THREADS=1 vs 2)"
