@@ -333,6 +333,7 @@ impl BaselineChassis {
             // Baseline cost models don't decompose their pipeline; only
             // the Aurora engine produces a bound attribution.
             profile: aurora_core::profile::ProfileReport::default(),
+            host_profile: None,
         }
     }
 }

@@ -8,7 +8,7 @@
 //!            [--no-partition] [--baseline hygcn|awb|gcnax|regnn|flowgnn]
 //!            [--request FILE] [--threads N]
 //!            [--json] [--trace out.json] [--metrics out.json]
-//!            [--profile out.json]
+//!            [--profile out.json] [--host-profile]
 //! ```
 //!
 //! `--request FILE` bypasses the dataset/model flags entirely: the file
@@ -28,6 +28,13 @@
 //! taxonomy, per-layer utilisation, roofline operational intensity) as
 //! JSON and prints its human-readable tables; also Aurora-only.
 //!
+//! `--host-profile` turns on the host-side span profiler: the report
+//! gains a per-stage wall-clock breakdown (graph load, partition,
+//! mapping, route-table build, tile precompute, traffic kernels, engine
+//! walk), printed as a table after the run and carried in the JSON
+//! form. With `AURORA_ALLOC_PROFILE=1` each stage also shows its heap
+//! allocation count and bytes. Aurora-only, like the other probes.
+//!
 //! Example: `cargo run --release -p aurora-bench --bin aurora_sim -- \
 //!           --dataset pubmed --model gcn --k 32 --trace trace.json`
 
@@ -43,6 +50,9 @@ fn print_report(r: &SimReport, json: bool) {
     if json {
         println!("{}", serde_json::to_string_pretty(r).expect("serialize"));
         return;
+    }
+    if let Some(hp) = &r.host_profile {
+        aurora_bench::host_fmt::print(hp);
     }
     println!("=== {} on {} ({}) ===", r.accelerator, r.workload, r.model);
     println!("cycles:       {}", r.total_cycles);
@@ -114,9 +124,10 @@ fn main() {
     }
 
     let telemetry = flags.telemetry();
-    if (flags.observing() || flags.profile.is_some()) && baseline.is_some() {
+    if (flags.observing() || flags.profile.is_some() || flags.host_profile) && baseline.is_some() {
         eprintln!(
-            "note: --trace/--metrics/--profile only instrument the Aurora engine, not baselines"
+            "note: --trace/--metrics/--profile/--host-profile only instrument the Aurora \
+             engine, not baselines"
         );
     }
 

@@ -24,8 +24,10 @@
 //!   (in fact every response beyond the first per digest must be),
 //! - the admin plane answers on the same socket: `health` reports
 //!   `ok`, `stats` accounts for at least this run's traffic with
-//!   ordered latency quantiles (p50 ≤ p95 ≤ p99) and a warm hit
-//!   ratio, and `metrics` carries the Prometheus exposition.
+//!   ordered latency quantiles (p50 ≤ p95 ≤ p99), a warm hit ratio,
+//!   and live engine-pool counters (`pool.workers` ≥ 1 and executed
+//!   regions after the warm pass), and `metrics` carries the
+//!   Prometheus exposition including the `aurora_pool_*` gauges.
 //!
 //! The scraped stats print as a table (suppressed by `--json`).
 //!
@@ -303,6 +305,19 @@ fn scrape_admin(
         if walk_u64(stats, "latency_us.count") == 0 {
             failures.push("admin stats: empty latency digest after traffic".to_string());
         }
+        // Pool observability: after a warm pass the engine has run, so
+        // the pool must report a size (≥ 1 even when regions run inline
+        // on the caller) and at least one executed parallel region.
+        let pool_workers = walk_u64(stats, "pool.workers");
+        if pool_workers == 0 {
+            failures.push("admin stats: pool.workers is 0 (pool counters missing)".to_string());
+        }
+        if walk_u64(stats, "pool.regions") == 0 {
+            failures.push("admin stats: pool.regions is 0 after engine runs".to_string());
+        }
+        if walk_u64(stats, "pool.tasks_executed") == 0 {
+            failures.push("admin stats: pool.tasks_executed is 0 after engine runs".to_string());
+        }
     }
 
     match client.admin("metrics") {
@@ -311,7 +326,12 @@ fn scrape_admin(
                 .get("prometheus")
                 .and_then(|v| v.as_str())
                 .unwrap_or("");
-            for needle in ["aurora_serve_requests", "aurora_serve_latency_us_bucket"] {
+            for needle in [
+                "aurora_serve_requests",
+                "aurora_serve_latency_us_bucket",
+                "aurora_pool_workers",
+                "aurora_pool_regions",
+            ] {
                 if !prometheus.contains(needle) {
                     failures.push(format!(
                         "admin metrics: Prometheus exposition missing `{needle}`"

@@ -1,8 +1,9 @@
 //! Shared command-line plumbing for the `src/bin` drivers.
 //!
 //! Every binary used to hand-roll the same index-juggling flag loop and
-//! its own copies of the `--trace/--metrics/--profile/--threads`
-//! handling and the model/dataset/baseline name parsers. They now share:
+//! its own copies of the `--trace/--metrics/--profile/--threads/
+//! --host-profile` handling and the model/dataset/baseline name
+//! parsers. They now share:
 //!
 //! - [`Args`] — a cursor over `std::env::args` with typed `value`/`parse`
 //!   accessors that exit with usage-style errors,
@@ -84,6 +85,9 @@ pub struct CommonFlags {
     pub profile: Option<String>,
     /// `--threads N`: worker-pool width (exported as `AURORA_THREADS`).
     pub threads: Option<usize>,
+    /// `--host-profile`: per-stage host wall-clock span profiling; the
+    /// run's report carries a `host_profile` breakdown.
+    pub host_profile: bool,
     /// `--json`: machine-readable output instead of the human form.
     pub json: bool,
 }
@@ -107,6 +111,14 @@ impl CommonFlags {
                 // time.
                 std::env::set_var("AURORA_THREADS", n.to_string());
                 self.threads = Some(n);
+            }
+            "--host-profile" => {
+                // host_init first so AURORA_ALLOC_PROFILE composes with
+                // the flag; the flag then forces spans on regardless of
+                // AURORA_HOST_PROFILE.
+                aurora_core::host_init();
+                aurora_core::span::set_span_profiling(true);
+                self.host_profile = true;
             }
             "--json" => self.json = true,
             _ => return false,
@@ -145,6 +157,14 @@ impl CommonFlags {
             );
         }
         if let Some(path) = &self.metrics {
+            // Surface-point export: pool counters (and the run's host
+            // profile, when spans were on) become `pool.*` / `host.*`
+            // gauges here — after the run, so `SimReport.metrics` stays
+            // untouched by host-side observability.
+            aurora_core::export_pool_metrics(telemetry);
+            if let Some(hp) = &report.host_profile {
+                aurora_core::export_host_metrics(telemetry, hp);
+            }
             let snapshot = telemetry.snapshot();
             let body = serde_json::to_string_pretty(&snapshot).expect("serialize metrics");
             std::fs::write(path, body).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));

@@ -1,0 +1,106 @@
+//! Human-readable rendering of a run's host-side span profile.
+//!
+//! `aurora_sim --host-profile` (and anything else holding a
+//! [`HostProfile`]) prints it through the shared [`Table`] emitter: one
+//! row per stage with wall/self split, share of total wall time, and —
+//! when the counting allocator was on — allocation counts and bytes.
+
+use crate::emit::{Cell, Table};
+use aurora_core::HostProfile;
+
+/// Builds the stage-breakdown table for `profile`.
+pub fn table(profile: &HostProfile) -> Table {
+    let mut t = Table::new(format!(
+        "host profile — {} µs wall, {:.1}% covered by top-level spans",
+        profile.total_wall_us,
+        profile.coverage() * 100.0
+    ))
+    .columns(&[
+        "stage", "calls", "wall µs", "self µs", "% wall", "allocs", "alloc KB",
+    ]);
+    for s in &profile.stages {
+        let share = if profile.total_wall_us > 0 {
+            100.0 * s.wall_us as f64 / profile.total_wall_us as f64
+        } else {
+            0.0
+        };
+        let (allocs, alloc_kb) = if profile.alloc_profiled {
+            (
+                Cell::UInt(s.alloc_count),
+                Cell::float(s.alloc_bytes as f64 / 1024.0, 1),
+            )
+        } else {
+            (Cell::Missing, Cell::Missing)
+        };
+        t.row(vec![
+            s.stage.label().into(),
+            s.calls.into(),
+            s.wall_us.into(),
+            s.self_us.into(),
+            Cell::percent(share, 1),
+            allocs,
+            alloc_kb,
+        ]);
+    }
+    t.note("self = wall minus time inside nested spans; mapping nests inside tile_precompute");
+    if !profile.alloc_profiled {
+        t.note("allocation columns need AURORA_ALLOC_PROFILE=1");
+    }
+    t
+}
+
+/// Prints the table to stdout.
+pub fn print(profile: &HostProfile) {
+    table(profile).print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_core::{HostStage, Stage};
+
+    fn profile(alloc: bool) -> HostProfile {
+        HostProfile {
+            total_wall_us: 1_000,
+            alloc_profiled: alloc,
+            stages: vec![
+                HostStage {
+                    stage: Stage::Partition,
+                    calls: 2,
+                    wall_us: 600,
+                    self_us: 600,
+                    alloc_count: 42,
+                    alloc_bytes: 4096,
+                },
+                HostStage {
+                    stage: Stage::EngineWalk,
+                    calls: 2,
+                    wall_us: 400,
+                    self_us: 400,
+                    alloc_count: 7,
+                    alloc_bytes: 512,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_one_row_per_stage_with_shares() {
+        let r = table(&profile(true)).render();
+        assert!(r.contains("partition"));
+        assert!(r.contains("engine_walk"));
+        assert!(r.contains("60.0%"));
+        assert!(r.contains("42"));
+        assert!(
+            !r.contains("AURORA_ALLOC_PROFILE"),
+            "alloc note only when off"
+        );
+    }
+
+    #[test]
+    fn alloc_columns_are_missing_without_the_gate() {
+        let r = table(&profile(false)).render();
+        assert!(r.contains("—"), "missing cells render as em dash");
+        assert!(r.contains("AURORA_ALLOC_PROFILE"));
+    }
+}

@@ -21,6 +21,8 @@
 
 pub mod cli;
 pub mod emit;
+pub mod history;
+pub mod host_fmt;
 pub mod profile_fmt;
 pub mod protocol;
 pub mod sweep;

@@ -1,0 +1,175 @@
+//! Host-observability contracts: profiling must never change what the
+//! simulator computes, and the exported name tables must be complete.
+//!
+//! The span profiler and the counting allocator live in process-global
+//! state, so every test here serializes on one mutex and restores the
+//! flags it touched — the same pattern as the telemetry crate's own
+//! span tests.
+
+use aurora_bench::host_fmt;
+use aurora_core::{
+    export_host_metrics, export_pool_metrics, metric_names as names, AcceleratorConfig,
+    AuroraSimulator, Scope, SimReport, Telemetry,
+};
+use aurora_graph::generate;
+use aurora_model::{LayerShape, ModelId};
+use rayon::ThreadPool;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the global profiling flags on drop, even when a test
+/// assertion panics.
+struct FlagRestore {
+    spans: bool,
+    allocs: bool,
+}
+
+impl FlagRestore {
+    fn capture() -> Self {
+        Self {
+            spans: aurora_core::span::span_profiling_enabled(),
+            allocs: aurora_telemetry::alloc::alloc_profiling_enabled(),
+        }
+    }
+}
+
+impl Drop for FlagRestore {
+    fn drop(&mut self) {
+        aurora_core::span::set_span_profiling(self.spans);
+        aurora_telemetry::alloc::set_alloc_profiling(self.allocs);
+    }
+}
+
+/// The pinned workload: gcn over a deterministic R-MAT graph.
+fn simulate() -> SimReport {
+    let g = generate::rmat(1_024, 8_000, Default::default(), 3);
+    let shapes = [LayerShape::new(64, 32), LayerShape::new(32, 16)];
+    AuroraSimulator::new(AcceleratorConfig::small(8)).simulate(&g, ModelId::Gcn, &shapes, "rmat-1k")
+}
+
+/// Drops the host-only field so reports can be compared on the
+/// digest-relevant remainder.
+fn strip(mut r: SimReport) -> SimReport {
+    r.host_profile = None;
+    r
+}
+
+#[test]
+fn report_is_identical_with_profiling_on_and_off() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = FlagRestore::capture();
+
+    aurora_core::span::set_span_profiling(false);
+    aurora_telemetry::alloc::set_alloc_profiling(false);
+    let plain = simulate();
+    assert!(
+        plain.host_profile.is_none(),
+        "no profile unless spans are on"
+    );
+
+    aurora_core::span::set_span_profiling(true);
+    aurora_telemetry::alloc::set_alloc_profiling(true);
+    let profiled = simulate();
+    assert!(profiled.host_profile.is_some());
+
+    assert_eq!(
+        plain,
+        strip(profiled),
+        "profiling must not change any digest-relevant report field"
+    );
+}
+
+#[test]
+fn report_is_identical_across_thread_counts_with_profiling_on() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = FlagRestore::capture();
+    aurora_core::span::set_span_profiling(true);
+    aurora_telemetry::alloc::set_alloc_profiling(true);
+
+    let reference = strip(ThreadPool::new(1).install(simulate));
+    for n in [2usize, 4] {
+        let got = strip(ThreadPool::new(n).install(simulate));
+        assert_eq!(got, reference, "thread count {n} changed the report");
+    }
+}
+
+#[test]
+fn top_level_spans_cover_most_of_the_wall_time() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = FlagRestore::capture();
+    aurora_core::span::set_span_profiling(true);
+
+    let hp = simulate().host_profile.expect("spans on");
+    assert!(hp.total_wall_us > 0);
+    let coverage = hp.coverage();
+    assert!(
+        coverage >= 0.9,
+        "top-level stage spans cover {:.1}% of wall time, need >= 90%",
+        coverage * 100.0
+    );
+    // The rendered table agrees with the profile it was built from.
+    let rendered = host_fmt::table(&hp).render();
+    assert!(rendered.contains("engine_walk"));
+}
+
+#[test]
+fn allocations_attribute_to_engine_stages() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = FlagRestore::capture();
+    aurora_core::span::set_span_profiling(true);
+    aurora_telemetry::alloc::set_alloc_profiling(true);
+
+    let hp = simulate().host_profile.expect("spans on");
+    assert!(hp.alloc_profiled);
+    let total: u64 = hp.stages.iter().map(|s| s.alloc_count).sum();
+    assert!(total > 0, "the engine allocates; the counter saw none");
+    // At least one named pipeline stage (not the Other catch-all)
+    // received an attribution.
+    assert!(
+        hp.stages
+            .iter()
+            .any(|s| s.stage.label() != "other" && s.alloc_count > 0),
+        "allocations never landed on a named stage: {hp:?}"
+    );
+}
+
+#[test]
+fn pool_name_table_is_complete() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The simulations above (or this one) have driven the pool; export
+    // and require every name in POOL_ALL to land in the snapshot, so a
+    // renamed or dropped gauge fails here instead of blanking a panel.
+    let _ = simulate();
+    let tel = Telemetry::enabled();
+    export_pool_metrics(&tel);
+    let snap = tel.snapshot();
+    for name in names::POOL_ALL {
+        assert!(
+            snap.gauge_at(name, &Scope::ROOT).is_some(),
+            "{name} missing from the pool export"
+        );
+    }
+    assert!(snap.gauge_at(names::POOL_WORKERS, &Scope::ROOT).unwrap() >= 1.0);
+    assert!(snap.gauge_at(names::POOL_REGIONS, &Scope::ROOT).unwrap() >= 1.0);
+}
+
+#[test]
+fn host_name_table_is_complete() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = FlagRestore::capture();
+    aurora_core::span::set_span_profiling(true);
+    aurora_telemetry::alloc::set_alloc_profiling(true);
+
+    let hp = simulate().host_profile.expect("spans on");
+    let tel = Telemetry::enabled();
+    export_host_metrics(&tel, &hp);
+    let snap = tel.snapshot();
+    let scope = Scope::ROOT.phase(hp.stages.first().expect("stages recorded").stage.label());
+    for name in names::HOST_ALL {
+        assert!(
+            snap.gauge_at(name, &scope).is_some(),
+            "{name} missing from the host export at {scope:?}"
+        );
+    }
+}

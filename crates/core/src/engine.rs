@@ -23,9 +23,11 @@ use aurora_mem::MemoryController;
 use aurora_model::{LayerShape, ModelId, Phase, Workload};
 use aurora_noc::{BypassSegment, NocConfig, RouteTable};
 use aurora_partition::{partition, PartitionStrategy};
+use aurora_telemetry::span::{self, Stage};
 use aurora_telemetry::{names, tracks, Scope, Telemetry};
 use rayon::prelude::*;
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Identity of a tile's unit-flit traffic profile within one run: the
 /// profile is a pure function of the route table and the mapping, and
@@ -215,14 +217,28 @@ impl AuroraSimulator {
         };
         let workload = req.workload_label();
         let density = req.options.input_density;
-        match &req.graph {
+        // Host profiling wraps graph resolution too, so GraphLoad time
+        // lands inside the profiled window.
+        span::host_init();
+        let start = Instant::now();
+        let profile_mark = span::span_profiling_enabled().then(span::mark);
+        let mut report = match &req.graph {
             // borrow inline graphs; only spec variants synthesize
-            GraphSpec::Inline(g) => sim.run_resolved(g, req.model, &req.layers, &workload, density),
-            spec => {
-                let g = spec.resolve()?;
-                sim.run_resolved(&g, req.model, &req.layers, &workload, density)
+            GraphSpec::Inline(g) => {
+                sim.run_resolved_core(g, req.model, &req.layers, &workload, density)?
             }
+            spec => {
+                let g = {
+                    let _span = span::enter(Stage::GraphLoad);
+                    spec.resolve()?
+                };
+                sim.run_resolved_core(&g, req.model, &req.layers, &workload, density)?
+            }
+        };
+        if let Some(m) = &profile_mark {
+            report.host_profile = Some(span::collect(m, start.elapsed()));
         }
+        Ok(report)
     }
 
     /// Simulates `model` inference over `g` through the given layer
@@ -265,9 +281,31 @@ impl AuroraSimulator {
             .unwrap_or_else(|e| panic!("simulation failed: {e}"))
     }
 
+    /// [`Self::run_resolved_core`] wrapped in a host-profiling window:
+    /// the entry point of the panicking wrappers ([`Self::run`] opens
+    /// its own window so graph resolution is covered too).
+    fn run_resolved(
+        &self,
+        g: &Csr,
+        model: ModelId,
+        shapes: &[LayerShape],
+        workload: &str,
+        input_density: f64,
+    ) -> Result<SimReport, SimError> {
+        span::host_init();
+        let start = Instant::now();
+        let profile_mark = span::span_profiling_enabled().then(span::mark);
+        let mut report = self.run_resolved_core(g, model, shapes, workload, input_density)?;
+        if let Some(m) = &profile_mark {
+            report.host_profile = Some(span::collect(m, start.elapsed()));
+        }
+        Ok(report)
+    }
+
     /// The resolved-graph execution path shared by [`Self::run`] and the
     /// panicking wrappers.
-    fn run_resolved(
+    #[allow(clippy::too_many_arguments)]
+    fn run_resolved_core(
         &self,
         g: &Csr,
         model: ModelId,
@@ -302,7 +340,10 @@ impl AuroraSimulator {
         // Route tables and tile traffic profiles persist across the run's
         // layers: later layers rescale instead of re-binning.
         let mut traffic_cache = TrafficCache::new();
-        let wf = Workflow::generate(model);
+        let wf = {
+            let _span = span::enter(Stage::Workflow);
+            Workflow::generate(model)
+        };
         if self.telemetry.is_enabled() {
             self.telemetry
                 .instant(tracks::CONTROLLER, "accept request", 0);
@@ -346,6 +387,7 @@ impl AuroraSimulator {
             layers.push(report);
         }
 
+        let _finalize_span = span::enter(Stage::Finalize);
         activity.cycles = total_cycles;
         activity.dram_bytes = mem.counters().total_bytes();
         activity.reconfigurations = reconfigs;
@@ -398,6 +440,7 @@ impl AuroraSimulator {
             instructions,
             metrics: self.telemetry.snapshot(),
             profile,
+            host_profile: None,
         })
     }
 
@@ -434,9 +477,14 @@ impl AuroraSimulator {
         if graphs.is_empty() {
             return Err(SimError::EmptyBatch);
         }
+        // One host-profiling window spans the whole batch: the merged
+        // report's host_profile covers every graph.
+        span::host_init();
+        let start = Instant::now();
+        let profile_mark = span::span_profiling_enabled().then(span::mark);
         let mut merged: Option<SimReport> = None;
         for (i, g) in graphs.iter().enumerate() {
-            let r = self.run_resolved(g, model, shapes, workload, 1.0)?;
+            let r = self.run_resolved_core(g, model, shapes, workload, 1.0)?;
             merged = Some(match merged {
                 None => r,
                 Some(mut acc) => {
@@ -487,6 +535,9 @@ impl AuroraSimulator {
         } else {
             0.0
         };
+        if let Some(m) = &profile_mark {
+            report.host_profile = Some(span::collect(m, start.elapsed()));
+        }
         Ok(report)
     }
 
@@ -515,6 +566,7 @@ impl AuroraSimulator {
         let dram_bytes_before = mem.counters().total_bytes();
 
         // --- Tile by on-chip capacity -----------------------------------
+        let partition_span = span::enter(Stage::Partition);
         let tiling_cfg = TilingConfig {
             onchip_bytes: cfg.onchip_bytes(),
             feature_dim: shape.f_in,
@@ -553,6 +605,7 @@ impl AuroraSimulator {
             });
         }
         strategy.record_to(tel, &lscope);
+        drop(partition_span);
 
         // Trace timeline: the exposed controller overheads (mapping +
         // partition decisions, then the first NoC reconfiguration when the
@@ -612,9 +665,14 @@ impl AuroraSimulator {
         // Pure per-tile precomputation fans out over the worker pool; the
         // index-ordered collect keeps the result vector in tile order, so
         // the stateful walk below sees exactly the sequential schedule.
+        let precompute_span = span::enter(Stage::TilePrecompute);
         let pres: Vec<TilePre> = (0..tiling.num_tiles())
             .into_par_iter()
             .map(|ti| {
+                // workers tag themselves for allocation attribution and
+                // time the per-tile mapping work as worker-side CPU µs
+                let _tag = span::stage_scope(Stage::TilePrecompute);
+                let _map_span = span::enter(Stage::Mapping);
                 let sg = tiling.subgraph(g, ti);
                 let range = sg.vertex_range();
                 let degrees: Vec<u32> = range.clone().map(|v| g.degree(v) as u32).collect();
@@ -727,12 +785,14 @@ impl AuroraSimulator {
                 }
             })
             .collect();
+        drop(precompute_span);
 
         // Aggregation traffic through the cross-layer route-table/profile
         // cache. Lookups, estimates of hits, and insertions all run on
         // this sequential path — cache state and telemetry counters are
         // identical at every AURORA_THREADS value; only the O(E) binning
         // of missing tiles fans out over the pool.
+        let route_span = span::enter(Stage::RouteTableBuild);
         let mut keys: Vec<ProfileKey> = Vec::with_capacity(pres.len());
         let mut miss_tiles: Vec<usize> = Vec::new();
         let mut est_a_of: Vec<Option<OnChipEstimate>> = Vec::with_capacity(pres.len());
@@ -763,9 +823,11 @@ impl AuroraSimulator {
                 }
             }
         }
+        drop(route_span);
         // Misses bin in parallel but resolve sequentially: the first
         // erroring tile (in tile order) decides the returned `SimError`,
         // independent of AURORA_THREADS.
+        let traffic_span = span::enter(Stage::TrafficKernels);
         let binned: Vec<Result<TrafficProfile, aurora_noc::NocError>> = {
             let cache_ref: &TrafficCache = cache;
             let miss_ref = &miss_tiles;
@@ -774,6 +836,7 @@ impl AuroraSimulator {
             (0..miss_ref.len())
                 .into_par_iter()
                 .map(|i| {
+                    let _tag = span::stage_scope(Stage::TrafficKernels);
                     let ti = miss_ref[i];
                     let sg = tiling.subgraph(g, ti);
                     TrafficProfile::bin(
@@ -804,9 +867,11 @@ impl AuroraSimulator {
                 SimError::Internal("tile resolved neither as a hit nor a binned miss".into())
             })?);
         }
+        drop(traffic_span);
 
         // Stateful walk: memory controller, telemetry, and the instruction
         // trace consume the precomputed tiles strictly in order.
+        let walk_span = span::enter(Stage::EngineWalk);
         for (ti, pre) in pres.iter().enumerate() {
             mem.set_scope(lscope.tile(ti));
             aurora_mapping::record_quality(tel, &lscope, &pre.mapping);
@@ -1005,6 +1070,8 @@ impl AuroraSimulator {
             // datapath mode switches across the phase sequence, per tile
             reconfigs += wf.mode_switches();
         }
+        drop(walk_span);
+        let _finalize_span = span::enter(Stage::Finalize);
 
         // --- Double-buffered pipeline combination ------------------------
         // the crossbar streams each tile's data while the PEs execute, and

@@ -1,0 +1,120 @@
+//! Host-side observability export: thread-pool counters and span
+//! profiles, rendered as `pool.*` / `host.*` gauges.
+//!
+//! The span profiler and the pool keep their counters in process-global
+//! atomics (see `aurora_telemetry::span` and the rayon shim); this
+//! module is the bridge that snapshots them into a [`Telemetry`]
+//! registry at a *surface point* — the CLI's `--metrics` dump, the
+//! serve admin endpoint — never during a simulation. Keeping the
+//! export out of the engine means `SimReport.metrics` stays
+//! byte-identical whatever the thread count or profiling flags, which
+//! the determinism suite asserts.
+
+use aurora_telemetry::{names, HostProfile, Scope, Telemetry};
+
+/// Snapshots the current thread pool's counters into `telemetry` as
+/// `pool.*` gauges.
+///
+/// Totals land at the root scope; per-thread rows use
+/// `phase="caller"` for the thread that opens regions (and executes
+/// inline when the pool has no workers) and `phase="workerN"` for the
+/// pool's own threads. Values are cumulative since pool creation, so
+/// repeated exports overwrite with the latest high-water counts.
+pub fn export_pool_metrics(telemetry: &Telemetry) {
+    let stats = rayon::current_stats();
+    let root = Scope::ROOT;
+    telemetry.gauge_set(names::POOL_WORKERS, &root, stats.threads as f64);
+    telemetry.gauge_set(names::POOL_REGIONS, &root, stats.regions as f64);
+    telemetry.gauge_set(names::POOL_MAX_DEPTH, &root, stats.max_depth as f64);
+
+    let totals = stats.totals();
+    telemetry.gauge_set(names::POOL_TASKS_EXECUTED, &root, totals.executed as f64);
+    telemetry.gauge_set(names::POOL_TASKS_STOLEN, &root, totals.stolen as f64);
+    telemetry.gauge_set(names::POOL_BUSY_US, &root, totals.busy_us as f64);
+    telemetry.gauge_set(names::POOL_IDLE_US, &root, totals.idle_us as f64);
+
+    let caller = root.phase("caller");
+    export_worker(telemetry, &caller, &stats.caller);
+    for (i, w) in stats.workers.iter().enumerate() {
+        let scope = root.phase(format!("worker{i}"));
+        export_worker(telemetry, &scope, w);
+    }
+}
+
+fn export_worker(telemetry: &Telemetry, scope: &Scope, w: &rayon::WorkerStats) {
+    telemetry.gauge_set(names::POOL_TASKS_EXECUTED, scope, w.executed as f64);
+    telemetry.gauge_set(names::POOL_TASKS_STOLEN, scope, w.stolen as f64);
+    telemetry.gauge_set(names::POOL_BUSY_US, scope, w.busy_us as f64);
+    telemetry.gauge_set(names::POOL_IDLE_US, scope, w.idle_us as f64);
+}
+
+/// Exports a [`HostProfile`] as per-stage `host.*` gauges, one row per
+/// stage with the stage label as `phase`.
+///
+/// Allocation gauges are only set when the profile was captured with
+/// `AURORA_ALLOC_PROFILE=1`; without it the counts are structurally
+/// zero and a gauge would read as "no allocations" instead of "not
+/// measured".
+pub fn export_host_metrics(telemetry: &Telemetry, profile: &HostProfile) {
+    for stage in &profile.stages {
+        let scope = Scope::ROOT.phase(stage.stage.label());
+        telemetry.gauge_set(names::HOST_SPAN_WALL_US, &scope, stage.wall_us as f64);
+        telemetry.gauge_set(names::HOST_SPAN_CALLS, &scope, stage.calls as f64);
+        if profile.alloc_profiled {
+            telemetry.gauge_set(names::HOST_ALLOC_COUNT, &scope, stage.alloc_count as f64);
+            telemetry.gauge_set(names::HOST_ALLOC_BYTES, &scope, stage.alloc_bytes as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_telemetry::{HostStage, Stage};
+
+    #[test]
+    fn pool_export_covers_every_pool_metric() {
+        // Drive a region so regions/executed are non-zero, then check
+        // every name in POOL_ALL appears at the root scope.
+        use rayon::prelude::*;
+        let _: Vec<usize> = (0..64usize).into_par_iter().map(|x| x * 2).collect();
+        let tel = Telemetry::enabled();
+        export_pool_metrics(&tel);
+        let snap = tel.snapshot();
+        for name in names::POOL_ALL {
+            assert!(
+                snap.gauge_at(name, &Scope::ROOT).is_some(),
+                "{name} missing at root scope"
+            );
+        }
+        assert!(snap.gauge_at(names::POOL_WORKERS, &Scope::ROOT).unwrap() >= 1.0);
+        assert!(snap.gauge_at(names::POOL_REGIONS, &Scope::ROOT).unwrap() >= 1.0);
+        // Per-thread rows: the caller row always exists.
+        let caller = Scope::ROOT.phase("caller");
+        assert!(snap.gauge_at(names::POOL_TASKS_EXECUTED, &caller).is_some());
+    }
+
+    #[test]
+    fn host_export_scopes_stages_by_label() {
+        let profile = HostProfile {
+            total_wall_us: 120,
+            alloc_profiled: false,
+            stages: vec![HostStage {
+                stage: Stage::Partition,
+                calls: 2,
+                wall_us: 100,
+                self_us: 90,
+                alloc_count: 0,
+                alloc_bytes: 0,
+            }],
+        };
+        let tel = Telemetry::enabled();
+        export_host_metrics(&tel, &profile);
+        let snap = tel.snapshot();
+        let scope = Scope::ROOT.phase("partition");
+        assert_eq!(snap.gauge_at(names::HOST_SPAN_WALL_US, &scope), Some(100.0));
+        assert_eq!(snap.gauge_at(names::HOST_SPAN_CALLS, &scope), Some(2.0));
+        // Alloc gauges withheld when the profile wasn't alloc-profiled.
+        assert_eq!(snap.gauge_at(names::HOST_ALLOC_COUNT, &scope), None);
+    }
+}

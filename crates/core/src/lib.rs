@@ -35,6 +35,7 @@
 pub mod config;
 pub mod engine;
 pub mod functional;
+pub mod host;
 pub mod instr;
 pub mod noc_model;
 pub mod profile;
@@ -52,8 +53,11 @@ pub use request::{
 };
 pub use workflow::Workflow;
 
+pub use host::{export_host_metrics, export_pool_metrics};
+
 // Re-exported so simulator drivers can enable observability without
 // depending on aurora-telemetry directly.
 pub use aurora_telemetry::{
-    expo, names as metric_names, Histogram, MetricsSnapshot, Scope, Telemetry,
+    expo, host_init, names as metric_names, span, Histogram, HostProfile, HostStage,
+    MetricsSnapshot, Scope, Stage, Telemetry,
 };

@@ -6,7 +6,7 @@ use aurora_energy::{ActivityCounts, EnergyBreakdown};
 use aurora_mem::controller::TrafficCounters;
 use aurora_model::{LayerShape, PhaseOpCounts};
 use aurora_partition::PartitionStrategy;
-use aurora_telemetry::MetricsSnapshot;
+use aurora_telemetry::{HostProfile, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// On-chip communication summary of a layer or run.
@@ -99,6 +99,10 @@ pub struct SimReport {
     /// run overall (always populated by the Aurora engine; empty for
     /// baseline cost models).
     pub profile: ProfileReport,
+    /// Host-side per-stage wall-clock/allocation profile. `None` unless
+    /// span profiling was on (`--host-profile` / `AURORA_HOST_PROFILE=1`),
+    /// so default-path reports stay byte-identical run to run.
+    pub host_profile: Option<HostProfile>,
 }
 
 impl SimReport {
@@ -152,6 +156,7 @@ mod tests {
             instructions: vec![],
             metrics: MetricsSnapshot::default(),
             profile: ProfileReport::default(),
+            host_profile: None,
         }
     }
 

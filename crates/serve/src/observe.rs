@@ -247,6 +247,11 @@ pub struct FlightRecord {
     /// Bound attribution of the run; `None` for requests that never
     /// reached the engine (rejects, bad requests).
     pub profile: Option<FlightProfile>,
+    /// Host-side per-stage wall/allocation split of the run. `None`
+    /// unless the daemon ran with span profiling on
+    /// (`AURORA_HOST_PROFILE=1`) *and* this request led the engine run
+    /// — hits and joins ran nothing of their own.
+    pub host_profile: Option<aurora_core::HostProfile>,
 }
 
 /// Bounded ring of the last `capacity` slow/error flights. Capacity 0
@@ -319,6 +324,7 @@ mod tests {
             error: None,
             request: serde_json::Value::Null,
             profile: None,
+            host_profile: None,
         }
     }
 

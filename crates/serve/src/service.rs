@@ -229,8 +229,12 @@ impl SimService {
         &self.inner.config
     }
 
-    /// A snapshot of the service's `serve.*` metrics.
+    /// A snapshot of the service's `serve.*` metrics, with the worker
+    /// pool's `pool.*` gauges exported at the same instant — the admin
+    /// `metrics` command and the Prometheus exposition both read this,
+    /// so dashboards see engine-pool health next to request health.
     pub fn metrics(&self) -> aurora_core::MetricsSnapshot {
+        aurora_core::export_pool_metrics(&self.inner.telemetry);
         self.inner.telemetry.snapshot()
     }
 
@@ -350,6 +354,13 @@ impl SimService {
                     .as_ref()
                     .ok()
                     .and_then(|o| FlightProfile::of(&o.report)),
+                // Only a led run has a fresh host profile of its own;
+                // hits and joins would re-attribute the leader's.
+                host_profile: result
+                    .as_ref()
+                    .ok()
+                    .filter(|o| !o.cached)
+                    .and_then(|o| o.report.host_profile.clone()),
             });
         }
 
@@ -478,6 +489,7 @@ impl SimService {
                 snap.histogram_at(names::SERVE_QUEUE_WAIT_US, &Scope::ROOT),
             ),
             flights: self.inner.recorder.len() as u64,
+            pool: PoolSummary::current(),
         }
     }
 
@@ -559,6 +571,41 @@ pub struct ServiceStats {
     pub queue_wait_us: LatencySummary,
     /// Records currently retained by the flight recorder.
     pub flights: u64,
+    /// Engine worker-pool counters (cumulative since process start).
+    pub pool: PoolSummary,
+}
+
+/// The work-stealing pool's counters, condensed for stats payloads.
+/// Cumulative over the life of the process, not this service alone.
+#[derive(Debug, Clone, Serialize)]
+pub struct PoolSummary {
+    /// Pool size including the caller thread (≥ 1).
+    pub workers: u64,
+    /// Parallel regions executed, inline ones included.
+    pub regions: u64,
+    /// Deepest observed region nesting.
+    pub max_depth: u64,
+    pub tasks_executed: u64,
+    pub tasks_stolen: u64,
+    pub busy_us: u64,
+    pub idle_us: u64,
+}
+
+impl PoolSummary {
+    /// Snapshots the current pool.
+    pub fn current() -> Self {
+        let stats = rayon::current_stats();
+        let totals = stats.totals();
+        Self {
+            workers: stats.threads as u64,
+            regions: stats.regions,
+            max_depth: stats.max_depth,
+            tasks_executed: totals.executed,
+            tasks_stolen: totals.stolen,
+            busy_us: totals.busy_us,
+            idle_us: totals.idle_us,
+        }
+    }
 }
 
 /// RAII tracker of the `serve.inflight` gauge.

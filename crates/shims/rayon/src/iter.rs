@@ -97,7 +97,9 @@ fn drive_ordered<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
     let pool = current_pool();
     if pool.threads() <= 1 || len <= 1 {
         let mut out = Vec::new();
-        p.pi_fill(0, len, &mut out);
+        if len > 0 {
+            pool.run_inline(|| p.pi_fill(0, len, &mut out));
+        }
         return out;
     }
     let gathered: Mutex<Vec<(usize, Vec<P::Item>)>> = Mutex::new(Vec::new());

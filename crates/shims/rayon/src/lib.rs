@@ -17,7 +17,10 @@ pub use iter::{
     FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
     ParallelSlice,
 };
-pub use pool::{configured_threads, current_pool, global_pool, join, ThreadPool};
+pub use pool::{
+    configured_threads, current_pool, current_stats, global_pool, join, PoolStats, ThreadPool,
+    WorkerStats,
+};
 
 pub mod prelude {
     pub use crate::iter::{
@@ -182,6 +185,52 @@ mod tests {
             })
         }));
         assert!(result.is_err(), "panic must cross the parallel region");
+    }
+
+    #[test]
+    fn stats_count_regions_and_chunks_inline() {
+        // A 1-thread pool runs everything inline on the caller: regions
+        // and caller-executed chunks must still be counted.
+        let pool = ThreadPool::new(1);
+        let before = pool.stats();
+        assert_eq!(before.workers.len(), 0, "single-thread pool has no workers");
+        let _: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().map(|x| x + 1).collect());
+        let after = pool.stats();
+        assert_eq!(after.threads, 1);
+        assert!(after.regions > before.regions, "inline region counted");
+        assert!(
+            after.caller.executed > before.caller.executed,
+            "inline chunk counted under the caller"
+        );
+        assert!(after.max_depth >= 1);
+        assert_eq!(after.totals().stolen, 0, "nothing to steal inline");
+    }
+
+    #[test]
+    fn stats_count_worker_activity_and_nesting() {
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        assert_eq!(before.workers.len(), 4);
+        let _: Vec<usize> = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| (0..64usize).into_par_iter().map(|j| i * j).sum::<usize>())
+                .collect()
+        });
+        let after = pool.stats();
+        let d_exec = after.totals().executed - before.totals().executed;
+        assert!(d_exec > 0, "chunks executed somewhere");
+        assert!(after.regions > before.regions);
+        assert!(after.max_depth >= 2, "nested regions deepen the high-water mark");
+        // busy time is recorded wherever chunks ran
+        assert!(after.totals().busy_us >= before.totals().busy_us);
+    }
+
+    #[test]
+    fn current_stats_reads_the_installed_pool() {
+        let pool = ThreadPool::new(2);
+        let threads = pool.install(|| super::current_stats().threads);
+        assert_eq!(threads, 2);
     }
 
     #[test]

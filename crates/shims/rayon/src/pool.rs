@@ -17,11 +17,17 @@
 //! Pool size comes from `AURORA_THREADS` for the global pool (default =
 //! available cores; `1` selects the exact sequential path: the region
 //! body runs inline on the caller with no task machinery at all).
+//!
+//! The pool also keeps lifetime activity counters — regions run, chunks
+//! executed/stolen per thread, busy vs. idle wall time, deepest region
+//! nesting — snapshotted by [`ThreadPool::stats`] / [`current_stats`].
+//! They are plain relaxed atomics read nowhere on the execution path,
+//! so results never depend on them.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How many chunks a region is split into per pool thread. More chunks
 /// mean finer stealing granularity; results never depend on it.
@@ -46,6 +52,135 @@ struct Shared {
     /// Round-robin scatter cursor so consecutive regions spread evenly.
     scatter: AtomicUsize,
     threads: usize,
+    /// Observability counters (never synchronization; see [`PoolStats`]).
+    counters: PoolCounters,
+}
+
+/// Process-lifetime activity counters for one pool. All relaxed
+/// atomics: the numbers are merged per-thread observations, read only
+/// by [`ThreadPool::stats`].
+struct PoolCounters {
+    /// Parallel regions executed, *including* regions run inline on the
+    /// caller (single-thread pool or trivial range).
+    regions: AtomicU64,
+    /// Deepest observed nesting of regions on any one thread.
+    max_depth: AtomicU64,
+    /// Region owners helping their own region (plus inline execution).
+    caller: WorkerCell,
+    /// One cell per worker thread (empty on a single-thread pool).
+    workers: Vec<WorkerCell>,
+}
+
+/// One thread's executed/stolen/busy/idle accumulators.
+struct WorkerCell {
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+impl WorkerCell {
+    const fn new() -> Self {
+        Self {
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            idle_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            busy_us: self.busy_ns.load(Ordering::Relaxed) / 1_000,
+            idle_us: self.idle_ns.load(Ordering::Relaxed) / 1_000,
+        }
+    }
+
+    fn record_run(&self, stolen: bool, elapsed: Duration) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of a pool's activity counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// The pool's thread count (1 = regions run inline on the caller).
+    pub threads: usize,
+    /// Parallel regions executed since the pool was built, including
+    /// inline-executed ones.
+    pub regions: u64,
+    /// Deepest observed region nesting on any one thread.
+    pub max_depth: u64,
+    /// The caller-side help loop (region owners executing chunks while
+    /// they wait, and all inline execution).
+    pub caller: WorkerStats,
+    /// Per-worker-thread counters, in worker index order (empty on a
+    /// single-thread pool).
+    pub workers: Vec<WorkerStats>,
+}
+
+/// One thread's share of pool activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Chunks this thread executed.
+    pub executed: u64,
+    /// Of those, chunks taken from a deque other than the thread's
+    /// scan-home (work stealing in action).
+    pub stolen: u64,
+    /// Wall microseconds spent executing chunks.
+    pub busy_us: u64,
+    /// Wall microseconds spent parked waiting for work (workers) or
+    /// waiting on region completion (callers).
+    pub idle_us: u64,
+}
+
+impl PoolStats {
+    /// Caller + every worker, summed.
+    pub fn totals(&self) -> WorkerStats {
+        let mut t = self.caller;
+        for w in &self.workers {
+            t.executed += w.executed;
+            t.stolen += w.stolen;
+            t.busy_us += w.busy_us;
+            t.idle_us += w.idle_us;
+        }
+        t
+    }
+}
+
+thread_local! {
+    /// Current parallel-region nesting depth on this thread, feeding
+    /// the pool's `max_depth` high-water mark.
+    static REGION_DEPTH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII depth tracker: bumps the thread's region depth and the pool's
+/// high-water mark for the lifetime of one region.
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter(counters: &PoolCounters) -> Self {
+        let depth = REGION_DEPTH.with(|d| {
+            let v = d.get() + 1;
+            d.set(v);
+            v
+        });
+        counters.max_depth.fetch_max(depth, Ordering::Relaxed);
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        REGION_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
 }
 
 /// One schedulable unit: a chunk `[lo, hi)` of some region's index space.
@@ -128,6 +263,12 @@ pub fn global_pool() -> &'static ThreadPool {
     GLOBAL.get_or_init(|| ThreadPool::new(configured_threads()))
 }
 
+/// Activity counters of the pool parallel iterators currently execute
+/// on (the installed pool, else the global pool).
+pub fn current_stats() -> PoolStats {
+    current_pool().stats()
+}
+
 /// The pool parallel iterators execute on: the pool installed on this
 /// thread (worker threads install their own), else the global pool.
 pub fn current_pool() -> ThreadPool {
@@ -154,6 +295,12 @@ impl ThreadPool {
             sleep_cv: Condvar::new(),
             scatter: AtomicUsize::new(0),
             threads,
+            counters: PoolCounters {
+                regions: AtomicU64::new(0),
+                max_depth: AtomicU64::new(0),
+                caller: WorkerCell::new(),
+                workers: (0..workers).map(|_| WorkerCell::new()).collect(),
+            },
         });
         for i in 0..workers {
             let weak = Arc::downgrade(&shared);
@@ -168,6 +315,30 @@ impl ThreadPool {
     /// The pool's thread count (1 = sequential).
     pub fn threads(&self) -> usize {
         self.shared.threads
+    }
+
+    /// Runs `body` as an inline region with the same activity
+    /// accounting as [`run_chunked`]'s sequential path — for terminals
+    /// that keep their own zero-copy single-thread shortcut.
+    pub(crate) fn run_inline<R>(&self, body: impl FnOnce() -> R) -> R {
+        self.shared.counters.regions.fetch_add(1, Ordering::Relaxed);
+        let _depth = DepthGuard::enter(&self.shared.counters);
+        let start = Instant::now();
+        let out = body();
+        self.shared.counters.caller.record_run(false, start.elapsed());
+        out
+    }
+
+    /// Point-in-time copy of this pool's activity counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            threads: self.shared.threads,
+            regions: c.regions.load(Ordering::Relaxed),
+            max_depth: c.max_depth.load(Ordering::Relaxed),
+            caller: c.caller.snapshot(),
+            workers: c.workers.iter().map(WorkerCell::snapshot).collect(),
+        }
     }
 
     /// Runs `f` with this pool installed as the current thread's pool, so
@@ -195,8 +366,12 @@ impl ThreadPool {
         if len == 0 {
             return;
         }
+        self.shared.counters.regions.fetch_add(1, Ordering::Relaxed);
+        let _depth = DepthGuard::enter(&self.shared.counters);
         if self.shared.threads <= 1 || len == 1 {
+            let start = Instant::now();
             body(0, len);
+            self.shared.counters.caller.record_run(false, start.elapsed());
             return;
         }
         let chunk = len.div_ceil(self.shared.threads * CHUNKS_PER_THREAD).max(1);
@@ -244,20 +419,21 @@ impl Shared {
     }
 
     /// Pops from the back of `own` or steals from the front of any other
-    /// deque.
-    fn find_task(&self, own: usize) -> Option<Task> {
+    /// deque. The flag reports whether the task came from another deque
+    /// (a steal, for the activity counters).
+    fn find_task(&self, own: usize) -> Option<(Task, bool)> {
         if self.pending.load(Ordering::SeqCst) == 0 {
             return None;
         }
         let n = self.deques.len();
         if let Some(t) = self.deques[own % n].lock().unwrap().pop_back() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
-            return Some(t);
+            return Some((t, false));
         }
         for off in 1..n {
             if let Some(t) = self.deques[(own + off) % n].lock().unwrap().pop_front() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
-                return Some(t);
+                return Some((t, true));
             }
         }
         None
@@ -268,8 +444,10 @@ impl Shared {
     /// on the region's completion condvar.
     fn help_until_done(&self, region: &RegionCore) {
         loop {
-            if let Some(t) = self.find_task(0) {
+            if let Some((t, stolen)) = self.find_task(0) {
+                let start = Instant::now();
                 unsafe { (*t.region.0).run_chunk(t.lo, t.hi) };
+                self.counters.caller.record_run(stolen, start.elapsed());
                 continue;
             }
             let guard = region.done_lock.lock().unwrap();
@@ -278,10 +456,15 @@ impl Shared {
             }
             // Re-check for work under a short timeout: a nested region's
             // tasks may appear while we hold no lock.
+            let waited = Instant::now();
             let _ = region
                 .done_cv
                 .wait_timeout(guard, Duration::from_micros(200))
                 .unwrap();
+            self.counters
+                .caller
+                .idle_ns
+                .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
             if region.remaining.load(Ordering::SeqCst) == 0 {
                 return;
             }
@@ -298,18 +481,24 @@ fn worker_loop(index: usize, shared: Weak<Shared>) {
         let Some(pool) = shared.upgrade() else {
             return; // every external handle dropped: retire
         };
-        if let Some(t) = pool.find_task(index) {
+        if let Some((t, stolen)) = pool.find_task(index) {
+            let start = Instant::now();
             unsafe { (*t.region.0).run_chunk(t.lo, t.hi) };
+            pool.counters.workers[index].record_run(stolen, start.elapsed());
             continue;
         }
         let guard = pool.sleep_lock.lock().unwrap();
         if pool.pending.load(Ordering::SeqCst) == 0 {
             // Timed wait so a retired pool's workers notice the dropped
             // handles without an explicit shutdown broadcast.
+            let waited = Instant::now();
             let _ = pool
                 .sleep_cv
                 .wait_timeout(guard, Duration::from_millis(20))
                 .unwrap();
+            pool.counters.workers[index]
+                .idle_ns
+                .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -325,8 +514,13 @@ where
     RB: Send,
 {
     let pool = current_pool();
+    pool.shared.counters.regions.fetch_add(1, Ordering::Relaxed);
+    let _depth = DepthGuard::enter(&pool.shared.counters);
     if pool.shared.threads <= 1 {
-        return (a(), b());
+        let start = Instant::now();
+        let out = (a(), b());
+        pool.shared.counters.caller.record_run(false, start.elapsed());
+        return out;
     }
     let b_slot: Mutex<(Option<B>, Option<RB>)> = Mutex::new((Some(b), None));
     let body = |_lo: usize, _hi: usize| {

@@ -1,0 +1,66 @@
+//! Env-gated allocation accounting.
+//!
+//! [`CountingAllocator`] wraps the system allocator and, when switched
+//! on (`AURORA_ALLOC_PROFILE=1` via [`host_init`](crate::host_init), or
+//! [`set_alloc_profiling`]), attributes every allocation's count and
+//! byte size to the calling thread's active [`Stage`](crate::Stage).
+//! The crate installs it as the `#[global_allocator]`, so every binary
+//! linking `aurora-telemetry` gets the gate for free.
+//!
+//! The disabled path is one relaxed atomic load before delegating to
+//! [`System`] — cheap enough to leave installed permanently. The
+//! enabled path must stay allocation-free and lock-free: it runs inside
+//! `alloc()` itself, so it only touches the fixed atomic stage table
+//! and a const-initialized thread-local (`try_with`, never lazy-init).
+//!
+//! Deallocations are deliberately not counted: the profile answers
+//! "which stage churns memory", and alloc count/bytes is the churn
+//! signal `ROADMAP` item 5 needs. `realloc` and `alloc_zeroed` count at
+//! their (new) full size.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ALLOC_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Switches allocation accounting on or off (process-global).
+pub fn set_alloc_profiling(on: bool) {
+    ALLOC_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether allocation accounting is currently recording.
+pub fn alloc_profiling_enabled() -> bool {
+    ALLOC_ENABLED.load(Ordering::Relaxed)
+}
+
+/// System-allocator wrapper that counts allocations per active stage
+/// when [`alloc_profiling_enabled`]. Installed as the global allocator
+/// by this crate's root.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ALLOC_ENABLED.load(Ordering::Relaxed) {
+            crate::span::record_alloc(layout.size());
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ALLOC_ENABLED.load(Ordering::Relaxed) {
+            crate::span::record_alloc(layout.size());
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ALLOC_ENABLED.load(Ordering::Relaxed) {
+            crate::span::record_alloc(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -15,6 +15,12 @@
 //! [`expo::render`], the scrape surface of the serve daemon's
 //! `{"admin":"metrics"}` command.
 //!
+//! A third facility observes the **host** instead of the simulated
+//! machine: the wall-clock span profiler ([`span`]) and the env-gated
+//! allocation accounting ([`alloc`]) attribute a run's wall-µs and
+//! heap churn to canonical pipeline [`Stage`]s, surfaced as
+//! `SimReport.host_profile`.
+//!
 //! Probes go through the cheap-to-clone [`Telemetry`] handle. A
 //! disabled handle (the default) carries no sink: every probe is a
 //! single `Option` check that branches over an empty body, so
@@ -23,15 +29,24 @@
 //! the no-op implementation and [`Recorder`] the standard
 //! registry-plus-trace implementation used by the simulator binaries.
 
+pub mod alloc;
 pub mod expo;
 pub mod metrics;
 pub mod names;
 pub mod scope;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{ConcurrentRegistry, Histogram, MetricsSnapshot, Registry};
 pub use scope::Scope;
+pub use span::{host_init, HostProfile, HostStage, Stage};
 pub use trace::{tracks, ArgValue, TraceBuffer};
+
+/// Counting wrapper around the system allocator, installed for every
+/// binary linking this crate. Pass-through (one relaxed load) unless
+/// `AURORA_ALLOC_PROFILE=1` switches accounting on.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAllocator = alloc::CountingAllocator;
 
 use std::sync::{Arc, Mutex};
 

@@ -73,3 +73,69 @@ pub const SERVE_ALL: &[&str] = &[
     SERVE_TIMEOUTS,
     SERVE_ERRORS,
 ];
+
+/// Configured size of the work-stealing pool, counting the caller
+/// thread (so ≥ 1 even when every region runs inline). Gauge at the
+/// root scope.
+pub const POOL_WORKERS: &str = "pool.workers";
+
+/// Parallel regions executed since process start — including regions
+/// the pool ran inline (single thread or single chunk). Gauge.
+pub const POOL_REGIONS: &str = "pool.regions";
+
+/// Deepest observed nesting of parallel regions on any one thread.
+/// Gauge.
+pub const POOL_MAX_DEPTH: &str = "pool.max_depth";
+
+/// Region chunks executed, per worker (`phase="workerN"`; the caller
+/// thread helping a region counts under `phase="caller"`). Gauge.
+pub const POOL_TASKS_EXECUTED: &str = "pool.tasks.executed";
+
+/// Chunks a thread took from *another* thread's deque rather than its
+/// own. Same per-worker scoping as [`POOL_TASKS_EXECUTED`]. Gauge.
+pub const POOL_TASKS_STOLEN: &str = "pool.tasks.stolen";
+
+/// Wall microseconds a thread spent executing chunks (same per-worker
+/// scoping). Gauge.
+pub const POOL_BUSY_US: &str = "pool.busy_us";
+
+/// Wall microseconds a worker spent parked waiting for work. The
+/// caller's help-loop wait also counts here under `phase="caller"`.
+/// Gauge.
+pub const POOL_IDLE_US: &str = "pool.idle_us";
+
+/// Every `pool.*` metric the pool-stats exporter emits, mirroring
+/// [`SERVE_ALL`]: the completeness test drives a parallel workload and
+/// asserts each name lands in the snapshot.
+pub const POOL_ALL: &[&str] = &[
+    POOL_WORKERS,
+    POOL_REGIONS,
+    POOL_MAX_DEPTH,
+    POOL_TASKS_EXECUTED,
+    POOL_TASKS_STOLEN,
+    POOL_BUSY_US,
+    POOL_IDLE_US,
+];
+
+/// Per-stage wall time from the host span profiler, exported with the
+/// stage label as `phase`. Gauge, microseconds.
+pub const HOST_SPAN_WALL_US: &str = "host.span.wall_us";
+
+/// Per-stage span call count from the host span profiler. Gauge.
+pub const HOST_SPAN_CALLS: &str = "host.span.calls";
+
+/// Per-stage heap allocations attributed by the counting allocator
+/// (`AURORA_ALLOC_PROFILE=1`). Gauge.
+pub const HOST_ALLOC_COUNT: &str = "host.alloc.count";
+
+/// Bytes requested by those allocations. Gauge.
+pub const HOST_ALLOC_BYTES: &str = "host.alloc.bytes";
+
+/// Every `host.*` metric the host-profile exporter emits, mirroring
+/// [`SERVE_ALL`] for completeness tests.
+pub const HOST_ALL: &[&str] = &[
+    HOST_SPAN_WALL_US,
+    HOST_SPAN_CALLS,
+    HOST_ALLOC_COUNT,
+    HOST_ALLOC_BYTES,
+];

@@ -13,7 +13,8 @@ SERVE_PID=""
 SERVE_SOCK=""
 SERVE_LOG=""
 cleanup() {
-  rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json
+  rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json \
+    BENCH_check_history.jsonl BENCH_check_hostprof.json
   if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
     kill -TERM "$SERVE_PID" 2>/dev/null || true
     wait "$SERVE_PID" 2>/dev/null || true
@@ -35,9 +36,85 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> perf_regress --check (vs BENCH_seed.json)"
+echo "==> perf_regress --check (vs BENCH_seed.json) + ledger record + wall gate"
+# --record exercises the history ledger against a scratch file; the
+# wall gate (exit 3) is informational in this gate — host wall time
+# tracks the machine, only cycle regressions (exit 1) fail the check.
+set +e
 cargo run --release -q -p aurora-bench --bin perf_regress -- \
-  --check --baseline BENCH_seed.json --name check
+  --check --baseline BENCH_seed.json --name check \
+  --record --history BENCH_check_history.jsonl --wall-gate 3.0
+PERF_RC=$?
+set -e
+if [ "$PERF_RC" -eq 3 ]; then
+  echo "note: wall-clock gate exceeded (informational here; cycles were clean)"
+elif [ "$PERF_RC" -ne 0 ]; then
+  exit "$PERF_RC"
+fi
+
+echo "==> perf_trend --check (scratch ledger + committed BENCH_history.jsonl)"
+# Both ledgers must parse row-by-row with monotonic timestamps; the
+# committed one also proves the recording format stays readable.
+cargo run --release -q -p aurora-bench --bin perf_trend -- \
+  --check --history BENCH_check_history.jsonl
+cargo run --release -q -p aurora-bench --bin perf_trend -- \
+  --check --history BENCH_history.jsonl
+
+echo "==> host-profile coverage (>= 90%) and span overhead (<= 5%)"
+./target/release/aurora_sim --dataset pubmed --model gcn --host-profile --json \
+  > BENCH_check_hostprof.json 2>/dev/null
+python3 - <<'EOF'
+import json, sys
+
+hp = json.load(open("BENCH_check_hostprof.json"))["host_profile"]
+assert hp is not None, "--host-profile produced no host_profile in the report"
+stages = {s["stage"]: s for s in hp["stages"]}
+assert stages, "host profile recorded no stages"
+# Top-level coverage mirrors HostProfile::coverage(): mapping runs
+# nested inside tile_precompute and `other` is the catch-all, so
+# neither counts toward the wall-time budget. Stage names serialize
+# as CamelCase variant names ("Mapping"), hence the lower().
+top = sum(s["wall_us"] for name, s in stages.items()
+          if name.lower() not in ("mapping", "other"))
+coverage = top / max(hp["total_wall_us"], 1)
+print(f"host profile: {len(stages)} stages, "
+      f"{coverage*100:.1f}% of {hp['total_wall_us']} us covered")
+if coverage < 0.9:
+    print(f"coverage gate FAILED: top-level spans cover {coverage*100:.1f}%, "
+          "need >= 90%", file=sys.stderr)
+    sys.exit(1)
+EOF
+python3 - <<'EOF'
+import os, subprocess, sys, time
+
+# Spans-disabled vs spans-enabled wall clock of one pinned workload,
+# best of 3 each to shave scheduler noise. The profiler is a handful of
+# atomics per stage, so 5% is generous — a failure means a hot-path
+# regression (e.g. spans created inside a per-edge loop).
+CMD = ["./target/release/aurora_sim", "--dataset", "pubmed", "--model", "gcn"]
+
+def best(extra_env):
+    env = dict(os.environ)
+    env.pop("AURORA_HOST_PROFILE", None)
+    env.update(extra_env)
+    times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        subprocess.run(CMD, env=env, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL, check=True)
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+off = best({})
+on = best({"AURORA_HOST_PROFILE": "1"})
+ratio = on / off
+print(f"span overhead: disabled {off*1e3:.0f} ms, enabled {on*1e3:.0f} ms "
+      f"({ratio:.3f}x)")
+if ratio > 1.05:
+    print(f"overhead gate FAILED: enabled spans cost {ratio:.3f}x, "
+          "budget is 1.05x", file=sys.stderr)
+    sys.exit(1)
+EOF
 
 echo "==> noc_kernel_bench --quick (informational: traffic-kernel speedup)"
 # Wall-clock comparison of the route-table kernel vs the seed's per-edge
