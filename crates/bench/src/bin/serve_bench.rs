@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve_bench (--socket PATH | --tcp ADDR) [--connections N] [--repeat M]
-//!             [--request FILE] [--json]
+//!             [--request FILE] [--json] [--cluster] [--kill-one]
 //! ```
 //!
 //! Opens `N` concurrent connections (default 8), each on its own
@@ -31,8 +31,21 @@
 //!
 //! The scraped stats print as a table (suppressed by `--json`).
 //!
+//! `--cluster` points the gates at an `aurora_serve --router` front-end
+//! instead of a single worker: the admin checks read the router's
+//! aggregated reply (role `router`, per-shard census, ordered
+//! cluster-wide quantiles), and the cache-repeat gate becomes a **warm
+//! affinity** gate — at least 90% of all responses must be cache hits,
+//! which only holds when digest-affinity routing keeps repeats on the
+//! shard that already computed them. `--kill-one` additionally SIGTERMs
+//! one worker mid-run (after every connection finishes its first
+//! round): the run still requires *zero* client-visible failures — the
+//! router absorbs the loss via retry/failover — and afterwards waits
+//! for the supervisor to respawn the shard back to `ok`.
+//!
 //! `scripts/check.sh` runs this against a freshly started daemon as the
-//! serve smoke gate.
+//! serve smoke gate, and against a 3-worker cluster (with a mid-run
+//! kill) as the cluster smoke gate.
 
 use aurora_bench::cli::{self, Args};
 use aurora_bench::emit::{Cell, Table};
@@ -59,10 +72,13 @@ fn default_mix() -> Vec<SimRequest> {
 }
 
 /// One connection's work: send the whole mix `repeat` times, in order.
+/// With a `barrier`, every connection rendezvouses after its first
+/// round — the hook the mid-run kill synchronizes on.
 fn drive(
     endpoint: &Endpoint,
     mix: &[SimRequest],
     repeat: usize,
+    barrier: Option<std::sync::Arc<std::sync::Barrier>>,
 ) -> Result<Vec<SimResponse>, String> {
     let mut client =
         Client::connect(endpoint).map_err(|e| format!("connect to {endpoint}: {e}"))?;
@@ -73,6 +89,11 @@ fn drive(
                 .request(req)
                 .map_err(|e| format!("round {round}, {}: {e}", req.workload_label()))?;
             responses.push(resp);
+        }
+        if round == 0 {
+            if let Some(b) = &barrier {
+                b.wait();
+            }
         }
     }
     Ok(responses)
@@ -94,6 +115,8 @@ fn main() {
     let mut repeat = 2usize;
     let mut request_path: Option<String> = None;
     let mut json = false;
+    let mut cluster = false;
+    let mut kill_one = false;
 
     let mut args = Args::from_env();
     while let Some(arg) = args.next() {
@@ -104,6 +127,8 @@ fn main() {
             "--repeat" => repeat = args.parse("--repeat"),
             "--request" => request_path = Some(args.value("--request")),
             "--json" => json = true,
+            "--cluster" => cluster = true,
+            "--kill-one" => kill_one = true,
             other => cli::fail(&format!("unknown flag {other}")),
         }
     }
@@ -113,20 +138,47 @@ fn main() {
     if connections == 0 || repeat == 0 {
         cli::fail("--connections and --repeat must be >= 1");
     }
+    if kill_one && !cluster {
+        cli::fail("--kill-one only makes sense with --cluster (a lone worker cannot fail over)");
+    }
+    if kill_one && repeat < 2 {
+        cli::fail("--kill-one needs --repeat >= 2 (the kill lands after round 0)");
+    }
     let mix = match &request_path {
         Some(path) => cli::load_requests(path),
         None => default_mix(),
     };
 
+    // the +1 party is this thread: it joins the rendezvous after every
+    // connection's first round, then pulls the trigger while round 1+
+    // traffic is in flight
+    let barrier = kill_one.then(|| std::sync::Arc::new(std::sync::Barrier::new(connections + 1)));
     let workers: Vec<_> = (0..connections)
         .map(|_| {
             let endpoint = endpoint.clone();
             let mix = mix.clone();
-            std::thread::spawn(move || drive(&endpoint, &mix, repeat))
+            let barrier = barrier.clone();
+            std::thread::spawn(move || drive(&endpoint, &mix, repeat, barrier))
         })
         .collect();
-    let mut responses = Vec::new();
     let mut failures = Vec::new();
+    let mut killed: Option<(String, u32)> = None;
+    if let Some(barrier) = &barrier {
+        barrier.wait();
+        match kill_one_shard(&endpoint) {
+            Ok(shard) => {
+                if !json {
+                    println!(
+                        "serve_bench: SIGTERM to shard {} (pid {}) mid-run",
+                        shard.0, shard.1
+                    );
+                }
+                killed = Some(shard);
+            }
+            Err(e) => failures.push(format!("mid-run kill: {e}")),
+        }
+    }
+    let mut responses = Vec::new();
     for (i, handle) in workers.into_iter().enumerate() {
         match handle.join().expect("connection thread never panics") {
             Ok(batch) => responses.extend(batch),
@@ -171,25 +223,48 @@ fn main() {
         }
     }
 
-    // Gate 3: repeats are served from the cache. With D distinct
-    // digests at most D responses may miss (one leader each); every
-    // other answer must be a cache hit or an in-flight join.
+    // Gate 3, single daemon: repeats are served from the cache. With D
+    // distinct digests at most D responses may miss (one leader each);
+    // every other answer must be a cache hit or an in-flight join.
+    //
+    // Gate 3, cluster: the warm-affinity ratio. A kill moves digests to
+    // other shards (a re-run each) and a respawn starts cold, so the
+    // exact bound above no longer holds — but if affinity routing
+    // works, those extra misses are bounded by the digest count and at
+    // least 90% of all responses still come from warm caches. A router
+    // that sprayed digests across shards would sit near 1/num_shards.
     let cached = rendered.iter().filter(|(_, _, c)| *c).count();
     let distinct = by_digest.len();
-    if failures.is_empty() && rendered.len() > distinct && cached < rendered.len() - distinct {
-        failures.push(format!(
-            "cache underused: {} of {} responses cached, expected at least {}",
-            cached,
-            rendered.len(),
-            rendered.len() - distinct
-        ));
+    if failures.is_empty() && rendered.len() > distinct {
+        if cluster {
+            let ratio = cached as f64 / rendered.len() as f64;
+            if ratio < 0.9 {
+                failures.push(format!(
+                    "affinity underused: {cached} of {} responses warm ({:.1}%), need >= 90%",
+                    rendered.len(),
+                    ratio * 100.0
+                ));
+            }
+        } else if cached < rendered.len() - distinct {
+            failures.push(format!(
+                "cache underused: {} of {} responses cached, expected at least {}",
+                cached,
+                rendered.len(),
+                rendered.len() - distinct
+            ));
+        }
     }
 
-    // Gate 4: the admin plane on the same socket. Scrape health, stats
-    // and metrics from the still-running daemon and hold them to the
-    // contracts the dashboards depend on.
+    // Gate 4: the admin plane on the same socket. Scrape the still-
+    // running daemon (or router) and hold the replies to the contracts
+    // the dashboards depend on.
     let expect_hits = rendered.len() > distinct;
-    match scrape_admin(&endpoint, responses.len() as u64, expect_hits) {
+    let scraped = if cluster {
+        scrape_cluster_admin(&endpoint, killed.as_ref())
+    } else {
+        scrape_admin(&endpoint, responses.len() as u64, expect_hits)
+    };
+    match scraped {
         Ok(stats) => {
             if !json {
                 print_stats(&stats);
@@ -230,9 +305,21 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!(
-        "serve_bench: all responses ok, reports deterministic per digest, admin plane healthy"
-    );
+    if cluster {
+        println!(
+            "serve_bench: all responses ok, reports deterministic per digest, \
+             warm affinity held, cluster admin plane healthy{}",
+            if killed.is_some() {
+                ", killed shard respawned"
+            } else {
+                ""
+            }
+        );
+    } else {
+        println!(
+            "serve_bench: all responses ok, reports deterministic per digest, admin plane healthy"
+        );
+    }
 }
 
 /// Reads `path.to.key` out of a nested admin reply.
@@ -343,6 +430,161 @@ fn scrape_admin(
             }
         }
         Err(e) => failures.push(format!("admin metrics: {e}")),
+    }
+
+    match (failures.is_empty(), stats) {
+        (true, Some(stats)) => Ok(stats),
+        (_, _) => Err(failures),
+    }
+}
+
+extern "C" {
+    // linked through std, same pattern as the daemon's signal handling
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+const SIGTERM: i32 = 15;
+
+/// Picks the first shard with a pid from the router's health census and
+/// SIGTERMs it. Returns `(shard name, pid)`.
+fn kill_one_shard(endpoint: &Endpoint) -> Result<(String, u32), String> {
+    let mut client =
+        Client::connect(endpoint).map_err(|e| format!("connect to {endpoint}: {e}"))?;
+    let health = client.admin("health").map_err(|e| format!("health: {e}"))?;
+    let shards = health
+        .get("shards")
+        .and_then(|v| v.as_seq())
+        .ok_or("health reply carries no shard census — is this a --router daemon?")?;
+    for shard in shards {
+        let Some(pid) = shard.get("pid").and_then(|v| v.as_u64()) else {
+            continue;
+        };
+        let name = shard
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        let rc = unsafe { kill(pid as i32, SIGTERM) };
+        if rc != 0 {
+            return Err(format!("kill(SIGTERM) of shard {name} pid {pid} failed"));
+        }
+        return Ok((name, pid as u32));
+    }
+    Err("no shard exposes a pid (external backends cannot be killed from here)".to_string())
+}
+
+/// Scrapes the router's `health` and `stats` and gates the cluster
+/// contracts. When a shard was killed mid-run, first waits for the
+/// supervisor to respawn it back to `ok`. Returns the aggregate stats
+/// body for the table, or the violated contracts.
+fn scrape_cluster_admin(
+    endpoint: &Endpoint,
+    killed: Option<&(String, u32)>,
+) -> Result<serde_json::Value, Vec<String>> {
+    let mut failures = Vec::new();
+    let mut client = match Client::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => return Err(vec![format!("admin connect to {endpoint}: {e}")]),
+    };
+
+    // the killed shard must come back: health `ok` again with the
+    // respawn counted — proof the supervisor noticed and healed
+    if let Some((name, old_pid)) = killed {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let health = match client.admin("health") {
+                Ok(h) => h,
+                Err(e) => {
+                    failures.push(format!("admin health during respawn wait: {e}"));
+                    break;
+                }
+            };
+            let shard = health
+                .get("shards")
+                .and_then(|v| v.as_seq())
+                .and_then(|shards| {
+                    shards
+                        .iter()
+                        .find(|s| s.get("name").and_then(|v| v.as_str()) == Some(name))
+                });
+            let healed = shard.is_some_and(|s| {
+                s.get("health").and_then(|v| v.as_str()) == Some("ok")
+                    && s.get("respawns").and_then(|v| v.as_u64()).unwrap_or(0) >= 1
+                    && s.get("pid").and_then(|v| v.as_u64()) != Some(*old_pid as u64)
+            });
+            if healed {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                failures.push(format!(
+                    "shard {name} (killed as pid {old_pid}) never respawned back to ok"
+                ));
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+    }
+
+    match client.admin("health") {
+        Ok(health) => {
+            let status = health.get("status").and_then(|v| v.as_str()).unwrap_or("");
+            if status != "ok" {
+                failures.push(format!("router health: status `{status}`, expected `ok`"));
+            }
+            let role = health.get("role").and_then(|v| v.as_str()).unwrap_or("");
+            if role != "router" {
+                failures.push(format!(
+                    "router health: role `{role}` — --cluster needs an aurora_serve --router"
+                ));
+            }
+            let shard_count = health
+                .get("shards")
+                .and_then(|v| v.as_seq())
+                .map(|s| s.len())
+                .unwrap_or(0);
+            if shard_count == 0 {
+                failures.push("router health: empty shard census".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("router health: {e}")),
+    }
+
+    let stats: Option<serde_json::Value> = match client.admin("stats") {
+        Ok(reply) => {
+            if walk_u64(&reply, "router.routed") == 0 {
+                failures.push("router stats: routed counter is 0 after traffic".to_string());
+            }
+            match reply.get("stats") {
+                Some(stats) => Some(stats.clone()),
+                None => {
+                    failures.push("router stats: reply missing aggregate `stats` body".to_string());
+                    None
+                }
+            }
+        }
+        Err(e) => {
+            failures.push(format!("router stats: {e}"));
+            None
+        }
+    };
+    if let Some(stats) = &stats {
+        if walk_u64(stats, "shards_reporting") == 0 {
+            failures.push("router stats: no shard reported".to_string());
+        }
+        if walk_u64(stats, "requests") == 0 {
+            failures.push("router stats: aggregate requests is 0 after traffic".to_string());
+        }
+        let p50 = walk_u64(stats, "latency_us.p50_us");
+        let p95 = walk_u64(stats, "latency_us.p95_us");
+        let p99 = walk_u64(stats, "latency_us.p99_us");
+        if !(p50 <= p95 && p95 <= p99) {
+            failures.push(format!(
+                "router stats: cluster latency quantiles out of order \
+                 (p50 {p50}, p95 {p95}, p99 {p99})"
+            ));
+        }
+        if walk_u64(stats, "latency_us.count") == 0 {
+            failures.push("router stats: empty cluster latency digest after traffic".to_string());
+        }
     }
 
     match (failures.is_empty(), stats) {

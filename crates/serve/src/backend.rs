@@ -1,0 +1,431 @@
+//! One worker shard as the cluster router sees it: an endpoint, a
+//! probed health state, a small pool of reusable client connections,
+//! and — for router-spawned workers — a supervised process that is
+//! respawned with bounded backoff when it dies.
+//!
+//! A [`Backend`] never runs engine work itself; it is the router-side
+//! bookkeeping for a worker daemon reachable over the NDJSON protocol.
+//! Supervision is abstracted behind [`WorkerLauncher`] /
+//! [`WorkerHandle`] so the same probe-and-heal loop drives real
+//! `aurora_serve` child processes in production ([`ProcessLauncher`])
+//! and in-process `serve()` threads in the test suite
+//! ([`ThreadLauncher`]) — the respawn logic is identical, only the
+//! "kill" differs.
+
+use crate::error::ServeError;
+use crate::server::{serve, Client, ClientOptions, Endpoint};
+use crate::service::{ServeConfig, SimService};
+use aurora_core::Telemetry;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A shard's probed state. Routing only targets [`BackendHealth::Ok`]
+/// and (optimistically, before the first probe lands)
+/// [`BackendHealth::Unknown`] shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendHealth {
+    /// Never probed yet; treated as routable so a cold router does not
+    /// reject its first requests.
+    Unknown,
+    /// The worker answered `{"admin":"health"}` with `ok`.
+    Ok,
+    /// The worker answered `draining` — it finishes in-flight work but
+    /// must get nothing new.
+    Draining,
+    /// The probe could not connect or got no answer.
+    Down,
+}
+
+impl BackendHealth {
+    /// Stable wire label (the health reply's `health` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendHealth::Unknown => "unknown",
+            BackendHealth::Ok => "ok",
+            BackendHealth::Draining => "draining",
+            BackendHealth::Down => "down",
+        }
+    }
+
+    /// Whether new requests may be routed to a shard in this state.
+    pub fn routable(&self) -> bool {
+        matches!(self, BackendHealth::Ok | BackendHealth::Unknown)
+    }
+}
+
+/// A running worker the router supervises. `terminate` requests a
+/// graceful stop (the worker drains in-flight requests first), `wait`
+/// blocks until it has exited.
+pub trait WorkerHandle: Send {
+    /// Asks the worker to stop gracefully (SIGTERM for processes, the
+    /// shutdown flag for threads). Idempotent, non-blocking.
+    fn terminate(&mut self);
+
+    /// Blocks until the worker has fully exited.
+    fn wait(&mut self);
+
+    /// OS pid when the worker is a process (`None` for thread workers).
+    /// The cluster bench uses this to kill a shard mid-run.
+    fn pid(&self) -> Option<u32>;
+}
+
+/// Starts (or restarts) the worker behind one endpoint. A launcher must
+/// be re-invocable: every respawn calls it again.
+pub trait WorkerLauncher: Send + Sync {
+    fn launch(&self) -> Result<Box<dyn WorkerHandle>, ServeError>;
+}
+
+/// Launches a real worker daemon: `exe args...` (typically the
+/// `aurora_serve` binary itself with `--socket <shard socket>`).
+pub struct ProcessLauncher {
+    pub exe: PathBuf,
+    pub args: Vec<String>,
+}
+
+struct ProcessHandle {
+    child: std::process::Child,
+}
+
+extern "C" {
+    // already linked through std; same pattern as the daemon's signal()
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+const SIGTERM: i32 = 15;
+
+/// How long a freshly launched worker gets to bind its socket before a
+/// failed probe may respawn it.
+const LAUNCH_GRACE: Duration = Duration::from_millis(750);
+
+impl WorkerHandle for ProcessHandle {
+    fn terminate(&mut self) {
+        // SIGTERM, not Child::kill's SIGKILL: the worker must drain its
+        // in-flight requests and unlink its socket on the way out
+        unsafe {
+            kill(self.child.id() as i32, SIGTERM);
+        }
+    }
+
+    fn wait(&mut self) {
+        let _ = self.child.wait();
+    }
+
+    fn pid(&self) -> Option<u32> {
+        Some(self.child.id())
+    }
+}
+
+impl WorkerLauncher for ProcessLauncher {
+    fn launch(&self) -> Result<Box<dyn WorkerHandle>, ServeError> {
+        let child = std::process::Command::new(&self.exe)
+            .args(&self.args)
+            .spawn()
+            .map_err(|e| ServeError::Io(format!("spawn {}: {e}", self.exe.display())))?;
+        Ok(Box::new(ProcessHandle { child }))
+    }
+}
+
+/// Launches an in-process worker: a fresh [`SimService`] served on
+/// `endpoint` from its own thread. Used by the test suite (and handy
+/// for single-binary experiments) — "killing" one is flipping its
+/// shutdown flag, so the router's respawn path is exercisable without
+/// real child processes.
+pub struct ThreadLauncher {
+    pub endpoint: Endpoint,
+    pub config: ServeConfig,
+}
+
+struct ThreadHandle {
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerHandle for ThreadHandle {
+    fn terminate(&mut self) {
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn wait(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn pid(&self) -> Option<u32> {
+        None
+    }
+}
+
+impl WorkerLauncher for ThreadLauncher {
+    fn launch(&self) -> Result<Box<dyn WorkerHandle>, ServeError> {
+        let service = Arc::new(SimService::new(self.config, Telemetry::enabled()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let endpoint = self.endpoint.clone();
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name(format!("thread-worker-{endpoint}"))
+            .spawn(move || {
+                let _ = serve(service, &endpoint, flag);
+            })
+            .map_err(|e| ServeError::Io(format!("spawn worker thread: {e}")))?;
+        Ok(Box::new(ThreadHandle {
+            shutdown,
+            thread: Some(thread),
+        }))
+    }
+}
+
+struct BackendState {
+    health: BackendHealth,
+    /// Probe failures since the last success; drives the backoff.
+    consecutive_failures: u32,
+    /// Earliest instant the next respawn attempt may run.
+    next_attempt: Instant,
+    /// Completed respawns over the backend's lifetime.
+    respawns: u64,
+    handle: Option<Box<dyn WorkerHandle>>,
+}
+
+/// One worker shard: endpoint + health + connection pool + optional
+/// supervision. Shared between the router's connection threads (which
+/// check out pooled clients) and its prober thread (which heals).
+pub struct Backend {
+    /// Stable shard name — the rendezvous-hash key, so affinity
+    /// survives router restarts as long as names do.
+    pub name: String,
+    pub endpoint: Endpoint,
+    launcher: Option<Arc<dyn WorkerLauncher>>,
+    state: Mutex<BackendState>,
+    pool: Mutex<Vec<Client>>,
+}
+
+impl Backend {
+    fn new(
+        name: impl Into<String>,
+        endpoint: Endpoint,
+        launcher: Option<Arc<dyn WorkerLauncher>>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            endpoint,
+            launcher,
+            state: Mutex::new(BackendState {
+                health: BackendHealth::Unknown,
+                consecutive_failures: 0,
+                next_attempt: Instant::now(),
+                respawns: 0,
+                handle: None,
+            }),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A shard somebody else operates: probed and routed to, never
+    /// (re)spawned.
+    pub fn external(name: impl Into<String>, endpoint: Endpoint) -> Self {
+        Self::new(name, endpoint, None)
+    }
+
+    /// A shard this router owns: launched by [`Backend::start`],
+    /// respawned by the probe loop, terminated on drain.
+    pub fn supervised(
+        name: impl Into<String>,
+        endpoint: Endpoint,
+        launcher: Arc<dyn WorkerLauncher>,
+    ) -> Self {
+        Self::new(name, endpoint, Some(launcher))
+    }
+
+    /// The last probed health.
+    pub fn health(&self) -> BackendHealth {
+        self.state.lock().expect("backend state").health
+    }
+
+    /// The supervised worker's pid, when it is a process.
+    pub fn pid(&self) -> Option<u32> {
+        self.state
+            .lock()
+            .expect("backend state")
+            .handle
+            .as_ref()
+            .and_then(|h| h.pid())
+    }
+
+    /// Completed respawns so far.
+    pub fn respawns(&self) -> u64 {
+        self.state.lock().expect("backend state").respawns
+    }
+
+    /// Launches the supervised worker (no-op for external shards).
+    pub fn start(&self) -> Result<(), ServeError> {
+        let Some(launcher) = &self.launcher else {
+            return Ok(());
+        };
+        let handle = launcher.launch()?;
+        let mut st = self.state.lock().expect("backend state");
+        st.handle = Some(handle);
+        // bind grace: the first probes may race the worker's listener
+        // coming up — failing ones must not trigger a spurious respawn
+        st.next_attempt = Instant::now() + LAUNCH_GRACE;
+        Ok(())
+    }
+
+    /// Gracefully stops the supervised worker: terminate, then wait for
+    /// it to finish draining. External shards are only marked down so
+    /// the router stops routing to them.
+    pub fn stop(&self) {
+        let handle = {
+            let mut st = self.state.lock().expect("backend state");
+            st.health = BackendHealth::Down;
+            st.handle.take()
+        };
+        if let Some(mut handle) = handle {
+            handle.terminate();
+            handle.wait();
+        }
+        self.clear_pool();
+    }
+
+    /// Marks the shard down after a forwarding failure — the prober
+    /// will confirm and heal. Pooled connections are dropped: they
+    /// point at a dead peer.
+    pub(crate) fn mark_down(&self) {
+        self.state.lock().expect("backend state").health = BackendHealth::Down;
+        self.clear_pool();
+    }
+
+    /// Marks the shard draining (it answered `shutting_down`): stop
+    /// routing new work, keep pooled connections for in-flight replies.
+    pub(crate) fn mark_draining(&self) {
+        self.state.lock().expect("backend state").health = BackendHealth::Draining;
+    }
+
+    /// Borrows a pooled client connection, if one is idle.
+    pub(crate) fn checkout(&self) -> Option<Client> {
+        self.pool.lock().expect("backend pool").pop()
+    }
+
+    /// Returns a healthy client connection to the pool.
+    pub(crate) fn checkin(&self, client: Client) {
+        const POOL_CAP: usize = 16;
+        let mut pool = self.pool.lock().expect("backend pool");
+        if pool.len() < POOL_CAP {
+            pool.push(client);
+        }
+    }
+
+    fn clear_pool(&self) {
+        self.pool.lock().expect("backend pool").clear();
+    }
+
+    /// One probe cycle: health-check the worker, update the state, and
+    /// — for supervised shards found down — respawn it under bounded
+    /// exponential backoff (`backoff_base · 2^(failures−1)`, capped at
+    /// `backoff_cap`). Called from the router's prober thread; the
+    /// state lock is never held across I/O.
+    pub(crate) fn probe_and_heal(
+        &self,
+        options: ClientOptions,
+        backoff_base: Duration,
+        backoff_cap: Duration,
+    ) {
+        match probe_health(&self.endpoint, options) {
+            Ok(health) => {
+                let mut st = self.state.lock().expect("backend state");
+                st.health = health;
+                st.consecutive_failures = 0;
+                st.next_attempt = Instant::now();
+            }
+            Err(_) => {
+                let respawn = {
+                    let mut st = self.state.lock().expect("backend state");
+                    st.health = BackendHealth::Down;
+                    st.consecutive_failures = st.consecutive_failures.saturating_add(1);
+                    let due = self.launcher.is_some() && Instant::now() >= st.next_attempt;
+                    if due {
+                        let exp = st.consecutive_failures.saturating_sub(1).min(16);
+                        let backoff = backoff_base.saturating_mul(1u32 << exp).min(backoff_cap);
+                        // the successor needs its bind grace too, however
+                        // short the backoff step is
+                        st.next_attempt = Instant::now() + backoff.max(LAUNCH_GRACE);
+                    }
+                    due.then(|| (self.launcher.clone(), st.handle.take()))
+                };
+                self.clear_pool();
+                if let Some((launcher, old)) = respawn {
+                    // reap the dead worker before starting its successor
+                    if let Some(mut old) = old {
+                        old.terminate();
+                        old.wait();
+                    }
+                    if let Some(launcher) = launcher {
+                        if let Ok(handle) = launcher.launch() {
+                            let mut st = self.state.lock().expect("backend state");
+                            st.handle = Some(handle);
+                            st.respawns += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One health roundtrip against a worker, under the probe budgets.
+fn probe_health(endpoint: &Endpoint, options: ClientOptions) -> Result<BackendHealth, ServeError> {
+    let mut client = Client::connect_with(endpoint, options)?;
+    let reply = client.admin("health")?;
+    match reply.get("status").and_then(|v| v.as_str()) {
+        Some("ok") => Ok(BackendHealth::Ok),
+        Some("draining") => Ok(BackendHealth::Draining),
+        other => Err(ServeError::Io(format!(
+            "health reply carried status {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_labels_and_routability() {
+        assert_eq!(BackendHealth::Ok.label(), "ok");
+        assert_eq!(BackendHealth::Down.label(), "down");
+        assert!(BackendHealth::Ok.routable());
+        assert!(
+            BackendHealth::Unknown.routable(),
+            "cold shards are routable"
+        );
+        assert!(!BackendHealth::Draining.routable());
+        assert!(!BackendHealth::Down.routable());
+    }
+
+    #[test]
+    fn external_backend_has_no_pid_and_starts_unknown() {
+        let b = Backend::external("w0", Endpoint::Tcp("127.0.0.1:1".into()));
+        assert_eq!(b.health(), BackendHealth::Unknown);
+        assert_eq!(b.pid(), None);
+        assert_eq!(b.respawns(), 0);
+        b.start().expect("external start is a no-op");
+        b.stop();
+        assert_eq!(b.health(), BackendHealth::Down, "stop marks down");
+    }
+
+    #[test]
+    fn probe_failure_applies_bounded_backoff() {
+        // endpoint nobody listens on: every probe fails fast
+        let b = Backend::external(
+            "w0",
+            Endpoint::Unix(PathBuf::from("/tmp/aurora-nonexistent-backend.sock")),
+        );
+        let opts = ClientOptions::timeout(Duration::from_millis(100));
+        for _ in 0..3 {
+            b.probe_and_heal(opts, Duration::from_millis(10), Duration::from_millis(40));
+        }
+        assert_eq!(b.health(), BackendHealth::Down);
+        assert_eq!(b.respawns(), 0, "external shards are never respawned");
+    }
+}

@@ -6,7 +6,22 @@
 //!              [--metrics-every SECS] [--access-log PATH|stderr]
 //!              [--slow-ms N] [--flights N] [--drain-grace-ms N]
 //! aurora_serve --tcp 127.0.0.1:7700
+//! aurora_serve --router --socket /tmp/aurora.sock --workers 4
+//! aurora_serve --router --socket /tmp/front.sock \
+//!              --backend unix:/tmp/w0.sock --backend tcp:10.0.0.2:7700
 //! ```
+//!
+//! With `--router` the process becomes the cluster front-end instead of
+//! a simulation worker: it shards sim lines across worker daemons by
+//! content digest (rendezvous hashing, so identical requests always hit
+//! the same warm cache), probes their health, respawns supervised
+//! workers under bounded backoff, and retries a failed forward on the
+//! next shard — a killed worker costs clients nothing. `--workers N`
+//! spawns N child `aurora_serve` processes on scratch Unix sockets;
+//! `--backend` (repeatable) joins externally managed workers instead.
+//! The router answers `{"admin":"health"}` (per-shard states, pids,
+//! respawn counts) and `{"admin":"stats"}` (cluster-wide aggregate plus
+//! each shard's raw body) on its own socket.
 //!
 //! Clients send one `{"id": N, "sim": {...SimRequest...}}` JSON document
 //! per line and read one `SimResponse` line back; lines with an
@@ -29,7 +44,8 @@
 
 use aurora_core::Telemetry;
 use aurora_serve::{
-    serve_with, Endpoint, FileLog, ServeConfig, ServerOptions, SimService, StderrLog,
+    serve_with, Backend, Endpoint, FileLog, ProcessLauncher, Router, RouterConfig, ServeConfig,
+    ServerOptions, SimService, StderrLog,
 };
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -65,7 +81,12 @@ fn usage() -> ! {
         "usage: aurora_serve (--socket PATH | --tcp ADDR) [--workers N] \
          [--queue N] [--cache N] [--timeout-ms N] [--metrics PATH] \
          [--metrics-every SECS] [--access-log PATH|stderr] [--slow-ms N] \
-         [--flights N] [--drain-grace-ms N]"
+         [--flights N] [--drain-grace-ms N]\n       \
+         aurora_serve --router (--socket PATH | --tcp ADDR) \
+         (--workers N [--worker-threads N] | --backend ENDPOINT ...) \
+         [--probe-ms N] [--connect-timeout-ms N] [--read-timeout-ms N] \
+         [--queue N] [--cache N] [--timeout-ms N] \
+         [--access-log PATH|stderr] [--drain-grace-ms N]"
     );
     std::process::exit(2);
 }
@@ -86,6 +107,12 @@ fn main() -> ExitCode {
     let mut metrics_every_s: u64 = 0;
     let mut access_log: Option<String> = None;
     let mut drain_grace_ms: u64 = 0;
+    let mut router_mode = false;
+    let mut external_backends: Vec<String> = Vec::new();
+    let mut worker_threads: usize = 0;
+    let mut probe_ms: u64 = 200;
+    let mut connect_timeout_ms: u64 = 1_000;
+    let mut read_timeout_ms: u64 = 60_000;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -115,6 +142,24 @@ fn main() -> ExitCode {
                 metrics_every_s = value("--metrics-every").parse().unwrap_or_else(|_| usage())
             }
             "--access-log" => access_log = Some(value("--access-log")),
+            "--router" => router_mode = true,
+            "--backend" => external_backends.push(value("--backend")),
+            "--worker-threads" => {
+                worker_threads = value("--worker-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--probe-ms" => probe_ms = value("--probe-ms").parse().unwrap_or_else(|_| usage()),
+            "--connect-timeout-ms" => {
+                connect_timeout_ms = value("--connect-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--read-timeout-ms" => {
+                read_timeout_ms = value("--read-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--drain-grace-ms" => {
                 drain_grace_ms = value("--drain-grace-ms")
                     .parse()
@@ -128,7 +173,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(endpoint) = endpoint else { usage() };
-    if config.workers == 0 {
+    if !router_mode && config.workers == 0 {
         // the daemon needs a pool: inline execution would serialize all
         // connections through the accept loop's children
         config.workers = 1;
@@ -147,19 +192,6 @@ fn main() -> ExitCode {
     };
 
     install_signal_handlers();
-    let telemetry = Telemetry::enabled();
-    let service = Arc::new(SimService::with_access_log(config, telemetry.clone(), sink));
-    eprintln!(
-        "aurora_serve: listening on {endpoint} \
-         (workers {}, queue {}, cache {}, timeout {} ms, slow {} ms, flights {})",
-        config.workers,
-        config.queue_depth,
-        config.cache_capacity,
-        config.timeout_ms,
-        config.slow_ms,
-        config.flight_capacity
-    );
-
     let shutdown = Arc::new(AtomicBool::new(false));
     // bridge the signal-handler static into the poll flag
     {
@@ -172,6 +204,36 @@ fn main() -> ExitCode {
             std::thread::sleep(std::time::Duration::from_millis(25));
         });
     }
+
+    if router_mode {
+        return run_router(RouterRun {
+            endpoint,
+            shutdown,
+            sink,
+            drain_grace_ms,
+            // in router mode --workers counts worker *processes*
+            worker_count: config.workers,
+            worker_threads,
+            worker_config: config,
+            external_backends,
+            probe_ms,
+            connect_timeout_ms,
+            read_timeout_ms,
+        });
+    }
+
+    let telemetry = Telemetry::enabled();
+    let service = Arc::new(SimService::with_access_log(config, telemetry.clone(), sink));
+    eprintln!(
+        "aurora_serve: listening on {endpoint} \
+         (workers {}, queue {}, cache {}, timeout {} ms, slow {} ms, flights {})",
+        config.workers,
+        config.queue_depth,
+        config.cache_capacity,
+        config.timeout_ms,
+        config.slow_ms,
+        config.flight_capacity
+    );
 
     // periodic metric deltas on stderr: one NDJSON line per interval
     // with activity, nothing when idle
@@ -250,6 +312,133 @@ fn main() -> ExitCode {
             eprintln!("aurora_serve: drained, bye");
             ExitCode::SUCCESS
         }
+        Err(e) => {
+            eprintln!("aurora_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Everything `--router` mode needs, bundled off the flag parser.
+struct RouterRun {
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    sink: Arc<dyn aurora_serve::EventLog>,
+    drain_grace_ms: u64,
+    worker_count: usize,
+    worker_threads: usize,
+    worker_config: ServeConfig,
+    external_backends: Vec<String>,
+    probe_ms: u64,
+    connect_timeout_ms: u64,
+    read_timeout_ms: u64,
+}
+
+/// The `--router` main: build the shard set (spawned children or
+/// external endpoints), start probing, and serve the same NDJSON
+/// protocol on the front socket until shutdown, then drain the whole
+/// cluster.
+fn run_router(run: RouterRun) -> ExitCode {
+    let mut backends: Vec<Arc<Backend>> = Vec::new();
+
+    if run.external_backends.is_empty() {
+        if run.worker_count == 0 {
+            eprintln!("aurora_serve: --router needs --workers N or --backend ENDPOINT");
+            usage();
+        }
+        let exe = match std::env::current_exe() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("aurora_serve: cannot locate own binary for worker spawn: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let threads = if run.worker_threads == 0 {
+            ServeConfig::default().workers
+        } else {
+            run.worker_threads
+        };
+        for i in 0..run.worker_count {
+            // scratch socket per shard, unique to this router process
+            let sock = std::env::temp_dir()
+                .join(format!("aurora-cluster-{}-w{i}.sock", std::process::id()));
+            let _ = std::fs::remove_file(&sock);
+            let args = vec![
+                "--socket".to_string(),
+                sock.display().to_string(),
+                "--workers".to_string(),
+                threads.to_string(),
+                "--queue".to_string(),
+                run.worker_config.queue_depth.to_string(),
+                "--cache".to_string(),
+                run.worker_config.cache_capacity.to_string(),
+                "--timeout-ms".to_string(),
+                run.worker_config.timeout_ms.to_string(),
+            ];
+            backends.push(Arc::new(Backend::supervised(
+                // shard names are deliberately positional, not
+                // socket-derived: affinity then survives router restarts
+                // even though the scratch paths change
+                format!("w{i}"),
+                Endpoint::Unix(sock),
+                Arc::new(ProcessLauncher {
+                    exe: exe.clone(),
+                    args,
+                }),
+            )));
+        }
+    } else {
+        for spec in &run.external_backends {
+            backends.push(Arc::new(Backend::external(
+                spec.clone(),
+                Endpoint::parse(spec),
+            )));
+        }
+    }
+
+    let shard_count = backends.len();
+    let router = Arc::new(Router::with_access_log(
+        backends,
+        RouterConfig {
+            probe_interval: Duration::from_millis(run.probe_ms),
+            connect_timeout: Duration::from_millis(run.connect_timeout_ms),
+            read_timeout: Duration::from_millis(run.read_timeout_ms),
+            ..RouterConfig::default()
+        },
+        run.sink,
+    ));
+    if let Err(e) = router.start() {
+        eprintln!("aurora_serve: router start failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let healthy = router.wait_ready(Duration::from_secs(10));
+    eprintln!(
+        "aurora_serve: router on {} ({healthy}/{shard_count} shard(s) healthy, \
+         probe {} ms, read deadline {} ms)",
+        run.endpoint, run.probe_ms, run.read_timeout_ms
+    );
+    if healthy == 0 {
+        eprintln!("aurora_serve: no shard became healthy; refusing to serve");
+        router.drain();
+        return ExitCode::FAILURE;
+    }
+
+    let result = serve_with(
+        Arc::clone(&router),
+        &run.endpoint,
+        run.shutdown,
+        ServerOptions {
+            drain_grace: Duration::from_millis(run.drain_grace_ms),
+        },
+    );
+
+    let totals = router.totals();
+    eprintln!(
+        "aurora_serve: router drained ({} routed, {} retries, {} failovers, {} unavailable)",
+        totals.routed, totals.retries, totals.failovers, totals.unavailable
+    );
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("aurora_serve: {e}");
             ExitCode::FAILURE

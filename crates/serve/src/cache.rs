@@ -164,19 +164,23 @@ impl ResultCache {
         let mut st = self.state.lock().unwrap();
         if let Ok(report) = &shared {
             if self.capacity > 0 {
-                while st.ready.len() >= self.capacity {
-                    match st.order.pop_front() {
-                        Some(old) => {
-                            st.ready.remove(&old);
+                // Residency first: re-completing a digest that is
+                // already ready (two leaders can race across an
+                // eviction window) replaces the entry in place — the
+                // map does not grow, so evicting an unrelated live
+                // entry for it would be a pure loss.
+                if st.ready.contains_key(digest) {
+                    st.ready.insert(digest.to_string(), Arc::clone(report));
+                } else {
+                    while st.ready.len() >= self.capacity {
+                        match st.order.pop_front() {
+                            Some(old) => {
+                                st.ready.remove(&old);
+                            }
+                            None => break,
                         }
-                        None => break,
                     }
-                }
-                if st
-                    .ready
-                    .insert(digest.to_string(), Arc::clone(report))
-                    .is_none()
-                {
+                    st.ready.insert(digest.to_string(), Arc::clone(report));
                     st.order.push_back(digest.to_string());
                 }
             }
@@ -313,6 +317,38 @@ mod tests {
         // the flight is still live: completing it after the timeout works
         cache.complete("slow", Ok(report("slow")), JobTiming::default());
         assert!(matches!(cache.lookup("slow"), Lookup::Hit(_)));
+    }
+
+    /// Regression: re-completing a digest that is already resident must
+    /// not run the eviction loop — the insert does not grow the map, so
+    /// evicting an unrelated live entry for it loses a warm report.
+    #[test]
+    fn recompleting_resident_digest_evicts_nothing() {
+        let cache = ResultCache::new(2);
+        for d in ["a", "b"] {
+            let Lookup::Lead(_) = cache.lookup(d) else {
+                panic!("lead {d}");
+            };
+            cache.complete(d, Ok(report(d)), JobTiming::default());
+        }
+        assert_eq!(cache.len(), 2, "cache is exactly full");
+        // a second leader for "a" (raced past an eviction window)
+        // completes while "a" is still resident
+        cache.complete("a", Ok(report("a")), JobTiming::default());
+        assert_eq!(cache.len(), 2);
+        assert!(
+            matches!(cache.lookup("b"), Lookup::Hit(_)),
+            "unrelated entry b must survive a re-completion of a"
+        );
+        assert!(matches!(cache.lookup("a"), Lookup::Hit(_)));
+        // FIFO order is undisturbed: the next fresh insert evicts the
+        // oldest ("a"), not "b"
+        let Lookup::Lead(_) = cache.lookup("c") else {
+            panic!("lead c");
+        };
+        cache.complete("c", Ok(report("c")), JobTiming::default());
+        assert!(matches!(cache.lookup("a"), Lookup::Lead(_)), "a evicted");
+        assert!(matches!(cache.lookup("b"), Lookup::Hit(_)));
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum ServeError {
     Timeout { ms: u64 },
     /// The daemon is draining after SIGTERM and accepts no new work.
     ShuttingDown,
+    /// The cluster router found no healthy worker shard to route to
+    /// (all down, draining, or the retry budget ran out).
+    Unavailable(String),
     /// The request line was not a valid `SimRequest` envelope.
     BadRequest(String),
     /// The engine rejected the request (typed [`SimError`]).
@@ -33,6 +36,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Timeout { ms } => write!(f, "timed out after {ms} ms"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Unavailable(msg) => write!(f, "no shard available: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Sim(e) => write!(f, "simulation error: {e}"),
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
@@ -61,6 +65,7 @@ impl ServeError {
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::Timeout { .. } => "timeout",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::Unavailable(_) => "unavailable",
             ServeError::BadRequest(_) => "bad_request",
             // nested SimError kinds surface through the message; the top-
             // level code tells clients which subsystem rejected them
@@ -94,6 +99,10 @@ mod tests {
         );
         assert_eq!(ServeError::Timeout { ms: 10 }.kind(), "timeout");
         assert_eq!(ServeError::ShuttingDown.kind(), "shutting_down");
+        assert_eq!(
+            ServeError::Unavailable("all shards down".into()).kind(),
+            "unavailable"
+        );
         assert_eq!(ServeError::Sim(SimError::EmptyLayers).kind(), "sim");
         assert_eq!(
             ServeError::Sim(SimError::Internal("x".into())).kind(),

@@ -25,21 +25,38 @@
 //!   [`FlightRecorder`] of slow/error requests.
 //! * [`admin`] — the in-band introspection commands (`health`, `stats`,
 //!   `metrics`, `flights`) answered on the same socket.
+//!
+//! Scale-out adds two more:
+//!
+//! * [`backend`] — one worker shard as seen by the router: health
+//!   state, a small connection pool, and (for supervised workers)
+//!   process lifecycle with bounded-backoff respawn.
+//! * [`router`] — the sharding front-end: rendezvous digest-affinity
+//!   placement, health-aware failover, and aggregated admin
+//!   introspection, behind the same [`LineHandler`] transport as a
+//!   single worker.
 
 pub mod admin;
+pub mod backend;
 pub mod cache;
 pub mod error;
 pub mod observe;
+pub mod router;
 pub mod server;
 pub mod service;
 
+pub use backend::{
+    Backend, BackendHealth, ProcessLauncher, ThreadLauncher, WorkerHandle, WorkerLauncher,
+};
 pub use cache::{Flight, Lookup, ResultCache};
 pub use error::ServeError;
 pub use observe::{
     AccessRecord, EventLog, FileLog, FlightProfile, FlightRecord, FlightRecorder, JobTiming,
     MemoryLog, NullLog, Outcome, StderrLog,
 };
+pub use router::{ClusterStats, RouteRecord, Router, RouterConfig, RouterTotals};
 pub use server::{
-    answer, respond, serve, serve_with, Client, Endpoint, ServeRequest, ServerOptions,
+    answer, respond, serve, serve_with, Client, ClientOptions, Endpoint, LineHandler, ServeRequest,
+    ServerOptions,
 };
 pub use service::{LatencySummary, ServeConfig, ServeOutcome, ServiceStats, SimService};

@@ -62,7 +62,10 @@ impl Outcome {
         match err {
             ServeError::Timeout { .. } => Outcome::Timeout,
             ServeError::Overloaded { .. } | ServeError::ShuttingDown => Outcome::Reject,
-            ServeError::BadRequest(_) | ServeError::Sim(_) | ServeError::Io(_) => Outcome::Error,
+            ServeError::BadRequest(_)
+            | ServeError::Sim(_)
+            | ServeError::Io(_)
+            | ServeError::Unavailable(_) => Outcome::Error,
         }
     }
 

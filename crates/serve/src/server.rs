@@ -16,6 +16,13 @@
 //! own thread, and the bounded admission queue inside [`SimService`]
 //! does the real scheduling.
 //!
+//! The transport is generic over what answers a line: a [`LineHandler`]
+//! is anything that turns one request line into one response line and
+//! knows how to drain. [`SimService`] is the single-process handler; a
+//! [`Router`](crate::router::Router) is the cluster front-end one. The
+//! listener, shutdown, drain-grace, and socket-cleanup behavior is
+//! shared — a router daemon and a worker daemon stop identically.
+//!
 //! Lines carrying an `"admin"` key are introspection commands (see
 //! [`crate::admin`]) answered on the same connection. Every *sim* line
 //! additionally produces one access-log record (with the serialized
@@ -29,7 +36,7 @@ use crate::service::SimService;
 use aurora_core::{SimRequest, SimResponse};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,6 +72,20 @@ pub enum Endpoint {
     Tcp(String),
 }
 
+impl Endpoint {
+    /// Parses `unix:PATH`, `tcp:ADDR`, or a bare filesystem path
+    /// (treated as a Unix socket) — the `--backend` flag's grammar.
+    pub fn parse(s: &str) -> Self {
+        if let Some(path) = s.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            Endpoint::Tcp(addr.to_string())
+        } else {
+            Endpoint::Unix(PathBuf::from(s))
+        }
+    }
+}
+
 impl std::fmt::Display for Endpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -79,20 +100,53 @@ enum Listener {
     Tcp(TcpListener),
 }
 
-/// Serves `service` on `endpoint` until `shutdown` becomes true (the
+/// What the transport serves: one response line per request line, plus
+/// a drain hook the listener calls exactly once on the way out.
+///
+/// Implemented by [`SimService`] (answer locally with the engine) and by
+/// [`Router`](crate::router::Router) (forward to a worker shard).
+pub trait LineHandler: Send + Sync + 'static {
+    /// Answers one protocol line (input and output both carry no
+    /// trailing newline).
+    fn answer_line(&self, line: &str) -> String;
+
+    /// Stops taking new work and finishes what is in flight. Called by
+    /// [`serve_with`] after the accept loop stops — on *every* exit
+    /// path, including accept errors. Must be idempotent.
+    fn drain(&self);
+}
+
+impl LineHandler for SimService {
+    fn answer_line(&self, line: &str) -> String {
+        answer(self, line)
+    }
+
+    fn drain(&self) {
+        SimService::drain(self)
+    }
+}
+
+/// Serves `handler` on `endpoint` until `shutdown` becomes true (the
 /// signal handler's flag), then drains and returns. Blocks the calling
 /// thread for the daemon's lifetime.
-pub fn serve(
-    service: Arc<SimService>,
+pub fn serve<H: LineHandler>(
+    handler: Arc<H>,
     endpoint: &Endpoint,
     shutdown: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
-    serve_with(service, endpoint, shutdown, ServerOptions::default())
+    serve_with(handler, endpoint, shutdown, ServerOptions::default())
 }
 
 /// [`serve`] with explicit [`ServerOptions`].
-pub fn serve_with(
-    service: Arc<SimService>,
+///
+/// Every exit — a clean shutdown *or* a fatal accept error — goes
+/// through the same teardown: the handler drains, connection threads
+/// are joined (they observe the shutdown flag, which is forced on even
+/// when the exit was an error), and a Unix socket file is unlinked. An
+/// accept failure therefore never abandons in-flight requests or leaves
+/// a stale socket path behind.
+pub fn serve_with<H: LineHandler>(
+    handler: Arc<H>,
     endpoint: &Endpoint,
     shutdown: Arc<AtomicBool>,
     options: ServerOptions,
@@ -113,15 +167,39 @@ pub fn serve_with(
         }
     };
 
-    // Nonblocking accept + poll: the listener wakes every few tens of
-    // milliseconds to observe the shutdown flag — no signal-safe
-    // self-pipe machinery needed. Accepted streams get a short read
-    // timeout so idle connection threads can observe the flag too (an
-    // idle client must not hold up a drain).
-    const POLL: Duration = Duration::from_millis(25);
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let loop_result = accept_loop(&listener, &handler, &shutdown, options, &mut connections);
+
+    // Teardown, shared by the clean path and the error path. The flag
+    // must be forced on first: after an accept *error* it is still
+    // false, and the connection threads exit only by observing it (or
+    // client EOF) — joining without setting it would hang forever.
+    shutdown.store(true, Ordering::SeqCst);
+    handler.drain();
+    for h in connections {
+        let _ = h.join();
+    }
+    if let Endpoint::Unix(path) = endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    loop_result
+}
+
+/// Nonblocking accept + poll: the listener wakes every few tens of
+/// milliseconds to observe the shutdown flag — no signal-safe
+/// self-pipe machinery needed. Accepted streams get a short read
+/// timeout so idle connection threads can observe the flag too (an
+/// idle client must not hold up a drain).
+fn accept_loop<H: LineHandler>(
+    listener: &Listener,
+    handler: &Arc<H>,
+    shutdown: &Arc<AtomicBool>,
+    options: ServerOptions,
+    connections: &mut Vec<std::thread::JoinHandle<()>>,
+) -> std::io::Result<()> {
+    const POLL: Duration = Duration::from_millis(25);
     while !shutdown.load(Ordering::SeqCst) {
-        let accepted: Option<Box<dyn Conn>> = match &listener {
+        let accepted: Option<Box<dyn Conn>> = match listener {
             Listener::Unix(l) => match l.accept() {
                 Ok((stream, _)) => {
                     stream.set_read_timeout(Some(POLL))?;
@@ -141,25 +219,15 @@ pub fn serve_with(
         };
         match accepted {
             Some(conn) => {
-                let service = Arc::clone(&service);
-                let shutdown = Arc::clone(&shutdown);
+                let handler = Arc::clone(handler);
+                let shutdown = Arc::clone(shutdown);
                 connections.push(std::thread::spawn(move || {
-                    let _ = handle_connection(conn, &service, &shutdown, options.drain_grace);
+                    let _ = handle_connection(conn, &*handler, &shutdown, options.drain_grace);
                 }));
             }
             None => std::thread::sleep(POLL),
         }
         connections.retain(|h| !h.is_finished());
-    }
-
-    // Drain: stop admission, finish queued work, then wait for the
-    // connection threads to flush their final responses.
-    service.drain();
-    for h in connections {
-        let _ = h.join();
-    }
-    if let Endpoint::Unix(path) = endpoint {
-        let _ = std::fs::remove_file(path);
     }
     Ok(())
 }
@@ -185,7 +253,7 @@ impl Conn for TcpStream {
 
 fn handle_connection(
     conn: Box<dyn Conn>,
-    service: &SimService,
+    handler: &dyn LineHandler,
     shutdown: &AtomicBool,
     drain_grace: Duration,
 ) -> std::io::Result<()> {
@@ -215,7 +283,7 @@ fn handle_connection(
             }
         };
         if !line.trim().is_empty() {
-            let mut out = answer(service, &line);
+            let mut out = handler.answer_line(line.trim_end_matches('\n'));
             out.push('\n');
             writer.write_all(out.as_bytes())?;
             writer.flush()?;
@@ -288,7 +356,7 @@ fn respond_traced(service: &SimService, line: &str) -> (SimResponse, AccessRecor
 
 /// Best-effort extraction of the `id` from a line that failed to parse
 /// as a full envelope.
-fn recover_id(line: &str) -> u64 {
+pub(crate) fn recover_id(line: &str) -> u64 {
     #[derive(Deserialize)]
     struct IdOnly {
         id: u64,
@@ -299,26 +367,120 @@ fn recover_id(line: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// A small blocking client for the NDJSON protocol, used by
-/// `serve_bench` and the smoke tests.
+/// Connection and read-deadline budgets for a [`Client`].
+///
+/// The defaults (both `None`) preserve fully blocking behavior. The
+/// router's health prober and forwarding path always set both — a
+/// wedged worker daemon must cost a typed [`ServeError::Timeout`], not
+/// a hung prober thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientOptions {
+    /// Budget for establishing the connection.
+    pub connect_timeout: Option<Duration>,
+    /// Per-response read deadline. Measured per [`Client::roundtrip`]
+    /// call, not per byte: a response that trickles in slower than the
+    /// deadline still times out.
+    pub read_timeout: Option<Duration>,
+}
+
+impl ClientOptions {
+    /// Both budgets set to the same value.
+    pub fn timeout(budget: Duration) -> Self {
+        Self {
+            connect_timeout: Some(budget),
+            read_timeout: Some(budget),
+        }
+    }
+}
+
+/// How often a deadline-bounded client wakes to check its budget.
+const CLIENT_POLL: Duration = Duration::from_millis(25);
+
+/// A small blocking client for the NDJSON protocol, used by the
+/// cluster router's forwarding path, `serve_bench`, and the smoke
+/// tests.
 pub struct Client {
     reader: Box<dyn BufRead + Send>,
     writer: Box<dyn Write + Send>,
+    read_timeout: Option<Duration>,
     next_id: u64,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon with no budgets (fully blocking).
     pub fn connect(endpoint: &Endpoint) -> Result<Self, ServeError> {
+        Self::connect_with(endpoint, ClientOptions::default())
+    }
+
+    /// Connects to a daemon under explicit [`ClientOptions`].
+    pub fn connect_with(endpoint: &Endpoint, options: ClientOptions) -> Result<Self, ServeError> {
         let (reader, writer): (Box<dyn BufRead + Send>, Box<dyn Write + Send>) = match endpoint {
-            Endpoint::Unix(path) => Box::new(UnixStream::connect(path)?).split()?,
-            Endpoint::Tcp(addr) => Box::new(TcpStream::connect(addr.as_str())?).split()?,
+            Endpoint::Unix(path) => {
+                let stream = match options.connect_timeout {
+                    None => UnixStream::connect(path)?,
+                    Some(budget) => connect_unix_timeout(path.clone(), budget)?,
+                };
+                if options.read_timeout.is_some() {
+                    stream.set_read_timeout(Some(CLIENT_POLL))?;
+                }
+                Box::new(stream).split()?
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = match options.connect_timeout {
+                    None => TcpStream::connect(addr.as_str())?,
+                    Some(budget) => connect_tcp_timeout(addr, budget)?,
+                };
+                if options.read_timeout.is_some() {
+                    stream.set_read_timeout(Some(CLIENT_POLL))?;
+                }
+                Box::new(stream).split()?
+            }
         };
         Ok(Self {
             reader,
             writer,
+            read_timeout: options.read_timeout,
             next_id: 1,
         })
+    }
+
+    /// Sends one raw protocol line (no trailing newline) and blocks for
+    /// exactly one response line, returned without its newline. The
+    /// router's forwarding path uses this so responses pass through
+    /// byte-identical; [`Client::request`]/[`Client::admin`] build on
+    /// it.
+    pub fn roundtrip(&mut self, line: &str) -> Result<String, ServeError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.recv_line()
+    }
+
+    /// Reads one line under the configured deadline.
+    fn recv_line(&mut self) -> Result<String, ServeError> {
+        let deadline = self.read_timeout.map(|t| (Instant::now() + t, t));
+        let mut reply = String::new();
+        loop {
+            match self.reader.read_line(&mut reply) {
+                Ok(0) if reply.is_empty() => {
+                    return Err(ServeError::Io("connection closed by daemon".into()))
+                }
+                // EOF mid-line or a complete line: hand back what we got
+                Ok(_) => return Ok(reply.trim_end_matches('\n').to_string()),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if let Some((at, budget)) = deadline {
+                        if Instant::now() >= at {
+                            return Err(ServeError::Timeout {
+                                ms: budget.as_millis() as u64,
+                            });
+                        }
+                    }
+                    // no deadline configured: the stream itself is
+                    // blocking, so this arm is unreachable then
+                }
+                Err(e) => return Err(ServeError::Io(e.to_string())),
+            }
+        }
     }
 
     /// Sends one request and blocks for its response.
@@ -329,16 +491,9 @@ impl Client {
             id,
             sim: sim.clone(),
         };
-        let mut line = serde_json::to_string(&envelope).expect("request serializes");
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ServeError::Io("connection closed by daemon".into()));
-        }
-        serde_json::from_str(reply.trim_end())
+        let line = serde_json::to_string(&envelope).expect("request serializes");
+        let reply = self.roundtrip(&line)?;
+        serde_json::from_str(&reply)
             .map_err(|e| ServeError::Io(format!("unparseable response: {e:?}")))
     }
 
@@ -354,16 +509,115 @@ impl Client {
                 serde_json::Value::Str(command.to_string()),
             ),
         ]);
-        let mut line = serde_json::to_string(&envelope).expect("admin request serializes");
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ServeError::Io("connection closed by daemon".into()));
-        }
-        serde_json::from_str(reply.trim_end())
+        let line = serde_json::to_string(&envelope).expect("admin request serializes");
+        let reply = self.roundtrip(&line)?;
+        serde_json::from_str(&reply)
             .map_err(|e| ServeError::Io(format!("unparseable admin reply: {e:?}")))
+    }
+}
+
+/// `UnixStream::connect` has no native timeout in std; run the connect
+/// on a scratch thread and give up waiting after `budget`. The thread
+/// is detached on timeout — a connect that eventually lands is dropped
+/// (closing the stream), one that fails dies quietly.
+fn connect_unix_timeout(path: PathBuf, budget: Duration) -> Result<UnixStream, ServeError> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(UnixStream::connect(&path));
+    });
+    match rx.recv_timeout(budget) {
+        Ok(result) => result.map_err(ServeError::from),
+        Err(_) => Err(ServeError::Timeout {
+            ms: budget.as_millis() as u64,
+        }),
+    }
+}
+
+/// TCP connect with std's native per-address timeout, trying each
+/// resolved address under the same budget.
+fn connect_tcp_timeout(addr: &str, budget: Duration) -> Result<TcpStream, ServeError> {
+    let addrs: Vec<_> = addr.to_socket_addrs().map_err(ServeError::from)?.collect();
+    let mut last = ServeError::Io(format!("{addr}: no addresses resolved"));
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, budget) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if e.kind() == ErrorKind::TimedOut => {
+                last = ServeError::Timeout {
+                    ms: budget.as_millis() as u64,
+                }
+            }
+            Err(e) => last = ServeError::from(e),
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_grammar() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/a.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/a.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7700"),
+            Endpoint::Tcp("127.0.0.1:7700".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/bare.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/bare.sock")),
+            "bare paths are unix sockets"
+        );
+    }
+
+    #[test]
+    fn connect_timeout_to_missing_unix_socket_is_an_error() {
+        let err = match Client::connect_with(
+            &Endpoint::Unix(PathBuf::from("/tmp/aurora-definitely-missing.sock")),
+            ClientOptions::timeout(Duration::from_millis(200)),
+        ) {
+            Ok(_) => panic!("connecting to a missing socket must fail"),
+            Err(e) => e,
+        };
+        // refused immediately (Io), never a hang; a slow filesystem
+        // could legitimately surface the budget instead
+        assert!(
+            matches!(err, ServeError::Io(_) | ServeError::Timeout { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn read_deadline_times_out_on_a_mute_server() {
+        // a listener that accepts and then never answers
+        let sock = std::env::temp_dir().join(format!("aurora-mute-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let listener = UnixListener::bind(&sock).expect("bind");
+        let server = std::thread::spawn(move || {
+            // hold the connection open, answer nothing
+            let (stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(500));
+            drop(stream);
+        });
+        let mut client = Client::connect_with(
+            &Endpoint::Unix(sock.clone()),
+            ClientOptions {
+                connect_timeout: Some(Duration::from_secs(1)),
+                read_timeout: Some(Duration::from_millis(100)),
+            },
+        )
+        .expect("connect");
+        let err = client
+            .roundtrip("{\"id\":1,\"admin\":\"health\"}")
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::Timeout { ms: 100 }),
+            "mute server must cost a typed timeout, got {err:?}"
+        );
+        server.join().unwrap();
+        let _ = std::fs::remove_file(&sock);
     }
 }

@@ -12,6 +12,8 @@ cd "$(dirname "$0")/.."
 SERVE_PID=""
 SERVE_SOCK=""
 SERVE_LOG=""
+ROUTER_PID=""
+ROUTER_SOCK=""
 cleanup() {
   rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json \
     BENCH_check_history.jsonl BENCH_check_hostprof.json
@@ -21,6 +23,15 @@ cleanup() {
   fi
   [ -n "$SERVE_SOCK" ] && rm -f "$SERVE_SOCK"
   [ -n "$SERVE_LOG" ] && rm -f "$SERVE_LOG"
+  if [ -n "$ROUTER_PID" ] && kill -0 "$ROUTER_PID" 2>/dev/null; then
+    kill -TERM "$ROUTER_PID" 2>/dev/null || true
+    wait "$ROUTER_PID" 2>/dev/null || true
+  fi
+  if [ -n "$ROUTER_SOCK" ]; then
+    rm -f "$ROUTER_SOCK"
+    # worker scratch sockets are keyed by the router's pid
+    [ -n "$ROUTER_PID" ] && rm -f /tmp/aurora-cluster-"$ROUTER_PID"-w*.sock
+  fi
 }
 trap cleanup EXIT
 
@@ -198,6 +209,60 @@ for line in lines:
 print("access log: one well-formed line per served request")
 EOF
 echo "serve smoke passed: daemon drained cleanly"
+
+echo "==> cluster smoke (router + 3 workers, 200 connections, mid-run worker kill)"
+# Start a sharded cluster: one router front-end supervising 3 worker
+# processes on scratch sockets. Flood it with 200 concurrent
+# connections; serve_bench SIGTERMs one worker after the first round
+# and still requires zero client-visible failures (the router retries
+# on another shard), >= 90% warm affinity hits, ordered cluster-wide
+# latency quantiles, and the killed shard respawned back to `ok`. Then
+# SIGTERM the router itself: its health must flip ok -> draining on an
+# open connection before the whole cluster drains and exits 0.
+ROUTER_SOCK="$(mktemp -u /tmp/aurora-router-check-XXXXXX.sock)"
+./target/release/aurora_serve --router --socket "$ROUTER_SOCK" --workers 3 \
+  --probe-ms 100 --drain-grace-ms 5000 &
+ROUTER_PID=$!
+for _ in $(seq 1 150); do
+  [ -S "$ROUTER_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$ROUTER_SOCK" ] || { echo "cluster smoke FAILED: router never bound" >&2; exit 1; }
+./target/release/serve_bench --socket "$ROUTER_SOCK" --connections 200 --repeat 3 \
+  --cluster --kill-one
+ROUTER_SOCK="$ROUTER_SOCK" ROUTER_PID="$ROUTER_PID" python3 - <<'EOF'
+import json, os, signal, socket, sys, time
+
+sock_path, pid = os.environ["ROUTER_SOCK"], int(os.environ["ROUTER_PID"])
+conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+conn.connect(sock_path)
+io = conn.makefile("rw", encoding="utf-8")
+
+def admin(command, id=1):
+    io.write(json.dumps({"id": id, "admin": command}) + "\n")
+    io.flush()
+    return json.loads(io.readline())
+
+health = admin("health")
+assert health["status"] == "ok", f"router health before drain: {health}"
+assert health["role"] == "router", f"not a router: {health}"
+assert len(health["shards"]) == 3, f"shard census: {health['shards']}"
+
+# drain: the open connection observes the flip through the grace window
+os.kill(pid, signal.SIGTERM)
+deadline = time.time() + 5.0
+while True:
+    health = admin("health")
+    if health["status"] == "draining":
+        break
+    assert time.time() < deadline, "router health never flipped to draining"
+    time.sleep(0.05)
+conn.close()
+print("cluster admin plane: router health/stats answered, drain observed")
+EOF
+wait "$ROUTER_PID" || { echo "cluster smoke FAILED: router exited non-zero" >&2; exit 1; }
+ROUTER_PID=""
+echo "cluster smoke passed: router and workers drained cleanly"
 
 echo "==> thread-count determinism (AURORA_THREADS=1 vs 2)"
 AURORA_THREADS=1 cargo run --release -q -p aurora-bench --bin perf_regress -- \
