@@ -1,0 +1,153 @@
+//! Old-vs-new timing for the engine's per-tile pipeline.
+//!
+//! ```text
+//! engine_kernel_bench [--reps N] [--quick] [--gate RATIO] [--alloc-budget N]
+//! ```
+//!
+//! Runs the same simulation through both engine cores — the legacy
+//! per-tile-`Vec` pipeline and the arena-backed SoA pipeline — on R-MAT
+//! workloads at the paper's k=8 sub-array radix. Every pair of reports
+//! is asserted byte-identical (serialised JSON), so the bench doubles
+//! as an end-to-end equivalence check on full-size graphs; the printed
+//! speedup is wall-clock only.
+//!
+//! With `--gate RATIO` the run fails unless the largest workload's
+//! speedup reaches the ratio. With `--alloc-budget N` the run fails if
+//! a warmed-up arena run attributes more than N heap allocations to the
+//! steady-state stages (tile precompute + mapping + engine walk) —
+//! the regression gate `scripts/check.sh` uses. Bit-identity is always
+//! a hard failure.
+
+use aurora_bench::cli::{fail, Args};
+use aurora_bench::emit::{Cell, Table};
+use aurora_core::{AcceleratorConfig, AuroraSimulator, EngineCore, SimReport};
+use aurora_graph::{generate, Csr};
+use aurora_model::{LayerShape, ModelId};
+use aurora_telemetry::span;
+use aurora_telemetry::Stage;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn run(sim: &AuroraSimulator, g: &Csr, shapes: &[LayerShape]) -> SimReport {
+    sim.simulate(g, ModelId::Gcn, shapes, "engine_kernel_bench")
+}
+
+/// Allocations a warmed-up arena run attributes to the steady-state
+/// stages, per stage (tile precompute, mapping, engine walk).
+fn steady_allocs(sim: &AuroraSimulator, g: &Csr, shapes: &[LayerShape]) -> [(Stage, u64); 3] {
+    aurora_telemetry::alloc::set_alloc_profiling(true);
+    // two warm-up runs: the first sizes the arena, the second settles
+    // allocator reuse; the third run is the measured steady state
+    run(sim, g, shapes);
+    run(sim, g, shapes);
+    let mark = span::mark();
+    let start = Instant::now();
+    run(sim, g, shapes);
+    let profile = span::collect(&mark, start.elapsed());
+    aurora_telemetry::alloc::set_alloc_profiling(false);
+    [Stage::TilePrecompute, Stage::Mapping, Stage::EngineWalk]
+        .map(|s| (s, profile.stage(s).map_or(0, |h| h.alloc_count)))
+}
+
+fn main() {
+    let mut reps = 10usize;
+    let mut quick = false;
+    let mut gate = 0.0f64;
+    let mut alloc_budget: Option<u64> = None;
+    let mut args = Args::from_env();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => reps = args.parse("--reps"),
+            "--quick" => {
+                quick = true;
+                reps = 3;
+            }
+            "--gate" => gate = args.parse("--gate"),
+            "--alloc-budget" => alloc_budget = Some(args.parse("--alloc-budget")),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    let reps = reps.max(1);
+
+    let k = 8usize;
+    let shapes = [LayerShape::new(64, 32), LayerShape::new(32, 16)];
+    let mut graphs = vec![(
+        "rmat-4k",
+        generate::rmat(4_096, 40_000, Default::default(), 7),
+    )];
+    if !quick {
+        graphs.push((
+            "rmat-16k",
+            generate::rmat(16_384, 160_000, Default::default(), 9),
+        ));
+    }
+
+    let cfg = AcceleratorConfig::small(k);
+    let legacy_sim = AuroraSimulator::new(cfg).with_engine_core(EngineCore::Legacy);
+    let arena_sim = AuroraSimulator::new(cfg).with_engine_core(EngineCore::Arena);
+
+    let mut t = Table::new(format!(
+        "engine_kernel_bench — k={k}, GCN 64→32→16, best of {reps}"
+    ))
+    .columns(&["workload", "edges", "legacy ms", "arena ms", "speedup"]);
+
+    let mut last_speedup = 0.0f64;
+    for (name, g) in &graphs {
+        let (legacy_ms, legacy) = time_ms(reps, || run(&legacy_sim, g, &shapes));
+        let (arena_ms, arena) = time_ms(reps, || run(&arena_sim, g, &shapes));
+        let legacy_json = serde_json::to_string(&legacy).expect("serialise");
+        let arena_json = serde_json::to_string(&arena).expect("serialise");
+        assert_eq!(
+            legacy_json, arena_json,
+            "{name}: arena report must be bit-identical to the legacy core"
+        );
+        last_speedup = legacy_ms / arena_ms;
+        t.row(vec![
+            Cell::Str((*name).to_string()),
+            Cell::UInt(g.num_edges() as u64),
+            Cell::float(legacy_ms, 2),
+            Cell::float(arena_ms, 2),
+            Cell::ratio(last_speedup, 1),
+        ]);
+    }
+    t.note("reports asserted bit-identical; wall-clock only, cycles unchanged by construction");
+    t.print();
+
+    // Steady-state allocation audit on the largest workload.
+    let (_, g) = graphs.last().expect("at least one workload");
+    let stages = steady_allocs(&arena_sim, g, &shapes);
+    let total: u64 = stages.iter().map(|(_, c)| c).sum();
+    println!();
+    println!("steady-state allocations (warmed arena, one run):");
+    for (stage, count) in &stages {
+        println!("  {stage:?}: {count}");
+    }
+    println!("  total: {total}");
+
+    if let Some(budget) = alloc_budget {
+        if total > budget {
+            fail(&format!(
+                "steady-state allocations {total} exceed the budget of {budget} \
+                 (tile precompute + mapping + engine walk must stay arena-backed)"
+            ));
+        }
+        println!("  within budget of {budget}");
+    }
+    if gate > 0.0 && last_speedup < gate {
+        fail(&format!(
+            "speedup {last_speedup:.2}x below the {gate:.2}x gate on the largest workload"
+        ));
+    }
+}

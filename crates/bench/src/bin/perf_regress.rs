@@ -29,7 +29,11 @@
 //! Recording runs the matrix serially with the span profiler and the
 //! counting allocator on, so each row's allocation count is that
 //! workload's alone; simulated cycles are unaffected (the determinism
-//! suite pins this).
+//! suite pins this). Each row also carries `allocs_steady`: the
+//! allocations a second, warmed run attributes to the steady-state
+//! stages (tile precompute + mapping + engine walk). The arena-backed
+//! engine keeps this near zero, so the column is a churn regression
+//! signal independent of first-run warm-up cost.
 //!
 //! `--wall-gate RATIO` (opt-in, needs `--baseline`) turns wall-clock
 //! drift into an exit code: a workload fails when its wall time
@@ -49,6 +53,7 @@ use aurora_bench::history::{self, HistoryRow};
 use aurora_core::{AcceleratorConfig, AuroraSimulator, Bound};
 use aurora_graph::generate;
 use aurora_model::{LayerShape, ModelId};
+use aurora_telemetry::{span, Stage};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -81,9 +86,10 @@ struct BenchRecord {
 }
 
 /// The pinned matrix: deterministic graphs × two-layer models. Returns
-/// each workload's result plus its attributed allocation count (0
-/// unless `profiled`).
-fn matrix(k: usize, profiled: bool) -> Vec<(WorkloadResult, u64)> {
+/// each workload's result plus its attributed allocation count and the
+/// steady-state allocation count of a warmed second run (both 0 unless
+/// `profiled`).
+fn matrix(k: usize, profiled: bool) -> Vec<(WorkloadResult, u64, u64)> {
     let graphs = [
         (
             "rmat-1k",
@@ -111,6 +117,24 @@ fn matrix(k: usize, profiled: bool) -> Vec<(WorkloadResult, u64)> {
             .as_ref()
             .map(|hp| hp.stages.iter().map(|s| s.alloc_count).sum())
             .unwrap_or(0);
+        // Second, warmed run: the first run sized this thread's engine
+        // arena, so allocations the span profiler now attributes to the
+        // steady-state stages measure genuine per-tile churn rather than
+        // warm-up growth. Only meaningful (and only paid for) under
+        // `--record`, where the matrix runs serially with profiling on.
+        let allocs_steady = if profiled {
+            let mark = span::mark();
+            let steady_start = Instant::now();
+            let _ = AuroraSimulator::new(cfg).simulate(g, model, &shapes, gname);
+            let hp = span::collect(&mark, steady_start.elapsed());
+            [Stage::TilePrecompute, Stage::Mapping, Stage::EngineWalk]
+                .iter()
+                .filter_map(|s| hp.stage(*s))
+                .map(|h| h.alloc_count)
+                .sum()
+        } else {
+            0
+        };
         let p = &r.profile;
         (
             WorkloadResult {
@@ -124,6 +148,7 @@ fn matrix(k: usize, profiled: bool) -> Vec<(WorkloadResult, u64)> {
                 wall_ms,
             },
             allocs,
+            allocs_steady,
         )
     };
 
@@ -226,7 +251,7 @@ fn main() {
     let record_doc = BenchRecord {
         name: name.clone(),
         k,
-        results: measured.iter().map(|(r, _)| r.clone()).collect(),
+        results: measured.iter().map(|(r, _, _)| r.clone()).collect(),
     };
 
     let baseline: Option<BenchRecord> = baseline_path.as_ref().map(|p| {
@@ -240,7 +265,7 @@ fn main() {
     let mut regressions = Vec::new();
     let mut wall_regressions = Vec::new();
     let mut wall_gate_failures = Vec::new();
-    for (r, _) in &measured {
+    for (r, _, _) in &measured {
         let base = baseline
             .as_ref()
             .and_then(|b| b.results.iter().find(|x| x.workload == r.workload));
@@ -335,7 +360,7 @@ fn main() {
         let rev = git_rev();
         let rows: Vec<HistoryRow> = measured
             .iter()
-            .map(|(r, allocs)| HistoryRow {
+            .map(|(r, allocs, allocs_steady)| HistoryRow {
                 ts,
                 git_rev: rev.clone(),
                 name: name.clone(),
@@ -344,6 +369,7 @@ fn main() {
                 cycles: r.cycles,
                 wall_ms: r.wall_ms,
                 allocs: *allocs,
+                allocs_steady: *allocs_steady,
                 dominant: r.dominant.clone(),
             })
             .collect();

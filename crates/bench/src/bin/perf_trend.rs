@@ -87,7 +87,7 @@ fn main() {
     ))
     .columns(&[
         "workload", "runs", "cycles", "cycles Δ", "wall med ms", "wall last ms", "wall Δ",
-        "allocs", "drift",
+        "allocs", "steady", "drift",
     ]);
     let mut drifting = Vec::new();
     for (workload, runs) in &by_workload {
@@ -123,6 +123,7 @@ fn main() {
             Cell::float(last.wall_ms, 1),
             Cell::ratio(wall_ratio, 2),
             last.allocs.into(),
+            last.allocs_steady.into(),
             Cell::Str(if has_drift { "DRIFT" } else { "ok" }.into()),
         ]);
     }
@@ -130,6 +131,7 @@ fn main() {
         "cycles Δ is latest vs first recorded run; wall med is the median of all but the latest",
     );
     t.note("allocs come from the counting allocator and are 0 for rows recorded without it");
+    t.note("steady is the warmed second run's steady-stage allocations (0 for pre-column rows)");
     if json {
         println!(
             "{}",

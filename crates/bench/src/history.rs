@@ -32,6 +32,13 @@ pub struct HistoryRow {
     /// Heap allocations attributed to the run by the counting
     /// allocator (0 when recording ran without it).
     pub allocs: u64,
+    /// Heap allocations a *warmed-up* second run attributes to the
+    /// steady-state stages (tile precompute + mapping + engine walk).
+    /// The arena-backed engine core holds this near zero; growth here
+    /// flags per-tile churn creeping back in. Absent in ledgers
+    /// recorded before the column existed (defaults to 0).
+    #[serde(default)]
+    pub allocs_steady: u64,
     /// The run's dominant bound label.
     pub dominant: String,
 }
@@ -125,6 +132,7 @@ mod tests {
             cycles: 1_000,
             wall_ms,
             allocs: 5,
+            allocs_steady: 0,
             dominant: "dram".into(),
         }
     }
@@ -141,6 +149,17 @@ mod tests {
         assert_eq!(rows[2], row(30, "a", 3.0));
         assert!(validate(&rows).is_ok());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rows_without_steady_column_still_load() {
+        // Ledgers recorded before `allocs_steady` existed must parse.
+        let old = "{\"ts\":10,\"git_rev\":\"abc1234\",\"name\":\"test\",\"k\":8,\
+                   \"workload\":\"a\",\"cycles\":1000,\"wall_ms\":1.0,\
+                   \"allocs\":5,\"dominant\":\"dram\"}";
+        let parsed: HistoryRow = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.allocs_steady, 0, "missing column defaults to 0");
+        assert_eq!(parsed, row(10, "a", 1.0));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Arena/legacy engine-core equivalence: the arena-backed SoA pipeline
+//! must serialise to byte-identical `SimReport` JSON against the
+//! pre-refactor per-tile-`Vec` oracle, across array radix, NoC
+//! flexibility, mapping policy, and worker-thread count. This is the
+//! contract that lets the arena core be the default without touching
+//! `BENCH_seed.json` or any serve-cache digest.
+
+use aurora_core::{AcceleratorConfig, AuroraSimulator, EngineCore};
+use aurora_graph::generate;
+use aurora_mapping::MappingPolicy;
+use aurora_model::{LayerShape, ModelId};
+use proptest::prelude::*;
+use rayon::pool::ThreadPool;
+
+fn report_json(
+    cfg: &AcceleratorConfig,
+    core: EngineCore,
+    g: &aurora_graph::Csr,
+    model: ModelId,
+    shapes: &[LayerShape],
+) -> String {
+    let r =
+        AuroraSimulator::new(*cfg)
+            .with_engine_core(core)
+            .simulate(g, model, shapes, "equivalence");
+    serde_json::to_string(&r).expect("serialise")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn arena_core_matches_legacy_bit_for_bit(
+        n in 192usize..768,
+        seed in 0u64..20,
+        k_sel in 0usize..3,
+        flexible_noc in proptest::bool::ANY,
+        hashed in proptest::bool::ANY,
+        model_sel in 0usize..3,
+    ) {
+        let k = [2usize, 4, 8][k_sel];
+        let model = [ModelId::Gcn, ModelId::Gin, ModelId::SageMean][model_sel];
+        let g = generate::rmat(n, n * 6, Default::default(), seed);
+        let shapes = [LayerShape::new(32, 16), LayerShape::new(16, 8)];
+        let mut cfg = AcceleratorConfig::small(k);
+        cfg.flexible_noc = flexible_noc;
+        cfg.mapping_policy = if hashed {
+            MappingPolicy::Hashing
+        } else {
+            MappingPolicy::DegreeAware
+        };
+
+        // the oracle: the legacy core on one worker thread
+        let golden = ThreadPool::new(1)
+            .install(|| report_json(&cfg, EngineCore::Legacy, &g, model, &shapes));
+        for threads in [1usize, 2, 4] {
+            let arena = ThreadPool::new(threads)
+                .install(|| report_json(&cfg, EngineCore::Arena, &g, model, &shapes));
+            prop_assert_eq!(
+                &golden, &arena,
+                "arena core diverged: k={} flexible_noc={} hashed={} threads={}",
+                k, flexible_noc, hashed, threads
+            );
+            // the legacy core itself must also stay thread-invariant
+            let legacy = ThreadPool::new(threads)
+                .install(|| report_json(&cfg, EngineCore::Legacy, &g, model, &shapes));
+            prop_assert_eq!(&golden, &legacy, "legacy core diverged at {} threads", threads);
+        }
+    }
+}
+
+/// Back-to-back runs on one simulator (the serving steady state) must
+/// keep the warmed-up arena invisible: same report every iteration.
+#[test]
+fn repeated_runs_reuse_arena_without_drift() {
+    let g = generate::rmat(1024, 8192, Default::default(), 5);
+    let shapes = [LayerShape::new(64, 32), LayerShape::new(32, 16)];
+    let cfg = AcceleratorConfig::small(4);
+    let golden = report_json(&cfg, EngineCore::Legacy, &g, ModelId::Gcn, &shapes);
+    for _ in 0..3 {
+        let json = report_json(&cfg, EngineCore::Arena, &g, ModelId::Gcn, &shapes);
+        assert_eq!(golden, json, "warm arena must not change results");
+    }
+}

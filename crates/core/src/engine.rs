@@ -9,6 +9,9 @@
 //! PE array, the next subgraph starts being loaded from DRAM to overlap
 //! the latency" (§IV).
 
+use crate::arena::{
+    put_engine_scratch, take_engine_scratch, with_worker, TileArena, TileOut, TileSlabs,
+};
 use crate::config::AcceleratorConfig;
 use crate::instr::Instruction;
 use crate::noc_model::{self, OnChipEstimate, TrafficProfile};
@@ -18,7 +21,8 @@ use crate::request::{GraphSpec, SimError, SimRequest};
 use crate::workflow::Workflow;
 use aurora_energy::{ActivityCounts, EnergyModel};
 use aurora_graph::{Csr, Tiling, TilingConfig};
-use aurora_mapping::{degree_aware, hashing, plan::plan_bypass, MappingPolicy, VertexMapping};
+use aurora_mapping::plan::{plan_bypass, SegmentPlan};
+use aurora_mapping::{degree_aware, hashing, MapView, MappingPolicy, VertexMapping};
 use aurora_mem::MemoryController;
 use aurora_model::{LayerShape, ModelId, Phase, Workload};
 use aurora_noc::{BypassSegment, NocConfig, RouteTable};
@@ -35,7 +39,7 @@ use std::time::Instant;
 /// tile's vertex range and the per-PE capacity (which varies with each
 /// layer's `f_in`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ProfileKey {
+pub(crate) struct ProfileKey {
     table_id: usize,
     start: u32,
     end: u32,
@@ -143,6 +147,10 @@ impl TrafficCache {
 /// Tiles are independent, so this part fans out over the worker pool
 /// (`AURORA_THREADS`); the stateful walk that consumes it stays
 /// sequential, keeping cycle results bit-identical at every thread count.
+///
+/// This owned form is the [`EngineCore::Legacy`] product, kept as the
+/// bit-identity oracle; the default arena path writes the same values
+/// into [`TileSlabs`] instead.
 struct TilePre {
     mapping: VertexMapping,
     rho_a: f64,
@@ -151,10 +159,129 @@ struct TilePre {
     num_vertices: usize,
     num_edges: usize,
     halo: u64,
-    w_sg: Workload,
     t_a: u64,
     t_b: u64,
     est_b: OnChipEstimate,
+}
+
+/// A borrowed view of one precomputed tile — the only shape the
+/// sequential traffic step and the stateful walk consume, so both
+/// engine cores share them verbatim.
+struct TileView<'a> {
+    map: MapView<'a>,
+    noc_cfg: &'a NocConfig,
+    rho_a: f64,
+    rho_b: f64,
+    num_vertices: usize,
+    num_edges: usize,
+    halo: u64,
+    t_a: u64,
+    t_b: u64,
+    est_b: OnChipEstimate,
+}
+
+/// The layer's precomputed tiles, in whichever representation the
+/// active [`EngineCore`] produced.
+enum PreTiles<'a> {
+    Legacy(Vec<TilePre>),
+    Arena {
+        slabs: &'a TileSlabs,
+        num_tiles: usize,
+        policy: MappingPolicy,
+        k: usize,
+        high_cap: usize,
+    },
+}
+
+impl PreTiles<'_> {
+    fn len(&self) -> usize {
+        match self {
+            PreTiles::Legacy(v) => v.len(),
+            PreTiles::Arena { num_tiles, .. } => *num_tiles,
+        }
+    }
+
+    fn view(&self, ti: usize) -> TileView<'_> {
+        match self {
+            PreTiles::Legacy(v) => {
+                let pre = &v[ti];
+                TileView {
+                    map: pre.mapping.view(),
+                    noc_cfg: &pre.noc_cfg,
+                    rho_a: pre.rho_a,
+                    rho_b: pre.rho_b,
+                    num_vertices: pre.num_vertices,
+                    num_edges: pre.num_edges,
+                    halo: pre.halo,
+                    t_a: pre.t_a,
+                    t_b: pre.t_b,
+                    est_b: pre.est_b,
+                }
+            }
+            PreTiles::Arena {
+                slabs,
+                policy,
+                k,
+                high_cap,
+                ..
+            } => {
+                let out = &slabs.outs[ti];
+                let s_pes: &[usize] = match policy {
+                    MappingPolicy::DegreeAware => &slabs.s_pes,
+                    MappingPolicy::Hashing => &[],
+                };
+                TileView {
+                    map: MapView {
+                        policy: *policy,
+                        range: out.start..out.end,
+                        pe_of: &slabs.pe_of[out.start as usize..out.end as usize],
+                        k: *k,
+                        s_pes,
+                        high_degree: &slabs.high[ti * high_cap..][..out.n_high],
+                    },
+                    noc_cfg: &slabs.noc_cfgs[ti],
+                    rho_a: out.rho_a,
+                    rho_b: out.rho_b,
+                    num_vertices: out.num_vertices,
+                    num_edges: out.num_edges,
+                    halo: out.halo,
+                    t_a: out.t_a,
+                    t_b: out.t_b,
+                    est_b: out.est_b,
+                }
+            }
+        }
+    }
+}
+
+/// One tile's mutable slices into the layer's SoA slabs — the unit of
+/// work the arena precompute fans out over the pool. Disjoint
+/// `split_at_mut` slices keep the parallel writes safe without locks.
+struct TileTask<'a> {
+    ti: usize,
+    pe_of: &'a mut [u32],
+    high: &'a mut [u32],
+    rows: &'a mut [SegmentPlan],
+    cols: &'a mut [SegmentPlan],
+    out: &'a mut TileOut,
+}
+
+/// Which per-tile precompute implementation the engine runs.
+///
+/// The arena core is the default and is bit-identical to the legacy
+/// core at every thread count (`engine_kernel_bench` and the
+/// `engine_equivalence` suite enforce this); the legacy core is kept
+/// verbatim as the pre-refactor oracle and costs fresh allocations per
+/// tile. The toggle deliberately lives on the simulator — not in
+/// [`AcceleratorConfig`] or [`SimRequest`] — so a request's
+/// content-addressed digest is unaffected by which core serves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineCore {
+    /// Arena-backed structure-of-arrays pipeline (default).
+    #[default]
+    Arena,
+    /// Per-tile `Vec` pipeline, the pre-arena implementation.
+    Legacy,
 }
 
 /// The Aurora accelerator simulator.
@@ -162,6 +289,7 @@ struct TilePre {
 pub struct AuroraSimulator {
     config: AcceleratorConfig,
     telemetry: Telemetry,
+    engine_core: EngineCore,
 }
 
 impl AuroraSimulator {
@@ -171,7 +299,21 @@ impl AuroraSimulator {
         Self {
             config,
             telemetry: Telemetry::disabled(),
+            engine_core: EngineCore::default(),
         }
+    }
+
+    /// Selects the per-tile precompute implementation (default:
+    /// [`EngineCore::Arena`]). Reports are bit-identical either way;
+    /// benches and equivalence tests use this to pin the oracle path.
+    pub fn with_engine_core(mut self, core: EngineCore) -> Self {
+        self.engine_core = core;
+        self
+    }
+
+    /// The active engine core.
+    pub fn engine_core(&self) -> EngineCore {
+        self.engine_core
     }
 
     /// The paper's 32 × 32 @ 700 MHz instance.
@@ -214,6 +356,7 @@ impl AuroraSimulator {
         let sim = AuroraSimulator {
             config,
             telemetry: self.telemetry.clone(),
+            engine_core: self.engine_core,
         };
         let workload = req.workload_label();
         let density = req.options.input_density;
@@ -362,9 +505,14 @@ impl AuroraSimulator {
             });
         }
 
+        // The engine scratch persists across runs on this thread: a
+        // warmed-up arena makes tile precompute and the walk
+        // allocation-free in the steady state.
+        let mut engine_arena = take_engine_scratch();
+        let mut layer_err: Option<SimError> = None;
         for (li, &shape) in shapes.iter().enumerate() {
             let density = if li == 0 { input_density } else { 1.0 };
-            let (report, recfg, layer_profile, tile_attr) = self.simulate_layer(
+            match self.simulate_layer(
                 g,
                 model,
                 &wf,
@@ -376,15 +524,27 @@ impl AuroraSimulator {
                 &mut activity,
                 &mut instructions,
                 &mut traffic_cache,
-            )?;
-            reconfigs += recfg;
-            total_cycles += report.total_cycles;
-            profile.mix = profile.mix.add(&layer_profile.mix);
-            profile.overhead_cycles += layer_profile.overhead_cycles;
-            profile.ops += layer_profile.ops;
-            profile.layers.push(layer_profile);
-            profile.tiles.extend(tile_attr);
-            layers.push(report);
+                &mut engine_arena,
+                &mut profile.tiles,
+            ) {
+                Ok((report, recfg, layer_profile)) => {
+                    reconfigs += recfg;
+                    total_cycles += report.total_cycles;
+                    profile.mix = profile.mix.add(&layer_profile.mix);
+                    profile.overhead_cycles += layer_profile.overhead_cycles;
+                    profile.ops += layer_profile.ops;
+                    profile.layers.push(layer_profile);
+                    layers.push(report);
+                }
+                Err(e) => {
+                    layer_err = Some(e);
+                    break;
+                }
+            }
+        }
+        put_engine_scratch(engine_arena);
+        if let Some(e) = layer_err {
+            return Err(e);
         }
 
         let _finalize_span = span::enter(Stage::Finalize);
@@ -542,7 +702,9 @@ impl AuroraSimulator {
     }
 
     /// Simulates one layer; returns its report, reconfiguration count,
-    /// and bottleneck attribution (per layer and per tile).
+    /// and per-layer bottleneck attribution. Per-tile attributions are
+    /// appended to `tiles_out` (the run's preallocated report buffer);
+    /// `arena` supplies the reusable slabs and roll-up scratch.
     #[allow(clippy::too_many_arguments)]
     fn simulate_layer(
         &self,
@@ -557,7 +719,9 @@ impl AuroraSimulator {
         activity: &mut ActivityCounts,
         instructions: &mut Vec<Instruction>,
         cache: &mut TrafficCache,
-    ) -> Result<(LayerReport, u64, LayerProfile, Vec<TileAttribution>), SimError> {
+        arena: &mut TileArena,
+        tiles_out: &mut Vec<TileAttribution>,
+    ) -> Result<(LayerReport, u64, LayerProfile), SimError> {
         let cfg = &self.config;
         let k = cfg.k;
         let trace = cfg.trace_instructions;
@@ -576,7 +740,11 @@ impl AuroraSimulator {
         let tiling = Tiling::build(g, &tiling_cfg);
 
         // --- Algorithm 2: size the sub-accelerators ---------------------
-        let counts = Workload::of(model, g, shape).op_counts();
+        // The layer workload doubles as the walk's per-tile workload: a
+        // `resize` per tile yields the same values `from_sizes` would,
+        // without rebuilding the model spec.
+        let mut w_tile = Workload::of(model, g, shape);
+        let counts = w_tile.op_counts();
         let strategy = if cfg.dynamic_partition {
             partition(&counts, cfg.num_pes(), cfg.flops_per_pe())
         } else {
@@ -651,140 +819,352 @@ impl AuroraSimulator {
         // inputs (Reddit) see no compression at all.
         let compress = (2.0 * input_density).clamp(0.3, 1.0);
         let msg_words = ((raw_msg_words as f64 * compress).ceil() as usize).max(1);
-        let mut exec_cycles: Vec<u64> = Vec::with_capacity(tiling.num_tiles());
-        let mut dram_cycles: Vec<u64> = Vec::with_capacity(tiling.num_tiles());
+        let num_tiles = tiling.num_tiles();
+        let TileArena { slabs, seq } = arena;
+        seq.begin_layer();
+        seq.exec_cycles.reserve(num_tiles);
+        seq.dram_cycles.reserve(num_tiles);
         let mut compute_total = 0u64;
         let mut phase_cycles = PhaseCycles::default();
         let mut noc_total = OnChipEstimate::default();
         let mut reconfigs = 0u64;
-        let mut tile_attr: Vec<TileAttribution> = Vec::with_capacity(tiling.num_tiles());
+        let attr_start = tiles_out.len();
+        tiles_out.reserve(num_tiles);
         let mut busy_a = 0u64;
         let mut busy_b = 0u64;
         let rings_cfg = NocConfig::rings(k);
 
         // Pure per-tile precomputation fans out over the worker pool; the
-        // index-ordered collect keeps the result vector in tile order, so
-        // the stateful walk below sees exactly the sequential schedule.
+        // tile-ordered result (index-ordered collect for the legacy core,
+        // pre-split slab slices for the arena core) means the stateful
+        // walk below sees exactly the sequential schedule.
         let precompute_span = span::enter(Stage::TilePrecompute);
-        let pres: Vec<TilePre> = (0..tiling.num_tiles())
-            .into_par_iter()
-            .map(|ti| {
-                // workers tag themselves for allocation attribution and
-                // time the per-tile mapping work as worker-side CPU µs
-                let _tag = span::stage_scope(Stage::TilePrecompute);
-                let _map_span = span::enter(Stage::Mapping);
-                let sg = tiling.subgraph(g, ti);
-                let range = sg.vertex_range();
-                let degrees: Vec<u32> = range.clone().map(|v| g.degree(v) as u32).collect();
-                let mapping: VertexMapping = match cfg.mapping_policy {
-                    MappingPolicy::DegreeAware => {
-                        degree_aware::map(range.clone(), &degrees, k, c_pe)
-                    }
-                    MappingPolicy::Hashing => hashing::map(range.clone(), &degrees, k, c_pe),
-                };
-                // Max-busy vs mean-busy of the mapped work, for attribution:
-                // the A side's per-vertex work scales with `1 + degree` (one
-                // message per edge plus the self term), the B side's
-                // weight-stationary update is uniform per vertex.
-                let mut load_a = vec![0u64; k * k];
-                let mut load_b = vec![0u64; k * k];
-                for (i, v) in range.clone().enumerate() {
-                    let pe = mapping.pe_of(v);
-                    load_a[pe] += 1 + degrees[i] as u64;
-                    load_b[pe] += 1;
+        let pres: PreTiles = match self.engine_core {
+            EngineCore::Legacy => PreTiles::Legacy(
+                (0..num_tiles)
+                    .into_par_iter()
+                    .map(|ti| {
+                        // workers tag themselves for allocation attribution and
+                        // time the per-tile mapping work as worker-side CPU µs
+                        let _tag = span::stage_scope(Stage::TilePrecompute);
+                        let _map_span = span::enter(Stage::Mapping);
+                        let sg = tiling.subgraph(g, ti);
+                        let range = sg.vertex_range();
+                        let degrees: Vec<u32> = range.clone().map(|v| g.degree(v) as u32).collect();
+                        let mapping: VertexMapping = match cfg.mapping_policy {
+                            MappingPolicy::DegreeAware => {
+                                degree_aware::map(range.clone(), &degrees, k, c_pe)
+                            }
+                            MappingPolicy::Hashing => {
+                                hashing::map(range.clone(), &degrees, k, c_pe)
+                            }
+                        };
+                        // Max-busy vs mean-busy of the mapped work, for attribution:
+                        // the A side's per-vertex work scales with `1 + degree` (one
+                        // message per edge plus the self term), the B side's
+                        // weight-stationary update is uniform per vertex.
+                        let mut load_a = vec![0u64; k * k];
+                        let mut load_b = vec![0u64; k * k];
+                        for (i, v) in range.clone().enumerate() {
+                            let pe = mapping.pe_of(v);
+                            load_a[pe] += 1 + degrees[i] as u64;
+                            load_b[pe] += 1;
+                        }
+                        let rho = |load: &[u64]| -> f64 {
+                            let max = load.iter().copied().max().unwrap_or(0);
+                            let total: u64 = load.iter().sum();
+                            if total == 0 {
+                                1.0
+                            } else {
+                                max as f64 * load.len() as f64 / total as f64
+                            }
+                        };
+                        let (rho_a, rho_b) = (rho(&load_a), rho(&load_b));
+
+                        // NoC configuration for this tile. A planned bypass config
+                        // that fails validation (a planner bug) falls back to the
+                        // plain mesh instead of poisoning the route walk.
+                        let noc_cfg = if cfg.flexible_noc {
+                            let plan = plan_bypass(&mapping, sg.edges());
+                            let to_seg = |s: &aurora_mapping::plan::SegmentPlan| BypassSegment {
+                                index: s.index,
+                                from: s.from,
+                                to: s.to,
+                            };
+                            let c = if plan.rows.is_empty() && plan.cols.is_empty() {
+                                NocConfig::mesh(k)
+                            } else {
+                                NocConfig::with_bypass(
+                                    k,
+                                    plan.rows.iter().map(to_seg).collect(),
+                                    plan.cols.iter().map(to_seg).collect(),
+                                )
+                            };
+                            if c.validate().is_ok() {
+                                c
+                            } else {
+                                NocConfig::mesh(k)
+                            }
+                        } else {
+                            NocConfig::mesh(k)
+                        };
+
+                        // Compute time of the two pipeline stages on this tile.
+                        let w_sg =
+                            Workload::from_sizes(model, sg.num_vertices(), sg.num_edges(), shape);
+                        let c_sg = w_sg.op_counts();
+                        let t_a = cfg.cycles_of(aurora_partition::time_a(
+                            &c_sg,
+                            strategy.a.max(1),
+                            cfg.flops_per_pe(),
+                        ));
+                        let t_b = if strategy.b == 0 {
+                            0
+                        } else {
+                            cfg.cycles_of(aurora_partition::time_b(
+                                &c_sg,
+                                strategy.b,
+                                cfg.flops_per_pe(),
+                            ))
+                        };
+
+                        // Vertex-update traffic (the aggregation estimate goes
+                        // through the route-table cache on the sequential path
+                        // below). Without ring reconfiguration the vectors take
+                        // mesh routes: same volume, roughly same hops, but the
+                        // contention of a converging pattern — a 2× cycle
+                        // multiplier on the ring estimate.
+                        let est_b = if wf.model.has_vertex_update() {
+                            let contention = if cfg.flexible_noc { 1 } else { 2 };
+                            let mut e = noc_model::ring_traffic(
+                                &rings_cfg,
+                                sg.num_vertices(),
+                                shape.f_in,
+                                cfg.link_utilisation,
+                            );
+                            e.cycles *= contention;
+                            e
+                        } else {
+                            OnChipEstimate::default()
+                        };
+
+                        TilePre {
+                            mapping,
+                            rho_a,
+                            rho_b,
+                            noc_cfg,
+                            num_vertices: sg.num_vertices(),
+                            num_edges: sg.num_edges(),
+                            halo: sg.halo_vertices().len() as u64,
+                            t_a,
+                            t_b,
+                            est_b,
+                        }
+                    })
+                    .collect(),
+            ),
+            EngineCore::Arena => {
+                // Uniform per-tile strides: the longest tile bounds the
+                // high-degree slab (high_degree_cap is monotonic in n, so
+                // every tile fits its slice), and each row/column plan is
+                // bounded by the k physical wires.
+                let max_len = (0..num_tiles)
+                    .map(|ti| tiling.subgraph(g, ti).num_vertices())
+                    .max()
+                    .unwrap_or(0);
+                let high_cap = aurora_mapping::high_degree_cap(max_len, k, c_pe);
+                slabs.begin_layer(g.num_vertices(), num_tiles, k, high_cap);
+                if cfg.mapping_policy == MappingPolicy::DegreeAware {
+                    slabs.prepare_s_pes(k);
                 }
-                let rho = |load: &[u64]| -> f64 {
-                    let max = load.iter().copied().max().unwrap_or(0);
-                    let total: u64 = load.iter().sum();
-                    if total == 0 {
-                        1.0
-                    } else {
-                        max as f64 * load.len() as f64 / total as f64
+
+                // Hand-split the slabs into disjoint per-tile slices; the
+                // capacity tiling partitions the vertex space contiguously
+                // from 0, so sequential splits land each tile's `pe_of`
+                // slice at its global offset.
+                let mut tasks: Vec<TileTask> = Vec::with_capacity(num_tiles);
+                {
+                    let mut pe_rest: &mut [u32] = &mut slabs.pe_of;
+                    let mut hi_rest: &mut [u32] = &mut slabs.high;
+                    let mut row_rest: &mut [SegmentPlan] = &mut slabs.row_segs;
+                    let mut col_rest: &mut [SegmentPlan] = &mut slabs.col_segs;
+                    let mut out_rest: &mut [TileOut] = &mut slabs.outs;
+                    let mut offset = 0usize;
+                    for ti in 0..num_tiles {
+                        let range = tiling.subgraph(g, ti).vertex_range();
+                        debug_assert_eq!(range.start as usize, offset, "tiles must be contiguous");
+                        let n = (range.end - range.start) as usize;
+                        offset += n;
+                        let (pe_of, r) = std::mem::take(&mut pe_rest).split_at_mut(n);
+                        pe_rest = r;
+                        let (high, r) = std::mem::take(&mut hi_rest).split_at_mut(high_cap);
+                        hi_rest = r;
+                        let (rows, r) = std::mem::take(&mut row_rest).split_at_mut(k);
+                        row_rest = r;
+                        let (cols, r) = std::mem::take(&mut col_rest).split_at_mut(k);
+                        col_rest = r;
+                        let (out, r) = std::mem::take(&mut out_rest)
+                            .split_first_mut()
+                            .expect("one TileOut row per tile");
+                        out_rest = r;
+                        tasks.push(TileTask {
+                            ti,
+                            pe_of,
+                            high,
+                            rows,
+                            cols,
+                            out,
+                        });
                     }
-                };
-                let (rho_a, rho_b) = (rho(&load_a), rho(&load_b));
-
-                // NoC configuration for this tile. A planned bypass config
-                // that fails validation (a planner bug) falls back to the
-                // plain mesh instead of poisoning the route walk.
-                let noc_cfg = if cfg.flexible_noc {
-                    let plan = plan_bypass(&mapping, sg.edges());
-                    let to_seg = |s: &aurora_mapping::plan::SegmentPlan| BypassSegment {
-                        index: s.index,
-                        from: s.from,
-                        to: s.to,
-                    };
-                    let c = if plan.rows.is_empty() && plan.cols.is_empty() {
-                        NocConfig::mesh(k)
-                    } else {
-                        NocConfig::with_bypass(
-                            k,
-                            plan.rows.iter().map(to_seg).collect(),
-                            plan.cols.iter().map(to_seg).collect(),
-                        )
-                    };
-                    if c.validate().is_ok() {
-                        c
-                    } else {
-                        NocConfig::mesh(k)
-                    }
-                } else {
-                    NocConfig::mesh(k)
-                };
-
-                // Compute time of the two pipeline stages on this tile.
-                let w_sg = Workload::from_sizes(model, sg.num_vertices(), sg.num_edges(), shape);
-                let c_sg = w_sg.op_counts();
-                let t_a = cfg.cycles_of(aurora_partition::time_a(
-                    &c_sg,
-                    strategy.a.max(1),
-                    cfg.flops_per_pe(),
-                ));
-                let t_b = if strategy.b == 0 {
-                    0
-                } else {
-                    cfg.cycles_of(aurora_partition::time_b(
-                        &c_sg,
-                        strategy.b,
-                        cfg.flops_per_pe(),
-                    ))
-                };
-
-                // Vertex-update traffic (the aggregation estimate goes
-                // through the route-table cache on the sequential path
-                // below). Without ring reconfiguration the vectors take
-                // mesh routes: same volume, roughly same hops, but the
-                // contention of a converging pattern — a 2× cycle
-                // multiplier on the ring estimate.
-                let est_b = if wf.model.has_vertex_update() {
-                    let contention = if cfg.flexible_noc { 1 } else { 2 };
-                    let mut e = noc_model::ring_traffic(
-                        &rings_cfg,
-                        sg.num_vertices(),
-                        shape.f_in,
-                        cfg.link_utilisation,
-                    );
-                    e.cycles *= contention;
-                    e
-                } else {
-                    OnChipEstimate::default()
-                };
-
-                TilePre {
-                    mapping,
-                    rho_a,
-                    rho_b,
-                    noc_cfg,
-                    num_vertices: sg.num_vertices(),
-                    num_edges: sg.num_edges(),
-                    halo: sg.halo_vertices().len() as u64,
-                    w_sg,
-                    t_a,
-                    t_b,
-                    est_b,
                 }
-            })
-            .collect();
+
+                tasks.into_par_iter().for_each(|task| {
+                    with_worker(|w| {
+                        // workers tag themselves for allocation attribution
+                        // and time the per-tile mapping work as worker-side
+                        // CPU µs — same spans as the legacy core
+                        let _tag = span::stage_scope(Stage::TilePrecompute);
+                        let _map_span = span::enter(Stage::Mapping);
+                        let sg = tiling.subgraph(g, task.ti);
+                        let range = sg.vertex_range();
+                        w.degrees.clear();
+                        w.degrees.extend(range.clone().map(|v| g.degree(v) as u32));
+                        let n_high = match cfg.mapping_policy {
+                            MappingPolicy::DegreeAware => degree_aware::map_into(
+                                range.clone(),
+                                &w.degrees,
+                                k,
+                                c_pe,
+                                &mut w.map,
+                                &mut *task.pe_of,
+                                &mut *task.high,
+                            ),
+                            MappingPolicy::Hashing => hashing::map_into(
+                                range.clone(),
+                                &w.degrees,
+                                k,
+                                c_pe,
+                                &mut w.map,
+                                &mut *task.pe_of,
+                                &mut *task.high,
+                            ),
+                        };
+
+                        // Per-PE load and balance factors in one flat pass
+                        // over the placement slice.
+                        w.load_a.clear();
+                        w.load_a.resize(k * k, 0);
+                        w.load_b.clear();
+                        w.load_b.resize(k * k, 0);
+                        for (i, &pe) in task.pe_of.iter().enumerate() {
+                            w.load_a[pe as usize] += 1 + w.degrees[i] as u64;
+                            w.load_b[pe as usize] += 1;
+                        }
+                        let rho = |load: &[u64]| -> f64 {
+                            let max = load.iter().copied().max().unwrap_or(0);
+                            let total: u64 = load.iter().sum();
+                            if total == 0 {
+                                1.0
+                            } else {
+                                max as f64 * load.len() as f64 / total as f64
+                            }
+                        };
+                        let (rho_a, rho_b) = (rho(&w.load_a), rho(&w.load_b));
+
+                        // Bypass planning emits straight into the tile's
+                        // slab slices; config construction is deferred to
+                        // the sequential intern step below.
+                        let (n_rows, n_cols) = if cfg.flexible_noc {
+                            let view = MapView {
+                                policy: cfg.mapping_policy,
+                                range: range.clone(),
+                                pe_of: &*task.pe_of,
+                                k,
+                                s_pes: &[],
+                                high_degree: &task.high[..n_high],
+                            };
+                            aurora_mapping::plan::plan_bypass_into(
+                                &view,
+                                sg.edges(),
+                                &mut w.plan,
+                                &mut *task.rows,
+                                &mut *task.cols,
+                            )
+                        } else {
+                            (0, 0)
+                        };
+
+                        // Compute time of the two pipeline stages on this
+                        // tile (the worker's cached workload, re-sized).
+                        let w_sg = w.workload_for(model, shape);
+                        w_sg.resize(sg.num_vertices(), sg.num_edges());
+                        let c_sg = w_sg.op_counts();
+                        let t_a = cfg.cycles_of(aurora_partition::time_a(
+                            &c_sg,
+                            strategy.a.max(1),
+                            cfg.flops_per_pe(),
+                        ));
+                        let t_b = if strategy.b == 0 {
+                            0
+                        } else {
+                            cfg.cycles_of(aurora_partition::time_b(
+                                &c_sg,
+                                strategy.b,
+                                cfg.flops_per_pe(),
+                            ))
+                        };
+
+                        // Vertex-update traffic, exactly as the legacy core
+                        // estimates it.
+                        let est_b = if wf.model.has_vertex_update() {
+                            let contention = if cfg.flexible_noc { 1 } else { 2 };
+                            let mut e = noc_model::ring_traffic(
+                                &rings_cfg,
+                                sg.num_vertices(),
+                                shape.f_in,
+                                cfg.link_utilisation,
+                            );
+                            e.cycles *= contention;
+                            e
+                        } else {
+                            OnChipEstimate::default()
+                        };
+
+                        let halo = w.halo_count(range.clone(), g.num_vertices(), sg.edges());
+                        *task.out = TileOut {
+                            start: range.start,
+                            end: range.end,
+                            rho_a,
+                            rho_b,
+                            num_vertices: sg.num_vertices(),
+                            num_edges: sg.num_edges(),
+                            halo,
+                            t_a,
+                            t_b,
+                            est_b,
+                            n_high,
+                            n_rows,
+                            n_cols,
+                        };
+                    });
+                });
+
+                // Resolve each tile's plan into an interned NoC config —
+                // sequential, so the intern table needs no lock and the
+                // config order matches the walk.
+                let mesh = slabs.mesh_cfg(k);
+                for ti in 0..num_tiles {
+                    slabs.resolve_noc_cfg(ti, k, cfg.flexible_noc, &mesh);
+                }
+                PreTiles::Arena {
+                    slabs,
+                    num_tiles,
+                    policy: cfg.mapping_policy,
+                    k,
+                    high_cap,
+                }
+            }
+        };
         drop(precompute_span);
 
         // Aggregation traffic through the cross-layer route-table/profile
@@ -793,33 +1173,31 @@ impl AuroraSimulator {
         // identical at every AURORA_THREADS value; only the O(E) binning
         // of missing tiles fans out over the pool.
         let route_span = span::enter(Stage::RouteTableBuild);
-        let mut keys: Vec<ProfileKey> = Vec::with_capacity(pres.len());
-        let mut miss_tiles: Vec<usize> = Vec::new();
-        let mut est_a_of: Vec<Option<OnChipEstimate>> = Vec::with_capacity(pres.len());
         let mut hits = 0u64;
-        for (ti, pre) in pres.iter().enumerate() {
-            let table_id = cache.table_id(&pre.noc_cfg, tel, &lscope)?;
+        for ti in 0..pres.len() {
+            let view = pres.view(ti);
+            let table_id = cache.table_id(view.noc_cfg, tel, &lscope)?;
             let key = ProfileKey {
                 table_id,
-                start: pre.mapping.range.start,
-                end: pre.mapping.range.end,
+                start: view.map.range.start,
+                end: view.map.range.end,
                 c_pe,
             };
-            keys.push(key);
+            seq.keys.push(key);
             // Hits are estimated *now*, before this layer's misses insert
             // (and possibly evict) anything.
             match cache.profile(&key) {
                 Some(p) => {
                     hits += 1;
-                    est_a_of.push(Some(p.estimate(
-                        &pre.noc_cfg,
+                    seq.est_a_of.push(Some(p.estimate(
+                        view.noc_cfg,
                         msg_words,
                         cfg.link_utilisation,
                     )));
                 }
                 None => {
-                    miss_tiles.push(ti);
-                    est_a_of.push(None);
+                    seq.miss_tiles.push(ti);
+                    seq.est_a_of.push(None);
                 }
             }
         }
@@ -830,9 +1208,9 @@ impl AuroraSimulator {
         let traffic_span = span::enter(Stage::TrafficKernels);
         let binned: Vec<Result<TrafficProfile, aurora_noc::NocError>> = {
             let cache_ref: &TrafficCache = cache;
-            let miss_ref = &miss_tiles;
+            let miss_ref: &[usize] = &seq.miss_tiles;
+            let keys_ref: &[ProfileKey] = &seq.keys;
             let pres_ref = &pres;
-            let keys_ref = &keys;
             (0..miss_ref.len())
                 .into_par_iter()
                 .map(|i| {
@@ -841,29 +1219,28 @@ impl AuroraSimulator {
                     let sg = tiling.subgraph(g, ti);
                     TrafficProfile::bin(
                         cache_ref.table(keys_ref[ti].table_id),
-                        &pres_ref[ti].mapping,
+                        &pres_ref.view(ti).map,
                         sg.edges(),
                     )
                 })
                 .collect()
         };
         cache.hits += hits;
-        cache.misses += miss_tiles.len() as u64;
+        cache.misses += seq.miss_tiles.len() as u64;
         tel.counter_add(names::NOC_TILE_PROFILE_HITS, &lscope, hits);
         tel.counter_add(
             names::NOC_TILE_PROFILE_MISSES,
             &lscope,
-            miss_tiles.len() as u64,
+            seq.miss_tiles.len() as u64,
         );
-        for (&ti, profile) in miss_tiles.iter().zip(binned) {
+        for (&ti, profile) in seq.miss_tiles.iter().zip(binned) {
             let profile = profile?;
-            est_a_of[ti] =
-                Some(profile.estimate(&pres[ti].noc_cfg, msg_words, cfg.link_utilisation));
-            cache.insert_profile(keys[ti], profile);
+            seq.est_a_of[ti] =
+                Some(profile.estimate(pres.view(ti).noc_cfg, msg_words, cfg.link_utilisation));
+            cache.insert_profile(seq.keys[ti], profile);
         }
-        let mut est_as: Vec<OnChipEstimate> = Vec::with_capacity(est_a_of.len());
-        for e in est_a_of {
-            est_as.push(e.ok_or_else(|| {
+        for e in &seq.est_a_of {
+            seq.est_as.push(e.ok_or_else(|| {
                 SimError::Internal("tile resolved neither as a hit nor a binned miss".into())
             })?);
         }
@@ -872,19 +1249,25 @@ impl AuroraSimulator {
         // Stateful walk: memory controller, telemetry, and the instruction
         // trace consume the precomputed tiles strictly in order.
         let walk_span = span::enter(Stage::EngineWalk);
-        for (ti, pre) in pres.iter().enumerate() {
-            mem.set_scope(lscope.tile(ti));
-            aurora_mapping::record_quality(tel, &lscope, &pre.mapping);
+        for ti in 0..pres.len() {
+            let pre = pres.view(ti);
+            if tel.is_enabled() {
+                // scope strings only matter to an attached recorder, and
+                // building them clones — skip both when disabled
+                mem.set_scope(lscope.tile(ti));
+            }
+            aurora_mapping::record_quality_view(tel, &lscope, &pre.map);
             let (rho_a, rho_b) = (pre.rho_a, pre.rho_b);
             let (t_a, t_b) = (pre.t_a, pre.t_b);
-            let (est_a, est_b) = (est_as[ti], pre.est_b);
-            let w_sg = &pre.w_sg;
+            let (est_a, est_b) = (seq.est_as[ti], pre.est_b);
+            w_tile.resize(pre.num_vertices, pre.num_edges);
+            let w_sg = &w_tile;
             let c_sg = w_sg.op_counts();
             if trace {
                 instructions.push(Instruction::MapSubgraph {
                     tile: ti,
                     vertices: pre.num_vertices,
-                    high_degree: pre.mapping.high_degree.len(),
+                    high_degree: pre.map.high_degree.len(),
                 });
             }
             if cfg.flexible_noc {
@@ -954,8 +1337,8 @@ impl AuroraSimulator {
             // (vertex update + ring traffic) — B works on the previous
             // tile's output while A fills.
             let exec = (t_a + est_a.cycles).max(t_b + est_b.cycles);
-            exec_cycles.push(exec);
-            dram_cycles.push(d_cycles);
+            seq.exec_cycles.push(exec);
+            seq.dram_cycles.push(d_cycles);
 
             let slot = exec.max(d_cycles);
             if tel.is_enabled() {
@@ -1043,10 +1426,12 @@ impl AuroraSimulator {
                 d_cycles,
             );
             debug_assert_eq!(attr.slot_cycles, slot, "attribution must cover the slot");
-            attr.record_to(tel, &lscope.tile(ti));
+            if tel.is_enabled() {
+                attr.record_to(tel, &lscope.tile(ti));
+            }
             busy_a += t_a + est_a.cycles;
             busy_b += t_b + est_b.cycles;
-            tile_attr.push(attr);
+            tiles_out.push(attr);
 
             cursor += slot;
             compute_total += t_a + t_b;
@@ -1079,8 +1464,8 @@ impl AuroraSimulator {
         // each tile costs max(execution, its off-chip traffic); the first
         // NoC reconfiguration is exposed, later ones overlap.
         let mut total = 0u64;
-        for i in 0..exec_cycles.len() {
-            total += exec_cycles[i].max(dram_cycles[i]);
+        for i in 0..seq.exec_cycles.len() {
+            total += seq.exec_cycles[i].max(seq.dram_cycles[i]);
         }
         if cfg.flexible_noc {
             total += (2 * k - 1) as u64; // first reconfiguration exposed
@@ -1101,7 +1486,7 @@ impl AuroraSimulator {
             tel.gauge_set("layer.tiles", &lscope, tiling.num_tiles() as f64);
         }
 
-        let dram_total: u64 = dram_cycles.iter().sum();
+        let dram_total: u64 = seq.dram_cycles.iter().sum();
         let report = LayerReport {
             layer: layer_idx,
             shape,
@@ -1117,7 +1502,7 @@ impl AuroraSimulator {
 
         // --- Bottleneck profile ------------------------------------------
         let mut mix = crate::profile::BoundMix::default();
-        for t in &tile_attr {
+        for t in &tiles_out[attr_start..] {
             mix = mix.add(&t.mix);
         }
         let overhead_cycles = total - mix.total();
@@ -1141,7 +1526,7 @@ impl AuroraSimulator {
             operational_intensity: counts.total() as f64 / (layer_dram_bytes.max(1)) as f64,
             dominant: mix.dominant(),
         };
-        Ok((report, reconfigs, layer_profile, tile_attr))
+        Ok((report, reconfigs, layer_profile))
     }
 }
 

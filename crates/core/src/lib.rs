@@ -32,6 +32,7 @@
 //! assert!(report.energy_joules() > 0.0);
 //! ```
 
+mod arena;
 pub mod config;
 pub mod engine;
 pub mod functional;
@@ -44,7 +45,7 @@ pub mod request;
 pub mod workflow;
 
 pub use config::AcceleratorConfig;
-pub use engine::AuroraSimulator;
+pub use engine::{AuroraSimulator, EngineCore};
 pub use instr::Instruction;
 pub use profile::{Bound, BoundMix, LayerProfile, ProfileReport, TileAttribution};
 pub use report::{LayerReport, NocReport, SimReport};

@@ -1,7 +1,6 @@
 //! Degree-aware mapping — Algorithm 1 lines 13-25.
 
-use crate::nqueen;
-use crate::{MappingPolicy, VertexMapping};
+use crate::{MapScratch, MappingPolicy, VertexMapping};
 use std::ops::Range;
 
 /// Maps the vertex interval `range` (with per-vertex out-degrees `degrees`,
@@ -24,6 +23,50 @@ use std::ops::Range;
 /// a tiling bug.
 pub fn map(range: Range<u32>, degrees: &[u32], k: usize, c_pe: usize) -> VertexMapping {
     let n = (range.end - range.start) as usize;
+    let mut scratch = MapScratch::new();
+    let mut pe_of = vec![0u32; n];
+    let mut high = vec![0u32; crate::high_degree_cap(n, k, c_pe)];
+    let n_high = map_into(
+        range.clone(),
+        degrees,
+        k,
+        c_pe,
+        &mut scratch,
+        &mut pe_of,
+        &mut high,
+    );
+    high.truncate(n_high);
+    VertexMapping {
+        policy: MappingPolicy::DegreeAware,
+        high_degree: high,
+        range,
+        pe_of,
+        k,
+        s_pes: scratch.s_pes,
+    }
+}
+
+/// [`map`] emitting into caller-provided buffers: the placement lands in
+/// `pe_of` (one slot per vertex in `range`) and the high-degree vertex
+/// ids in `high_out` (sized by [`crate::high_degree_cap`]); the number
+/// of high-degree entries written is returned. A warmed-up `scratch`
+/// makes the whole kernel allocation-free, which is what lets the
+/// engine's per-worker arenas map tile after tile with zero steady-state
+/// heap traffic. Placement is bit-identical to [`map`].
+///
+/// # Panics
+/// As [`map`]; additionally if `pe_of` is not exactly `n` slots or
+/// `high_out` is smaller than [`crate::high_degree_cap`]`(n, k, c_pe)`.
+pub fn map_into(
+    range: Range<u32>,
+    degrees: &[u32],
+    k: usize,
+    c_pe: usize,
+    scratch: &mut MapScratch,
+    pe_of: &mut [u32],
+    high_out: &mut [u32],
+) -> usize {
+    let n = (range.end - range.start) as usize;
     assert_eq!(degrees.len(), n, "one degree per mapped vertex");
     assert!(k > 0 && c_pe > 0);
     assert!(
@@ -31,67 +74,80 @@ pub fn map(range: Range<u32>, degrees: &[u32], k: usize, c_pe: usize) -> VertexM
         "subgraph of {n} vertices exceeds array capacity {}",
         k * k * c_pe
     );
+    assert_eq!(pe_of.len(), n, "one placement slot per mapped vertex");
+    assert!(
+        high_out.len() >= crate::high_degree_cap(n, k, c_pe),
+        "high-degree output under-sized"
+    );
 
-    let s_pes = nqueen::s_pe_positions(k);
-    let is_s_pe: Vec<bool> = {
-        let mut v = vec![false; k * k];
-        for &p in &s_pes {
-            v[p] = true;
-        }
-        v
-    };
+    scratch.prepare_s_pes(k);
 
     // High-degree identification: N_HN = (K − 1) × C_PE (§IV), but never
     // more than the S_PEs can buffer, and only vertices that actually have
     // neighbours qualify.
     let n_hn = ((k.saturating_sub(1)) * c_pe)
-        .min(s_pes.len() * c_pe)
+        .min(scratch.s_pes.len() * c_pe)
         .min(n);
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
-    let high: Vec<usize> = order
-        .iter()
-        .copied()
-        .take(n_hn)
-        .filter(|&i| degrees[i] > 0)
-        .collect();
+    // The legacy kernel fully sorted the candidate order by
+    // (descending degree, ascending id) and kept the first `n_hn`; the
+    // comparator is a total order, so partial selection of the same
+    // prefix is bit-identical at O(n + n_hn log n_hn).
+    let key = |i: u32| (std::cmp::Reverse(degrees[i as usize]), i);
+    scratch.order.clear();
+    scratch.order.extend(0..n as u32);
+    if n_hn > 0 && n_hn < n {
+        scratch
+            .order
+            .select_nth_unstable_by_key(n_hn - 1, |&i| key(i));
+    }
+    scratch.order[..n_hn].sort_unstable_by_key(|&i| key(i));
+    let mut n_high = 0usize;
+    for &i in scratch.order[..n_hn].iter() {
+        if degrees[i as usize] > 0 {
+            high_out[n_high] = i;
+            n_high += 1;
+        }
+    }
 
-    let mut pe_of = vec![usize::MAX; n];
-    let mut load = vec![0usize; k * k];
+    pe_of.fill(u32::MAX);
+    scratch.load.clear();
+    scratch.load.resize(k * k, 0);
 
     // 3. round-robin the sorted high-degree vertices over the S_PEs.
-    for (j, &i) in high.iter().enumerate() {
-        let pe = s_pes[j % s_pes.len()];
-        debug_assert!(load[pe] < c_pe, "round-robin cannot overfill S_PEs");
-        pe_of[i] = pe;
-        load[pe] += 1;
+    for (j, slot) in high_out[..n_high].iter_mut().enumerate() {
+        let i = *slot;
+        let pe = scratch.s_pes[j % scratch.s_pes.len()];
+        debug_assert!(
+            scratch.load[pe] < c_pe as u32,
+            "round-robin cannot overfill S_PEs"
+        );
+        pe_of[i as usize] = pe as u32;
+        scratch.load[pe] += 1;
+        // emit the global id; the local index was only needed for placement
+        *slot = range.start + i;
     }
 
     // 4. low-degree vertices fill non-S_PE PEs sequentially, then spill
     // into leftover S_PE capacity.
-    let mut fill_order: Vec<usize> = (0..k * k).filter(|&p| !is_s_pe[p]).collect();
-    fill_order.extend(s_pes.iter().copied());
+    scratch.fill_order.clear();
+    scratch
+        .fill_order
+        .extend((0..k * k).filter(|&p| !scratch.is_s_pe[p]));
+    scratch.fill_order.extend(scratch.s_pes.iter().copied());
     let mut cursor = 0usize;
     for slot in pe_of.iter_mut() {
-        if *slot != usize::MAX {
+        if *slot != u32::MAX {
             continue;
         }
-        while load[fill_order[cursor]] >= c_pe {
+        while scratch.load[scratch.fill_order[cursor]] >= c_pe as u32 {
             cursor += 1;
         }
-        let pe = fill_order[cursor];
-        *slot = pe;
-        load[pe] += 1;
+        let pe = scratch.fill_order[cursor];
+        *slot = pe as u32;
+        scratch.load[pe] += 1;
     }
 
-    VertexMapping {
-        policy: MappingPolicy::DegreeAware,
-        high_degree: high.iter().map(|&i| range.start + i as u32).collect(),
-        range,
-        pe_of,
-        k,
-        s_pes,
-    }
+    n_high
 }
 
 #[cfg(test)]
@@ -161,6 +217,31 @@ mod tests {
 
     proptest! {
         #[test]
+        fn map_into_matches_map_with_reused_scratch(
+            n in 1usize..120,
+            k in 2usize..7,
+            seeds in proptest::collection::vec(0u64..10, 1..4),
+        ) {
+            // one scratch across several graphs: reuse must not leak
+            // state between calls
+            let mut scratch = crate::MapScratch::new();
+            for seed in seeds {
+                let c_pe = n.div_ceil(k * k).max(1) + 1;
+                let g = generate::rmat(n, n * 3, Default::default(), seed);
+                let expect = map(0..n as u32, &g.degrees(), k, c_pe);
+                let mut pe_of = vec![0u32; n];
+                let mut high = vec![0u32; crate::high_degree_cap(n, k, c_pe)];
+                let n_high = map_into(
+                    0..n as u32, &g.degrees(), k, c_pe,
+                    &mut scratch, &mut pe_of, &mut high,
+                );
+                prop_assert_eq!(&pe_of, &expect.pe_of);
+                prop_assert_eq!(&high[..n_high], expect.high_degree.as_slice());
+                prop_assert_eq!(&scratch.s_pes, &expect.s_pes);
+            }
+        }
+
+        #[test]
         fn mapping_is_total_and_capacity_safe(
             n in 1usize..120,
             k in 2usize..7,
@@ -170,7 +251,7 @@ mod tests {
             let m_edges = n * 3;
             let g = generate::rmat(n, m_edges, Default::default(), seed);
             let m = map(0..n as u32, &g.degrees(), k, c_pe);
-            prop_assert!(m.pe_of.iter().all(|&p| p < k * k));
+            prop_assert!(m.pe_of.iter().all(|&p| (p as usize) < k * k));
             prop_assert!(m.load_per_pe().iter().all(|&l| l <= c_pe));
             prop_assert_eq!(m.high_degree_conflicts(), 0);
             // high-degree list is sorted by descending degree

@@ -2,7 +2,7 @@
 //! against via CGRA-ME, §VI-A): vertices hash onto PEs by id, oblivious to
 //! degree, with linear probing when a PE's buffer is full.
 
-use crate::{MappingPolicy, VertexMapping};
+use crate::{MapScratch, MappingPolicy, VertexMapping};
 use std::ops::Range;
 
 /// Maps `range` onto a `k × k` array by `v mod k²`, spilling to the next
@@ -10,6 +10,42 @@ use std::ops::Range;
 /// *would* be high-degree (for apples-to-apples conflict metrics against
 /// the degree-aware policy); it never influences placement.
 pub fn map(range: Range<u32>, degrees: &[u32], k: usize, c_pe: usize) -> VertexMapping {
+    let n = (range.end - range.start) as usize;
+    let mut scratch = MapScratch::new();
+    let mut pe_of = vec![0u32; n];
+    let mut high = vec![0u32; crate::high_degree_cap(n, k, c_pe)];
+    let n_high = map_into(
+        range.clone(),
+        degrees,
+        k,
+        c_pe,
+        &mut scratch,
+        &mut pe_of,
+        &mut high,
+    );
+    high.truncate(n_high);
+    VertexMapping {
+        policy: MappingPolicy::Hashing,
+        range,
+        pe_of,
+        k,
+        s_pes: Vec::new(),
+        high_degree: high,
+    }
+}
+
+/// [`map`] emitting into caller-provided buffers; see
+/// [`crate::degree_aware::map_into`] for the contract. Placement is
+/// bit-identical to [`map`].
+pub fn map_into(
+    range: Range<u32>,
+    degrees: &[u32],
+    k: usize,
+    c_pe: usize,
+    scratch: &mut MapScratch,
+    pe_of: &mut [u32],
+    high_out: &mut [u32],
+) -> usize {
     let n = (range.end - range.start) as usize;
     assert_eq!(degrees.len(), n, "one degree per mapped vertex");
     assert!(k > 0 && c_pe > 0);
@@ -19,41 +55,48 @@ pub fn map(range: Range<u32>, degrees: &[u32], k: usize, c_pe: usize) -> VertexM
         "subgraph of {n} vertices exceeds array capacity {}",
         pes * c_pe
     );
+    assert_eq!(pe_of.len(), n, "one placement slot per mapped vertex");
+    assert!(
+        high_out.len() >= crate::high_degree_cap(n, k, c_pe),
+        "high-degree output under-sized"
+    );
 
-    let mut pe_of = vec![usize::MAX; n];
-    let mut load = vec![0usize; pes];
+    scratch.load.clear();
+    scratch.load.resize(pes, 0);
     for (i, slot) in pe_of.iter_mut().enumerate() {
         let v = range.start as usize + i;
         let mut pe = v % pes;
         let mut probes = 0;
-        while load[pe] >= c_pe {
+        while scratch.load[pe] >= c_pe as u32 {
             pe = (pe + 1) % pes;
             probes += 1;
             debug_assert!(probes <= pes, "capacity was checked, probe must end");
         }
-        *slot = pe;
-        load[pe] += 1;
+        *slot = pe as u32;
+        scratch.load[pe] += 1;
     }
 
-    // Same high-degree definition as Algorithm 1, for metric parity.
+    // Same high-degree definition as Algorithm 1, for metric parity
+    // (partial selection of the same totally-ordered prefix the legacy
+    // full sort kept).
     let n_hn = ((k.saturating_sub(1)) * c_pe).min(n);
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
-    let high: Vec<u32> = order
-        .into_iter()
-        .take(n_hn)
-        .filter(|&i| degrees[i] > 0)
-        .map(|i| range.start + i as u32)
-        .collect();
-
-    VertexMapping {
-        policy: MappingPolicy::Hashing,
-        range,
-        pe_of,
-        k,
-        s_pes: Vec::new(),
-        high_degree: high,
+    let key = |i: u32| (std::cmp::Reverse(degrees[i as usize]), i);
+    scratch.order.clear();
+    scratch.order.extend(0..n as u32);
+    if n_hn > 0 && n_hn < n {
+        scratch
+            .order
+            .select_nth_unstable_by_key(n_hn - 1, |&i| key(i));
     }
+    scratch.order[..n_hn].sort_unstable_by_key(|&i| key(i));
+    let mut n_high = 0usize;
+    for &i in scratch.order[..n_hn].iter() {
+        if degrees[i as usize] > 0 {
+            high_out[n_high] = range.start + i;
+            n_high += 1;
+        }
+    }
+    n_high
 }
 
 #[cfg(test)]
@@ -93,6 +136,28 @@ mod tests {
             }
         }
         assert!(any_conflict, "hashing never conflicted across 8 seeds?");
+    }
+
+    #[test]
+    fn map_into_matches_map_with_reused_scratch() {
+        let mut scratch = crate::MapScratch::new();
+        for seed in 0..6 {
+            let g = generate::rmat(48, 300, Default::default(), seed);
+            let expect = map(0..48, &g.degrees(), 4, 4);
+            let mut pe_of = vec![0u32; 48];
+            let mut high = vec![0u32; crate::high_degree_cap(48, 4, 4)];
+            let n_high = map_into(
+                0..48,
+                &g.degrees(),
+                4,
+                4,
+                &mut scratch,
+                &mut pe_of,
+                &mut high,
+            );
+            assert_eq!(pe_of, expect.pe_of);
+            assert_eq!(&high[..n_high], expect.high_degree.as_slice());
+        }
     }
 
     #[test]

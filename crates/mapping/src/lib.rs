@@ -40,8 +40,10 @@ pub struct VertexMapping {
     pub policy: MappingPolicy,
     /// The contiguous global-vertex-id range that was mapped.
     pub range: Range<u32>,
-    /// `pe_of[v - range.start]` = linear PE id (`y * k + x`).
-    pub pe_of: Vec<usize>,
+    /// `pe_of[v - range.start]` = linear PE id (`y * k + x`). `u32`
+    /// keeps the slab half the size of a word-per-vertex layout — the
+    /// engine streams these per tile.
+    pub pe_of: Vec<u32>,
     /// Array radix.
     pub k: usize,
     /// The S_PE positions chosen by the N-Queen step (empty for hashing).
@@ -51,13 +53,83 @@ pub struct VertexMapping {
 }
 
 impl VertexMapping {
+    /// A borrowed, allocation-free view of this mapping.
+    pub fn view(&self) -> MapView<'_> {
+        MapView {
+            policy: self.policy,
+            range: self.range.clone(),
+            pe_of: &self.pe_of,
+            k: self.k,
+            s_pes: &self.s_pes,
+            high_degree: &self.high_degree,
+        }
+    }
+
     /// The PE hosting global vertex `v`.
     ///
     /// # Panics
     /// Panics if `v` is outside the mapped range.
     pub fn pe_of(&self, v: u32) -> usize {
         assert!(self.range.contains(&v), "vertex {v} not in mapped range");
-        self.pe_of[(v - self.range.start) as usize]
+        self.pe_of[(v - self.range.start) as usize] as usize
+    }
+
+    /// `(x, y)` coordinate of the PE hosting `v`.
+    pub fn coord_of(&self, v: u32) -> (usize, usize) {
+        let pe = self.pe_of(v);
+        (pe % self.k, pe / self.k)
+    }
+
+    /// Number of vertices mapped to each PE.
+    pub fn load_per_pe(&self) -> Vec<usize> {
+        self.view().load_per_pe()
+    }
+
+    /// Counts pairs of high-degree vertices sharing a row plus pairs
+    /// sharing a column — the contention measure the degree-aware mapping
+    /// drives to zero (its S_PEs are row/column-disjoint by construction).
+    pub fn high_degree_conflicts(&self) -> usize {
+        self.view().high_degree_conflicts()
+    }
+
+    /// Mean pairwise Manhattan distance between the S_PE positions — how
+    /// far apart the N-Queen step spread the high-degree hosts (0 with
+    /// fewer than two S_PEs). A larger spread means the bypass links serve
+    /// disjoint regions of the array.
+    pub fn s_pe_spread(&self) -> f64 {
+        self.view().s_pe_spread()
+    }
+}
+
+/// A borrowed view of one tile's placement — the shape the engine's
+/// per-tile kernels consume. [`VertexMapping`] owns its buffers and
+/// [`VertexMapping::view`]s them; the engine's arena path slices its
+/// per-layer slabs into views directly, so the steady state never
+/// materialises an owned mapping at all.
+#[derive(Debug, Clone)]
+pub struct MapView<'a> {
+    /// Which policy produced this mapping.
+    pub policy: MappingPolicy,
+    /// The contiguous global-vertex-id range that was mapped.
+    pub range: Range<u32>,
+    /// `pe_of[v - range.start]` = linear PE id (`y * k + x`).
+    pub pe_of: &'a [u32],
+    /// Array radix.
+    pub k: usize,
+    /// The S_PE positions chosen by the N-Queen step (empty for hashing).
+    pub s_pes: &'a [usize],
+    /// The vertices identified as high-degree, in descending degree order.
+    pub high_degree: &'a [u32],
+}
+
+impl MapView<'_> {
+    /// The PE hosting global vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the mapped range.
+    pub fn pe_of(&self, v: u32) -> usize {
+        assert!(self.range.contains(&v), "vertex {v} not in mapped range");
+        self.pe_of[(v - self.range.start) as usize] as usize
     }
 
     /// `(x, y)` coordinate of the PE hosting `v`.
@@ -69,15 +141,13 @@ impl VertexMapping {
     /// Number of vertices mapped to each PE.
     pub fn load_per_pe(&self) -> Vec<usize> {
         let mut load = vec![0; self.k * self.k];
-        for &pe in &self.pe_of {
-            load[pe] += 1;
+        for &pe in self.pe_of {
+            load[pe as usize] += 1;
         }
         load
     }
 
-    /// Counts pairs of high-degree vertices sharing a row plus pairs
-    /// sharing a column — the contention measure the degree-aware mapping
-    /// drives to zero (its S_PEs are row/column-disjoint by construction).
+    /// See [`VertexMapping::high_degree_conflicts`].
     pub fn high_degree_conflicts(&self) -> usize {
         let coords: Vec<(usize, usize)> =
             self.high_degree.iter().map(|&v| self.coord_of(v)).collect();
@@ -97,10 +167,7 @@ impl VertexMapping {
         conflicts
     }
 
-    /// Mean pairwise Manhattan distance between the S_PE positions — how
-    /// far apart the N-Queen step spread the high-degree hosts (0 with
-    /// fewer than two S_PEs). A larger spread means the bypass links serve
-    /// disjoint regions of the array.
+    /// See [`VertexMapping::s_pe_spread`].
     pub fn s_pe_spread(&self) -> f64 {
         if self.s_pes.len() < 2 {
             return 0.0;
@@ -122,11 +189,65 @@ impl VertexMapping {
     }
 }
 
+/// Reusable working memory for the `*_into` mapping kernels: the sort
+/// order, per-PE load counters and fill order live here across tiles
+/// and layers, so a warmed-up scratch maps without allocating.
+#[derive(Debug, Default)]
+pub struct MapScratch {
+    pub(crate) order: Vec<u32>,
+    pub(crate) load: Vec<u32>,
+    pub(crate) fill_order: Vec<usize>,
+    pub(crate) s_pes: Vec<usize>,
+    pub(crate) is_s_pe: Vec<bool>,
+    /// The radix `s_pes`/`is_s_pe` were computed for (0 = never).
+    pub(crate) s_pes_k: usize,
+}
+
+impl MapScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The N-Queen S_PE positions for radix `k`, recomputed only when
+    /// the radix changes.
+    pub fn s_pes_for(&mut self, k: usize) -> &[usize] {
+        self.prepare_s_pes(k);
+        &self.s_pes
+    }
+
+    pub(crate) fn prepare_s_pes(&mut self, k: usize) {
+        if self.s_pes_k != k {
+            self.s_pes = nqueen::s_pe_positions(k);
+            self.is_s_pe.clear();
+            self.is_s_pe.resize(k * k, false);
+            for &p in &self.s_pes {
+                self.is_s_pe[p] = true;
+            }
+            self.s_pes_k = k;
+        }
+    }
+}
+
+/// Upper bound on the number of high-degree vertices either policy can
+/// emit for a tile of `n` vertices: `N_HN = (K − 1) · C_PE`, clamped to
+/// the tile population. Callers of the `*_into` kernels size their
+/// high-degree output slices with this.
+pub fn high_degree_cap(n: usize, k: usize, c_pe: usize) -> usize {
+    (k.saturating_sub(1) * c_pe).min(n)
+}
+
 /// Records a mapping's placement quality under `scope`: the row/column
 /// conflict count among high-degree vertices (the quantity Algorithm 1
 /// drives to zero), the high-degree population, the S_PE spread, and the
 /// per-PE load imbalance.
 pub fn record_quality(telemetry: &Telemetry, scope: &Scope, mapping: &VertexMapping) {
+    record_quality_view(telemetry, scope, &mapping.view())
+}
+
+/// [`record_quality`] over a borrowed [`MapView`]. Allocation-free when
+/// telemetry is disabled (the metric computations only run when a
+/// recorder is attached).
+pub fn record_quality_view(telemetry: &Telemetry, scope: &Scope, mapping: &MapView<'_>) {
     if !telemetry.is_enabled() {
         return;
     }

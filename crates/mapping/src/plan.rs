@@ -15,7 +15,7 @@
 //! requirement wins. (The N-Queen placement makes such collisions rare:
 //! S_PEs occupy distinct rows and columns.)
 
-use crate::VertexMapping;
+use crate::{MapView, VertexMapping};
 use serde::{Deserialize, Serialize};
 
 /// One planned express segment (crate-neutral mirror of the NoC's
@@ -91,6 +91,111 @@ pub fn plan_bypass(mapping: &VertexMapping, edges: impl Iterator<Item = (u32, u3
     }
 }
 
+/// Reusable working memory for [`plan_bypass_into`]: the per-row/column
+/// span slots and the per-vertex high-degree membership flags. The flag
+/// slab turns the membership test from an O(N_HN) scan per edge (the
+/// historical hot spot of tile precompute) into one byte load, and a
+/// warmed-up scratch plans without allocating.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    row_span: Vec<Option<(usize, usize)>>,
+    col_span: Vec<Option<(usize, usize)>>,
+    /// `is_high[v - range.start]`; only the bits set for the current
+    /// tile's high-degree list are ever true, and they are cleared again
+    /// on exit, so growth is the only cost of a larger tile.
+    is_high: Vec<bool>,
+}
+
+impl PlanScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`plan_bypass`] over a borrowed [`MapView`], emitting into
+/// caller-provided segment buffers (each must hold at least `k` entries
+/// — one physical wire per row/column bounds the plan). Returns the
+/// number of row and column segments written. The planned segments are
+/// bit-identical to [`plan_bypass`]'s.
+pub fn plan_bypass_into(
+    mapping: &MapView<'_>,
+    edges: impl Iterator<Item = (u32, u32)>,
+    scratch: &mut PlanScratch,
+    rows_out: &mut [SegmentPlan],
+    cols_out: &mut [SegmentPlan],
+) -> (usize, usize) {
+    let k = mapping.k;
+    assert!(
+        rows_out.len() >= k && cols_out.len() >= k,
+        "segment outputs must hold k entries"
+    );
+    let start = mapping.range.start;
+    let n = (mapping.range.end - start) as usize;
+    scratch.row_span.clear();
+    scratch.row_span.resize(k, None);
+    scratch.col_span.clear();
+    scratch.col_span.resize(k, None);
+    if scratch.is_high.len() < n {
+        scratch.is_high.resize(n, false);
+    }
+    for &hv in mapping.high_degree {
+        scratch.is_high[(hv - start) as usize] = true;
+    }
+
+    // With no high-degree vertices no edge passes the filter below —
+    // skip the O(E) scan outright (the legacy planner's `contains` on an
+    // empty list rejects every edge the same way).
+    let n_u32 = mapping.range.end - start;
+    if !mapping.high_degree.is_empty() {
+        for (src, dst) in edges {
+            // single-compare range test: out-of-range wraps to a huge value
+            let ls = src.wrapping_sub(start);
+            let ld = dst.wrapping_sub(start);
+            if ls >= n_u32 || ld >= n_u32 {
+                continue;
+            }
+            if !scratch.is_high[ld as usize] && !scratch.is_high[ls as usize] {
+                continue;
+            }
+            let s_pe = mapping.pe_of[ls as usize] as usize;
+            let d_pe = mapping.pe_of[ld as usize] as usize;
+            let (sx, sy) = (s_pe % k, s_pe / k);
+            let (dx, dy) = (d_pe % k, d_pe / k);
+            // XY route: horizontal leg on row sy, vertical leg on column dx.
+            if sx != dx {
+                let (a, b) = (sx.min(dx), sx.max(dx));
+                widen(&mut scratch.row_span[sy], a, b);
+            }
+            if sy != dy {
+                let (a, b) = (sy.min(dy), sy.max(dy));
+                widen(&mut scratch.col_span[dx], a, b);
+            }
+        }
+    }
+
+    // reset only the flags this tile set; the slab stays warm
+    for &hv in mapping.high_degree {
+        scratch.is_high[(hv - start) as usize] = false;
+    }
+
+    let emit = |spans: &[Option<(usize, usize)>], out: &mut [SegmentPlan]| {
+        let mut len = 0usize;
+        for (index, s) in spans.iter().enumerate() {
+            if let Some((from, to)) = *s {
+                // an express link over adjacent routers buys nothing
+                if to - from >= 2 {
+                    out[len] = SegmentPlan { index, from, to };
+                    len += 1;
+                }
+            }
+        }
+        len
+    };
+    let n_rows = emit(&scratch.row_span, rows_out);
+    let n_cols = emit(&scratch.col_span, cols_out);
+    (n_rows, n_cols)
+}
+
 fn widen(slot: &mut Option<(usize, usize)>, a: usize, b: usize) {
     *slot = Some(match *slot {
         None => (a, b),
@@ -146,6 +251,27 @@ mod tests {
         assert_eq!(rows.len(), plan.rows.len());
         let cols: std::collections::HashSet<_> = plan.cols.iter().map(|s| s.index).collect();
         assert_eq!(cols.len(), plan.cols.len());
+    }
+
+    #[test]
+    fn into_variant_matches_legacy_with_reused_scratch() {
+        let mut scratch = PlanScratch::new();
+        for seed in 0..6 {
+            let g = generate::rmat(64, 600, Default::default(), seed);
+            let m = degree_aware::map(0..64, &g.degrees(), 4, 4);
+            let legacy = plan_bypass(&m, g.edges());
+            let zero = SegmentPlan {
+                index: 0,
+                from: 0,
+                to: 0,
+            };
+            let mut rows = [zero; 4];
+            let mut cols = [zero; 4];
+            let (nr, nc) =
+                plan_bypass_into(&m.view(), g.edges(), &mut scratch, &mut rows, &mut cols);
+            assert_eq!(&rows[..nr], legacy.rows.as_slice());
+            assert_eq!(&cols[..nc], legacy.cols.as_slice());
+        }
     }
 
     #[test]

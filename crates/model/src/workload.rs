@@ -59,6 +59,16 @@ impl Workload {
         }
     }
 
+    /// Re-targets this workload at a subgraph's sizes in place, keeping
+    /// the model-spec allocation. The result equals
+    /// `Workload::from_sizes(self.model.id, n, m, self.shape)` — the
+    /// engine's zero-alloc tile walk re-sizes one workload per layer
+    /// instead of building one per tile.
+    pub fn resize(&mut self, num_vertices: usize, num_edges: usize) {
+        self.num_vertices = num_vertices;
+        self.num_edges = num_edges;
+    }
+
     /// Algorithm 2's `E_f`: the per-edge feature width.
     pub fn edge_feature_dim(&self) -> usize {
         self.model.edge_feature_dim(self.shape.f_in)

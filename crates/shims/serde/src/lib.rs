@@ -138,6 +138,18 @@ pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     T::from_value(field).map_err(|e| Error::new(format!("field `{name}`: {e}")))
 }
 
+/// Derive-macro helper backing `#[serde(default)]`: an absent key lifts
+/// to `T::default()` instead of a missing-field error, so documents
+/// written before a field existed keep parsing.
+pub fn de_field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(field) => {
+            T::from_value(field).map_err(|e| Error::new(format!("field `{name}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
 // --- impls: primitives -------------------------------------------------
 
 macro_rules! impl_unsigned {

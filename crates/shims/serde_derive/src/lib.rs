@@ -9,26 +9,36 @@
 //! * tuple structs,
 //! * enums whose variants are unit, tuple, or struct-like.
 //!
-//! Generics and `#[serde(...)]` attributes are not supported and produce
-//! a compile error naming the offending item.
+//! Generics are not supported and produce a compile error naming the
+//! offending item. The only supported `#[serde(...)]` attribute is
+//! `#[serde(default)]` on a named field (an absent key deserializes to
+//! `Default::default()`); any other serde attribute is an error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    /// Named struct: field names in declaration order.
-    Struct(Vec<String>),
+    /// Named struct: fields in declaration order.
+    Struct(Vec<Field>),
     /// Tuple struct: field count.
     TupleStruct(usize),
     /// Enum: (variant name, fields) pairs.
     Enum(Vec<(String, VariantShape)>),
 }
 
+/// One named field and its recognised serde attributes.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent key lifts to `Default::default()`.
+    default: bool,
+}
+
 #[derive(Debug)]
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Input {
@@ -36,7 +46,7 @@ struct Input {
     shape: Shape,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_serialize(&parsed)
@@ -44,7 +54,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_deserialize(&parsed)
@@ -114,15 +124,23 @@ fn parse(input: TokenStream) -> Input {
     Input { name, shape }
 }
 
-/// Parses `field: Type, ...` (skipping attributes and visibility),
-/// returning field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses `field: Type, ...` (skipping visibility), returning the
+/// fields with their recognised serde attributes. Non-serde attributes
+/// (doc comments, `cfg`, ...) are skipped; the only serde attribute
+/// accepted is `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
+    let mut pending_default = false;
     let mut i = 0;
     while i < tokens.len() {
         match &tokens[i] {
-            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    pending_default |= serde_attr_is_default(g.stream());
+                }
+                i += 2;
+            }
             TokenTree::Ident(id) if id.to_string() == "pub" => {
                 i += 1;
                 if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
@@ -131,7 +149,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                 }
             }
             TokenTree::Ident(id) => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    default: pending_default,
+                });
+                pending_default = false;
                 i += 1;
                 assert!(
                     matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
@@ -144,6 +166,32 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// True when an attribute body (the tokens inside `#[...]`) is exactly
+/// `serde(default)`. Any other `serde(...)` attribute is unsupported
+/// and panics; non-serde attributes return false.
+fn serde_attr_is_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match inner.first() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "default" && inner.len() == 1 => {
+                    true
+                }
+                _ => panic!(
+                    "serde_derive shim: only `#[serde(default)]` is supported, got serde({})",
+                    g.stream()
+                ),
+            }
+        }
+        other => panic!("serde_derive shim: malformed serde attribute: {other:?}"),
+    }
 }
 
 /// Advances past a type, stopping after the `,` that ends it (or at end
@@ -242,7 +290,8 @@ fn gen_serialize(input: &Input) -> String {
                 .iter()
                 .map(|f| {
                     format!(
-                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
                     )
                 })
                 .collect();
@@ -285,13 +334,16 @@ fn gen_serialize(input: &Input) -> String {
                             .iter()
                             .map(|f| {
                                 format!(
-                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
                                 )
                             })
                             .collect();
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
                         format!(
                             "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(::std::vec![{}]))]),",
-                            fields.join(", "),
+                            binders.join(", "),
                             entries.join(", ")
                         )
                     }
@@ -307,14 +359,24 @@ fn gen_serialize(input: &Input) -> String {
     )
 }
 
+/// The field-initialiser expression for one named field: defaulted
+/// fields tolerate an absent key, plain fields require it.
+fn de_field_init(f: &Field, source: &str) -> String {
+    if f.default {
+        format!(
+            "{0}: ::serde::de_field_or_default({source}, \"{0}\")?",
+            f.name
+        )
+    } else {
+        format!("{0}: ::serde::de_field({source}, \"{0}\")?", f.name)
+    }
+}
+
 fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.shape {
         Shape::Struct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::de_field(__v, \"{f}\")?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| de_field_init(f, "__v")).collect();
             format!(
                 "::std::result::Result::Ok({name} {{ {} }})",
                 inits.join(", ")
@@ -370,10 +432,8 @@ fn gen_deserialize(input: &Input) -> String {
                         ))
                     }
                     VariantShape::Struct(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| format!("{f}: ::serde::de_field(__inner, \"{f}\")?"))
-                            .collect();
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| de_field_init(f, "__inner")).collect();
                         Some(format!(
                             "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
                             inits.join(", ")

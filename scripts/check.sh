@@ -133,6 +133,18 @@ echo "==> noc_kernel_bench --quick (informational: traffic-kernel speedup)"
 # asserts the two estimators produce bit-identical results.
 cargo run --release -q -p aurora-bench --bin noc_kernel_bench -- --quick
 
+echo "==> engine_kernel_bench --quick (bit-identity + alloc budget; speedup informational)"
+# The arena-backed engine core must produce byte-identical SimReports to
+# the legacy per-tile-Vec core — the binary asserts this on every pair
+# of runs, so the step is a hard equivalence gate. The alloc budget is
+# the steady-state regression gate: a warmed-up arena run may attribute
+# at most 32 heap allocations to tile precompute + mapping + engine
+# walk combined (measured steady state is ~12, all residuals of the
+# worker-pool fan-out, so 32 leaves headroom without letting per-tile
+# churn back in). The printed speedup is host wall-clock and never
+# gates here; EXPERIMENTS.md has the full-size >= 3x recipe.
+cargo run --release -q -p aurora-bench --bin engine_kernel_bench -- --quick --alloc-budget 32
+
 echo "==> serve smoke (aurora_serve + 8 concurrent serve_bench connections)"
 # Start the daemon on a scratch socket (the release binary directly, so
 # the TERM below reaches the daemon itself, not a cargo wrapper), flood
