@@ -158,9 +158,30 @@ impl BaselineKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aurora_core::AuroraSimulator;
+    use aurora_core::{AuroraSimulator, SimRequest};
     use aurora_graph::generate;
     use aurora_model::{LayerShape, ModelId};
+
+    /// One-shot Aurora run through the request API (the baselines keep
+    /// their own `simulate` trait method — only Aurora reference runs in
+    /// these tests go through `SimRequest`).
+    fn run_aurora(
+        sim: &AuroraSimulator,
+        g: &aurora_graph::Csr,
+        shapes: &[LayerShape],
+        workload: &str,
+        density: f64,
+    ) -> aurora_core::SimReport {
+        let req = SimRequest::builder(ModelId::Gcn)
+            .config(*sim.config())
+            .inline_graph(g.clone())
+            .layers(shapes)
+            .workload(workload)
+            .input_density(density)
+            .build()
+            .unwrap();
+        sim.run(&req).unwrap()
+    }
 
     #[test]
     fn names_match_paper() {
@@ -198,7 +219,7 @@ mod tests {
         let g = generate::rmat(4096, 40_000, Default::default(), 11);
         let shapes = [LayerShape::new(256, 128), LayerShape::new(128, 16)];
         let p = BaselineParams::default();
-        let aurora = AuroraSimulator::paper().simulate(&g, ModelId::Gcn, &shapes, "t");
+        let aurora = run_aurora(&AuroraSimulator::paper(), &g, &shapes, "t", 1.0);
         let runs: Vec<(BaselineKind, _)> = BaselineKind::ALL
             .iter()
             .map(|b| (*b, b.build(p).simulate(&g, ModelId::Gcn, &shapes, "t")))
@@ -254,9 +275,9 @@ mod tests {
                 LayerShape::new(spec.feature_dim, 16),
                 LayerShape::new(16, spec.classes.max(2)),
             ];
-            let aurora = AuroraSimulator::paper().simulate_with_density(
+            let aurora = run_aurora(
+                &AuroraSimulator::paper(),
                 &g,
-                ModelId::Gcn,
                 &shapes,
                 ds.name(),
                 spec.feature_density,

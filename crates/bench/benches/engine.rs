@@ -3,7 +3,7 @@
 
 use aurora_baselines::{BaselineKind, BaselineParams};
 use aurora_core::functional::run_gcn_layer;
-use aurora_core::{AcceleratorConfig, AuroraSimulator};
+use aurora_core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 use aurora_graph::Dataset;
 use aurora_graph::{generate, FeatureMatrix};
 use aurora_mapping::degree_aware;
@@ -22,15 +22,15 @@ fn bench_engine(c: &mut Criterion) {
 
     c.bench_function("aurora_simulate_cora_half", |b| {
         let sim = AuroraSimulator::new(AcceleratorConfig::default());
-        b.iter(|| {
-            sim.simulate_with_density(
-                black_box(&g),
-                ModelId::Gcn,
-                &shapes,
-                "Cora/2",
-                spec.feature_density,
-            )
-        })
+        let req = SimRequest::builder(ModelId::Gcn)
+            .config(AcceleratorConfig::default())
+            .inline_graph(g.clone())
+            .layers(&shapes)
+            .workload("Cora/2")
+            .input_density(spec.feature_density)
+            .build()
+            .unwrap();
+        b.iter(|| sim.run(black_box(&req)).unwrap())
     });
 
     c.bench_function("functional_gcn_layer_1k_vertices", |b| {

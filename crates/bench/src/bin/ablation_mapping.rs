@@ -2,7 +2,7 @@
 //! hashing policy on a plain mesh, on Aurora's own engine.
 
 use aurora_bench::protocol::{shapes_for, EvalProtocol};
-use aurora_bench::{Cell, Table};
+use aurora_bench::{run_inline, Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_mapping::MappingPolicy;
 use aurora_model::ModelId;
@@ -22,19 +22,27 @@ fn main() {
         let spec = p.spec();
         let g = spec.synthesize();
         let shapes = shapes_for(&spec, p.hidden);
-        let da = AuroraSimulator::new(AcceleratorConfig::default()).simulate(
+        let da = run_inline(
+            &AuroraSimulator::new(AcceleratorConfig::default()),
             &g,
             ModelId::Gcn,
             &shapes,
             p.dataset.name(),
+            1.0,
         );
         let hash_cfg = AcceleratorConfig {
             mapping_policy: MappingPolicy::Hashing,
             flexible_noc: false,
             ..AcceleratorConfig::default()
         };
-        let hb =
-            AuroraSimulator::new(hash_cfg).simulate(&g, ModelId::Gcn, &shapes, p.dataset.name());
+        let hb = run_inline(
+            &AuroraSimulator::new(hash_cfg),
+            &g,
+            ModelId::Gcn,
+            &shapes,
+            p.dataset.name(),
+            1.0,
+        );
         let red = |a: u64, b: u64| Cell::percent(100.0 * (1.0 - a as f64 / b.max(1) as f64), 1);
         table.row(vec![
             p.dataset.name().into(),

@@ -2,7 +2,7 @@
 //! pipeline-stage balance and end-to-end impact, across the model zoo.
 
 use aurora_bench::protocol::{shapes_for, EvalProtocol};
-use aurora_bench::{Cell, Table};
+use aurora_bench::{run_inline, Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_graph::Dataset;
 use aurora_model::ModelId;
@@ -68,17 +68,25 @@ fn main() {
                 dram_channels: channels,
                 ..cfg
             };
-            let dynamic =
-                AuroraSimulator::new(base).simulate(&g, ModelId::Gcn, &shapes, p.dataset.name());
-            let fixed_cfg = AcceleratorConfig {
-                dynamic_partition: false,
-                ..base
-            };
-            let fixed = AuroraSimulator::new(fixed_cfg).simulate(
+            let dynamic = run_inline(
+                &AuroraSimulator::new(base),
                 &g,
                 ModelId::Gcn,
                 &shapes,
                 p.dataset.name(),
+                1.0,
+            );
+            let fixed_cfg = AcceleratorConfig {
+                dynamic_partition: false,
+                ..base
+            };
+            let fixed = run_inline(
+                &AuroraSimulator::new(fixed_cfg),
+                &g,
+                ModelId::Gcn,
+                &shapes,
+                p.dataset.name(),
+                1.0,
             );
             e2e.row(vec![
                 p.dataset.name().into(),

@@ -41,6 +41,7 @@
 use aurora_baselines::{BaselineKind, BaselineParams};
 use aurora_bench::cli::{self, Args, CommonFlags};
 use aurora_bench::protocol::shapes_for;
+use aurora_bench::run_inline;
 use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport};
 use aurora_graph::Dataset;
 use aurora_mapping::MappingPolicy;
@@ -189,9 +190,14 @@ fn main() {
                 dynamic_partition: dyn_part,
                 ..AcceleratorConfig::default()
             };
-            AuroraSimulator::new(cfg)
-                .with_telemetry(telemetry.clone())
-                .simulate_with_density(&g, model, &shapes, dataset.name(), spec.feature_density)
+            run_inline(
+                &AuroraSimulator::new(cfg).with_telemetry(telemetry.clone()),
+                &g,
+                model,
+                &shapes,
+                dataset.name(),
+                spec.feature_density,
+            )
         }
     };
 

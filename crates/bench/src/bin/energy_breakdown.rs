@@ -3,7 +3,7 @@
 //! the component view behind Fig. 10's totals.
 
 use aurora_bench::protocol::{shapes_for, EvalProtocol};
-use aurora_bench::{Cell, Table};
+use aurora_bench::{run_inline, Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_model::ModelId;
 
@@ -14,7 +14,8 @@ fn main() {
     for p in EvalProtocol::standard() {
         let spec = p.spec();
         let g = spec.synthesize();
-        let r = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
+        let r = run_inline(
+            &AuroraSimulator::new(AcceleratorConfig::default()),
             &g,
             ModelId::Gcn,
             &shapes_for(&spec, p.hidden),

@@ -20,6 +20,7 @@
 
 use aurora_bench::cli::{fail, Args};
 use aurora_bench::emit::{Cell, Table};
+use aurora_bench::run_inline;
 use aurora_core::{AcceleratorConfig, AuroraSimulator, EngineCore, SimReport};
 use aurora_graph::{generate, Csr};
 use aurora_model::{LayerShape, ModelId};
@@ -41,7 +42,7 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn run(sim: &AuroraSimulator, g: &Csr, shapes: &[LayerShape]) -> SimReport {
-    sim.simulate(g, ModelId::Gcn, shapes, "engine_kernel_bench")
+    run_inline(sim, g, ModelId::Gcn, shapes, "engine_kernel_bench", 1.0)
 }
 
 /// Allocations a warmed-up arena run attributes to the steady-state

@@ -6,7 +6,7 @@
 //! stays below 3 % of its total.
 
 use aurora_bench::protocol::shapes_for;
-use aurora_bench::{print_normalized, run_standard, Cell, EvalProtocol, Table};
+use aurora_bench::{print_normalized, run_inline, run_standard, Cell, EvalProtocol, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_model::ModelId;
 
@@ -20,11 +20,13 @@ fn main() {
     for p in EvalProtocol::standard() {
         let spec = p.spec();
         let g = spec.synthesize();
-        let r = AuroraSimulator::new(AcceleratorConfig::default()).simulate(
+        let r = run_inline(
+            &AuroraSimulator::new(AcceleratorConfig::default()),
             &g,
             ModelId::Gcn,
             &shapes_for(&spec, p.hidden),
             p.dataset.name(),
+            1.0,
         );
         let f = r.energy.reconfiguration_fraction();
         reconf.row(vec![

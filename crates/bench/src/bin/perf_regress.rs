@@ -50,6 +50,7 @@
 use aurora_bench::cli::{fail, Args};
 use aurora_bench::emit::{dump_json, Cell, Table};
 use aurora_bench::history::{self, HistoryRow};
+use aurora_bench::run_inline;
 use aurora_core::{AcceleratorConfig, AuroraSimulator, Bound};
 use aurora_graph::generate;
 use aurora_model::{LayerShape, ModelId};
@@ -110,7 +111,7 @@ fn matrix(k: usize, profiled: bool) -> Vec<(WorkloadResult, u64, u64)> {
 
     let run = |(gname, g, mname, model): (&str, &aurora_graph::Csr, &str, ModelId)| {
         let start = Instant::now();
-        let r = AuroraSimulator::new(cfg).simulate(g, model, &shapes, gname);
+        let r = run_inline(&AuroraSimulator::new(cfg), g, model, &shapes, gname, 1.0);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let allocs = r
             .host_profile
@@ -125,7 +126,7 @@ fn matrix(k: usize, profiled: bool) -> Vec<(WorkloadResult, u64, u64)> {
         let allocs_steady = if profiled {
             let mark = span::mark();
             let steady_start = Instant::now();
-            let _ = AuroraSimulator::new(cfg).simulate(g, model, &shapes, gname);
+            let _ = run_inline(&AuroraSimulator::new(cfg), g, model, &shapes, gname, 1.0);
             let hp = span::collect(&mark, steady_start.elapsed());
             [Stage::TilePrecompute, Stage::Mapping, Stage::EngineWalk]
                 .iter()

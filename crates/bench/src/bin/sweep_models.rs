@@ -4,7 +4,7 @@
 //! engines' imbalance; Aurora repartitions per model.
 
 use aurora_baselines::{BaselineKind, BaselineParams};
-use aurora_bench::{Cell, Table};
+use aurora_bench::{run_inline, Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_graph::Dataset;
 use aurora_model::{LayerShape, ModelId};
@@ -26,7 +26,8 @@ fn main() {
 
     let p = BaselineParams::default();
     for id in ModelId::ALL {
-        let aurora = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
+        let aurora = run_inline(
+            &AuroraSimulator::new(AcceleratorConfig::default()),
             &g,
             id,
             &shapes,

@@ -3,7 +3,7 @@
 //! behind the paper's choice of 32 × 32.
 
 use aurora_bench::protocol::shapes_for;
-use aurora_bench::{Cell, Table};
+use aurora_bench::{run_inline, Cell, Table};
 use aurora_core::{AcceleratorConfig, AuroraSimulator};
 use aurora_graph::Dataset;
 use aurora_model::ModelId;
@@ -31,7 +31,8 @@ fn main() {
             k,
             ..AcceleratorConfig::default()
         };
-        let r = AuroraSimulator::new(cfg).simulate_with_density(
+        let r = run_inline(
+            &AuroraSimulator::new(cfg),
             &g,
             ModelId::Gcn,
             &shapes,

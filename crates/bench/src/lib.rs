@@ -32,3 +32,30 @@ pub use emit::{Cell, Table};
 pub use protocol::{shapes_for, EvalProtocol};
 pub use sweep::{run_standard, CellResult, SweepResult};
 pub use table::{normalized_table, print_normalized};
+
+use aurora_core::{AuroraSimulator, SimReport, SimRequest};
+use aurora_graph::Csr;
+use aurora_model::{LayerShape, ModelId};
+
+/// One-shot Aurora run through the request API — what the deprecated
+/// `simulate*` convenience wrappers used to do for the bench binaries.
+/// Panics on request-build or simulation errors, like the wrappers did.
+pub fn run_inline(
+    sim: &AuroraSimulator,
+    g: &Csr,
+    model: ModelId,
+    shapes: &[LayerShape],
+    workload: &str,
+    density: f64,
+) -> SimReport {
+    let req = SimRequest::builder(model)
+        .config(*sim.config())
+        .inline_graph(g.clone())
+        .layers(shapes)
+        .workload(workload)
+        .input_density(density)
+        .build()
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+    sim.run(&req)
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}

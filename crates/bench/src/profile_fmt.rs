@@ -166,11 +166,13 @@ mod tests {
 
     fn small_run() -> SimReport {
         let g = generate::rmat(256, 2_000, Default::default(), 11);
-        AuroraSimulator::new(AcceleratorConfig::small(4)).simulate(
+        crate::run_inline(
+            &AuroraSimulator::new(AcceleratorConfig::small(4)),
             &g,
             ModelId::Gcn,
             &[LayerShape::new(16, 8), LayerShape::new(8, 4)],
             "toy",
+            1.0,
         )
     }
 

@@ -85,27 +85,32 @@ impl SweepResult {
 /// in parallel with Rayon.
 pub fn run_standard(protocols: &[EvalProtocol]) -> SweepResult {
     let model = ModelId::Gcn;
-    let cells: Vec<CellResult> =
-        protocols
-            .par_iter()
-            .flat_map(|p| {
-                let spec = p.spec();
-                let name = p.dataset.name().to_string();
-                let g = spec.synthesize();
-                let shapes = shapes_for(&spec, p.hidden);
-                let mut out = Vec::with_capacity(6);
-                let aurora = AuroraSimulator::new(AcceleratorConfig::default())
-                    .simulate_with_density(&g, model, &shapes, &name, spec.feature_density);
-                out.push(CellResult::of(&aurora));
-                for b in BaselineKind::ALL {
-                    let r = b
-                        .build(BaselineParams::default())
-                        .simulate(&g, model, &shapes, &name);
-                    out.push(CellResult::of(&r));
-                }
-                out
-            })
-            .collect();
+    let cells: Vec<CellResult> = protocols
+        .par_iter()
+        .flat_map(|p| {
+            let spec = p.spec();
+            let name = p.dataset.name().to_string();
+            let g = spec.synthesize();
+            let shapes = shapes_for(&spec, p.hidden);
+            let mut out = Vec::with_capacity(6);
+            let aurora = crate::run_inline(
+                &AuroraSimulator::new(AcceleratorConfig::default()),
+                &g,
+                model,
+                &shapes,
+                &name,
+                spec.feature_density,
+            );
+            out.push(CellResult::of(&aurora));
+            for b in BaselineKind::ALL {
+                let r = b
+                    .build(BaselineParams::default())
+                    .simulate(&g, model, &shapes, &name);
+                out.push(CellResult::of(&r));
+            }
+            out
+        })
+        .collect();
     SweepResult {
         accelerators: std::iter::once("Aurora".to_string())
             .chain(BaselineKind::ALL.iter().map(|b| b.name().to_string()))

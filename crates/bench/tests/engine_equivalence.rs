@@ -19,10 +19,14 @@ fn report_json(
     model: ModelId,
     shapes: &[LayerShape],
 ) -> String {
-    let r =
-        AuroraSimulator::new(*cfg)
-            .with_engine_core(core)
-            .simulate(g, model, shapes, "equivalence");
+    let r = aurora_bench::run_inline(
+        &AuroraSimulator::new(*cfg).with_engine_core(core),
+        g,
+        model,
+        shapes,
+        "equivalence",
+        1.0,
+    );
     serde_json::to_string(&r).expect("serialise")
 }
 

@@ -45,7 +45,14 @@ impl Drop for FlagRestore {
 fn simulate() -> SimReport {
     let g = generate::rmat(1_024, 8_000, Default::default(), 3);
     let shapes = [LayerShape::new(64, 32), LayerShape::new(32, 16)];
-    AuroraSimulator::new(AcceleratorConfig::small(8)).simulate(&g, ModelId::Gcn, &shapes, "rmat-1k")
+    aurora_bench::run_inline(
+        &AuroraSimulator::new(AcceleratorConfig::small(8)),
+        &g,
+        ModelId::Gcn,
+        &shapes,
+        "rmat-1k",
+        1.0,
+    )
 }
 
 /// Drops the host-only field so reports can be compared on the

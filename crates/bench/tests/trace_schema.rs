@@ -12,14 +12,14 @@ use serde_json::from_str;
 fn run_tiny_gcn() -> (Telemetry, aurora_core::SimReport) {
     let g = generate::rmat(256, 2_000, Default::default(), 11);
     let telemetry = Telemetry::enabled();
-    let report = AuroraSimulator::new(AcceleratorConfig::small(8))
-        .with_telemetry(telemetry.clone())
-        .simulate(
-            &g,
-            ModelId::Gcn,
-            &[LayerShape::new(32, 16), LayerShape::new(16, 8)],
-            "golden",
-        );
+    let report = aurora_bench::run_inline(
+        &AuroraSimulator::new(AcceleratorConfig::small(8)).with_telemetry(telemetry.clone()),
+        &g,
+        ModelId::Gcn,
+        &[LayerShape::new(32, 16), LayerShape::new(16, 8)],
+        "golden",
+        1.0,
+    );
     (telemetry, report)
 }
 

@@ -184,6 +184,17 @@ impl TileSlabs {
         self.noc_cfgs.clear();
     }
 
+    /// Re-enters a layer whose slabs already hold the previous session
+    /// apply's artifacts: the per-tile geometry (`pe_of`, `high`,
+    /// `row_segs`/`col_segs`, `outs`) is preserved so clean tiles skip
+    /// recompute entirely; only the resolved-config list resets, because
+    /// `resolve_noc_cfg` re-runs for every tile in order (clean tiles
+    /// re-intern the same plan, so the result is bit-identical to a
+    /// from-scratch layer).
+    pub fn begin_layer_incremental(&mut self) {
+        self.noc_cfgs.clear();
+    }
+
     /// The N-Queen S_PE positions for radix `k`, recomputed only when
     /// the radix changes.
     pub fn prepare_s_pes(&mut self, k: usize) {
@@ -275,6 +286,10 @@ impl TileSlabs {
 pub(crate) struct SeqScratch {
     pub keys: Vec<ProfileKey>,
     pub miss_tiles: Vec<usize>,
+    /// Per-miss-tile flag: `true` when a clean session tile replays its
+    /// stored traffic profile instead of binning (decided sequentially,
+    /// consumed by the parallel bin fan-out).
+    pub replay: Vec<bool>,
     pub est_a_of: Vec<Option<OnChipEstimate>>,
     pub est_as: Vec<OnChipEstimate>,
     pub exec_cycles: Vec<u64>,
@@ -285,6 +300,7 @@ impl SeqScratch {
     pub fn begin_layer(&mut self) {
         self.keys.clear();
         self.miss_tiles.clear();
+        self.replay.clear();
         self.est_a_of.clear();
         self.est_as.clear();
         self.exec_cycles.clear();

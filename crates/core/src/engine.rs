@@ -26,7 +26,7 @@ use aurora_mapping::{degree_aware, hashing, MapView, MappingPolicy, VertexMappin
 use aurora_mem::MemoryController;
 use aurora_model::{LayerShape, ModelId, Phase, Workload};
 use aurora_noc::{BypassSegment, NocConfig, RouteTable};
-use aurora_partition::{partition, PartitionStrategy};
+use aurora_partition::{partition, PartitionStrategy, TileIndex};
 use aurora_telemetry::span::{self, Stage};
 use aurora_telemetry::{names, tracks, Scope, Telemetry};
 use rayon::prelude::*;
@@ -55,14 +55,31 @@ pub(crate) struct ProfileKey {
 /// engine, so hit/miss resolution — and therefore every telemetry
 /// counter — is identical at every `AURORA_THREADS` value.
 struct TrafficCache {
-    tables: Vec<RouteTable>,
+    tables: Vec<TableSlot>,
     table_ids: HashMap<NocConfig, usize>,
     profiles: HashMap<ProfileKey, TrafficProfile>,
     /// Insertion order of `profiles`, for FIFO eviction.
     profile_order: VecDeque<ProfileKey>,
+    /// Pre-built tables carried across a session's applies (route tables
+    /// are pure functions of the config, so they never go stale).
+    /// Consulted by [`Self::ensure_built`] before paying the O(k⁴)
+    /// build; counters are untouched — they fire at intern time and must
+    /// match a cold run's exactly.
+    warm: HashMap<NocConfig, RouteTable>,
     builds: u64,
     hits: u64,
     misses: u64,
+}
+
+/// One interned NoC configuration and its lazily-built route table.
+/// Interning counts as the "build" for report/telemetry purposes (the
+/// numbers are what an eager build produced historically); the O(k⁴)
+/// all-pairs table itself is only materialised for tiles that actually
+/// bin edges — a session apply with one dirty tile routes one table,
+/// not one per tile.
+struct TableSlot {
+    cfg: NocConfig,
+    table: Option<RouteTable>,
 }
 
 /// Table cap: per-tile bypass plans give each tile its own config, so a
@@ -81,23 +98,20 @@ impl TrafficCache {
             table_ids: HashMap::new(),
             profiles: HashMap::new(),
             profile_order: VecDeque::new(),
+            warm: HashMap::new(),
             builds: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    /// The route table for `cfg`, building it on first sight. A
-    /// configuration the NoC layer rejects surfaces as
-    /// [`SimError::Noc`] instead of aborting the run.
-    fn table_id(
-        &mut self,
-        cfg: &NocConfig,
-        tel: &Telemetry,
-        scope: &Scope,
-    ) -> Result<usize, SimError> {
+    /// Interns `cfg`, allocating a table id on first sight. The counters
+    /// fire here — interning is the countable "build" event, and the
+    /// pair count is `k⁴` straight from the config — but the table
+    /// itself stays unbuilt until [`Self::ensure_built`].
+    fn intern(&mut self, cfg: &NocConfig, tel: &Telemetry, scope: &Scope) -> usize {
         if let Some(&id) = self.table_ids.get(cfg) {
-            return Ok(id);
+            return id;
         }
         if self.tables.len() >= MAX_ROUTE_TABLES {
             self.tables.clear();
@@ -105,22 +119,59 @@ impl TrafficCache {
             self.profiles.clear();
             self.profile_order.clear();
         }
-        let table = RouteTable::build(cfg)?;
         self.builds += 1;
         tel.counter_add(names::NOC_ROUTE_TABLE_BUILDS, scope, 1);
-        tel.counter_add(
-            names::NOC_ROUTE_TABLE_PAIRS,
-            scope,
-            table.num_pairs() as u64,
-        );
+        let n = cfg.k * cfg.k;
+        tel.counter_add(names::NOC_ROUTE_TABLE_PAIRS, scope, (n * n) as u64);
         let id = self.tables.len();
-        self.tables.push(table);
+        self.tables.push(TableSlot {
+            cfg: cfg.clone(),
+            table: None,
+        });
         self.table_ids.insert(cfg.clone(), id);
-        Ok(id)
+        id
+    }
+
+    /// Materialises the route table for an interned id. A configuration
+    /// the NoC layer rejects surfaces as [`SimError::Noc`] instead of
+    /// aborting the run; callers invoke this sequentially in tile order,
+    /// so the first erroring tile decides the error exactly as the
+    /// historical build-at-intern did.
+    fn ensure_built(&mut self, id: usize) -> Result<(), SimError> {
+        let slot = &mut self.tables[id];
+        if slot.table.is_none() {
+            // a warm table can only exist for a config that built
+            // successfully before, so the error behaviour for bad
+            // configs is untouched by the session carry-over
+            slot.table = Some(match self.warm.remove(&slot.cfg) {
+                Some(t) => t,
+                None => RouteTable::build(&slot.cfg)?,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drains every materialised table (and any unconsumed warm entries)
+    /// into `store`, for the next apply of the same session. Wholesale
+    /// reset past the cap, mirroring the in-run eviction policy.
+    fn harvest_into(&mut self, store: &mut HashMap<NocConfig, RouteTable>) {
+        if store.len() > MAX_ROUTE_TABLES {
+            store.clear();
+        }
+        store.extend(self.warm.drain());
+        for slot in self.tables.drain(..) {
+            if let Some(t) = slot.table {
+                store.insert(slot.cfg, t);
+            }
+        }
+        self.table_ids.clear();
     }
 
     fn table(&self, id: usize) -> &RouteTable {
-        &self.tables[id]
+        self.tables[id]
+            .table
+            .as_ref()
+            .expect("route table materialised by the sequential ensure_built pass")
     }
 
     fn profile(&self, key: &ProfileKey) -> Option<&TrafficProfile> {
@@ -138,6 +189,63 @@ impl TrafficCache {
         }
         if self.profiles.insert(key, profile).is_none() {
             self.profile_order.push_back(key);
+        }
+    }
+}
+
+/// Which tiles a session apply must recompute.
+#[derive(Debug, Clone)]
+pub(crate) enum DirtyScope {
+    /// Everything: first run, structural (vertex) delta, or an
+    /// invalidated session. Still bit-identical — it repopulates the
+    /// per-tile store from scratch.
+    All,
+    /// Only tiles owning one of these vertices (edge-only delta). The
+    /// per-tile artifacts are functions of a tile's *own* out-edges —
+    /// a remote destination contributes one halo count regardless of
+    /// identity — so editing edge `(u, v)` dirties `tile_of(u)` alone.
+    Vertices(Vec<u32>),
+}
+
+/// One layer's warm artifacts between session applies: the SoA slabs the
+/// arena core wrote (mapping, bypass plans, `TileOut` rows) plus each
+/// tile's unit-flit traffic profile stamped with the signature of the
+/// route table it was binned under ([`RouteTable::signature`], the noc
+/// invalidation hook).
+#[derive(Debug, Default)]
+pub(crate) struct SessionLayerState {
+    pub(crate) slabs: TileSlabs,
+    pub(crate) profiles: Vec<Option<(u64, TrafficProfile)>>,
+    /// The tiling/PE-split the slabs were computed under. An apply whose
+    /// fresh tiling or Algorithm-2 split differs (vertex count moved a
+    /// tile boundary, edge churn moved the op totals enough to shift the
+    /// integer A/B split) falls back to a full recompute: the per-tile
+    /// `t_a`/`t_b` bake `(a, b)` in. Only the integer split matters —
+    /// the strategy's layer-level time estimates move with every edge
+    /// count change but are recomputed fresh each run.
+    pub(crate) tiling: Option<Tiling>,
+    pub(crate) split: Option<(usize, usize)>,
+    pub(crate) high_cap: usize,
+    pub(crate) valid: bool,
+}
+
+/// All layers' warm state for one [`SimSession`](crate::delta::SimSession).
+#[derive(Debug, Default)]
+pub(crate) struct SessionState {
+    pub(crate) layers: Vec<SessionLayerState>,
+    /// Route tables built by earlier applies, keyed by NoC config. Pure
+    /// functions of the config — they survive [`Self::invalidate`] and
+    /// save the O(k⁴) rebuild every apply would otherwise pay.
+    pub(crate) route_tables: HashMap<NocConfig, RouteTable>,
+}
+
+impl SessionState {
+    /// Marks every layer stale; the next apply recomputes all tiles.
+    /// Called when an apply errors mid-run and may have left the slabs
+    /// half-written.
+    pub(crate) fn invalidate(&mut self) {
+        for layer in &mut self.layers {
+            layer.valid = false;
         }
     }
 }
@@ -388,8 +496,11 @@ impl AuroraSimulator {
     /// shapes. `workload` is a free-form label for the report. Input
     /// features are assumed dense; see [`Self::simulate_with_density`].
     ///
-    /// Thin wrapper over [`Self::run`]'s machinery that panics on
-    /// [`SimError`], preserving the historical signature.
+    /// Thin shim over [`Self::run`] that panics on [`SimError`],
+    /// preserving the historical signature. New code should build a
+    /// [`SimRequest`] and call `run` — one validated, serializable
+    /// entry point for every caller.
+    #[deprecated(note = "build a SimRequest and call AuroraSimulator::run")]
     pub fn simulate(
         &self,
         g: &Csr,
@@ -397,6 +508,7 @@ impl AuroraSimulator {
         shapes: &[LayerShape],
         workload: &str,
     ) -> SimReport {
+        #[allow(deprecated)]
         self.simulate_with_density(g, model, shapes, workload, 1.0)
     }
 
@@ -408,8 +520,11 @@ impl AuroraSimulator {
     /// Reddit dataset is not so significant" (§VI-D). Hidden layers are
     /// dense activations and are unaffected.
     ///
-    /// Thin wrapper over [`Self::run`]'s machinery that panics on
-    /// [`SimError`], preserving the historical signature.
+    /// Thin shim over [`Self::run`] that panics on [`SimError`],
+    /// preserving the historical signature. The graph is cloned into an
+    /// inline request — callers on hot paths should build the
+    /// [`SimRequest`] once and reuse it.
+    #[deprecated(note = "build a SimRequest and call AuroraSimulator::run")]
     pub fn simulate_with_density(
         &self,
         g: &Csr,
@@ -420,34 +535,20 @@ impl AuroraSimulator {
     ) -> SimReport {
         assert!(!shapes.is_empty(), "need at least one layer");
         assert!((0.0..=1.0).contains(&input_density), "density in [0, 1]");
-        self.run_resolved(g, model, shapes, workload, input_density)
+        let req = SimRequest::builder(model)
+            .config(self.config)
+            .inline_graph(g.clone())
+            .layers(shapes)
+            .workload(workload)
+            .input_density(input_density)
+            .build()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+        self.run(&req)
             .unwrap_or_else(|e| panic!("simulation failed: {e}"))
     }
 
-    /// [`Self::run_resolved_core`] wrapped in a host-profiling window:
-    /// the entry point of the panicking wrappers ([`Self::run`] opens
-    /// its own window so graph resolution is covered too).
-    fn run_resolved(
-        &self,
-        g: &Csr,
-        model: ModelId,
-        shapes: &[LayerShape],
-        workload: &str,
-        input_density: f64,
-    ) -> Result<SimReport, SimError> {
-        span::host_init();
-        let start = Instant::now();
-        let profile_mark = span::span_profiling_enabled().then(span::mark);
-        let mut report = self.run_resolved_core(g, model, shapes, workload, input_density)?;
-        if let Some(m) = &profile_mark {
-            report.host_profile = Some(span::collect(m, start.elapsed()));
-        }
-        Ok(report)
-    }
-
-    /// The resolved-graph execution path shared by [`Self::run`] and the
-    /// panicking wrappers.
-    #[allow(clippy::too_many_arguments)]
+    /// The resolved-graph execution path shared by [`Self::run`] and
+    /// [`Self::try_simulate_batch`].
     fn run_resolved_core(
         &self,
         g: &Csr,
@@ -455,6 +556,54 @@ impl AuroraSimulator {
         shapes: &[LayerShape],
         workload: &str,
         input_density: f64,
+    ) -> Result<SimReport, SimError> {
+        self.run_core(g, model, shapes, workload, input_density, None)
+    }
+
+    /// [`Self::run_core`] with a session's warm per-layer state: clean
+    /// tiles replay their cached artifacts, dirty tiles recompute, and
+    /// the state is refreshed for the next apply. On error the caller
+    /// must invalidate the state (the slabs may be half-written).
+    /// Requires the arena engine core (the session stores [`TileSlabs`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_with_session(
+        &self,
+        g: &Csr,
+        model: ModelId,
+        shapes: &[LayerShape],
+        workload: &str,
+        input_density: f64,
+        state: &mut SessionState,
+        scope: &DirtyScope,
+    ) -> Result<SimReport, SimError> {
+        debug_assert_eq!(
+            self.engine_core,
+            EngineCore::Arena,
+            "sessions require the arena engine core"
+        );
+        self.run_core(
+            g,
+            model,
+            shapes,
+            workload,
+            input_density,
+            Some((state, scope)),
+        )
+    }
+
+    /// The engine proper: the per-layer loop over [`Self::simulate_layer`]
+    /// plus run-level finalisation. `session` carries a
+    /// [`SimSession`](crate::delta::SimSession)'s warm state; `None` is a
+    /// plain from-scratch run.
+    #[allow(clippy::too_many_arguments)]
+    fn run_core(
+        &self,
+        g: &Csr,
+        model: ModelId,
+        shapes: &[LayerShape],
+        workload: &str,
+        input_density: f64,
+        mut session: Option<(&mut SessionState, &DirtyScope)>,
     ) -> Result<SimReport, SimError> {
         if g.num_vertices() == 0 {
             return Err(SimError::EmptyGraph);
@@ -481,8 +630,13 @@ impl AuroraSimulator {
         let mut reconfigs = 0u64;
         let mut total_cycles = 0u64;
         // Route tables and tile traffic profiles persist across the run's
-        // layers: later layers rescale instead of re-binning.
+        // layers: later layers rescale instead of re-binning. A session
+        // additionally donates the tables its earlier applies built —
+        // config-pure, so never stale — and takes them back at the end.
         let mut traffic_cache = TrafficCache::new();
+        if let Some((state, _)) = session.as_mut() {
+            traffic_cache.warm = std::mem::take(&mut state.route_tables);
+        }
         let wf = {
             let _span = span::enter(Stage::Workflow);
             Workflow::generate(model)
@@ -512,6 +666,12 @@ impl AuroraSimulator {
         let mut layer_err: Option<SimError> = None;
         for (li, &shape) in shapes.iter().enumerate() {
             let density = if li == 0 { input_density } else { 1.0 };
+            let layer_session = session.as_mut().map(|(state, scope)| {
+                while state.layers.len() <= li {
+                    state.layers.push(SessionLayerState::default());
+                }
+                (&mut state.layers[li], &**scope)
+            });
             match self.simulate_layer(
                 g,
                 model,
@@ -526,6 +686,7 @@ impl AuroraSimulator {
                 &mut traffic_cache,
                 &mut engine_arena,
                 &mut profile.tiles,
+                layer_session,
             ) {
                 Ok((report, recfg, layer_profile)) => {
                     reconfigs += recfg;
@@ -543,6 +704,12 @@ impl AuroraSimulator {
             }
         }
         put_engine_scratch(engine_arena);
+        if let Some((state, _)) = session.as_mut() {
+            // keep the tables even when a layer errored: they are pure
+            // functions of their configs, and the recovery recompute
+            // after `SessionState::invalidate` reuses them
+            traffic_cache.harvest_into(&mut state.route_tables);
+        }
         if let Some(e) = layer_err {
             return Err(e);
         }
@@ -613,6 +780,12 @@ impl AuroraSimulator {
     ///
     /// Returns the merged report; `layers` holds each graph's layers
     /// back-to-back.
+    ///
+    /// Thin shim over [`Self::try_simulate_batch`] that panics on
+    /// [`SimError`]; new code should call the fallible form (batches
+    /// have no single-request form — each member graph is one
+    /// [`SimRequest`]-shaped run with weights kept resident).
+    #[deprecated(note = "use AuroraSimulator::try_simulate_batch")]
     pub fn simulate_batch(
         &self,
         graphs: &[&Csr],
@@ -721,6 +894,7 @@ impl AuroraSimulator {
         cache: &mut TrafficCache,
         arena: &mut TileArena,
         tiles_out: &mut Vec<TileAttribution>,
+        session: Option<(&mut SessionLayerState, &DirtyScope)>,
     ) -> Result<(LayerReport, u64, LayerProfile), SimError> {
         let cfg = &self.config;
         let k = cfg.k;
@@ -820,7 +994,10 @@ impl AuroraSimulator {
         let compress = (2.0 * input_density).clamp(0.3, 1.0);
         let msg_words = ((raw_msg_words as f64 * compress).ceil() as usize).max(1);
         let num_tiles = tiling.num_tiles();
-        let TileArena { slabs, seq } = arena;
+        let TileArena {
+            slabs: scratch_slabs,
+            seq,
+        } = arena;
         seq.begin_layer();
         seq.exec_cycles.reserve(num_tiles);
         seq.dram_cycles.reserve(num_tiles);
@@ -838,6 +1015,13 @@ impl AuroraSimulator {
         // tile-ordered result (index-ordered collect for the legacy core,
         // pre-split slab slices for the arena core) means the stateful
         // walk below sees exactly the sequential schedule.
+        //
+        // A session apply (arena core only) swaps the thread-local slabs
+        // for the session's warm ones and restricts the fan-out to the
+        // delta's dirty tiles; `session_profiles` is the per-tile traffic
+        // store refreshed alongside.
+        let mut dirty_mask: Option<Vec<bool>> = None;
+        let mut session_profiles: Option<&mut Vec<Option<(u64, TrafficProfile)>>> = None;
         let precompute_span = span::enter(Stage::TilePrecompute);
         let pres: PreTiles = match self.engine_core {
             EngineCore::Legacy => PreTiles::Legacy(
@@ -973,7 +1157,52 @@ impl AuroraSimulator {
                     .max()
                     .unwrap_or(0);
                 let high_cap = aurora_mapping::high_degree_cap(max_len, k, c_pe);
-                slabs.begin_layer(g.num_vertices(), num_tiles, k, high_cap);
+                // A valid session layer whose fresh tiling and
+                // Algorithm-2 split still match recomputes only the
+                // tiles owning a touched vertex; any mismatch (or a
+                // structural delta) recomputes everything into the
+                // session slabs, repopulating the store — both paths
+                // bit-identical to a from-scratch run.
+                let slabs: &mut TileSlabs = match session {
+                    Some((state, scope)) => {
+                        let incremental = state.valid
+                            && state.high_cap == high_cap
+                            && state.profiles.len() == num_tiles
+                            && state.split == Some((strategy.a, strategy.b))
+                            && state.tiling.as_ref() == Some(&tiling);
+                        dirty_mask = match (incremental, scope) {
+                            (true, DirtyScope::Vertices(touched)) => {
+                                let mut bounds: Vec<u32> =
+                                    (0..num_tiles).map(|ti| tiling.range(ti).start).collect();
+                                bounds.push(g.num_vertices() as u32);
+                                Some(
+                                    TileIndex::from_boundaries(bounds)
+                                        .dirty_tiles(touched.iter().copied(), false),
+                                )
+                            }
+                            _ => None,
+                        };
+                        if dirty_mask.is_some() {
+                            state.slabs.begin_layer_incremental();
+                        } else {
+                            state
+                                .slabs
+                                .begin_layer(g.num_vertices(), num_tiles, k, high_cap);
+                            state.tiling = Some(tiling.clone());
+                            state.split = Some((strategy.a, strategy.b));
+                            state.high_cap = high_cap;
+                            state.profiles.clear();
+                            state.profiles.resize(num_tiles, None);
+                            state.valid = true;
+                        }
+                        session_profiles = Some(&mut state.profiles);
+                        &mut state.slabs
+                    }
+                    None => {
+                        scratch_slabs.begin_layer(g.num_vertices(), num_tiles, k, high_cap);
+                        scratch_slabs
+                    }
+                };
                 if cfg.mapping_policy == MappingPolicy::DegreeAware {
                     slabs.prepare_s_pes(k);
                 }
@@ -1007,14 +1236,19 @@ impl AuroraSimulator {
                             .split_first_mut()
                             .expect("one TileOut row per tile");
                         out_rest = r;
-                        tasks.push(TileTask {
-                            ti,
-                            pe_of,
-                            high,
-                            rows,
-                            cols,
-                            out,
-                        });
+                        // Clean session tiles keep their slab contents
+                        // from the previous apply; only dirty tiles
+                        // enter the parallel fan-out.
+                        if dirty_mask.as_ref().is_none_or(|m| m[ti]) {
+                            tasks.push(TileTask {
+                                ti,
+                                pe_of,
+                                high,
+                                rows,
+                                cols,
+                                out,
+                            });
+                        }
                     }
                 }
 
@@ -1176,7 +1410,7 @@ impl AuroraSimulator {
         let mut hits = 0u64;
         for ti in 0..pres.len() {
             let view = pres.view(ti);
-            let table_id = cache.table_id(view.noc_cfg, tel, &lscope)?;
+            let table_id = cache.intern(view.noc_cfg, tel, &lscope);
             let key = ProfileKey {
                 table_id,
                 start: view.map.range.start,
@@ -1189,6 +1423,11 @@ impl AuroraSimulator {
             match cache.profile(&key) {
                 Some(p) => {
                     hits += 1;
+                    // the cache's profile is exactly what a fresh bin
+                    // would produce — refresh the session store with it
+                    if let Some(store) = session_profiles.as_deref_mut() {
+                        store[ti] = Some((view.noc_cfg.signature(), p.clone()));
+                    }
                     seq.est_a_of.push(Some(p.estimate(
                         view.noc_cfg,
                         msg_words,
@@ -1201,6 +1440,26 @@ impl AuroraSimulator {
                 }
             }
         }
+        // Decide which missing tiles replay their session profile before
+        // any route table is touched: a clean tile whose stored profile
+        // still carries its config's signature needs no table at all.
+        // Every tile that will genuinely bin gets its table materialised
+        // here, sequentially in tile order, so a rejected configuration
+        // errors exactly where the historical build-at-intern did.
+        seq.replay.clear();
+        for &ti in seq.miss_tiles.iter() {
+            let clean = dirty_mask.as_ref().is_some_and(|m| !m[ti]);
+            let replays = clean
+                && session_profiles.as_deref().is_some_and(|store| {
+                    store[ti]
+                        .as_ref()
+                        .is_some_and(|(sig, _)| *sig == pres.view(ti).noc_cfg.signature())
+                });
+            if !replays {
+                cache.ensure_built(seq.keys[ti].table_id)?;
+            }
+            seq.replay.push(replays);
+        }
         drop(route_span);
         // Misses bin in parallel but resolve sequentially: the first
         // erroring tile (in tile order) decides the returned `SimError`,
@@ -1210,12 +1469,25 @@ impl AuroraSimulator {
             let cache_ref: &TrafficCache = cache;
             let miss_ref: &[usize] = &seq.miss_tiles;
             let keys_ref: &[ProfileKey] = &seq.keys;
+            let replay_ref: &[bool] = &seq.replay;
             let pres_ref = &pres;
+            let store_ref = session_profiles.as_deref();
             (0..miss_ref.len())
                 .into_par_iter()
                 .map(|i| {
                     let _tag = span::stage_scope(Stage::TrafficKernels);
                     let ti = miss_ref[i];
+                    // A clean session tile substitutes its stored profile
+                    // — same mapping, same edges, same route table (the
+                    // signature stamp is the invalidation hook) ⇒ the
+                    // same bin result without the O(E) pass or the O(k⁴)
+                    // table build. The sequential pass above decided.
+                    if replay_ref[i] {
+                        let (_, p) = store_ref.expect("replay implies a session")[ti]
+                            .as_ref()
+                            .expect("replay implies a stored profile");
+                        return Ok(p.clone());
+                    }
                     let sg = tiling.subgraph(g, ti);
                     TrafficProfile::bin(
                         cache_ref.table(keys_ref[ti].table_id),
@@ -1237,6 +1509,9 @@ impl AuroraSimulator {
             let profile = profile?;
             seq.est_a_of[ti] =
                 Some(profile.estimate(pres.view(ti).noc_cfg, msg_words, cfg.link_utilisation));
+            if let Some(store) = session_profiles.as_deref_mut() {
+                store[ti] = Some((pres.view(ti).noc_cfg.signature(), profile.clone()));
+            }
             cache.insert_profile(seq.keys[ti], profile);
         }
         for e in &seq.est_a_of {
@@ -1543,10 +1818,47 @@ mod tests {
         generate::rmat(128, 800, Default::default(), 3)
     }
 
+    /// One-shot run through the request API — what the deprecated
+    /// `simulate` wrapper family used to spell.
+    fn run_one(
+        sim: &AuroraSimulator,
+        g: &Csr,
+        model: ModelId,
+        shapes: &[LayerShape],
+        workload: &str,
+    ) -> SimReport {
+        run_one_density(sim, g, model, shapes, workload, 1.0)
+    }
+
+    fn run_one_density(
+        sim: &AuroraSimulator,
+        g: &Csr,
+        model: ModelId,
+        shapes: &[LayerShape],
+        workload: &str,
+        density: f64,
+    ) -> SimReport {
+        let req = SimRequest::builder(model)
+            .config(*sim.config())
+            .inline_graph(g.clone())
+            .layers(shapes)
+            .workload(workload)
+            .input_density(density)
+            .build()
+            .unwrap();
+        sim.run(&req).unwrap()
+    }
+
     #[test]
     fn gcn_runs_end_to_end() {
         let g = toy_graph();
-        let r = small_sim().simulate(&g, ModelId::Gcn, &[LayerShape::new(32, 16)], "toy");
+        let r = run_one(
+            &small_sim(),
+            &g,
+            ModelId::Gcn,
+            &[LayerShape::new(32, 16)],
+            "toy",
+        );
         assert!(r.total_cycles > 0);
         assert!(r.dram.total_bytes() > 0);
         assert!(r.energy_joules() > 0.0);
@@ -1558,7 +1870,7 @@ mod tests {
     fn all_models_simulate() {
         let g = toy_graph();
         for id in ModelId::ALL {
-            let r = small_sim().simulate(&g, id, &[LayerShape::new(16, 8)], "toy");
+            let r = run_one(&small_sim(), &g, id, &[LayerShape::new(16, 8)], "toy");
             assert!(r.total_cycles > 0, "{}", id.name());
             let spec = id.spec();
             if !spec.has_vertex_update() {
@@ -1571,8 +1883,9 @@ mod tests {
     fn two_layers_cost_more_than_one() {
         let g = toy_graph();
         let s = small_sim();
-        let one = s.simulate(&g, ModelId::Gcn, &[LayerShape::new(32, 16)], "t");
-        let two = s.simulate(
+        let one = run_one(&s, &g, ModelId::Gcn, &[LayerShape::new(32, 16)], "t");
+        let two = run_one(
+            &s,
             &g,
             ModelId::Gcn,
             &[LayerShape::new(32, 16), LayerShape::new(16, 8)],
@@ -1586,13 +1899,19 @@ mod tests {
     fn degree_aware_beats_hashing_on_skewed_graph() {
         let g = generate::rmat(256, 4000, Default::default(), 9);
         let shape = [LayerShape::new(64, 32)];
-        let da = small_sim().simulate(&g, ModelId::Gcn, &shape, "t");
+        let da = run_one(&small_sim(), &g, ModelId::Gcn, &shape, "t");
         let hash_cfg = AcceleratorConfig {
             mapping_policy: MappingPolicy::Hashing,
             flexible_noc: false,
             ..AcceleratorConfig::small(4)
         };
-        let hb = AuroraSimulator::new(hash_cfg).simulate(&g, ModelId::Gcn, &shape, "t");
+        let hb = run_one(
+            &AuroraSimulator::new(hash_cfg),
+            &g,
+            ModelId::Gcn,
+            &shape,
+            "t",
+        );
         assert!(
             da.noc_cycles() <= hb.noc_cycles(),
             "degree-aware {} !≤ hashing {}",
@@ -1608,7 +1927,13 @@ mod tests {
             trace_instructions: true,
             ..AcceleratorConfig::small(4)
         };
-        let r = AuroraSimulator::new(cfg).simulate(&g, ModelId::Gcn, &[LayerShape::new(8, 4)], "t");
+        let r = run_one(
+            &AuroraSimulator::new(cfg),
+            &g,
+            ModelId::Gcn,
+            &[LayerShape::new(8, 4)],
+            "t",
+        );
         let mnemonics: Vec<&str> = r.instructions.iter().map(|i| i.mnemonic()).collect();
         // §III-E order: request → workflow → partition → map → configure →
         // load → execute → write back
@@ -1627,8 +1952,8 @@ mod tests {
         let g = generate::rmat(256, 2000, Default::default(), 6);
         let shapes = [LayerShape::new(128, 16)];
         let sim = small_sim();
-        let dense = sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "t", 1.0);
-        let sparse = sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "t", 0.01);
+        let dense = run_one_density(&sim, &g, ModelId::Gcn, &shapes, "t", 1.0);
+        let sparse = run_one_density(&sim, &g, ModelId::Gcn, &shapes, "t", 0.01);
         assert!(
             sparse.noc_cycles() < dense.noc_cycles(),
             "sparse {} !< dense {}",
@@ -1636,7 +1961,7 @@ mod tests {
             dense.noc_cycles()
         );
         // Reddit-like density gets no compression at all
-        let reddit_like = sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "t", 0.52);
+        let reddit_like = run_one_density(&sim, &g, ModelId::Gcn, &shapes, "t", 0.52);
         assert_eq!(reddit_like.noc_cycles(), dense.noc_cycles());
     }
 
@@ -1645,8 +1970,8 @@ mod tests {
         let g = generate::rmat(128, 900, Default::default(), 2);
         let shapes = [LayerShape::new(64, 32), LayerShape::new(32, 8)];
         let sim = small_sim();
-        let a = sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "t", 0.05);
-        let b = sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "t", 1.0);
+        let a = run_one_density(&sim, &g, ModelId::Gcn, &shapes, "t", 0.05);
+        let b = run_one_density(&sim, &g, ModelId::Gcn, &shapes, "t", 1.0);
         assert!(a.layers[0].noc.cycles < b.layers[0].noc.cycles);
         assert_eq!(a.layers[1].noc, b.layers[1].noc, "hidden layers are dense");
     }
@@ -1654,7 +1979,13 @@ mod tests {
     #[test]
     fn phase_cycles_attribution_consistent() {
         let g = generate::rmat(200, 1500, Default::default(), 8);
-        let r = small_sim().simulate(&g, ModelId::Gcn, &[LayerShape::new(32, 16)], "t");
+        let r = run_one(
+            &small_sim(),
+            &g,
+            ModelId::Gcn,
+            &[LayerShape::new(32, 16)],
+            "t",
+        );
         let l = &r.layers[0];
         assert_eq!(
             l.phase_cycles.sub_a_compute + l.phase_cycles.sub_b_compute,
@@ -1665,7 +1996,13 @@ mod tests {
             l.noc.cycles
         );
         // EdgeConv: everything lands on the A side
-        let e = small_sim().simulate(&g, ModelId::EdgeConv1, &[LayerShape::new(32, 32)], "t");
+        let e = run_one(
+            &small_sim(),
+            &g,
+            ModelId::EdgeConv1,
+            &[LayerShape::new(32, 32)],
+            "t",
+        );
         assert_eq!(e.layers[0].phase_cycles.sub_b_compute, 0);
         assert_eq!(e.layers[0].phase_cycles.sub_b_noc, 0);
     }
@@ -1676,8 +2013,8 @@ mod tests {
         let large = generate::rmat(512, 4096, Default::default(), 1);
         let s = small_sim();
         let shape = [LayerShape::new(32, 16)];
-        let rs = s.simulate(&small, ModelId::Gcn, &shape, "s");
-        let rl = s.simulate(&large, ModelId::Gcn, &shape, "l");
+        let rs = run_one(&s, &small, ModelId::Gcn, &shape, "s");
+        let rl = run_one(&s, &large, ModelId::Gcn, &shape, "l");
         assert!(rl.total_cycles > rs.total_cycles);
         assert!(rl.dram.total_bytes() > rs.dram.total_bytes());
     }
@@ -1690,11 +2027,13 @@ mod tests {
         let refs: Vec<&Csr> = graphs.iter().collect();
         let sim = small_sim();
         let shapes = [LayerShape::new(64, 32)];
-        let batch = sim.simulate_batch(&refs, ModelId::Gcn, &shapes, "batch");
+        let batch = sim
+            .try_simulate_batch(&refs, ModelId::Gcn, &shapes, "batch")
+            .unwrap();
         let singles: u64 = graphs
             .iter()
             .map(|g| {
-                sim.simulate(g, ModelId::Gcn, &shapes, "one")
+                run_one(&sim, g, ModelId::Gcn, &shapes, "one")
                     .dram
                     .total_bytes()
             })
@@ -1722,7 +2061,8 @@ mod tests {
             seed in 0u64..50,
         ) {
             let g = generate::rmat(n, n * 4, Default::default(), seed);
-            let r = small_sim().simulate_with_density(
+            let r = run_one_density(
+                &small_sim(),
                 &g,
                 ModelId::Gcn,
                 &[LayerShape::new(f_in, f_out)],
@@ -1751,9 +2091,13 @@ mod tests {
         let g = toy_graph();
         let t = Telemetry::enabled();
         let shapes = [LayerShape::new(32, 16), LayerShape::new(16, 8)];
-        let r = small_sim()
-            .with_telemetry(t.clone())
-            .simulate(&g, ModelId::Gcn, &shapes, "toy");
+        let r = run_one(
+            &small_sim().with_telemetry(t.clone()),
+            &g,
+            ModelId::Gcn,
+            &shapes,
+            "toy",
+        );
 
         // metrics mirror the report exactly
         assert!(!r.metrics.is_empty());
@@ -1787,7 +2131,7 @@ mod tests {
         assert!(json.contains("map+partition layer 1"));
 
         // an unobserved run produces identical numbers and no metrics
-        let plain = small_sim().simulate(&g, ModelId::Gcn, &shapes, "toy");
+        let plain = run_one(&small_sim(), &g, ModelId::Gcn, &shapes, "toy");
         assert_eq!(plain.total_cycles, r.total_cycles);
         assert_eq!(plain.dram, r.dram);
         assert!(plain.metrics.is_empty());
@@ -1798,6 +2142,7 @@ mod tests {
         let g = toy_graph();
         let shapes = [LayerShape::new(32, 16)];
         let sim = small_sim();
+        #[allow(deprecated)] // the wrapper itself is what this test pins
         let legacy = sim.simulate(&g, ModelId::Gcn, &shapes, "toy");
         // same graph inline through the request path: identical report
         let req = SimRequest::builder(ModelId::Gcn)
@@ -1858,7 +2203,8 @@ mod tests {
         // the full 32×32 configuration on a scaled-down Cora
         let spec = Dataset::Cora.spec().scaled(8);
         let g = spec.synthesize();
-        let r = AuroraSimulator::paper().simulate(
+        let r = run_one(
+            &AuroraSimulator::paper(),
             &g,
             ModelId::Gcn,
             &[LayerShape::new(spec.feature_dim.min(128), 16)],

@@ -21,19 +21,25 @@
 //! * [`report`] — the simulation report (cycles, DRAM, NoC, energy).
 //!
 //! ```
-//! use aurora_core::{AcceleratorConfig, AuroraSimulator};
-//! use aurora_graph::generate;
+//! use aurora_core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 //! use aurora_model::{LayerShape, ModelId};
 //!
-//! let g = generate::rmat(512, 4_000, Default::default(), 7);
-//! let sim = AuroraSimulator::new(AcceleratorConfig::small(8));
-//! let report = sim.simulate(&g, ModelId::Gcn, &[LayerShape::new(32, 16)], "demo");
+//! let req = SimRequest::builder(ModelId::Gcn)
+//!     .config(AcceleratorConfig::small(8))
+//!     .rmat(512, 4_000, 7)
+//!     .layer(LayerShape::new(32, 16))
+//!     .workload("demo")
+//!     .build()
+//!     .unwrap();
+//! let sim = AuroraSimulator::new(req.config);
+//! let report = sim.run(&req).unwrap();
 //! assert!(report.total_cycles > 0);
 //! assert!(report.energy_joules() > 0.0);
 //! ```
 
 mod arena;
 pub mod config;
+pub mod delta;
 pub mod engine;
 pub mod functional;
 pub mod host;
@@ -45,12 +51,16 @@ pub mod request;
 pub mod workflow;
 
 pub use config::AcceleratorConfig;
+pub use delta::{
+    chain_digest, DeltaOutcome, GraphDelta, SessionCommand, SessionRequestBuilder, SimSession,
+};
 pub use engine::{AuroraSimulator, EngineCore};
 pub use instr::Instruction;
 pub use profile::{Bound, BoundMix, LayerProfile, ProfileReport, TileAttribution};
 pub use report::{LayerReport, NocReport, SimReport};
 pub use request::{
     GraphSpec, SimError, SimOptions, SimRequest, SimRequestBuilder, SimResponse, WireError,
+    WIRE_VERSION,
 };
 pub use workflow::Workflow;
 

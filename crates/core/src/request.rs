@@ -113,11 +113,24 @@ impl Default for SimOptions {
     }
 }
 
+/// Highest request/envelope `version` this build understands. Version 0
+/// is the original unversioned schema (absent fields deserialize to 0);
+/// version 1 added the field itself plus the session protocol. Servers
+/// reject anything above this with a typed `unsupported_version` error
+/// instead of guessing at future semantics.
+pub const WIRE_VERSION: u32 = 1;
+
 /// A complete, serializable simulation request — the canonical input of
 /// [`AuroraSimulator::run`](crate::AuroraSimulator::run) and the unit the
 /// `aurora-serve` result cache is keyed on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimRequest {
+    /// Wire-schema version. `#[serde(default)]` keeps v0 clients (which
+    /// omit the field) parseable; [`SimRequest::validate`] rejects
+    /// versions above [`WIRE_VERSION`]. The field always serializes, so
+    /// a request's digest covers it.
+    #[serde(default)]
+    pub version: u32,
     pub config: AcceleratorConfig,
     pub graph: GraphSpec,
     pub model: ModelId,
@@ -130,6 +143,7 @@ impl SimRequest {
     /// layer must be supplied before [`SimRequestBuilder::build`].
     pub fn builder(model: ModelId) -> SimRequestBuilder {
         SimRequestBuilder {
+            version: 0,
             config: AcceleratorConfig::default(),
             graph: None,
             model,
@@ -138,10 +152,17 @@ impl SimRequest {
         }
     }
 
-    /// Validates the request without running it: a graph is present and
-    /// non-empty (spec-level), layers are non-empty, the density is in
-    /// range, and the configuration is usable.
+    /// Validates the request without running it: the version is
+    /// supported, a graph is present and non-empty (spec-level), layers
+    /// are non-empty, the density is in range, and the configuration is
+    /// usable.
     pub fn validate(&self) -> Result<(), SimError> {
+        if self.version > WIRE_VERSION {
+            return Err(SimError::UnsupportedVersion {
+                got: self.version,
+                supported: WIRE_VERSION,
+            });
+        }
         self.graph.validate()?;
         if self.layers.is_empty() {
             return Err(SimError::EmptyLayers);
@@ -187,6 +208,7 @@ impl SimRequest {
 /// clients deserialize requests directly).
 #[derive(Debug, Clone)]
 pub struct SimRequestBuilder {
+    version: u32,
     config: AcceleratorConfig,
     graph: Option<GraphSpec>,
     model: ModelId,
@@ -195,6 +217,13 @@ pub struct SimRequestBuilder {
 }
 
 impl SimRequestBuilder {
+    /// Wire-schema version to stamp on the request (default 0, the
+    /// original schema; must be ≤ [`WIRE_VERSION`]).
+    pub fn version(mut self, version: u32) -> Self {
+        self.version = version;
+        self
+    }
+
     /// Accelerator configuration (default: the paper's 32×32 instance).
     pub fn config(mut self, config: AcceleratorConfig) -> Self {
         self.config = config;
@@ -262,6 +291,7 @@ impl SimRequestBuilder {
             .graph
             .ok_or_else(|| SimError::InvalidRequest("a graph source is required".into()))?;
         let req = SimRequest {
+            version: self.version,
             config: self.config,
             graph,
             model: self.model,
@@ -289,6 +319,14 @@ pub enum SimError {
     InvalidDensity { density: f64 },
     /// A structurally invalid request (bad scale, missing graph, k = 0).
     InvalidRequest(String),
+    /// The request (or wire envelope) declares a schema version newer
+    /// than this build understands.
+    UnsupportedVersion { got: u32, supported: u32 },
+    /// A [`GraphDelta`](crate::delta::GraphDelta) was malformed or could
+    /// not be applied to the session's graph.
+    Delta(String),
+    /// A session verb referenced an unknown (or expired/evicted) sid.
+    UnknownSession(String),
     /// The NoC layer rejected a configuration or could not route a
     /// tile message (carries the typed cause).
     Noc(NocError),
@@ -306,6 +344,11 @@ impl fmt::Display for SimError {
                 write!(f, "input density {density} outside [0, 1]")
             }
             SimError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            SimError::UnsupportedVersion { got, supported } => {
+                write!(f, "wire version {got} not supported (max {supported})")
+            }
+            SimError::Delta(msg) => write!(f, "invalid delta: {msg}"),
+            SimError::UnknownSession(sid) => write!(f, "unknown session: {sid}"),
             SimError::Noc(e) => write!(f, "NoC error: {e}"),
             SimError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }
@@ -329,6 +372,9 @@ impl SimError {
             SimError::EmptyBatch => "empty_batch",
             SimError::InvalidDensity { .. } => "invalid_density",
             SimError::InvalidRequest(_) => "invalid_request",
+            SimError::UnsupportedVersion { .. } => "unsupported_version",
+            SimError::Delta(_) => "invalid_delta",
+            SimError::UnknownSession(_) => "unknown_session",
             SimError::Noc(_) => "noc",
             SimError::Internal(_) => "internal",
         }
@@ -469,6 +515,37 @@ mod tests {
         // the label is part of the content: renaming re-keys the cache
         assert_ne!(a.digest(), d.digest());
         assert_eq!(a.digest().len(), 16);
+    }
+
+    #[test]
+    fn version_gating() {
+        // v0 lines (no version field) still parse and validate.
+        let json = serde_json::to_string(&toy_request()).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        if let serde_json::Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "version");
+        }
+        let back: SimRequest = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back.version, 0);
+        assert!(back.validate().is_ok());
+        // the current version is accepted; anything newer is rejected.
+        let cur = SimRequest {
+            version: WIRE_VERSION,
+            ..toy_request()
+        };
+        assert!(cur.validate().is_ok());
+        let future = SimRequest {
+            version: WIRE_VERSION + 1,
+            ..toy_request()
+        };
+        let err = future.validate().unwrap_err();
+        assert_eq!(err.kind(), "unsupported_version");
+        assert!(
+            matches!(err, SimError::UnsupportedVersion { got, supported }
+            if got == WIRE_VERSION + 1 && supported == WIRE_VERSION)
+        );
+        // the version participates in the digest (it re-keys the cache).
+        assert_ne!(toy_request().digest(), cur.digest());
     }
 
     #[test]

@@ -46,6 +46,40 @@ impl Csr {
         Self { row_ptr, col_idx }
     }
 
+    /// [`Self::from_raw`] without the O(V+E) validation passes — the
+    /// invariants are `debug_assert!`ed only. For hot paths that
+    /// construct the arrays by direct surgery on an existing CSR and
+    /// can prove the invariants structurally (e.g. the session delta
+    /// path); everything else should pay for [`Self::from_raw`].
+    ///
+    /// Callers must uphold everything `from_raw` checks *plus* the
+    /// sorted-neighbour-list invariant `has_edge` relies on.
+    pub fn from_raw_unchecked(row_ptr: Vec<u32>, col_idx: Vec<VertexId>) -> Self {
+        debug_assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+        debug_assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        debug_assert_eq!(
+            *row_ptr.last().unwrap() as usize,
+            col_idx.len(),
+            "row_ptr must end at the edge count"
+        );
+        debug_assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be monotone"
+        );
+        debug_assert!(
+            col_idx.iter().all(|&c| (c as usize) < row_ptr.len() - 1),
+            "column index out of range"
+        );
+        Self { row_ptr, col_idx }
+    }
+
+    /// Decomposes into `(row_ptr, col_idx)` — the inverse of
+    /// [`Self::from_raw`]. Lets hot paths recycle a retired graph's
+    /// allocations instead of freeing them.
+    pub fn into_raw(self) -> (Vec<u32>, Vec<VertexId>) {
+        (self.row_ptr, self.col_idx)
+    }
+
     /// An empty graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
         Self {

@@ -291,6 +291,15 @@ impl RouteTable {
         self.n * self.n
     }
 
+    /// The content fingerprint of the configuration this table was built
+    /// from ([`NocConfig::signature`]). The table is a pure function of
+    /// its config, so two tables with equal signatures route identically
+    /// — cached per-tile traffic profiles carry this stamp and are
+    /// invalidated when it stops matching.
+    pub fn signature(&self) -> u64 {
+        self.cfg.signature()
+    }
+
     /// The output port at `cur` towards `dst` (LUT lookup).
     pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> Result<Port, NocError> {
         match decode_port(self.ports[cur * self.n + dst]) {

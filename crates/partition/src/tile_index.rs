@@ -1,0 +1,216 @@
+//! Vertex → tile reverse indices for incremental re-simulation.
+//!
+//! The capacity tiler hands the engine contiguous vertex ranges; a
+//! streaming delta hands the engine touched *vertices*. [`TileIndex`]
+//! bridges the two: `tile_of(v)` maps a vertex back to the tile that owns
+//! it, and `referencing_tiles(v)` lists the tiles whose halo (remote
+//! neighbour) plan reads `v` from another tile. Together they implement
+//! the session dirty-tile rule: a touched vertex dirties its owning tile,
+//! and — under the conservative rule — every tile whose halo references
+//! it.
+//!
+//! The engine's per-tile artifacts (mapping, bypass plan, traffic
+//! profile, `TileOut`) are functions of the tile's *own* out-edges only:
+//! a remote destination contributes one halo count regardless of which
+//! vertex it is. Editing edge `(u, v)` therefore only invalidates
+//! `tile_of(u)` — the minimal rule the incremental engine uses. The halo
+//! index exists for the conservative rule (vertex feature mutation, where
+//! a referencing tile would re-read stale features) and for diagnostics
+//! comparing the two dirty-set sizes.
+
+use aurora_graph::Csr;
+
+/// Reverse lookup from vertices to the tiles that own or reference them.
+///
+/// Built from the tiler's boundary offsets (and optionally the graph for
+/// the halo index); cheap to rebuild whenever the tiling changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileIndex {
+    /// Tile boundary offsets: tile `i` owns vertices
+    /// `starts[i]..starts[i + 1]`; length `num_tiles + 1`.
+    starts: Vec<u32>,
+    /// CSR offsets into `ref_tiles`, one slot per vertex (empty when the
+    /// index was built without a graph).
+    ref_ptr: Vec<u32>,
+    /// For each vertex, the sorted tiles (excluding its owner) whose
+    /// halo plan references it.
+    ref_tiles: Vec<u32>,
+}
+
+impl TileIndex {
+    /// Builds the ownership index alone — `tile_of` works,
+    /// `referencing_tiles` reports empty. `boundaries` are the tiler's
+    /// start offsets plus the final end offset, ascending.
+    pub fn from_boundaries(boundaries: Vec<u32>) -> Self {
+        assert!(
+            boundaries.len() >= 2,
+            "need at least one tile (got {} boundaries)",
+            boundaries.len()
+        );
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "tile boundaries must be ascending"
+        );
+        Self {
+            starts: boundaries,
+            ref_ptr: Vec::new(),
+            ref_tiles: Vec::new(),
+        }
+    }
+
+    /// Builds the full index including the halo reverse map: tile `t`
+    /// references vertex `v` when some edge `(u, v)` has
+    /// `tile_of(u) = t ≠ tile_of(v)` — i.e. `t`'s aggregation reads `v`
+    /// remotely.
+    pub fn build(boundaries: Vec<u32>, g: &Csr) -> Self {
+        let mut index = Self::from_boundaries(boundaries);
+        let num_vertices = index.num_vertices();
+        assert!(
+            g.num_vertices() == num_vertices,
+            "boundaries cover {} vertices but graph has {}",
+            num_vertices,
+            g.num_vertices()
+        );
+        // Collect (dst, src_tile) pairs for cross-tile edges, then sort +
+        // dedup into a per-vertex CSR. O(E log E), rebuilt only when the
+        // tiling changes.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in g.edges() {
+            let tu = index.tile_of(u) as u32;
+            if tu != index.tile_of(v) as u32 {
+                pairs.push((v, tu));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut ref_ptr = vec![0u32; num_vertices + 1];
+        for &(v, _) in &pairs {
+            ref_ptr[v as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            ref_ptr[i + 1] += ref_ptr[i];
+        }
+        index.ref_tiles = pairs.into_iter().map(|(_, t)| t).collect();
+        index.ref_ptr = ref_ptr;
+        index
+    }
+
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of vertices covered by the boundaries.
+    pub fn num_vertices(&self) -> usize {
+        *self.starts.last().expect("non-empty boundaries") as usize
+    }
+
+    /// The tile owning vertex `v` (binary search over the boundaries).
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the covered range.
+    pub fn tile_of(&self, v: u32) -> usize {
+        assert!(
+            (v as usize) < self.num_vertices(),
+            "vertex {v} outside tiled range 0..{}",
+            self.num_vertices()
+        );
+        // partition_point gives the first boundary > v; its predecessor
+        // is the owning tile.
+        self.starts.partition_point(|&s| s <= v) - 1
+    }
+
+    /// Tiles (other than `v`'s owner) whose halo plan references `v`.
+    /// Empty when built via [`TileIndex::from_boundaries`].
+    pub fn referencing_tiles(&self, v: u32) -> &[u32] {
+        if self.ref_ptr.is_empty() {
+            return &[];
+        }
+        let lo = self.ref_ptr[v as usize] as usize;
+        let hi = self.ref_ptr[v as usize + 1] as usize;
+        &self.ref_tiles[lo..hi]
+    }
+
+    /// Marks the dirty tiles for a set of touched vertices. The minimal
+    /// rule (`include_halo = false`) dirties each vertex's owning tile;
+    /// the conservative rule also dirties every referencing tile.
+    /// Returns one flag per tile.
+    pub fn dirty_tiles(
+        &self,
+        touched: impl IntoIterator<Item = u32>,
+        include_halo: bool,
+    ) -> Vec<bool> {
+        let mut dirty = vec![false; self.num_tiles()];
+        for v in touched {
+            dirty[self.tile_of(v)] = true;
+            if include_halo {
+                for &t in self.referencing_tiles(v) {
+                    dirty[t as usize] = true;
+                }
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_graph::GraphBuilder;
+
+    fn two_tile_graph() -> (TileIndex, Csr) {
+        // tiles: [0, 4), [4, 8). Cross-tile edges: (0→5), (6→1), (7→1).
+        let mut b = GraphBuilder::new(8);
+        b.add_edge(0, 1);
+        b.add_edge(0, 5);
+        b.add_edge(6, 1);
+        b.add_edge(7, 1);
+        b.add_edge(5, 6);
+        let g = b.build();
+        (TileIndex::build(vec![0, 4, 8], &g), g)
+    }
+
+    #[test]
+    fn tile_of_follows_boundaries() {
+        let idx = TileIndex::from_boundaries(vec![0, 3, 3, 10]);
+        assert_eq!(idx.num_tiles(), 3);
+        assert_eq!(idx.tile_of(0), 0);
+        assert_eq!(idx.tile_of(2), 0);
+        // empty middle tile owns nothing; vertex 3 belongs to tile 2
+        assert_eq!(idx.tile_of(3), 2);
+        assert_eq!(idx.tile_of(9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tiled range")]
+    fn tile_of_rejects_out_of_range() {
+        TileIndex::from_boundaries(vec![0, 4]).tile_of(4);
+    }
+
+    #[test]
+    fn halo_reverse_index_lists_remote_readers() {
+        let (idx, _) = two_tile_graph();
+        // vertex 5 is read remotely by tile 0 (edge 0→5)
+        assert_eq!(idx.referencing_tiles(5), &[0]);
+        // vertex 1 is read remotely by tile 1 (edges 6→1, 7→1), deduped
+        assert_eq!(idx.referencing_tiles(1), &[1]);
+        // vertex 6 is only read by its own tile (edge 5→6 is intra-tile)
+        assert!(idx.referencing_tiles(6).is_empty());
+    }
+
+    #[test]
+    fn dirty_rules_minimal_vs_conservative() {
+        let (idx, _) = two_tile_graph();
+        // touching vertex 5: minimal rule dirties its owner (tile 1) only
+        assert_eq!(idx.dirty_tiles([5], false), vec![false, true]);
+        // conservative rule adds the remote reader (tile 0)
+        assert_eq!(idx.dirty_tiles([5], true), vec![true, true]);
+    }
+
+    #[test]
+    fn boundaries_only_index_has_no_halo_info() {
+        let idx = TileIndex::from_boundaries(vec![0, 4, 8]);
+        assert!(idx.referencing_tiles(2).is_empty());
+        assert_eq!(idx.dirty_tiles([2], true), vec![true, false]);
+    }
+}

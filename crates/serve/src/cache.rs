@@ -216,17 +216,20 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport};
+    use aurora_core::{AcceleratorConfig, AuroraSimulator, SimReport, SimRequest};
     use aurora_graph::generate;
     use aurora_model::{LayerShape, ModelId};
 
     fn report(tag: &str) -> SimReport {
-        AuroraSimulator::new(AcceleratorConfig::small(2)).simulate(
-            &generate::ring(8),
-            ModelId::Gcn,
-            &[LayerShape::new(4, 2)],
-            tag,
-        )
+        let cfg = AcceleratorConfig::small(2);
+        let req = SimRequest::builder(ModelId::Gcn)
+            .config(cfg)
+            .inline_graph(generate::ring(8))
+            .layer(LayerShape::new(4, 2))
+            .workload(tag)
+            .build()
+            .unwrap();
+        AuroraSimulator::new(cfg).run(&req).unwrap()
     }
 
     #[test]

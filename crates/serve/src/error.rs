@@ -67,10 +67,16 @@ impl ServeError {
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Unavailable(_) => "unavailable",
             ServeError::BadRequest(_) => "bad_request",
-            // nested SimError kinds surface through the message; the top-
-            // level code tells clients which subsystem rejected them
+            // nested SimError kinds mostly surface through the message;
+            // the top-level code tells clients which subsystem rejected
+            // them — except the contract-level kinds clients must branch
+            // on (version gating and session lifecycle), which pass
+            // through verbatim
             ServeError::Sim(e) => match e {
                 SimError::Internal(_) => "internal",
+                SimError::UnsupportedVersion { .. } => "unsupported_version",
+                SimError::UnknownSession(_) => "unknown_session",
+                SimError::Delta(_) => "invalid_delta",
                 _ => "sim",
             },
             ServeError::Io(_) => "io",

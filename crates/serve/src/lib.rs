@@ -44,6 +44,7 @@ pub mod observe;
 pub mod router;
 pub mod server;
 pub mod service;
+pub mod sessions;
 
 pub use backend::{
     Backend, BackendHealth, ProcessLauncher, ThreadLauncher, WorkerHandle, WorkerLauncher,
@@ -57,6 +58,7 @@ pub use observe::{
 pub use router::{ClusterStats, RouteRecord, Router, RouterConfig, RouterTotals};
 pub use server::{
     answer, respond, serve, serve_with, Client, ClientOptions, Endpoint, LineHandler, ServeRequest,
-    ServerOptions,
+    ServerOptions, SessionLine,
 };
 pub use service::{LatencySummary, ServeConfig, ServeOutcome, ServiceStats, SimService};
+pub use sessions::{SessionReply, SessionTable};

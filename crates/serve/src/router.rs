@@ -43,7 +43,8 @@ use crate::backend::{Backend, BackendHealth};
 use crate::error::ServeError;
 use crate::observe::{EventLog, NullLog};
 use crate::server::{recover_id, ClientOptions, LineHandler, ServeRequest};
-use aurora_core::SimResponse;
+use aurora_core::{SessionCommand, SimResponse};
+use serde::Deserialize;
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -425,24 +426,56 @@ impl Router {
                 &reply,
             );
         }
-        let parsed: Result<ServeRequest, _> = serde_json::from_str(line);
-        let req = match parsed {
-            Ok(req) => req,
-            Err(e) => {
-                let err = ServeError::BadRequest(format!("unparseable request: {e:?}"));
-                let reply = SimResponse::err(recover_id(line), "", err.to_wire());
-                return self.finish(
-                    seq,
-                    String::new(),
-                    String::new(),
-                    "error",
-                    0,
-                    started,
-                    &reply,
-                );
+        // Session lines route by the command's pinned digest: `d₀` for
+        // every op of one session (open derives it from the base
+        // request, delta/close carry it as `sid`), so the whole session
+        // rendezvous-hashes to the shard holding its warm state.
+        let id;
+        let digest = if let Some(session) = serde_json::from_str::<serde_json::Value>(line)
+            .ok()
+            .and_then(|v| v.get("session").cloned())
+        {
+            id = recover_id(line);
+            let routed = SessionCommand::from_value(&session)
+                .map_err(|e| ServeError::BadRequest(format!("unparseable session line: {e:?}")))
+                .and_then(|cmd| cmd.routing_digest().map_err(ServeError::Sim));
+            match routed {
+                Ok(digest) => digest,
+                Err(err) => {
+                    let reply = SimResponse::err(id, "", err.to_wire());
+                    return self.finish(
+                        seq,
+                        String::new(),
+                        String::new(),
+                        "error",
+                        0,
+                        started,
+                        &reply,
+                    );
+                }
+            }
+        } else {
+            let parsed: Result<ServeRequest, _> = serde_json::from_str(line);
+            match parsed {
+                Ok(req) => {
+                    id = req.id;
+                    req.sim.digest()
+                }
+                Err(e) => {
+                    let err = ServeError::BadRequest(format!("unparseable request: {e:?}"));
+                    let reply = SimResponse::err(recover_id(line), "", err.to_wire());
+                    return self.finish(
+                        seq,
+                        String::new(),
+                        String::new(),
+                        "error",
+                        0,
+                        started,
+                        &reply,
+                    );
+                }
             }
         };
-        let digest = req.sim.digest();
 
         let mut excluded: Vec<usize> = Vec::new();
         let mut last_error: Option<ServeError> = None;
@@ -461,7 +494,7 @@ impl Router {
                     e @ ServeError::Timeout { .. } => e,
                     e => ServeError::Unavailable(e.to_string()),
                 };
-                let reply = SimResponse::err(req.id, digest.clone(), err.to_wire());
+                let reply = SimResponse::err(id, digest.clone(), err.to_wire());
                 let outcome = if matches!(err, ServeError::Timeout { .. }) {
                     "timeout"
                 } else {
@@ -523,7 +556,7 @@ impl Router {
                 Err(e @ ServeError::Timeout { .. }) => {
                     // the worker may still be computing; don't duplicate
                     // the run elsewhere — surface the timeout
-                    let reply = SimResponse::err(req.id, digest.clone(), e.to_wire());
+                    let reply = SimResponse::err(id, digest.clone(), e.to_wire());
                     return self.finish(
                         seq,
                         digest,

@@ -33,7 +33,7 @@ use crate::admin;
 use crate::error::ServeError;
 use crate::observe::{AccessRecord, Outcome};
 use crate::service::SimService;
-use aurora_core::{SimRequest, SimResponse};
+use aurora_core::{SessionCommand, SimError, SimRequest, SimResponse, WIRE_VERSION};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -56,10 +56,25 @@ pub struct ServerOptions {
 }
 
 /// One request line: a client-chosen id plus the simulation request.
+/// `version` gates the envelope itself (a server rejects lines newer
+/// than its [`WIRE_VERSION`] with a typed `unsupported_version` error);
+/// absent on v0 lines, which deserialize as 0 and stay accepted.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeRequest {
     pub id: u64,
+    #[serde(default)]
+    pub version: u32,
     pub sim: SimRequest,
+}
+
+/// One session line: a client-chosen id plus the session command
+/// (`{"id":N,"session":{"op":"open","sim":{..}}}` and friends).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionLine {
+    pub id: u64,
+    #[serde(default)]
+    pub version: u32,
+    pub session: SessionCommand,
 }
 
 /// Where the daemon listens.
@@ -303,6 +318,9 @@ pub fn answer(service: &SimService, line: &str) -> String {
         if value.get("admin").is_some() {
             return admin::dispatch(service, &value);
         }
+        if value.get("session").is_some() {
+            return answer_session(service, line);
+        }
     }
     let (response, mut record) = respond_traced(service, line);
     let out = serde_json::to_string(&response).expect("response serializes");
@@ -314,6 +332,57 @@ pub fn answer(service: &SimService, line: &str) -> String {
 /// Answers one sim request line (the whole protocol, transport aside).
 pub fn respond(service: &SimService, line: &str) -> SimResponse {
     respond_traced(service, line).0
+}
+
+/// Answers one session line (`"session"` verb): parse, gate the
+/// envelope version, dispatch to the service's session table, and
+/// access-log the op like a sim line.
+fn answer_session(service: &SimService, line: &str) -> String {
+    let response = match serde_json::from_str::<SessionLine>(line) {
+        Err(e) => {
+            let err = ServeError::BadRequest(format!("unparseable session line: {e:?}"));
+            let record = AccessRecord {
+                seq: service.next_seq(),
+                digest: String::new(),
+                workload: "session".into(),
+                outcome: Outcome::Error.label().to_string(),
+                queue_wait_us: 0,
+                execute_us: 0,
+                latency_us: 0,
+                bytes_out: 0,
+                error: Some(err.to_string()),
+            };
+            let out = serde_json::to_string(&SimResponse::err(recover_id(line), "", err.to_wire()))
+                .expect("response serializes");
+            let mut record = record;
+            record.bytes_out = out.len() as u64 + 1;
+            service.log_access(&record);
+            return out;
+        }
+        Ok(parsed) if parsed.version > WIRE_VERSION => {
+            let err = ServeError::Sim(SimError::UnsupportedVersion {
+                got: parsed.version,
+                supported: WIRE_VERSION,
+            });
+            SimResponse::err(parsed.id, "", err.to_wire())
+        }
+        Ok(parsed) => {
+            let (result, mut record) = service.handle_session_traced(&parsed.session);
+            let response = match result {
+                Ok(reply) => SimResponse::ok(parsed.id, reply.digest, reply.cached, reply.report),
+                Err(e) => SimResponse::err(
+                    parsed.id,
+                    parsed.session.routing_digest().unwrap_or_default(),
+                    e.to_wire(),
+                ),
+            };
+            let out = serde_json::to_string(&response).expect("response serializes");
+            record.bytes_out = out.len() as u64 + 1;
+            service.log_access(&record);
+            return out;
+        }
+    };
+    serde_json::to_string(&response).expect("response serializes")
 }
 
 /// [`respond`] plus the request's access record (`bytes_out` still 0).
@@ -337,6 +406,27 @@ fn respond_traced(service: &SimService, line: &str) -> (SimResponse, AccessRecor
                 error: Some(err.to_string()),
             };
             (SimResponse::err(id, "", err.to_wire()), record)
+        }
+        Ok(req) if req.version > WIRE_VERSION => {
+            let err = ServeError::Sim(SimError::UnsupportedVersion {
+                got: req.version,
+                supported: WIRE_VERSION,
+            });
+            let record = AccessRecord {
+                seq: service.next_seq(),
+                digest: req.sim.digest(),
+                workload: req.sim.workload_label(),
+                outcome: Outcome::Error.label().to_string(),
+                queue_wait_us: 0,
+                execute_us: 0,
+                latency_us: 0,
+                bytes_out: 0,
+                error: Some(err.to_string()),
+            };
+            (
+                SimResponse::err(req.id, req.sim.digest(), err.to_wire()),
+                record,
+            )
         }
         Ok(req) => {
             let (result, record) = service.handle_traced(&req.sim);
@@ -489,9 +579,27 @@ impl Client {
         self.next_id += 1;
         let envelope = ServeRequest {
             id,
+            version: WIRE_VERSION,
             sim: sim.clone(),
         };
         let line = serde_json::to_string(&envelope).expect("request serializes");
+        let reply = self.roundtrip(&line)?;
+        serde_json::from_str(&reply)
+            .map_err(|e| ServeError::Io(format!("unparseable response: {e:?}")))
+    }
+
+    /// Sends one session command (open/delta/close — see
+    /// [`SessionRequestBuilder`](aurora_core::SessionRequestBuilder))
+    /// and blocks for its response.
+    pub fn session(&mut self, command: &SessionCommand) -> Result<SimResponse, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = SessionLine {
+            id,
+            version: WIRE_VERSION,
+            session: command.clone(),
+        };
+        let line = serde_json::to_string(&envelope).expect("session line serializes");
         let reply = self.roundtrip(&line)?;
         serde_json::from_str(&reply)
             .map_err(|e| ServeError::Io(format!("unparseable response: {e:?}")))

@@ -35,8 +35,10 @@ use crate::observe::{
     AccessRecord, EventLog, FlightProfile, FlightRecord, FlightRecorder, JobTiming, NullLog,
     Outcome,
 };
+use crate::sessions::{SessionReply, SessionTable};
 use aurora_core::{
-    metric_names as names, AuroraSimulator, Histogram, Scope, SimReport, SimRequest, Telemetry,
+    metric_names as names, AuroraSimulator, Histogram, Scope, SessionCommand, SimReport,
+    SimRequest, Telemetry,
 };
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -65,6 +67,12 @@ pub struct ServeConfig {
     pub slow_ms: u64,
     /// Flight-recorder ring capacity (`0` disables recording).
     pub flight_capacity: usize,
+    /// Open streaming sessions retained (LRU-evicted beyond this; an
+    /// evicted client gets `unknown_session` and re-opens).
+    pub session_capacity: usize,
+    /// Idle budget for an open session in milliseconds; `0` disables
+    /// TTL eviction.
+    pub session_ttl_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +84,8 @@ impl Default for ServeConfig {
             timeout_ms: 30_000,
             slow_ms: 1_000,
             flight_capacity: 32,
+            session_capacity: 16,
+            session_ttl_ms: 600_000,
         }
     }
 }
@@ -121,6 +131,7 @@ struct Inner {
     telemetry: Telemetry,
     recorder: FlightRecorder,
     access_log: Arc<dyn EventLog>,
+    sessions: SessionTable,
 }
 
 impl Inner {
@@ -208,6 +219,10 @@ impl SimService {
             telemetry,
             recorder: FlightRecorder::new(config.flight_capacity),
             access_log,
+            sessions: SessionTable::new(
+                config.session_capacity,
+                Duration::from_millis(config.session_ttl_ms),
+            ),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -287,6 +302,84 @@ impl SimService {
     /// run, under the configured timeout and queue budget.
     pub fn handle(&self, request: &SimRequest) -> Result<ServeOutcome, ServeError> {
         self.handle_traced(request).0
+    }
+
+    /// Open streaming sessions currently resident.
+    pub fn session_len(&self) -> usize {
+        self.inner.sessions.len()
+    }
+
+    /// Answers one session command (the `"session"` protocol verb):
+    /// open runs the base request from scratch and caches the warm
+    /// state, delta applies incrementally, close evicts and answers the
+    /// final state.
+    pub fn handle_session(&self, cmd: &SessionCommand) -> Result<SessionReply, ServeError> {
+        self.handle_session_traced(cmd).0
+    }
+
+    /// [`SimService::handle_session`] plus the op's [`AccessRecord`]
+    /// (`bytes_out` is 0; the transport owns the wire size). Session
+    /// lines share the sim lines' access log and error counters —
+    /// dashboards see one request stream.
+    pub fn handle_session_traced(
+        &self,
+        cmd: &SessionCommand,
+    ) -> (Result<SessionReply, ServeError>, AccessRecord) {
+        let inner = &*self.inner;
+        let seq = self.next_seq();
+        let started = Instant::now();
+        let result = self.handle_session_inner(cmd);
+        let latency_us = started.elapsed().as_micros() as u64;
+        let tel = &inner.telemetry;
+        tel.observe(names::SERVE_LATENCY_US, &Scope::ROOT, latency_us);
+        if result.is_err() {
+            tel.counter_add(names::SERVE_ERRORS, &Scope::ROOT, 1);
+        }
+        let outcome = match &result {
+            Ok(reply) if reply.cached => Outcome::Hit,
+            Ok(_) => Outcome::Miss,
+            Err(e) => Outcome::of_error(e),
+        };
+        let record = AccessRecord {
+            seq,
+            digest: match &result {
+                Ok(reply) => reply.digest.clone(),
+                Err(_) => cmd.routing_digest().unwrap_or_default(),
+            },
+            workload: format!("session:{}", cmd.op),
+            outcome: outcome.label().to_string(),
+            queue_wait_us: 0,
+            execute_us: if matches!(&result, Ok(r) if !r.cached) {
+                latency_us
+            } else {
+                0
+            },
+            latency_us,
+            bytes_out: 0,
+            error: result.as_ref().err().map(|e| e.to_string()),
+        };
+        (result, record)
+    }
+
+    fn handle_session_inner(&self, cmd: &SessionCommand) -> Result<SessionReply, ServeError> {
+        let inner = &*self.inner;
+        if inner.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        cmd.validate().map_err(ServeError::Sim)?;
+        let _inflight = InflightGuard::enter(inner);
+        inner
+            .telemetry
+            .counter_add(names::SERVE_REQUESTS, &Scope::ROOT, 1);
+        match cmd.op.as_str() {
+            SessionCommand::OPEN => inner.sessions.open(cmd.sim.as_ref().expect("validated")),
+            SessionCommand::DELTA => inner.sessions.apply(
+                cmd.sid.as_deref().expect("validated"),
+                cmd.delta.as_ref().expect("validated"),
+            ),
+            SessionCommand::CLOSE => inner.sessions.close(cmd.sid.as_deref().expect("validated")),
+            _ => unreachable!("validate() rejected unknown ops"),
+        }
     }
 
     /// [`SimService::handle`] plus the request's [`AccessRecord`]. The
@@ -497,6 +590,7 @@ impl SimService {
     /// the workers. Idempotent.
     pub fn drain(&self) {
         self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.sessions.clear();
         self.inner.queue.available.notify_all();
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for h in handles {

@@ -395,3 +395,86 @@ fn drain_under_load_accounts_for_every_request_exactly_once() {
     assert_eq!(*seqs.iter().next().unwrap(), 1, "seq starts at 1");
     assert_eq!(*seqs.iter().last().unwrap(), (CONNS * PER_CONN) as u64);
 }
+
+/// Streaming sessions through the router: every line of one session —
+/// open, deltas, close — routes by the *same* digest (`d₀`), so the
+/// whole session lands on the shard holding its warm state, and the
+/// access log attributes every session line to that one shard.
+#[test]
+fn session_lines_pin_to_one_shard() {
+    use aurora_core::{GraphDelta, SessionRequestBuilder};
+
+    let backends = vec![
+        thread_backend("s0", "sess-0"),
+        thread_backend("s1", "sess-1"),
+    ];
+    let log = Arc::new(MemoryLog::default());
+    let router = Arc::new(Router::with_access_log(
+        backends,
+        fast_probe(),
+        Arc::clone(&log) as Arc<dyn aurora_serve::EventLog>,
+    ));
+    router.start().expect("cluster starts");
+    assert_eq!(router.wait_ready(Duration::from_secs(10)), 2);
+
+    let front = scratch_sock("sess-front");
+    let _ = std::fs::remove_file(&front);
+    let (shutdown, server) = serve_router(Arc::clone(&router), front.clone());
+    let mut client = Client::connect(&Endpoint::Unix(front)).expect("connect to router");
+
+    let req = small_request(77);
+    let sb = SessionRequestBuilder::from_request(req);
+    let pinned = router
+        .shard_for(sb.sid())
+        .expect("routable shard")
+        .to_string();
+
+    let opened = client.session(&sb.open().unwrap()).expect("open routes");
+    assert!(opened.is_ok(), "open failed: {:?}", opened.error);
+    let mut digest = opened.digest.clone();
+    for _ in 0..3 {
+        let d = GraphDelta {
+            add_vertices: 1,
+            ..GraphDelta::default()
+        };
+        let applied = client.session(&sb.delta(d)).expect("delta routes");
+        assert!(applied.is_ok(), "delta failed: {:?}", applied.error);
+        assert_ne!(applied.digest, digest, "chain advances per delta");
+        digest = applied.digest;
+    }
+    let closed = client.session(&sb.close()).expect("close routes");
+    assert!(closed.is_ok());
+    assert_eq!(closed.digest, digest);
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    server.join().unwrap().expect("router exits cleanly");
+
+    // every session line was attributed to the pinned shard
+    let records: Vec<serde_json::Value> = log
+        .lines()
+        .iter()
+        .map(|l| serde_json::from_str(l).expect("route record parses"))
+        .collect();
+    assert_eq!(records.len(), 5, "open + 3 deltas + close");
+    for r in &records {
+        assert_eq!(
+            r.get("shard").and_then(|v| v.as_str()),
+            Some(pinned.as_str()),
+            "session line left its pinned shard: {r:?}"
+        );
+        assert_eq!(r.get("outcome").and_then(|v| v.as_str()), Some("ok"));
+    }
+    // open routes by the request digest; delta/close by sid — one value
+    let digests: std::collections::BTreeSet<_> = records
+        .iter()
+        .map(|r| {
+            r.get("digest")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(digests.len(), 1, "all lines route by d0");
+    assert!(digests.contains(sb.sid()));
+}

@@ -241,6 +241,7 @@ fn protocol_answers_malformed_lines_without_dropping() {
     // and a well-formed line still works on the same service
     let line = serde_json::to_string(&aurora_serve::ServeRequest {
         id: 11,
+        version: aurora_core::WIRE_VERSION,
         sim: small_request(8),
     })
     .unwrap();
@@ -359,6 +360,7 @@ fn access_log_gets_one_line_per_request() {
     );
     let line = serde_json::to_string(&aurora_serve::ServeRequest {
         id: 1,
+        version: aurora_core::WIRE_VERSION,
         sim: small_request(30),
     })
     .unwrap();
@@ -515,4 +517,103 @@ fn admin_health_flips_to_draining_over_the_wire() {
     drop(client);
     server.join().unwrap().expect("server exits cleanly");
     assert!(!sock.exists(), "socket file removed on shutdown");
+}
+
+/// The `"session"` protocol verb end to end, in-process: open runs the
+/// base request and pins the warm state, delta re-simulates
+/// incrementally with a reply bit-identical to a one-shot run of the
+/// post-delta graph, close evicts. Also the envelope version gate.
+#[test]
+fn session_verb_open_delta_close_over_the_protocol() {
+    use aurora_core::{GraphDelta, GraphSpec, SessionRequestBuilder};
+
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let req = small_request(21);
+    let sb = SessionRequestBuilder::from_request(req.clone());
+
+    let line = |cmd: &aurora_core::SessionCommand| {
+        serde_json::to_string(&aurora_serve::SessionLine {
+            id: 7,
+            version: aurora_core::WIRE_VERSION,
+            session: cmd.clone(),
+        })
+        .unwrap()
+    };
+
+    // open: a fresh run, digest = d0 = the base request digest
+    let opened = respond_line(&svc, &line(&sb.open().unwrap()));
+    assert!(opened.is_ok(), "open failed: {:?}", opened.error);
+    assert!(!opened.cached);
+    assert_eq!(opened.digest, sb.sid());
+
+    // delta: structurally grow the graph; the reply must equal a
+    // one-shot run of the post-delta graph byte for byte
+    let delta = GraphDelta {
+        add_vertices: 1,
+        insert_edges: vec![(0, 128)],
+        ..GraphDelta::default()
+    };
+    let applied = respond_line(&svc, &line(&sb.delta(delta.clone())));
+    assert!(applied.is_ok(), "delta failed: {:?}", applied.error);
+    assert!(!applied.cached);
+    assert_ne!(applied.digest, sb.sid(), "digest chain advanced");
+    let fresh_req = SimRequest {
+        graph: GraphSpec::Inline(delta.apply(&req.graph.resolve().unwrap()).unwrap()),
+        ..req.clone()
+    };
+    let fresh = svc.handle(&fresh_req).expect("one-shot run");
+    assert_eq!(
+        serde_json::to_string(&applied.report.unwrap()).unwrap(),
+        serde_json::to_string(&*fresh.report).unwrap(),
+        "session reply must be bit-identical to a from-scratch run"
+    );
+
+    // an empty delta is a no-op hit that does not advance the chain
+    let noop = respond_line(&svc, &line(&sb.delta(GraphDelta::default())));
+    assert!(noop.cached);
+    assert_eq!(noop.digest, applied.digest);
+
+    // close evicts; a second close answers unknown_session
+    let closed = respond_line(&svc, &line(&sb.close()));
+    assert!(closed.is_ok());
+    assert_eq!(closed.digest, applied.digest);
+    assert_eq!(svc.session_len(), 0);
+    let gone = respond_line(&svc, &line(&sb.close()));
+    assert_eq!(gone.error.unwrap().kind, "unknown_session");
+
+    // a line from the future is rejected with a typed error
+    let future = line(&sb.open().unwrap()).replacen(
+        &format!("\"version\":{}", aurora_core::WIRE_VERSION),
+        &format!("\"version\":{}", aurora_core::WIRE_VERSION + 40),
+        1,
+    );
+    let rejected = respond_line(&svc, &future);
+    assert_eq!(rejected.error.unwrap().kind, "unsupported_version");
+}
+
+/// A sim envelope declaring a future version is refused with the typed
+/// kind, while v0 envelopes (no version key at all) still answer.
+#[test]
+fn envelope_version_gate_on_sim_lines() {
+    let (svc, _tel) = service(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let req = small_request(22);
+    let sim_json = serde_json::to_string(&req).unwrap();
+    let v0 = format!("{{\"id\":1,\"sim\":{sim_json}}}");
+    let ok = respond(&svc, &v0);
+    assert!(ok.is_ok(), "v0 line must still answer: {:?}", ok.error);
+    let future = format!("{{\"id\":2,\"version\":99,\"sim\":{sim_json}}}");
+    let refused = respond(&svc, &future);
+    assert_eq!(refused.id, 2);
+    assert_eq!(refused.error.unwrap().kind, "unsupported_version");
+}
+
+/// Parses an answered protocol line back into the typed response.
+fn respond_line(svc: &SimService, line: &str) -> aurora_core::SimResponse {
+    serde_json::from_str(&answer(svc, line)).expect("response line parses")
 }

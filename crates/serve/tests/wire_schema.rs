@@ -27,7 +27,9 @@ fn golden_request() -> SimRequest {
 
 /// The content digest of [`golden_request`], pinned: a change here means
 /// every deployed cache key changes — treat it like a schema break.
-const GOLDEN_DIGEST: &str = "cc7d7517d623781e";
+/// (Bumped from `cc7d7517d623781e` when the wire gained the `version`
+/// field: it always serializes, so every digest re-keyed.)
+const GOLDEN_DIGEST: &str = "a31c31303b9236a4";
 
 fn fixture(rel: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -55,6 +57,7 @@ fn check(rel: &str, actual: &str) -> String {
 fn request_envelope_matches_committed_fixture() {
     let envelope = ServeRequest {
         id: 42,
+        version: aurora_core::WIRE_VERSION,
         sim: golden_request(),
     };
     let pretty = serde_json::to_string_pretty(&envelope).unwrap();
@@ -92,4 +95,48 @@ fn golden_digest_is_pinned() {
         "the cache-key function changed; bump the pinned digest only for \
          an intentional request-schema or hash change"
     );
+}
+
+/// A v0 client line — written before the `version` field existed — must
+/// still round-trip: the field deserializes to 0 on both the envelope
+/// and the request, and validation accepts it (only versions *newer*
+/// than the server's are rejected).
+#[test]
+fn v0_lines_without_version_still_parse_and_validate() {
+    let pretty = serde_json::to_string_pretty(&ServeRequest {
+        id: 42,
+        version: aurora_core::WIRE_VERSION,
+        sim: golden_request(),
+    })
+    .unwrap();
+    let committed = check("sim_request_v0.json", &strip_version_keys(&pretty));
+    let parsed: ServeRequest = serde_json::from_str(&committed).unwrap();
+    assert_eq!(parsed.version, 0);
+    assert_eq!(parsed.sim.version, 0);
+    assert!(parsed.sim.validate().is_ok());
+    // the version field is hashed content, but it *defaults* to 0 on
+    // both paths — so a v0 client's digests (and cache keys) are
+    // exactly the builder's, and only an explicit version bump re-keys
+    assert_eq!(parsed.sim.digest(), GOLDEN_DIGEST);
+    assert_ne!(
+        SimRequest {
+            version: aurora_core::WIRE_VERSION,
+            ..parsed.sim.clone()
+        }
+        .digest(),
+        GOLDEN_DIGEST
+    );
+}
+
+/// Drops every `"version": N` line from a pretty-printed envelope,
+/// reconstructing what a v0 client serialized. Sound because `version`
+/// is never the last field of its object (it leads `SimRequest` and
+/// sits mid-envelope), so each removed line carries its own trailing
+/// comma.
+fn strip_version_keys(pretty: &str) -> String {
+    pretty
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"version\""))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use aurora::baselines::{BaselineKind, BaselineParams};
-use aurora::core::{AcceleratorConfig, AuroraSimulator};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 use aurora::graph::Dataset;
 use aurora::model::{LayerShape, ModelId};
 
@@ -24,13 +24,17 @@ fn main() {
         spec.feature_dim
     );
 
-    let aurora = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
-        &g,
-        ModelId::Gcn,
-        &shapes,
-        "Citeseer",
-        spec.feature_density,
-    );
+    let request = SimRequest::builder(ModelId::Gcn)
+        .config(AcceleratorConfig::default())
+        .inline_graph(g.clone())
+        .layers(&shapes)
+        .workload("Citeseer")
+        .input_density(spec.feature_density)
+        .build()
+        .expect("valid request");
+    let aurora = AuroraSimulator::new(AcceleratorConfig::default())
+        .run(&request)
+        .expect("simulation");
 
     println!(
         "\n{:<10}{:>14}{:>10}{:>14}{:>14}{:>12}",

@@ -7,7 +7,7 @@
 //! cargo run --release --example citation_inference
 //! ```
 
-use aurora::core::{AcceleratorConfig, AuroraSimulator};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 use aurora::graph::{Dataset, FeatureMatrix};
 use aurora::model::reference::layer_for;
 use aurora::model::{LayerShape, ModelId};
@@ -52,8 +52,15 @@ fn main() {
         LayerShape::new(spec.feature_dim, hidden),
         LayerShape::new(hidden, classes),
     ];
-    let report =
-        sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "Cora/4", spec.feature_density);
+    let request = SimRequest::builder(ModelId::Gcn)
+        .config(*sim.config())
+        .inline_graph(g.clone())
+        .layers(&shapes)
+        .workload("Cora/4")
+        .input_density(spec.feature_density)
+        .build()
+        .expect("valid request");
+    let report = sim.run(&request).expect("simulation");
     println!(
         "\nAurora would run the full-width ({}-feature) inference in {:.3} ms \
          ({} cycles, {:.2} mJ)",

@@ -6,7 +6,7 @@
 //! cargo run --release --example custom_dataset
 //! ```
 
-use aurora::core::{AcceleratorConfig, AuroraSimulator};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 use aurora::graph::{generate, io, Dataset, DatasetSpec, DegreeStats};
 use aurora::model::{LayerShape, ModelId};
 
@@ -38,13 +38,17 @@ fn main() -> std::io::Result<()> {
         LayerShape::new(spec.feature_dim, 32),
         LayerShape::new(32, spec.classes),
     ];
-    let r = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
-        &g,
-        ModelId::Gcn,
-        &shapes,
-        "custom",
-        spec.feature_density,
-    );
+    let request = SimRequest::builder(ModelId::Gcn)
+        .config(AcceleratorConfig::default())
+        .inline_graph(g.clone())
+        .layers(&shapes)
+        .workload("custom")
+        .input_density(spec.feature_density)
+        .build()
+        .expect("valid request");
+    let r = AuroraSimulator::new(AcceleratorConfig::default())
+        .run(&request)
+        .expect("simulation");
     println!(
         "two-layer GCN on Aurora: {} cycles ({:.3} ms), {:.1} MB DRAM, {:.3} mJ",
         r.total_cycles,

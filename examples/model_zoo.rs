@@ -6,7 +6,7 @@
 //! cargo run --release --example model_zoo
 //! ```
 
-use aurora::core::{AcceleratorConfig, AuroraSimulator, Workflow};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest, Workflow};
 use aurora::graph::{generate, FeatureMatrix};
 use aurora::model::reference::layer_for;
 use aurora::model::{LayerShape, ModelId, Workload};
@@ -30,7 +30,17 @@ fn main() {
         // workload characterisation + workflow + partition
         let wf = Workflow::generate(id);
         let counts = Workload::of(id, &g, shape).op_counts();
-        let report = sim.simulate(&g, id, &[shape], "zoo");
+        let report = sim
+            .run(
+                &SimRequest::builder(id)
+                    .config(*sim.config())
+                    .inline_graph(g.clone())
+                    .layer(shape)
+                    .workload("zoo")
+                    .build()
+                    .expect("valid request"),
+            )
+            .expect("simulation");
         let p = &report.layers[0].partition;
         println!(
             "{:<20}{:<9}{:>7}{:>7}{:>12}{:>12}{:>12}{:>7}/{}",

@@ -8,7 +8,7 @@
 //! cargo run --release --example point_cloud_edgeconv
 //! ```
 
-use aurora::core::{AcceleratorConfig, AuroraSimulator};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 use aurora::graph::{FeatureMatrix, GraphBuilder};
 use aurora::model::reference::layer_for;
 use aurora::model::{LayerShape, ModelId};
@@ -94,12 +94,14 @@ fn main() {
         })
         .collect();
     let refs: Vec<&aurora::graph::Csr> = scans.iter().collect();
-    let batch = sim.simulate_batch(
-        &refs,
-        ModelId::EdgeConv1,
-        &[LayerShape::new(64, 64)],
-        "scans",
-    );
+    let batch = sim
+        .try_simulate_batch(
+            &refs,
+            ModelId::EdgeConv1,
+            &[LayerShape::new(64, 64)],
+            "scans",
+        )
+        .expect("batch simulation");
     println!(
         "batch of 4 scans: {} cycles total, {:.1} MB DRAM (weights loaded once)",
         batch.total_cycles,
@@ -110,7 +112,17 @@ fn main() {
         (ModelId::EdgeConv1, "EdgeConv-1"),
         (ModelId::EdgeConv5, "EdgeConv-5"),
     ] {
-        let r = sim.simulate(&g, id, &[LayerShape::new(64, 64)], label);
+        let r = sim
+            .run(
+                &SimRequest::builder(id)
+                    .config(*sim.config())
+                    .inline_graph(g.clone())
+                    .layer(LayerShape::new(64, 64))
+                    .workload(label)
+                    .build()
+                    .expect("valid request"),
+            )
+            .expect("simulation");
         let l = &r.layers[0];
         println!(
             "{label}: {} cycles, partition A/B = {}/{} (single accelerator: {})",

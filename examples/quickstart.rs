@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use aurora::core::{AcceleratorConfig, AuroraSimulator};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 use aurora::graph::generate;
 use aurora::model::{LayerShape, ModelId};
 
@@ -24,9 +24,17 @@ fn main() {
     //    Algorithm-2 partitioning.
     let sim = AuroraSimulator::new(AcceleratorConfig::default());
 
-    // 3. A two-layer GCN: 128 input features → 64 hidden → 16 classes.
+    // 3. A two-layer GCN: 128 input features → 64 hidden → 16 classes,
+    //    described as a SimRequest — the one-shot run API.
     let shapes = [LayerShape::new(128, 64), LayerShape::new(64, 16)];
-    let report = sim.simulate(&g, ModelId::Gcn, &shapes, "quickstart");
+    let request = SimRequest::builder(ModelId::Gcn)
+        .config(AcceleratorConfig::default())
+        .inline_graph(g.clone())
+        .layers(&shapes)
+        .workload("quickstart")
+        .build()
+        .expect("valid request");
+    let report = sim.run(&request).expect("simulation");
 
     // 4. What the simulator measured.
     println!("\n=== Aurora simulation report ===");

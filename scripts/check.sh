@@ -14,6 +14,7 @@ SERVE_SOCK=""
 SERVE_LOG=""
 ROUTER_PID=""
 ROUTER_SOCK=""
+ROUTER_LOG=""
 cleanup() {
   rm -f BENCH_check.json BENCH_check-seq.json BENCH_check-par.json \
     BENCH_check_history.jsonl BENCH_check_hostprof.json
@@ -32,6 +33,7 @@ cleanup() {
     # worker scratch sockets are keyed by the router's pid
     [ -n "$ROUTER_PID" ] && rm -f /tmp/aurora-cluster-"$ROUTER_PID"-w*.sock
   fi
+  [ -n "$ROUTER_LOG" ] && rm -f "$ROUTER_LOG"
 }
 trap cleanup EXIT
 
@@ -145,6 +147,15 @@ echo "==> engine_kernel_bench --quick (bit-identity + alloc budget; speedup info
 # gates here; EXPERIMENTS.md has the full-size >= 3x recipe.
 cargo run --release -q -p aurora-bench --bin engine_kernel_bench -- --quick --alloc-budget 32
 
+echo "==> delta_bench --quick (session bit-identity gate; speedup informational)"
+# Streaming-session gate: for every cell of k x noc x threads, the
+# incremental re-simulation must produce byte-identical reports (and
+# identical typed errors) to from-scratch runs of the post-delta
+# graph, burst replay must reproduce the digest chain, and empty
+# deltas must answer without an engine run. All hard failures. The
+# >= 5x wall-clock claim only gates in full mode (EXPERIMENTS.md).
+cargo run --release -q -p aurora-bench --bin delta_bench -- --quick
+
 echo "==> serve smoke (aurora_serve + 8 concurrent serve_bench connections)"
 # Start the daemon on a scratch socket (the release binary directly, so
 # the TERM below reaches the daemon itself, not a cargo wrapper), flood
@@ -232,8 +243,9 @@ echo "==> cluster smoke (router + 3 workers, 200 connections, mid-run worker kil
 # SIGTERM the router itself: its health must flip ok -> draining on an
 # open connection before the whole cluster drains and exits 0.
 ROUTER_SOCK="$(mktemp -u /tmp/aurora-router-check-XXXXXX.sock)"
+ROUTER_LOG="$(mktemp /tmp/aurora-router-check-XXXXXX.log)"
 ./target/release/aurora_serve --router --socket "$ROUTER_SOCK" --workers 3 \
-  --probe-ms 100 --drain-grace-ms 5000 &
+  --probe-ms 100 --drain-grace-ms 5000 --access-log "$ROUTER_LOG" &
 ROUTER_PID=$!
 for _ in $(seq 1 150); do
   [ -S "$ROUTER_SOCK" ] && break
@@ -242,6 +254,78 @@ done
 [ -S "$ROUTER_SOCK" ] || { echo "cluster smoke FAILED: router never bound" >&2; exit 1; }
 ./target/release/serve_bench --socket "$ROUTER_SOCK" --connections 200 --repeat 3 \
   --cluster --kill-one
+
+# One open -> delta -> close session through the router. Every op of a
+# session routes by the base digest (open derives it, delta/close carry
+# it as the sid), so rendezvous hashing must pin all three lines to the
+# same shard — that is what keeps the warm session state reachable.
+# The route log is the proof: exactly three lines with the session's
+# digest, all naming one shard.
+ROUTER_SOCK="$ROUTER_SOCK" python3 - <<'EOF' > /tmp/aurora-session-sid.txt
+import json, os, socket
+
+conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+conn.connect(os.environ["ROUTER_SOCK"])
+io = conn.makefile("rw", encoding="utf-8")
+
+def send(obj):
+    io.write(json.dumps(obj) + "\n")
+    io.flush()
+    reply = json.loads(io.readline())
+    assert reply.get("error") is None, f"session op failed: {reply['error']}"
+    return reply
+
+sim = {
+    "version": 1,
+    "config": {
+        "k": 4, "clock_mhz": 700,
+        "pe": {"lanes": 16, "buffer_bytes": 102400, "banks": 8,
+               "fifo_depth": 16, "ppu_width": 4, "reconfig_cycles": 1},
+        "words_per_flit": 4, "dram_channels": 4,
+        "mapping_policy": "DegreeAware", "flexible_noc": True,
+        "dynamic_partition": True, "feature_fraction": 0.5,
+        "link_utilisation": 0.6, "trace_instructions": False,
+    },
+    "graph": {"Rmat": {"vertices": 512, "edges": 4000, "seed": 7}},
+    "model": "Gcn",
+    "layers": [{"f_in": 32, "f_out": 16}],
+    "options": {"workload": "session-smoke", "input_density": 1.0,
+                "trace_instructions": False},
+}
+opened = send({"id": 101, "session": {"op": "open", "sim": sim}})
+sid = opened["digest"]
+assert opened["report"]["total_cycles"] > 0, "open returned an empty report"
+
+# a delta that is valid on any base graph: one appended vertex (id 512)
+# plus two edges from it — guaranteed-new sources, nothing to collide
+delta = {"insert_edges": [[512, 0], [512, 1]], "add_vertices": 1}
+applied = send({"id": 102, "session": {"op": "delta", "sid": sid, "delta": delta}})
+assert applied["digest"] != sid, "delta did not advance the digest chain"
+assert applied["report"]["total_cycles"] > 0, "delta returned an empty report"
+
+closed = send({"id": 103, "session": {"op": "close", "sid": sid}})
+assert closed["digest"] == applied["digest"], "close must echo the chained digest"
+conn.close()
+print(sid)
+EOF
+SESSION_SID="$(cat /tmp/aurora-session-sid.txt)"; rm -f /tmp/aurora-session-sid.txt
+ROUTER_LOG="$ROUTER_LOG" SESSION_SID="$SESSION_SID" python3 - <<'EOF'
+import json, os
+
+sid = os.environ["SESSION_SID"]
+records = [json.loads(line) for line in
+           open(os.environ["ROUTER_LOG"], encoding="utf-8").read().splitlines()]
+session_lines = [r for r in records if r["digest"] == sid]
+assert len(session_lines) == 3, \
+    f"route log holds {len(session_lines)} session lines for {sid}, expected 3"
+shards = {r["shard"] for r in session_lines}
+assert len(shards) == 1 and "" not in shards, \
+    f"session lines routed to {sorted(shards)}, expected one shard"
+for r in session_lines:
+    assert r["outcome"] == "ok", f"session line not ok: {r}"
+print(f"session affinity: open/delta/close all routed to {shards.pop()}")
+EOF
+
 ROUTER_SOCK="$ROUTER_SOCK" ROUTER_PID="$ROUTER_PID" python3 - <<'EOF'
 import json, os, signal, socket, sys, time
 

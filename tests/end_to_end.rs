@@ -2,10 +2,30 @@
 //! baseline comparison → report invariants.
 
 use aurora::baselines::{BaselineKind, BaselineParams};
-use aurora::core::{AcceleratorConfig, AuroraSimulator};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest};
 use aurora::graph::Dataset;
 use aurora::mapping::MappingPolicy;
 use aurora::model::{LayerShape, ModelId};
+
+/// One-shot Aurora run through the request API.
+fn run_request(
+    sim: &AuroraSimulator,
+    g: &aurora::graph::Csr,
+    model: ModelId,
+    shapes: &[LayerShape],
+    workload: &str,
+    density: f64,
+) -> aurora::core::SimReport {
+    let req = SimRequest::builder(model)
+        .config(*sim.config())
+        .inline_graph(g.clone())
+        .layers(shapes)
+        .workload(workload)
+        .input_density(density)
+        .build()
+        .unwrap();
+    sim.run(&req).unwrap()
+}
 
 fn citeseer_quarter() -> (aurora::graph::Csr, [LayerShape; 2], f64) {
     let spec = Dataset::Citeseer.spec().scaled(4);
@@ -20,7 +40,8 @@ fn citeseer_quarter() -> (aurora::graph::Csr, [LayerShape; 2], f64) {
 #[test]
 fn aurora_report_is_internally_consistent() {
     let (g, shapes, density) = citeseer_quarter();
-    let r = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
+    let r = run_request(
+        &AuroraSimulator::new(AcceleratorConfig::default()),
         &g,
         ModelId::Gcn,
         &shapes,
@@ -42,7 +63,8 @@ fn aurora_report_is_internally_consistent() {
 #[test]
 fn aurora_beats_every_baseline_on_a_real_dataset() {
     let (g, shapes, density) = citeseer_quarter();
-    let aurora = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
+    let aurora = run_request(
+        &AuroraSimulator::new(AcceleratorConfig::default()),
         &g,
         ModelId::Gcn,
         &shapes,
@@ -74,7 +96,8 @@ fn aurora_beats_every_baseline_on_a_real_dataset() {
 #[test]
 fn every_ablation_axis_matters() {
     let (g, shapes, density) = citeseer_quarter();
-    let full = AuroraSimulator::new(AcceleratorConfig::default()).simulate_with_density(
+    let full = run_request(
+        &AuroraSimulator::new(AcceleratorConfig::default()),
         &g,
         ModelId::Gcn,
         &shapes,
@@ -88,7 +111,8 @@ fn every_ablation_axis_matters() {
         dynamic_partition: false,
         ..AcceleratorConfig::default()
     };
-    let base = AuroraSimulator::new(stripped).simulate_with_density(
+    let base = run_request(
+        &AuroraSimulator::new(stripped),
         &g,
         ModelId::Gcn,
         &shapes,
@@ -112,7 +136,7 @@ fn all_models_run_on_the_paper_configuration() {
     let g = aurora::graph::generate::rmat(2_000, 16_000, Default::default(), 5);
     let sim = AuroraSimulator::paper();
     for id in ModelId::ALL {
-        let r = sim.simulate(&g, id, &[LayerShape::new(64, 32)], "zoo");
+        let r = run_request(&sim, &g, id, &[LayerShape::new(64, 32)], "zoo", 1.0);
         assert!(r.total_cycles > 0, "{}", id.name());
         assert!(r.energy_joules() > 0.0, "{}", id.name());
         assert!(
@@ -128,19 +152,21 @@ fn all_models_run_on_the_paper_configuration() {
 fn simulation_is_deterministic() {
     let (g, shapes, density) = citeseer_quarter();
     let sim = AuroraSimulator::new(AcceleratorConfig::default());
-    let a = sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "t", density);
-    let b = sim.simulate_with_density(&g, ModelId::Gcn, &shapes, "t", density);
+    let a = run_request(&sim, &g, ModelId::Gcn, &shapes, "t", density);
+    let b = run_request(&sim, &g, ModelId::Gcn, &shapes, "t", density);
     assert_eq!(a, b);
 }
 
 #[test]
 fn reports_serialize_roundtrip() {
     let g = aurora::graph::generate::ring(256);
-    let r = AuroraSimulator::new(AcceleratorConfig::small(4)).simulate(
+    let r = run_request(
+        &AuroraSimulator::new(AcceleratorConfig::small(4)),
         &g,
         ModelId::Gin,
         &[LayerShape::new(8, 4)],
         "ring",
+        1.0,
     );
     let json = serde_json::to_string(&r).expect("serialize");
     let back: aurora::core::SimReport = serde_json::from_str(&json).expect("deserialize");

@@ -1,6 +1,6 @@
 //! Direct checks of the paper's quantitative claims.
 
-use aurora::core::{AcceleratorConfig, AuroraSimulator, Workflow};
+use aurora::core::{AcceleratorConfig, AuroraSimulator, SimRequest, Workflow};
 use aurora::energy::AreaModel;
 use aurora::graph::Dataset;
 use aurora::mapping::nqueen;
@@ -36,15 +36,18 @@ fn nqueen_at_paper_radix() {
 fn reconfiguration_energy_below_three_percent() {
     let spec = Dataset::Cora.spec().scaled(2);
     let g = spec.synthesize();
-    let r = AuroraSimulator::paper().simulate(
-        &g,
-        ModelId::Gcn,
-        &[
+    let sim = AuroraSimulator::paper();
+    let req = SimRequest::builder(ModelId::Gcn)
+        .config(*sim.config())
+        .inline_graph(g.clone())
+        .layers(&[
             LayerShape::new(spec.feature_dim, 16),
             LayerShape::new(16, spec.classes),
-        ],
-        "Cora/2",
-    );
+        ])
+        .workload("Cora/2")
+        .build()
+        .unwrap();
+    let r = sim.run(&req).unwrap();
     let f = r.energy.reconfiguration_fraction();
     assert!(f < 0.03, "reconfiguration fraction {f}");
     assert!(f > 0.0, "reconfiguration energy must be accounted");

@@ -7,7 +7,9 @@
 //! engine actually took.
 
 use aurora_core::profile::CriticalStage;
-use aurora_core::{metric_names, AcceleratorConfig, AuroraSimulator, Bound, SimReport, Telemetry};
+use aurora_core::{
+    metric_names, AcceleratorConfig, AuroraSimulator, Bound, SimReport, SimRequest, Telemetry,
+};
 use aurora_graph::generate;
 use aurora_model::{LayerShape, ModelId};
 
@@ -16,7 +18,34 @@ const EPS: f64 = 1e-6;
 fn run(model: ModelId) -> SimReport {
     let g = generate::rmat(1_024, 8_000, Default::default(), 5);
     let shapes = [LayerShape::new(32, 16), LayerShape::new(16, 8)];
-    AuroraSimulator::new(AcceleratorConfig::small(8)).simulate(&g, model, &shapes, "rmat-1k")
+    run_request(
+        &AuroraSimulator::new(AcceleratorConfig::small(8)),
+        &g,
+        model,
+        &shapes,
+        "rmat-1k",
+        1.0,
+    )
+}
+
+/// One-shot Aurora run through the request API.
+fn run_request(
+    sim: &AuroraSimulator,
+    g: &aurora_graph::Csr,
+    model: ModelId,
+    shapes: &[LayerShape],
+    workload: &str,
+    density: f64,
+) -> SimReport {
+    let req = SimRequest::builder(model)
+        .config(*sim.config())
+        .inline_graph(g.clone())
+        .layers(shapes)
+        .workload(workload)
+        .input_density(density)
+        .build()
+        .unwrap();
+    sim.run(&req).unwrap()
 }
 
 #[test]
@@ -134,9 +163,14 @@ fn traffic_cache_counters_reconcile_with_telemetry() {
     // mappings and per-tile NoC configs, so every layer-1 tile must hit
     // the unit-flit profile cache that layer 0 populated.
     let shapes = [LayerShape::new(32, 32), LayerShape::new(32, 16)];
-    let r = AuroraSimulator::new(AcceleratorConfig::small(8))
-        .with_telemetry(Telemetry::enabled())
-        .simulate(&g, ModelId::Gcn, &shapes, "rmat-1k");
+    let r = run_request(
+        &AuroraSimulator::new(AcceleratorConfig::small(8)).with_telemetry(Telemetry::enabled()),
+        &g,
+        ModelId::Gcn,
+        &shapes,
+        "rmat-1k",
+        1.0,
+    );
     let p = &r.profile;
 
     assert_eq!(p.layers.len(), 2);
@@ -176,11 +210,13 @@ fn traffic_cache_counters_reconcile_with_telemetry() {
     // Caching is transparent: a cold single-layer run of the same first
     // layer reports identical cycles, and both cached layers see the
     // same traffic (same tiles, same message width).
-    let cold = AuroraSimulator::new(AcceleratorConfig::small(8)).simulate(
+    let cold = run_request(
+        &AuroraSimulator::new(AcceleratorConfig::small(8)),
         &g,
         ModelId::Gcn,
         &shapes[..1],
         "rmat-1k",
+        1.0,
     );
     assert_eq!(cold.layers[0].total_cycles, r.layers[0].total_cycles);
     assert_eq!(cold.profile.tile_profile_hits, 0);
